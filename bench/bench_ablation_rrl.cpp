@@ -1,0 +1,115 @@
+// Ablation: response-rate limiting on the reflector.
+//
+// §II-C's amplification attack assumes the open resolver answers a spoofed
+// flood at full size, query after query. This bench floods an open resolver
+// with spoofed-source ANY queries for a record-rich name, with RRL off and
+// on, and measures what actually lands on the victim.
+#include "bench_common.h"
+
+#include "dns/builder.h"
+#include "dns/edns.h"
+#include "resolver/root_tld.h"
+#include "resolver/scripted_resolver.h"
+
+using namespace orp;
+
+namespace {
+
+struct FloodResult {
+  std::uint64_t queries = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t victim_bytes = 0;
+  std::uint64_t rrl_dropped = 0;
+  std::uint64_t rrl_slipped = 0;
+};
+
+FloodResult flood(bool rrl_enabled) {
+  net::EventLoop loop;
+  net::Network network(loop, 41);
+  const dns::DnsName sld = dns::DnsName::must_parse("ucfsealresearch.net");
+  const zone::SubdomainScheme scheme(sld, 1000, 5);
+  authns::AuthServer auth(network, net::IPv4Addr(45, 76, 18, 21), scheme,
+                          net::SimTime::nanos(0));
+  for (int i = 0; i < 8; ++i) {
+    auth.add_record(dns::ResourceRecord{
+        sld, dns::RRType::kTXT, dns::RRClass::kIN, 3600,
+        dns::TxtRdata{{"v=spf1 include:spf" + std::to_string(i) +
+                       ".ucfsealresearch.net ~all padding padding"}}});
+  }
+  const auto hierarchy =
+      resolver::build_hierarchy(network, sld, sld.child("ns1"),
+                                auth.address(), 2);
+  resolver::EngineConfig engine_config;
+  engine_config.hints = hierarchy.hints;
+
+  resolver::BehaviorProfile profile;
+  profile.answer = resolver::AnswerMode::kRecursive;
+  profile.rrl.enabled = rrl_enabled;
+  profile.rrl.responses_per_second = 5;
+  profile.rrl.burst = 10;
+  resolver::ResolverHost reflector(network, net::IPv4Addr(66, 77, 3, 3),
+                                   profile, engine_config, 1);
+
+  FloodResult result;
+  const net::Endpoint victim{net::IPv4Addr(203, 113, 0, 99), 33333};
+  network.bind(victim, [&result](const net::Datagram& d) {
+    ++result.responses;
+    result.victim_bytes += d.payload.size();
+  });
+
+  // 200 spoofed ANY queries over 10 simulated seconds (20 qps, well past the
+  // 5 rps RRL budget). Each uses EDNS so the full payload would reflect.
+  constexpr int kQueries = 200;
+  for (int i = 0; i < kQueries; ++i) {
+    loop.schedule_at(net::SimTime::millis(50 * i), [&network, &reflector,
+                                                    victim, &sld, i]() {
+      dns::Message q = dns::make_query(static_cast<std::uint16_t>(i), sld,
+                                       dns::RRType::kANY);
+      dns::set_edns(q, dns::EdnsInfo{.udp_payload_size = 4096});
+      network.send(net::Datagram{
+          victim, net::Endpoint{reflector.address(), net::kDnsPort},
+          dns::encode(q)});
+    });
+  }
+  loop.run();
+  result.queries = kQueries;
+  result.rrl_dropped = reflector.stats().rrl_dropped;
+  result.rrl_slipped = reflector.stats().rrl_slipped;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation — response-rate limiting on the reflector",
+                      "paper §II-C (amplification) + BIND RRL mitigation");
+
+  const FloodResult off = flood(false);
+  const FloodResult on = flood(true);
+
+  util::TextTable t({"", "RRL off", "RRL on"});
+  t.add_row({"spoofed ANY queries", util::with_commas(off.queries),
+             util::with_commas(on.queries)});
+  t.add_row({"responses reaching the victim", util::with_commas(off.responses),
+             util::with_commas(on.responses)});
+  t.add_row({"bytes reaching the victim", util::with_commas(off.victim_bytes),
+             util::with_commas(on.victim_bytes)});
+  t.add_row({"suppressed (dropped)", util::with_commas(off.rrl_dropped),
+             util::with_commas(on.rrl_dropped)});
+  t.add_row({"suppressed (TC=1 slip)", util::with_commas(off.rrl_slipped),
+             util::with_commas(on.rrl_slipped)});
+  std::printf("%s", t.render().c_str());
+
+  const double reduction =
+      off.victim_bytes == 0
+          ? 0.0
+          : 100.0 * (1.0 - static_cast<double>(on.victim_bytes) /
+                               static_cast<double>(off.victim_bytes));
+  std::printf(
+      "\nshape check: RRL cuts the amplification payload at the victim by "
+      "%.1f%%; the\nresidual traffic is dominated by minimal TC=1 slips a "
+      "real client would convert\ninto a TCP retry — which a spoofed victim "
+      "never sends.\n",
+      reduction);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared plumbing for the table/figure reproduction benches.
+//
+// Every bench_tableNN binary runs the measurement pipeline for the year(s)
+// its table covers and prints the paper's published row next to the measured
+// row (scaled by 1/scale). Scale and seed come from argv or the environment:
+//
+//   ./bench_table03_answer_correctness [scale] [seed]
+//   ORP_BENCH_SCALE=512 ./bench_table03_answer_correctness
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/paper_data.h"
+#include "core/pipeline.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace orp::bench {
+
+struct BenchOptions {
+  std::uint64_t scale = 1024;
+  std::uint64_t seed = 42;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  if (const char* env = std::getenv("ORP_BENCH_SCALE"))
+    opts.scale = std::strtoull(env, nullptr, 10);
+  if (const char* env = std::getenv("ORP_BENCH_SEED"))
+    opts.seed = std::strtoull(env, nullptr, 10);
+  if (argc > 1) opts.scale = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) opts.seed = std::strtoull(argv[2], nullptr, 10);
+  if (opts.scale == 0) opts.scale = 1;
+  return opts;
+}
+
+inline core::ScanOutcome run_year(const core::PaperYear& year,
+                                  const BenchOptions& opts) {
+  std::printf("... running the %d campaign at scale 1/%llu (seed %llu)\n",
+              year.year, static_cast<unsigned long long>(opts.scale),
+              static_cast<unsigned long long>(opts.seed));
+  std::fflush(stdout);
+  core::PipelineConfig cfg;
+  cfg.scale = opts.scale;
+  cfg.seed = opts.seed;
+  return core::run_measurement(year, cfg);
+}
+
+/// "paper 123,456 -> scaled 121 | measured 119".
+inline std::string vs(std::uint64_t paper, std::uint64_t scaled,
+                      std::uint64_t measured) {
+  return util::with_commas(paper) + " -> " + util::with_commas(scaled) +
+         " | " + util::with_commas(measured);
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("%s", util::section_title(title).c_str());
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf(
+      "columns: paper value -> paper scaled to this run | measured\n\n");
+}
+
+}  // namespace orp::bench

@@ -1,0 +1,38 @@
+// Extension: counting DNSSEC-validating resolvers (§VI cites Fukuda et al.
+// and Yu et al.'s validator censuses).
+//
+// A validating resolver sets the DNSSEC-OK (DO) bit on its upstream queries;
+// since the measurement owns the authoritative server, the fraction of Q2
+// traffic carrying DO is a free census of validator deployment among the
+// open resolvers that performed real recursion.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace orp;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_header("Extension — DNSSEC validator census at the auth server",
+                      "paper §VI (validator-counting references [43,44])");
+
+  const core::ScanOutcome o18 = bench::run_year(core::paper_2018(), opts);
+
+  const auto& s = o18.auth;
+  util::TextTable t({"metric", "value"});
+  t.set_align(0, util::Align::kLeft);
+  t.add_row({"Q2 queries at the authoritative server",
+             util::with_commas(s.queries_received)});
+  t.add_row({"  carrying EDNS(0)", util::with_commas(s.edns_queries)});
+  t.add_row({"  carrying the DO bit", util::with_commas(s.dnssec_do_queries)});
+  t.add_row({"DO share of EDNS queries",
+             util::fixed(util::percent(s.dnssec_do_queries, s.edns_queries),
+                         1) +
+                 "%"});
+  std::printf("%s", t.render().c_str());
+
+  std::printf(
+      "\nreading: roughly one in eight recursion-performing open resolvers "
+      "sets DO upstream\n(population calibrated to the paper-era validator "
+      "censuses). DNSSEC validation would\nblock the manipulated answers of "
+      "§IV-C for signed zones — but at this deployment\nlevel, \"DNSSEC did "
+      "not yet completely replace DNS, which leaves a threat\" (§VI).\n");
+  return 0;
+}

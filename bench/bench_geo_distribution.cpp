@@ -1,0 +1,39 @@
+// §IV-C2 "Distribution of Malicious Resolvers": country breakdown.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace orp;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_header("Geo — distribution of malicious resolvers",
+                      "paper §IV-C2 in-text country lists");
+
+  for (const auto* year : {&core::paper_2013(), &core::paper_2018()}) {
+    const core::ScanOutcome o = bench::run_year(*year, opts);
+    std::printf("\n--- %d ---\n", year->year);
+    util::TextTable t(
+        {"Country", "paper #R2", "paper share", "measured #R2", "meas share"});
+    std::uint64_t shown = 0;
+    for (std::size_t i = 0; i < 8 && i < year->countries.size(); ++i) {
+      const auto& pc = year->countries[i];
+      std::uint64_t measured = 0;
+      for (const auto& mc : o.analysis.geo.countries)
+        if (mc.country == pc.country) measured = mc.r2;
+      t.add_row({pc.country, util::with_commas(pc.r2),
+                 util::fixed(util::percent(pc.r2, year->malicious_r2), 1) + "%",
+                 util::with_commas(measured),
+                 util::fixed(util::percent(measured, o.analysis.geo.total), 1) +
+                     "%"});
+      shown += pc.r2;
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("countries with malicious resolvers: paper %zu, measured %zu\n",
+                year->countries.size(), o.analysis.geo.country_count());
+  }
+
+  std::printf(
+      "\nshape checks: the US dominates both years but its share falls "
+      "98%% -> 81%% as IN,\nHK, VG, AE and CN grow ~10x; the measured "
+      "country count shrinks with scale\n(a 1/N sample cannot retain every "
+      "1-resolver country).\n");
+  return 0;
+}

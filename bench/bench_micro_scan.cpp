@@ -1,0 +1,94 @@
+// Microbenchmarks: scanning substrate — permutation stepping, exclusion
+// checks, rate limiting, and the end-to-end event throughput of a scaled
+// campaign. These bound how close to ZMap's "IPv4 in one hour" envelope the
+// simulated prober can get.
+#include <benchmark/benchmark.h>
+
+#include "core/paper_data.h"
+#include "core/pipeline.h"
+#include "net/reserved.h"
+#include "prober/permutation.h"
+#include "prober/rate_limiter.h"
+#include "resolver/cache.h"
+
+namespace {
+
+using namespace orp;
+
+void BM_PermutationStep(benchmark::State& state) {
+  prober::CyclicPermutation perm(42);
+  for (auto _ : state) benchmark::DoNotOptimize(perm.next_raw());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PermutationStep);
+
+void BM_PermutationRandomAccess(benchmark::State& state) {
+  const prober::CyclicPermutation perm(42);
+  std::uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(perm.raw_at(k));
+    k = (k + 0x9E3779B9) & 0xFFFFFFFF;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PermutationRandomAccess);
+
+void BM_ReservedCheck(benchmark::State& state) {
+  prober::CyclicPermutation perm(42);
+  for (auto _ : state) {
+    const auto addr = perm.next_address();
+    benchmark::DoNotOptimize(net::is_reserved(*addr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReservedCheck);
+
+void BM_RateLimiter(benchmark::State& state) {
+  prober::RateLimiter limiter(1e9, 1024);
+  net::SimTime now;
+  net::SimTime ready;
+  for (auto _ : state) {
+    now += net::SimTime::micros(1);
+    benchmark::DoNotOptimize(limiter.try_acquire(64, now, ready));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RateLimiter);
+
+void BM_DnsCacheHit(benchmark::State& state) {
+  resolver::DnsCache cache(1024);
+  const auto name = dns::DnsName::must_parse("www.example.net");
+  cache.put(name, dns::RRType::kA,
+            {dns::ResourceRecord{name, dns::RRType::kA, dns::RRClass::kIN,
+                                 3600, dns::ARdata{net::IPv4Addr(1, 2, 3, 4)}}},
+            net::SimTime::seconds(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.get(name, dns::RRType::kA, net::SimTime::seconds(1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DnsCacheHit);
+
+/// Full campaign at a coarse scale: measures simulated-packets per real
+/// second across the entire pipeline (population, planting, scan, analysis).
+void BM_FullCampaign2018(benchmark::State& state) {
+  const auto scale = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t probes = 0;
+  for (auto _ : state) {
+    core::PipelineConfig cfg;
+    cfg.scale = scale;
+    cfg.seed = 42;
+    const core::ScanOutcome o = core::run_measurement(core::paper_2018(), cfg);
+    probes += o.scan.q1_sent;
+    benchmark::DoNotOptimize(o.analysis.answers.correct);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(probes));
+  state.counters["probes_per_s"] = benchmark::Counter(
+      static_cast<double>(probes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullCampaign2018)->Arg(16384)->Arg(8192)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

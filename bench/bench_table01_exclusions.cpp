@@ -1,0 +1,56 @@
+// Table I: the RFC-reserved blocks excluded from probing.
+//
+// No scan needed — this bench verifies the exclusion-table arithmetic
+// (including the paper's own Total-row slip) and measures the cost of the
+// membership test the scanner pays per generated target.
+#include <chrono>
+
+#include "bench_common.h"
+#include "net/reserved.h"
+#include "prober/permutation.h"
+
+int main() {
+  using namespace orp;
+  bench::print_header("Table I — excluded address blocks",
+                      "paper §III-A1, Table I");
+
+  util::TextTable t({"Address Block", "RFC", "#"});
+  t.set_align(1, util::Align::kLeft);
+  for (const auto& block : net::reserved_blocks()) {
+    t.add_row({block.prefix.to_string(), std::string(block.rfc),
+               util::with_commas(block.prefix.size())});
+  }
+  t.add_separator();
+  t.add_row({"Total (paper, misprinted)", "-",
+             util::with_commas(net::paper_table1_total())});
+  t.add_row({"Total (recomputed)", "-",
+             util::with_commas(net::reserved_address_count())});
+  t.add_row({"Unique reserved (255/32 overlaps 240/4)", "-",
+             util::with_commas(net::reserved_address_count() - 1)});
+  t.add_row({"Probeable = 2^32 - unique", "-",
+             util::with_commas(net::probeable_address_count())});
+  std::printf("%s", t.render().c_str());
+  std::printf(
+      "\nnote: the paper's printed total is short by exactly one /8 "
+      "(16,777,216); the\nprobeable count equals Table II's 2018 Q1 of "
+      "3,702,258,432 to the packet.\n\n");
+
+  // Membership-test throughput over the scanner's own address stream.
+  orp::prober::CyclicPermutation perm(1);
+  constexpr int kProbes = 4'000'000;
+  std::uint64_t reserved = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kProbes; ++i) {
+    const auto addr = perm.next_address();
+    if (addr && net::is_reserved(*addr)) ++reserved;
+  }
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  std::printf(
+      "is_reserved() over %s permuted addresses: %.2f Mops/s "
+      "(%.1f%% reserved; expect 13.80%%)\n",
+      util::with_commas(kProbes).c_str(), kProbes / elapsed / 1e6,
+      100.0 * static_cast<double>(reserved) / kProbes);
+  return 0;
+}

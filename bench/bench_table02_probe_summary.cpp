@@ -1,0 +1,50 @@
+// Table II: the probing summary — Q1 / Q2,R1 / R2 counts, percentages, and
+// campaign duration for both years.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace orp;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_header("Table II — open-resolver probing summary",
+                      "paper §IV, Table II");
+
+  const core::ScanOutcome o13 = bench::run_year(core::paper_2013(), opts);
+  const core::ScanOutcome o18 = bench::run_year(core::paper_2018(), opts);
+
+  util::TextTable t({"", "Duration", "Q1", "Q2,R1 (%)", "R2 (%)"});
+  auto row = [&](const char* label, double dur_s, std::uint64_t q1,
+                 std::uint64_t q2, std::uint64_t r2) {
+    t.add_row({label, util::human_duration(dur_s), util::with_commas(q1),
+               util::with_commas(q2) + " (" +
+                   util::fixed(util::percent(q2, q1), 4) + ")",
+               util::with_commas(r2) + " (" +
+                   util::fixed(util::percent(r2, q1), 4) + ")"});
+  };
+  const auto& p13 = core::paper_2013();
+  const auto& p18 = core::paper_2018();
+  row("2013 paper", p13.duration_seconds, p13.q1, p13.q2_r1, p13.r2);
+  row("2013 paper/scale", p13.duration_seconds, o13.expect(p13.q1),
+      o13.expect(p13.q2_r1), o13.expect(p13.r2));
+  row("2013 measured", o13.sim_duration_seconds, o13.scan.q1_sent,
+      o13.auth.queries_received, o13.scan.r2_received);
+  t.add_separator();
+  row("2018 paper", p18.duration_seconds, p18.q1, p18.q2_r1, p18.r2);
+  row("2018 paper/scale", p18.duration_seconds, o18.expect(p18.q1),
+      o18.expect(p18.q2_r1), o18.expect(p18.r2));
+  row("2018 measured", o18.sim_duration_seconds, o18.scan.q1_sent,
+      o18.auth.queries_received, o18.scan.r2_received);
+  std::printf("%s", t.render().c_str());
+
+  std::printf(
+      "\nshape checks: Q2/Q1 ratio falls ~3x from 2013 to 2018 (paper: "
+      "1.04%% -> 0.35%%),\nR2/Q1 falls ~2.6x (0.45%% -> 0.18%%); the "
+      "simulated durations recover the paper's\nweek-long 2013 scan vs the "
+      "half-day 2018 scan from the same rate arithmetic.\n");
+  std::printf("\n2013 measured Q2/Q1 = %.4f%%, R2/Q1 = %.4f%%\n",
+              util::percent(o13.auth.queries_received, o13.scan.q1_sent),
+              util::percent(o13.scan.r2_received, o13.scan.q1_sent));
+  std::printf("2018 measured Q2/Q1 = %.4f%%, R2/Q1 = %.4f%%\n",
+              util::percent(o18.auth.queries_received, o18.scan.q1_sent),
+              util::percent(o18.scan.r2_received, o18.scan.q1_sent));
+  return 0;
+}

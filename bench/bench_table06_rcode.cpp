@@ -1,0 +1,37 @@
+// Table VI: response-code distribution split by answer presence.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace orp;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_header("Table VI — rcode distribution", "paper §IV-B3, Table VI");
+
+  const core::ScanOutcome o13 = bench::run_year(core::paper_2013(), opts);
+  const core::ScanOutcome o18 = bench::run_year(core::paper_2018(), opts);
+
+  analysis::RcodeRows rows;
+  rows.emplace_back("2013 paper", core::paper_2013().rcodes);
+  rows.emplace_back("2013 measured", o13.analysis.rcodes);
+  rows.emplace_back("2018 paper", core::paper_2018().rcodes);
+  rows.emplace_back("2018 measured", o18.analysis.rcodes);
+  std::printf("%s", analysis::render_rcode_table(rows).c_str());
+
+  std::printf(
+      "\nanomaly checks the paper calls out:\n"
+      "  error-rcode WITH answer (paper 14,005 in 2013; 2,715 in 2018): "
+      "measured %s / %s\n"
+      "  NoError WITHOUT answer (paper 1,198,772 / 377,803): measured %s / "
+      "%s\n"
+      "  NotAuth grows 11 -> 80,032: measured %s -> %s\n",
+      util::with_commas(o13.analysis.rcodes.error_rcode_with_answer()).c_str(),
+      util::with_commas(o18.analysis.rcodes.error_rcode_with_answer()).c_str(),
+      util::with_commas(o13.analysis.rcodes.noerror_without_answer()).c_str(),
+      util::with_commas(o18.analysis.rcodes.noerror_without_answer()).c_str(),
+      util::with_commas(
+          o13.analysis.rcodes.row(dns::Rcode::kNotAuth).total())
+          .c_str(),
+      util::with_commas(
+          o18.analysis.rcodes.row(dns::Rcode::kNotAuth).total())
+          .c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table IX: malicious IP addresses in R2 packets, by threat category.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace orp;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::print_header("Table IX — malicious answers by category",
+                      "paper §IV-C2, Table IX");
+
+  const core::ScanOutcome o13 = bench::run_year(core::paper_2013(), opts);
+  const core::ScanOutcome o18 = bench::run_year(core::paper_2018(), opts);
+
+  // Paper rows rebuilt as MaliciousSummary structs for uniform rendering.
+  auto paper_summary = [](const core::PaperYear& y) {
+    analysis::MaliciousSummary s;
+    for (const auto& c : y.categories) {
+      s.categories[static_cast<std::size_t>(c.category)] =
+          analysis::CategoryRow{c.unique_ips, c.r2};
+    }
+    s.total_ips = y.malicious_ips;
+    s.total_r2 = y.malicious_r2;
+    return s;
+  };
+
+  analysis::MaliciousRows rows;
+  rows.emplace_back("2013 paper", paper_summary(core::paper_2013()));
+  rows.emplace_back("2013 meas", o13.analysis.malicious);
+  rows.emplace_back("2018 paper", paper_summary(core::paper_2018()));
+  rows.emplace_back("2018 meas", o18.analysis.malicious);
+  std::printf("%s", analysis::render_malicious_table(rows).c_str());
+
+  std::printf(
+      "\nshape checks: malware holds ~86%% of malicious R2 in both years; "
+      "phishing's share of\nunique addresses doubles 2013 -> 2018 (19%% -> "
+      "37%%); total malicious R2 roughly\ndoubles (paper 12,874 -> 26,926; "
+      "measured %s -> %s at this scale) while the\noverall resolver count "
+      "falls — the paper's headline finding.\n",
+      util::with_commas(o13.analysis.malicious.total_r2).c_str(),
+      util::with_commas(o18.analysis.malicious.total_r2).c_str());
+  return 0;
+}

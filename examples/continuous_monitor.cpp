@@ -1,0 +1,42 @@
+// continuous_monitor: the standing observatory §V calls for.
+//
+// The Open Resolver Project stopped publishing in January 2017 — right as,
+// per the paper's temporal contrast, malicious open resolvers were doubling.
+// This example replays what a continuous monitor would have recorded across
+// the 2013-10 .. 2018-04 gap: periodic scaled scans over a drifting
+// population, surfacing the decline of open resolvers *and* the growth of
+// the malicious subpopulation that a raw count alone hides.
+//
+//   ./continuous_monitor [snapshots] [scale] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/monitor.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace orp;
+  core::MonitoringConfig config;
+  config.snapshots = argc > 1 ? std::atoi(argv[1]) : 6;
+  config.scale = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2048;
+  config.seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+
+  std::printf("%s", util::section_title(
+                        "Continuous open-resolver observatory (§V)")
+                        .c_str());
+  std::printf("%d scans at scale 1/%llu across the 2013-10 .. 2018-04 drift\n\n",
+              config.snapshots,
+              static_cast<unsigned long long>(config.scale));
+
+  const core::MonitoringSeries series = core::run_monitoring(config);
+  std::printf("%s", core::render_monitoring(series).c_str());
+
+  std::printf(
+      "\nreading: the open-resolver count falls steadily (what "
+      "openresolverproject.org saw\nbefore discontinuing), while the "
+      "malicious-response series rises — the divergence is\nonly visible "
+      "with behavioral analysis per scan, which is the paper's case for a\n"
+      "monitor that does more than count responders.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// scan_campaign: the full study in one binary — run both measurement
+// campaigns (2013 and 2018 populations) at a chosen scale, print every
+// behavioral table, and close with the temporal contrast of §IV.
+//
+//   ./scan_campaign [scale] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/report.h"
+#include "core/contrast.h"
+#include "core/paper_data.h"
+#include "core/pipeline.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace orp;
+  core::PipelineConfig config;
+  config.scale = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2048;
+  config.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  std::printf("%s", util::section_title("Open-resolver behavioral survey")
+                        .c_str());
+  std::printf("scale 1/%llu, seed %llu\n\n",
+              static_cast<unsigned long long>(config.scale),
+              static_cast<unsigned long long>(config.seed));
+
+  const core::ScanOutcome o13 =
+      core::run_measurement(core::paper_2013(), config);
+  std::printf("2013 campaign: %s simulated, %s probes, %s responses\n",
+              util::human_duration(o13.sim_duration_seconds).c_str(),
+              util::with_commas(o13.scan.q1_sent).c_str(),
+              util::with_commas(o13.scan.r2_received).c_str());
+  const core::ScanOutcome o18 =
+      core::run_measurement(core::paper_2018(), config);
+  std::printf("2018 campaign: %s simulated, %s probes, %s responses\n\n",
+              util::human_duration(o18.sim_duration_seconds).c_str(),
+              util::with_commas(o18.scan.q1_sent).c_str(),
+              util::with_commas(o18.scan.r2_received).c_str());
+
+  std::printf("%s", util::section_title("Answer correctness (Table III)")
+                        .c_str());
+  std::printf("%s\n", analysis::render_answer_table(
+                          {{"2013", o13.analysis.answers},
+                           {"2018", o18.analysis.answers}})
+                          .c_str());
+
+  std::printf("%s", util::section_title("RA flag (Table IV)").c_str());
+  std::printf("%s\n", analysis::render_flag_table({{"2013", o13.analysis.ra},
+                                                   {"2018", o18.analysis.ra}},
+                                                  "RA")
+                          .c_str());
+
+  std::printf("%s", util::section_title("AA flag (Table V)").c_str());
+  std::printf("%s\n", analysis::render_flag_table({{"2013", o13.analysis.aa},
+                                                   {"2018", o18.analysis.aa}},
+                                                  "AA")
+                          .c_str());
+
+  std::printf("%s", util::section_title("Response codes (Table VI)").c_str());
+  std::printf("%s\n", analysis::render_rcode_table(
+                          {{"2013", o13.analysis.rcodes},
+                           {"2018", o18.analysis.rcodes}})
+                          .c_str());
+
+  std::printf("%s",
+              util::section_title("Incorrect answers (Table VII)").c_str());
+  std::printf("%s\n", analysis::render_incorrect_table(
+                          {{"2013", o13.analysis.incorrect},
+                           {"2018", o18.analysis.incorrect}})
+                          .c_str());
+
+  std::printf("%s",
+              util::section_title("Top incorrect addresses (Table VIII)")
+                  .c_str());
+  std::printf("2018:\n%s\n",
+              analysis::render_top10_table(o18.analysis.top10).c_str());
+
+  std::printf("%s",
+              util::section_title("Malicious answers (Tables IX-X)").c_str());
+  std::printf("%s\n", analysis::render_malicious_table(
+                          {{"2013", o13.analysis.malicious},
+                           {"2018", o18.analysis.malicious}})
+                          .c_str());
+  std::printf("%s\n", analysis::render_malicious_flags_table(
+                          {{"2013", o13.analysis.malicious},
+                           {"2018", o18.analysis.malicious}})
+                          .c_str());
+
+  std::printf("%s", util::section_title("Geography of malicious resolvers")
+                        .c_str());
+  std::printf("2018:\n%s\n",
+              analysis::render_geo_summary(o18.analysis.geo).c_str());
+
+  std::printf("%s",
+              util::section_title("Empty-question responses (§IV-B4)").c_str());
+  std::printf("%s\n", analysis::render_empty_question_summary(
+                          o18.analysis.empty_question)
+                          .c_str());
+
+  std::printf("%s", util::section_title("Temporal contrast").c_str());
+  const core::TemporalContrast c =
+      core::contrast(o13.analysis, o18.analysis);
+  std::printf("%s", core::render_contrast(c, 2013, 2018).c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// usage_impact: the paper's §V future work, realized — how much legitimate
+// user traffic do malicious open resolvers actually capture?
+//
+// Synthesizes a DITL-like workload (Zipf domain popularity, Zipf resolver
+// market share) over a resolver pool whose malicious fraction matches the
+// 2018 calibration, and sweeps that fraction to show how impact scales.
+//
+//   ./usage_impact [clients] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/usage_study.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace orp;
+  core::UsageStudyConfig config;
+  config.clients = argc > 1 ? std::atoi(argv[1]) : 1000;
+  config.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  std::printf("%s", util::section_title(
+                        "Usage impact of malicious open resolvers (§V)")
+                        .c_str());
+
+  std::printf("\nbaseline: 2018-calibrated malicious fraction (0.9%% of the "
+              "pool)\n\n");
+  const core::UsageStudyResult baseline = core::run_usage_study(config);
+  std::printf("%s", core::render_usage_study(baseline).c_str());
+
+  std::printf(
+      "\nsweep: misdirection vs malicious-resolver share of the pool\n\n");
+  util::TextTable sweep({"malicious share", "clients exposed",
+                         "queries misdirected"});
+  for (const double fraction : {0.0, 0.003, 0.009, 0.03, 0.10}) {
+    core::UsageStudyConfig c = config;
+    c.malicious_fraction = fraction;
+    c.clients = config.clients / 2;  // keep the sweep quick
+    const auto r = core::run_usage_study(c);
+    sweep.add_row({util::fixed(100.0 * fraction, 1) + "%",
+                   util::fixed(r.client_exposure_rate(), 2) + "%",
+                   util::fixed(r.misdirection_rate(), 2) + "%"});
+  }
+  std::printf("%s", sweep.render().c_str());
+
+  std::printf(
+      "\nreading: a malicious open resolver only matters when clients are "
+      "configured to use\nit — \"if no user queries the malicious open "
+      "resolver, the manipulated DNS record is\nessentially meaningless\" "
+      "(§V). Impact scales with the resolvers' market share, not\njust "
+      "their count; the study quantifies the exposure the paper could only "
+      "pose as an\nopen question.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "analysis/answer_analysis.h"
+
+namespace orp::analysis {
+
+AnswerBreakdown analyze_answers(std::span<const R2View> views) {
+  AnswerBreakdown out;
+  for (const R2View& v : views) {
+    if (!v.has_question) continue;
+    ++out.r2;
+    if (!v.has_answer()) {
+      ++out.without_answer;
+    } else if (v.form == AnswerForm::kIp && v.correct) {
+      ++out.correct;
+    } else {
+      ++out.incorrect;
+    }
+  }
+  return out;
+}
+
+}  // namespace orp::analysis

@@ -1,0 +1,39 @@
+#include "analysis/empty_question.h"
+
+namespace orp::analysis {
+
+EmptyQuestionSummary analyze_empty_question(std::span<const R2View> views,
+                                            const intel::OrgDb& orgs) {
+  EmptyQuestionSummary out;
+  for (const R2View& v : views) {
+    if (v.has_question || !v.header_decoded) continue;
+    ++out.total;
+    ++out.rcode[static_cast<std::size_t>(v.rcode)];
+    if (v.ra)
+      ++out.ra1;
+    else
+      ++out.ra0;
+    if (v.aa) ++out.aa1;
+
+    if (v.has_answer()) {
+      ++out.with_answer;
+      // With no question there is no subdomain to derive ground truth from;
+      // nothing can be judged correct (matching the paper: 0 of 19).
+      if (v.correct) ++out.correct;
+      if (v.form == AnswerForm::kIp && v.answer_ip) {
+        if (net::is_private_address(*v.answer_ip))
+          ++out.private_answers;
+        else if (orgs.org_of(*v.answer_ip) == "unknown")
+          ++out.unknown_org;
+      } else {
+        ++out.malformed_answers;
+      }
+      if (!v.ra) ++out.ra0_with_answer;
+    } else if (v.ra) {
+      ++out.ra1_without_answer;
+    }
+  }
+  return out;
+}
+
+}  // namespace orp::analysis

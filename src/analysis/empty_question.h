@@ -1,0 +1,35 @@
+// §IV-B4: the R2 packets that came back with no question section at all —
+// unmatchable to their probes and excluded from the main tables, but still
+// behaviorally interesting (the paper gives them their own sub-analysis).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "analysis/flow.h"
+#include "intel/org_db.h"
+
+namespace orp::analysis {
+
+struct EmptyQuestionSummary {
+  std::uint64_t total = 0;
+  std::uint64_t with_answer = 0;
+  std::uint64_t correct = 0;  // the paper found zero
+  std::uint64_t private_answers = 0;    // 192.168/16, 10/8, ...
+  std::uint64_t malformed_answers = 0;  // non-IP garbage
+  std::uint64_t unknown_org = 0;        // answer IP absent from Whois
+
+  std::uint64_t ra1 = 0;
+  std::uint64_t ra0 = 0;
+  std::uint64_t ra1_without_answer = 0;
+  std::uint64_t ra0_with_answer = 0;  // the paper found zero
+  std::uint64_t aa1 = 0;
+
+  std::array<std::uint64_t, dns::kRcodeCount> rcode{};
+};
+
+EmptyQuestionSummary analyze_empty_question(std::span<const R2View> views,
+                                            const intel::OrgDb& orgs);
+
+}  // namespace orp::analysis

@@ -1,0 +1,86 @@
+#include "analysis/export.h"
+
+#include <sstream>
+
+namespace orp::analysis {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string views_to_csv(std::span<const R2View> views) {
+  std::ostringstream out;
+  out << "resolver,time_s,has_question,ra,aa,rcode,form,answer,correct\n";
+  for (const R2View& v : views) {
+    out << v.resolver.to_string() << ',' << v.time.as_seconds() << ','
+        << (v.has_question ? 1 : 0) << ',' << (v.ra ? 1 : 0) << ','
+        << (v.aa ? 1 : 0) << ',' << dns::to_string(v.rcode) << ','
+        << to_string(v.form) << ',';
+    if (v.answer_ip)
+      out << v.answer_ip->to_string();
+    else
+      out << csv_escape(v.answer_text);
+    out << ',' << (v.correct ? 1 : 0) << '\n';
+  }
+  return out.str();
+}
+
+std::string analysis_to_csv(const ScanAnalysis& a) {
+  std::ostringstream out;
+  out << "metric,value\n";
+  auto row = [&out](std::string_view key, std::uint64_t value) {
+    out << key << ',' << value << '\n';
+  };
+  row("r2_total", a.r2_total);
+  row("answers_without", a.answers.without_answer);
+  row("answers_correct", a.answers.correct);
+  row("answers_incorrect", a.answers.incorrect);
+  out << "error_rate_percent," << a.answers.err_percent() << '\n';
+  row("ra0_without", a.ra.bit0.without_answer);
+  row("ra0_correct", a.ra.bit0.correct);
+  row("ra0_incorrect", a.ra.bit0.incorrect);
+  row("ra1_without", a.ra.bit1.without_answer);
+  row("ra1_correct", a.ra.bit1.correct);
+  row("ra1_incorrect", a.ra.bit1.incorrect);
+  row("aa1_total", a.aa.bit1.total());
+  row("aa1_incorrect", a.aa.bit1.incorrect);
+  for (std::size_t rc = 0; rc < a.rcodes.rows.size(); ++rc) {
+    const auto& r = a.rcodes.rows[rc];
+    if (r.total() == 0) continue;
+    out << "rcode_" << dns::to_string(static_cast<dns::Rcode>(rc))
+        << "_with," << r.with_answer << '\n';
+    out << "rcode_" << dns::to_string(static_cast<dns::Rcode>(rc))
+        << "_without," << r.without_answer << '\n';
+  }
+  row("incorrect_ip", a.incorrect.ip.r2);
+  row("incorrect_url", a.incorrect.url.r2);
+  row("incorrect_string", a.incorrect.str.r2);
+  row("incorrect_undecodable", a.incorrect.na.r2);
+  row("malicious_r2", a.malicious.total_r2);
+  row("malicious_ips", a.malicious.total_ips);
+  row("malicious_ra0", a.malicious.ra0);
+  row("malicious_aa1", a.malicious.aa1);
+  for (std::size_t c = 0; c < a.malicious.categories.size(); ++c) {
+    const auto& cat = a.malicious.categories[c];
+    if (cat.r2 == 0) continue;
+    out << "malicious_"
+        << csv_escape(std::string(
+               intel::to_string(static_cast<intel::ThreatCategory>(c))))
+        << ',' << cat.r2 << '\n';
+  }
+  for (const auto& country : a.geo.countries)
+    out << "geo_" << country.country << ',' << country.r2 << '\n';
+  row("empty_question_total", a.empty_question.total);
+  return out.str();
+}
+
+}  // namespace orp::analysis

@@ -1,0 +1,23 @@
+// Tabular export of scan results (CSV) for downstream tooling — the role
+// the public Censys/Rapid7 data dumps play for their scans (§V).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "analysis/flow.h"
+#include "analysis/report.h"
+
+namespace orp::analysis {
+
+/// One CSV row per R2: resolver, header bits, rcode, answer form/value,
+/// correctness. RFC 4180-style quoting.
+std::string views_to_csv(std::span<const R2View> views);
+
+/// A key/value summary CSV of the full analysis (one metric per row).
+std::string analysis_to_csv(const ScanAnalysis& analysis);
+
+/// Quote one CSV field (exposed for tests).
+std::string csv_escape(std::string_view field);
+
+}  // namespace orp::analysis

@@ -1,0 +1,131 @@
+#include "analysis/flow.h"
+
+#include <unordered_map>
+
+namespace orp::analysis {
+
+std::string_view to_string(AnswerForm f) noexcept {
+  switch (f) {
+    case AnswerForm::kNone: return "none";
+    case AnswerForm::kIp: return "IP";
+    case AnswerForm::kUrl: return "URL";
+    case AnswerForm::kString: return "string";
+    case AnswerForm::kUndecodable: return "N/A";
+  }
+  return "?";
+}
+
+R2View classify_r2(const prober::R2Record& record,
+                   const zone::SubdomainScheme& scheme) {
+  R2View view;
+  view.resolver = record.resolver;
+  view.time = record.time;
+
+  const dns::PartialDecode partial = dns::decode_partial(record.payload);
+  if (partial.failed_at == dns::DecodeStage::kHeader) {
+    view.header_decoded = false;
+    return view;
+  }
+  const dns::Message& msg = partial.message;
+  view.ra = msg.header.flags.ra;
+  view.aa = msg.header.flags.aa;
+  view.rcode = msg.header.flags.rcode;
+  view.has_question = !msg.questions.empty();
+
+  if (view.has_question)
+    view.subdomain = scheme.parse(msg.questions.front().qname);
+
+  // Answer-section failure after a clean question: the Table VII N/A class.
+  if (partial.failed_at == dns::DecodeStage::kQuestion) {
+    view.has_question = false;
+    return view;
+  }
+  if (partial.failed_at == dns::DecodeStage::kAnswer) {
+    view.form = AnswerForm::kUndecodable;
+    return view;
+  }
+
+  if (msg.answers.empty()) {
+    view.form = AnswerForm::kNone;
+    return view;
+  }
+
+  // Judge the first answer record, as the paper's single-question probes do.
+  const dns::ResourceRecord& rr = msg.answers.front();
+  if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
+    view.form = AnswerForm::kIp;
+    view.answer_ip = a->addr;
+    if (view.subdomain)
+      view.correct = (a->addr == scheme.ground_truth(*view.subdomain));
+    return view;
+  }
+  if (const auto* n = std::get_if<dns::NameRdata>(&rr.rdata)) {
+    view.form = AnswerForm::kUrl;
+    view.answer_text = n->name.to_string();
+    return view;
+  }
+  if (const auto* t = std::get_if<dns::TxtRdata>(&rr.rdata)) {
+    view.form = AnswerForm::kString;
+    for (const auto& s : t->strings) {
+      if (!view.answer_text.empty()) view.answer_text += " ";
+      view.answer_text += s;
+    }
+    return view;
+  }
+  // Anything else (raw bytes, OPT, ...) is a garbage-string answer.
+  view.form = AnswerForm::kString;
+  if (const auto* raw = std::get_if<dns::RawRdata>(&rr.rdata)) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    for (const std::uint8_t b : raw->bytes) {
+      view.answer_text.push_back(kHex[b >> 4]);
+      view.answer_text.push_back(kHex[b & 0xF]);
+    }
+  }
+  return view;
+}
+
+std::vector<R2View> classify_all(const std::vector<prober::R2Record>& records,
+                                 const zone::SubdomainScheme& scheme) {
+  std::vector<R2View> views;
+  views.reserve(records.size());
+  for (const auto& rec : records) views.push_back(classify_r2(rec, scheme));
+  return views;
+}
+
+void FlowGrouper::add_probe(const dns::DnsName& qname, net::IPv4Addr target) {
+  Flow& flow = flows_[qname.canonical_key()];
+  flow.qname_key = qname.canonical_key();
+  flow.probed_target = target;
+}
+
+void FlowGrouper::add_auth_packet(const net::CapturedPacket& pkt,
+                                  bool inbound) {
+  const dns::PartialDecode partial = dns::decode_partial(pkt.payload);
+  if (partial.message.questions.empty()) return;
+  const auto key = partial.message.questions.front().qname.canonical_key();
+  const auto it = flows_.find(key);
+  // Auth-side traffic for unknown qnames (background noise) is not a flow.
+  if (it == flows_.end()) return;
+  if (inbound)
+    ++it->second.q2_count;
+  else
+    ++it->second.r1_count;
+}
+
+void FlowGrouper::add_r2(const R2View& view, const dns::DnsName& qname) {
+  const auto it = flows_.find(qname.canonical_key());
+  if (it == flows_.end()) return;
+  it->second.has_r2 = true;
+  it->second.r2 = view;
+}
+
+std::vector<const Flow*> FlowGrouper::answered_without_recursion() const {
+  std::vector<const Flow*> result;
+  for (const auto& [key, flow] : flows_) {
+    if (flow.has_r2 && flow.r2 && flow.r2->has_answer() && flow.q2_count == 0)
+      result.push_back(&flow);
+  }
+  return result;
+}
+
+}  // namespace orp::analysis

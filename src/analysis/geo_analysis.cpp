@@ -1,0 +1,27 @@
+#include "analysis/geo_analysis.h"
+
+#include <algorithm>
+#include <map>
+
+namespace orp::analysis {
+
+GeoSummary malicious_by_country(std::span<const R2View> malicious_views,
+                                const intel::GeoDb& geo) {
+  GeoSummary out;
+  std::map<std::string, std::uint64_t> counts;
+  for (const R2View& v : malicious_views) {
+    ++counts[geo.country_of(v.resolver)];
+    ++out.total;
+  }
+  out.countries.reserve(counts.size());
+  for (const auto& [country, count] : counts)
+    out.countries.push_back(CountryCount{country, count});
+  std::sort(out.countries.begin(), out.countries.end(),
+            [](const CountryCount& a, const CountryCount& b) {
+              if (a.r2 != b.r2) return a.r2 > b.r2;
+              return a.country < b.country;
+            });
+  return out;
+}
+
+}  // namespace orp::analysis

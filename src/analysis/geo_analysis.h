@@ -1,0 +1,36 @@
+// §IV-C2 "Distribution of Malicious Resolvers": geolocation of the
+// *resolvers* (not the answer addresses) behind malicious responses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/flow.h"
+#include "intel/geo_db.h"
+
+namespace orp::analysis {
+
+struct CountryCount {
+  std::string country;  // ISO 3166-1 alpha-2; "??" for unresolvable
+  std::uint64_t r2 = 0;
+
+  double share(std::uint64_t total) const noexcept {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(r2) /
+                            static_cast<double>(total);
+  }
+};
+
+struct GeoSummary {
+  std::vector<CountryCount> countries;  // descending by count
+  std::uint64_t total = 0;
+  std::size_t country_count() const noexcept { return countries.size(); }
+};
+
+/// Geolocate the sender of each malicious R2.
+GeoSummary malicious_by_country(std::span<const R2View> malicious_views,
+                                const intel::GeoDb& geo);
+
+}  // namespace orp::analysis

@@ -1,0 +1,55 @@
+#include "analysis/header_analysis.h"
+
+namespace orp::analysis {
+namespace {
+
+void tally(FlagBreakdown& row, const R2View& v) {
+  if (!v.has_answer()) {
+    ++row.without_answer;
+  } else if (v.form == AnswerForm::kIp && v.correct) {
+    ++row.correct;
+  } else {
+    ++row.incorrect;
+  }
+}
+
+}  // namespace
+
+FlagTable analyze_ra(std::span<const R2View> views) {
+  FlagTable out;
+  for (const R2View& v : views) {
+    if (!v.has_question) continue;
+    tally(v.ra ? out.bit1 : out.bit0, v);
+  }
+  return out;
+}
+
+FlagTable analyze_aa(std::span<const R2View> views) {
+  FlagTable out;
+  for (const R2View& v : views) {
+    if (!v.has_question) continue;
+    tally(v.aa ? out.bit1 : out.bit0, v);
+  }
+  return out;
+}
+
+RcodeTable analyze_rcodes(std::span<const R2View> views) {
+  RcodeTable out;
+  for (const R2View& v : views) {
+    if (!v.has_question) continue;
+    RcodeRow& row = out.rows[static_cast<std::size_t>(v.rcode)];
+    if (v.has_answer())
+      ++row.with_answer;
+    else
+      ++row.without_answer;
+  }
+  return out;
+}
+
+std::uint64_t RcodeTable::error_rcode_with_answer() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) total += rows[i].with_answer;
+  return total;
+}
+
+}  // namespace orp::analysis

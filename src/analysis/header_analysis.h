@@ -1,0 +1,64 @@
+// Tables IV-VI: DNS header conformance analysis.
+//
+// The paper's key behavioral findings live here: resolvers that answer while
+// claiming recursion is unavailable (RA=0 with dns_answer, 94% wrong in
+// 2018), resolvers claiming authority over a zone they do not serve (AA=1,
+// 79% wrong), and rcodes inconsistent with the presence of an answer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "analysis/flow.h"
+#include "util/apportion.h"
+
+namespace orp::analysis {
+
+/// One row of Table IV/V: responses with the flag at a given value.
+struct FlagBreakdown {
+  std::uint64_t without_answer = 0;
+  std::uint64_t correct = 0;
+  std::uint64_t incorrect = 0;
+
+  std::uint64_t with_answer() const noexcept { return correct + incorrect; }
+  std::uint64_t total() const noexcept {
+    return without_answer + with_answer();
+  }
+  double err_percent() const noexcept {
+    return util::percent(incorrect, with_answer());
+  }
+};
+
+struct FlagTable {
+  FlagBreakdown bit0;
+  FlagBreakdown bit1;
+};
+
+FlagTable analyze_ra(std::span<const R2View> views);  // Table IV
+FlagTable analyze_aa(std::span<const R2View> views);  // Table V
+
+/// Table VI: rcode distribution split by answer presence.
+struct RcodeRow {
+  std::uint64_t with_answer = 0;     // "W"
+  std::uint64_t without_answer = 0;  // "W/O"
+  std::uint64_t total() const noexcept { return with_answer + without_answer; }
+};
+
+struct RcodeTable {
+  std::array<RcodeRow, dns::kRcodeCount> rows{};
+
+  const RcodeRow& row(dns::Rcode rc) const noexcept {
+    return rows[static_cast<std::size_t>(rc)];
+  }
+  /// Abnormal combinations the paper calls out: nonzero rcode carrying an
+  /// answer, and NoError without one.
+  std::uint64_t error_rcode_with_answer() const noexcept;
+  std::uint64_t noerror_without_answer() const noexcept {
+    return rows[0].without_answer;
+  }
+};
+
+RcodeTable analyze_rcodes(std::span<const R2View> views);
+
+}  // namespace orp::analysis

@@ -1,0 +1,105 @@
+#include "analysis/incorrect_answers.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace orp::analysis {
+
+IncorrectSummary analyze_incorrect(std::span<const R2View> views) {
+  IncorrectSummary out;
+  std::unordered_set<std::uint32_t> unique_ips;
+  std::unordered_set<std::string> unique_urls;
+  std::unordered_set<std::string> unique_strings;
+
+  for (const R2View& v : views) {
+    if (!v.has_question || !v.has_answer()) continue;
+    switch (v.form) {
+      case AnswerForm::kIp:
+        if (v.correct) break;
+        ++out.ip.r2;
+        if (v.answer_ip) {
+          unique_ips.insert(v.answer_ip->value());
+          if (out.ip.example.empty()) out.ip.example = v.answer_ip->to_string();
+        }
+        break;
+      case AnswerForm::kUrl:
+        ++out.url.r2;
+        unique_urls.insert(v.answer_text);
+        if (out.url.example.empty()) out.url.example = v.answer_text;
+        break;
+      case AnswerForm::kString:
+        ++out.str.r2;
+        unique_strings.insert(v.answer_text);
+        if (out.str.example.empty()) out.str.example = v.answer_text;
+        break;
+      case AnswerForm::kUndecodable:
+        ++out.na.r2;
+        if (out.na.example.empty()) out.na.example = "<0x00>";
+        break;
+      case AnswerForm::kNone:
+        break;
+    }
+  }
+  out.ip.unique = unique_ips.size();
+  out.url.unique = unique_urls.size();
+  out.str.unique = unique_strings.size();
+  return out;
+}
+
+PrivateRedirectSummary analyze_private_redirects(
+    std::span<const R2View> views) {
+  PrivateRedirectSummary out;
+  std::unordered_set<std::uint32_t> unique;
+  static const net::Prefix kCgn(net::IPv4Addr(100, 64, 0, 0), 10);
+  for (const R2View& v : views) {
+    if (!v.has_question || v.form != AnswerForm::kIp || v.correct ||
+        !v.answer_ip)
+      continue;
+    if (!net::is_private_address(*v.answer_ip)) continue;
+    ++out.r2;
+    unique.insert(v.answer_ip->value());
+    if (kCgn.contains(*v.answer_ip))
+      ++out.cgn;
+    else
+      ++out.rfc1918;
+  }
+  out.unique_ips = unique.size();
+  return out;
+}
+
+std::vector<TopIncorrectEntry> top_incorrect_ips(
+    std::span<const R2View> views, std::size_t k, const intel::OrgDb& orgs,
+    const intel::ThreatDb& threats) {
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  for (const R2View& v : views) {
+    if (!v.has_question || v.form != AnswerForm::kIp || v.correct ||
+        !v.answer_ip)
+      continue;
+    ++counts[v.answer_ip->value()];
+  }
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> ranked(counts.begin(),
+                                                              counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > k) ranked.resize(k);
+
+  std::vector<TopIncorrectEntry> out;
+  out.reserve(ranked.size());
+  for (const auto& [value, count] : ranked) {
+    TopIncorrectEntry entry;
+    entry.addr = net::IPv4Addr(value);
+    entry.count = count;
+    entry.org = orgs.org_of(entry.addr);
+    if (net::is_private_address(entry.addr))
+      entry.reported = '-';
+    else
+      entry.reported = threats.is_reported(entry.addr) ? 'Y' : 'N';
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace orp::analysis

@@ -1,0 +1,44 @@
+#include "analysis/malicious.h"
+
+#include <unordered_set>
+
+namespace orp::analysis {
+
+MaliciousSummary analyze_malicious(std::span<const R2View> views,
+                                   const intel::ThreatDb& threats) {
+  MaliciousSummary out;
+  std::array<std::unordered_set<std::uint32_t>, intel::kThreatCategoryCount>
+      unique_per_category;
+  std::unordered_set<std::uint32_t> unique_total;
+
+  for (const R2View& v : views) {
+    if (!v.has_question || v.form != AnswerForm::kIp || v.correct ||
+        !v.answer_ip)
+      continue;
+    const auto category = threats.dominant_category(*v.answer_ip);
+    if (!category) continue;
+
+    const auto idx = static_cast<std::size_t>(*category);
+    ++out.categories[idx].r2;
+    unique_per_category[idx].insert(v.answer_ip->value());
+    unique_total.insert(v.answer_ip->value());
+
+    ++out.total_r2;
+    if (v.ra)
+      ++out.ra1;
+    else
+      ++out.ra0;
+    if (v.aa)
+      ++out.aa1;
+    else
+      ++out.aa0;
+    if (v.rcode == dns::Rcode::kNoError) ++out.rcode_noerror;
+    out.malicious_views.push_back(v);
+  }
+  for (std::size_t i = 0; i < unique_per_category.size(); ++i)
+    out.categories[i].unique_ips = unique_per_category[i].size();
+  out.total_ips = unique_total.size();
+  return out;
+}
+
+}  // namespace orp::analysis

@@ -1,0 +1,153 @@
+#include "authns/auth_server.h"
+
+#include "dns/builder.h"
+#include "dns/edns.h"
+
+namespace orp::authns {
+namespace {
+
+dns::SoaRdata make_soa(const dns::DnsName& sld) {
+  dns::SoaRdata soa;
+  soa.mname = sld.child("ns1");
+  soa.rname = sld.child("hostmaster");
+  soa.serial = 2018042601;
+  return soa;
+}
+
+}  // namespace
+
+AuthServer::AuthServer(net::Network& network, net::IPv4Addr addr,
+                       zone::SubdomainScheme scheme,
+                       net::SimTime zone_load_latency)
+    : network_(network),
+      addr_(addr),
+      scheme_(std::move(scheme)),
+      apex_zone_(scheme_.sld(), make_soa(scheme_.sld())),
+      zone_load_latency_(zone_load_latency) {
+  apex_zone_.add(dns::ResourceRecord{scheme_.sld(), dns::RRType::kNS,
+                                     dns::RRClass::kIN, 172800,
+                                     dns::NameRdata{scheme_.sld().child("ns1")}});
+  apex_zone_.add(dns::ResourceRecord{scheme_.sld().child("ns1"),
+                                     dns::RRType::kA, dns::RRClass::kIN,
+                                     172800, dns::ARdata{addr_}});
+  network_.bind(net::Endpoint{addr_, net::kDnsPort},
+                [this](const net::Datagram& d) { on_datagram(d); });
+  load_cluster(0, /*initial=*/true);
+}
+
+void AuthServer::load_cluster(std::uint32_t cluster, bool initial) {
+  loaded_cluster_ = cluster;
+  ++stats_.cluster_loads;
+  load_time_total_ += zone_load_latency_;
+  if (!initial)
+    load_busy_until_ = network_.loop().now() + zone_load_latency_;
+}
+
+void AuthServer::add_record(dns::ResourceRecord rr) {
+  apex_zone_.add(std::move(rr));
+}
+
+void AuthServer::on_datagram(const net::Datagram& d) {
+  ++stats_.queries_received;
+  const auto decoded = dns::decode(d.payload);
+  if (!decoded) {
+    // RFC 1035: unintelligible query -> FORMERR with whatever id we can read.
+    ++stats_.formerr;
+    dns::Message err;
+    if (d.payload.size() >= 2)
+      err.header.id =
+          static_cast<std::uint16_t>((d.payload[0] << 8) | d.payload[1]);
+    err.header.flags.qr = true;
+    err.header.flags.rcode = dns::Rcode::kFormErr;
+    ++stats_.responses_sent;
+    network_.send(net::Datagram{net::Endpoint{addr_, net::kDnsPort}, d.src,
+                                dns::encode(err)});
+    return;
+  }
+  if (const auto edns = dns::extract_edns(*decoded)) {
+    ++stats_.edns_queries;
+    if (edns->do_bit) ++stats_.dnssec_do_queries;
+  }
+  dns::Message response = answer(*decoded);
+  // EDNS negotiation (RFC 6891): echo an OPT advertising our own buffer,
+  // and truncate to the client's budget — 512 bytes for classic DNS.
+  if (dns::extract_edns(*decoded))
+    dns::set_edns(response, dns::EdnsInfo{.udp_payload_size = 4096});
+  if (dns::truncate_to_fit(response, dns::response_size_budget(*decoded)))
+    ++stats_.truncated;
+  ++stats_.responses_sent;
+  network_.send(net::Datagram{net::Endpoint{addr_, net::kDnsPort}, d.src,
+                              dns::encode(response)});
+}
+
+dns::Message AuthServer::answer(const dns::Message& query) {
+  if (query.questions.empty()) {
+    ++stats_.formerr;
+    dns::Message err = dns::make_error_response(query, dns::Rcode::kFormErr,
+                                                /*ra=*/false);
+    return err;
+  }
+  const dns::Question& q = query.questions.front();
+
+  // Mid-reload the server cannot serve the zone.
+  if (network_.loop().now() < load_busy_until_) {
+    ++stats_.refused;  // counted with failures
+    return dns::make_error_response(query, dns::Rcode::kServFail,
+                                    /*ra=*/false);
+  }
+
+  if (!q.qname.is_subdomain_of(scheme_.sld())) {
+    ++stats_.refused;
+    return dns::make_error_response(query, dns::Rcode::kRefused, /*ra=*/false);
+  }
+
+  // Probe subdomain? Serve the synthetic cluster view. The current and the
+  // immediately previous cluster are answerable; anything else was unloaded.
+  if (const auto id = scheme_.parse(q.qname)) {
+    const bool resident =
+        id->cluster == loaded_cluster_ ||
+        (loaded_cluster_ > 0 && id->cluster == loaded_cluster_ - 1);
+    if (resident && id->index < scheme_.cluster_size() &&
+        (q.qtype == dns::RRType::kA || q.qtype == dns::RRType::kANY)) {
+      ++stats_.answered;
+      dns::Message r = dns::make_a_response(query, scheme_.ground_truth(*id),
+                                            /*ttl=*/300, /*ra=*/false,
+                                            /*aa=*/true);
+      return r;
+    }
+    ++stats_.nxdomain;
+    dns::Message r =
+        dns::make_error_response(query, dns::Rcode::kNXDomain, /*ra=*/false);
+    r.header.flags.aa = true;
+    return r;
+  }
+
+  // Static apex data.
+  const auto result = apex_zone_.lookup(q.qname, q.qtype);
+  switch (result.status) {
+    case zone::LookupStatus::kAnswer: {
+      ++stats_.answered;
+      dns::Message r = dns::make_response(query);
+      r.header.flags.aa = true;
+      r.header.flags.ra = false;
+      r.answers = result.records;
+      return r;
+    }
+    case zone::LookupStatus::kNoData: {
+      dns::Message r = dns::make_error_response(query, dns::Rcode::kNoError,
+                                                /*ra=*/false);
+      r.header.flags.aa = true;
+      return r;
+    }
+    case zone::LookupStatus::kNXDomain:
+    default: {
+      ++stats_.nxdomain;
+      dns::Message r = dns::make_error_response(query, dns::Rcode::kNXDomain,
+                                                /*ra=*/false);
+      r.header.flags.aa = true;
+      return r;
+    }
+  }
+}
+
+}  // namespace orp::authns

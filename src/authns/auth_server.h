@@ -1,0 +1,80 @@
+// The measurement's authoritative name server (paper §III-A2).
+//
+// Serves the controlled SLD: static apex records plus the currently-loaded
+// probe-subdomain cluster (whose A records are derived from the
+// SubdomainScheme rather than materialized — 5M synthetic names per cluster
+// behave identically to a loaded zone file, without the memory).
+// Answers with AA=1 and RA=0 (recursion disabled, as the paper's BIND
+// configuration). Out-of-zone queries are REFUSED. Every received query and
+// sent response is counted (the tcpdump vantage of Fig. 2: Q2 and R1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "dns/codec.h"
+#include "net/transport.h"
+#include "zone/cluster.h"
+#include "zone/zone.h"
+
+namespace orp::authns {
+
+struct AuthStats {
+  std::uint64_t queries_received = 0;   // Q2 at this vantage
+  std::uint64_t responses_sent = 0;     // R1 at this vantage
+  std::uint64_t answered = 0;           // NoError with answer
+  std::uint64_t nxdomain = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t formerr = 0;            // undecodable queries
+  std::uint64_t truncated = 0;          // TC=1 responses (budget exceeded)
+  std::uint64_t edns_queries = 0;       // queries carrying an OPT RR
+  std::uint64_t dnssec_do_queries = 0;  // queries with the DO bit set
+  std::uint64_t cluster_loads = 0;
+};
+
+class AuthServer {
+ public:
+  /// The server answers for `scheme.sld()`. `addr` is its public address.
+  AuthServer(net::Network& network, net::IPv4Addr addr,
+             zone::SubdomainScheme scheme, net::SimTime zone_load_latency);
+
+  net::IPv4Addr address() const noexcept { return addr_; }
+  const zone::SubdomainScheme& scheme() const noexcept { return scheme_; }
+  const AuthStats& stats() const noexcept { return stats_; }
+
+  /// Replace the loaded cluster (one zone file resident at a time, as in the
+  /// paper). The load pauses answering for `zone_load_latency` of simulated
+  /// time: queries arriving mid-load get SERVFAIL, which is what a BIND
+  /// reload under memory pressure produced for the authors. The scanner
+  /// coordinates by pausing sends across the load window, as the authors'
+  /// pipeline did. `initial` marks the pre-scan load, which completes before
+  /// probing starts and therefore opens no busy window.
+  void load_cluster(std::uint32_t cluster, bool initial = false);
+
+  std::uint32_t loaded_cluster() const noexcept { return loaded_cluster_; }
+
+  /// Publish an additional static record under the SLD (TXT/MX/etc.) — used
+  /// e.g. to study ANY-query amplification against a record-rich apex.
+  void add_record(dns::ResourceRecord rr);
+
+  /// Total simulated time spent loading zones.
+  net::SimTime load_time_total() const noexcept { return load_time_total_; }
+
+ private:
+  void on_datagram(const net::Datagram& d);
+  dns::Message answer(const dns::Message& query);
+
+  net::Network& network_;
+  net::IPv4Addr addr_;
+  zone::SubdomainScheme scheme_;
+  zone::Zone apex_zone_;
+  net::SimTime zone_load_latency_;
+  net::SimTime load_busy_until_;
+  net::SimTime load_time_total_;
+  std::uint32_t loaded_cluster_ = 0;
+  AuthStats stats_;
+};
+
+}  // namespace orp::authns

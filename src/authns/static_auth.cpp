@@ -1,0 +1,58 @@
+#include "authns/static_auth.h"
+
+#include "dns/builder.h"
+#include "dns/edns.h"
+
+namespace orp::authns {
+
+StaticAuthServer::StaticAuthServer(net::Network& network, net::IPv4Addr addr,
+                                   zone::Zone zone)
+    : network_(network), addr_(addr), zone_(std::move(zone)) {
+  network_.bind(net::Endpoint{addr_, net::kDnsPort},
+                [this](const net::Datagram& d) { on_datagram(d); });
+}
+
+StaticAuthServer::~StaticAuthServer() {
+  network_.unbind(net::Endpoint{addr_, net::kDnsPort});
+}
+
+void StaticAuthServer::on_datagram(const net::Datagram& d) {
+  ++stats_.queries;
+  const auto decoded = dns::decode(d.payload);
+  if (!decoded || decoded->questions.empty()) return;
+  const dns::Question& q = decoded->questions.front();
+
+  dns::Message response;
+  const auto result = zone_.lookup(q.qname, q.qtype);
+  switch (result.status) {
+    case zone::LookupStatus::kAnswer:
+      ++stats_.answered;
+      response = dns::make_response(*decoded);
+      response.header.flags.aa = true;
+      response.answers = result.records;
+      break;
+    case zone::LookupStatus::kNoData:
+      response = dns::make_error_response(*decoded, dns::Rcode::kNoError,
+                                          /*ra=*/false);
+      response.header.flags.aa = true;
+      break;
+    case zone::LookupStatus::kNXDomain:
+      ++stats_.nxdomain;
+      response = dns::make_error_response(*decoded, dns::Rcode::kNXDomain,
+                                          /*ra=*/false);
+      response.header.flags.aa = true;
+      break;
+    case zone::LookupStatus::kOutOfZone:
+      ++stats_.refused;
+      response = dns::make_error_response(*decoded, dns::Rcode::kRefused,
+                                          /*ra=*/false);
+      break;
+  }
+  if (dns::extract_edns(*decoded))
+    dns::set_edns(response, dns::EdnsInfo{.udp_payload_size = 4096});
+  dns::truncate_to_fit(response, dns::response_size_budget(*decoded));
+  network_.send(net::Datagram{net::Endpoint{addr_, net::kDnsPort}, d.src,
+                              dns::encode(response)});
+}
+
+}  // namespace orp::authns

@@ -1,0 +1,47 @@
+// A general-purpose authoritative server for an arbitrary zone.
+//
+// The measurement's own AuthServer (auth_server.h) is specialized for the
+// probe-subdomain cluster scheme; this one serves any Zone verbatim. It
+// powers the simulated "rest of the Internet" — the popular web domains the
+// usage-impact study (§V future work) lets clients resolve.
+#pragma once
+
+#include <cstdint>
+
+#include "dns/codec.h"
+#include "net/transport.h"
+#include "zone/zone.h"
+
+namespace orp::authns {
+
+struct StaticAuthStats {
+  std::uint64_t queries = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t nxdomain = 0;
+  std::uint64_t refused = 0;
+};
+
+class StaticAuthServer {
+ public:
+  StaticAuthServer(net::Network& network, net::IPv4Addr addr,
+                   zone::Zone zone);
+  ~StaticAuthServer();
+
+  StaticAuthServer(const StaticAuthServer&) = delete;
+  StaticAuthServer& operator=(const StaticAuthServer&) = delete;
+
+  net::IPv4Addr address() const noexcept { return addr_; }
+  const zone::Zone& zone() const noexcept { return zone_; }
+  zone::Zone& zone() noexcept { return zone_; }
+  const StaticAuthStats& stats() const noexcept { return stats_; }
+
+ private:
+  void on_datagram(const net::Datagram& d);
+
+  net::Network& network_;
+  net::IPv4Addr addr_;
+  zone::Zone zone_;
+  StaticAuthStats stats_;
+};
+
+}  // namespace orp::authns

@@ -1,0 +1,75 @@
+#include "core/contrast.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace orp::core {
+
+OpenResolverEstimates estimate_open_resolvers(
+    const analysis::ScanAnalysis& a) {
+  OpenResolverEstimates est;
+  est.strict = a.ra.bit1.correct;
+  est.ra_flag_only = a.ra.bit1.total();
+  est.correct_only = a.answers.correct;
+  return est;
+}
+
+bool TemporalContrast::incorrect_roughly_stable(double tolerance) const noexcept {
+  if (incorrect_old == 0) return incorrect_new == 0;
+  const double ratio = static_cast<double>(incorrect_new) /
+                       static_cast<double>(incorrect_old);
+  return std::abs(ratio - 1.0) <= tolerance;
+}
+
+TemporalContrast contrast(const analysis::ScanAnalysis& older,
+                          const analysis::ScanAnalysis& newer) {
+  TemporalContrast c;
+  c.est_old = estimate_open_resolvers(older);
+  c.est_new = estimate_open_resolvers(newer);
+  c.r2_old = older.r2_total;
+  c.r2_new = newer.r2_total;
+  c.incorrect_old = older.answers.incorrect;
+  c.incorrect_new = newer.answers.incorrect;
+  c.err_old = older.answers.err_percent();
+  c.err_new = newer.answers.err_percent();
+  c.malicious_r2_old = older.malicious.total_r2;
+  c.malicious_r2_new = newer.malicious.total_r2;
+  c.malicious_ips_old = older.malicious.total_ips;
+  c.malicious_ips_new = newer.malicious.total_ips;
+  return c;
+}
+
+std::string render_contrast(const TemporalContrast& c, int year_old,
+                            int year_new) {
+  using util::fixed;
+  using util::with_commas;
+  std::ostringstream out;
+  out << "Temporal contrast " << year_old << " -> " << year_new << "\n"
+      << "  open resolvers (strict: RA=1 & correct): "
+      << with_commas(c.est_old.strict) << " -> " << with_commas(c.est_new.strict)
+      << "\n"
+      << "  open resolvers (RA flag only):           "
+      << with_commas(c.est_old.ra_flag_only) << " -> "
+      << with_commas(c.est_new.ra_flag_only) << "\n"
+      << "  open resolvers (correct answer only):    "
+      << with_commas(c.est_old.correct_only) << " -> "
+      << with_commas(c.est_new.correct_only) << "\n"
+      << "  R2 responses: " << with_commas(c.r2_old) << " -> "
+      << with_commas(c.r2_new) << "\n"
+      << "  incorrect answers: " << with_commas(c.incorrect_old) << " -> "
+      << with_commas(c.incorrect_new) << "  (error rate " << fixed(c.err_old)
+      << "% -> " << fixed(c.err_new) << "%)\n"
+      << "  malicious responses: " << with_commas(c.malicious_r2_old) << " -> "
+      << with_commas(c.malicious_r2_new) << " over "
+      << with_commas(c.malicious_ips_old) << " -> "
+      << with_commas(c.malicious_ips_new) << " unique addresses\n"
+      << "  claims: decrease=" << (c.open_resolvers_decreased() ? "yes" : "no")
+      << ", incorrect-stable=" << (c.incorrect_roughly_stable() ? "yes" : "no")
+      << ", error-rate-up=" << (c.error_rate_increased() ? "yes" : "no")
+      << ", malicious-up=" << (c.malicious_increased() ? "yes" : "no") << "\n";
+  return out.str();
+}
+
+}  // namespace orp::core

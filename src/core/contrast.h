@@ -1,0 +1,58 @@
+// Temporal contrast (the paper's fourth contribution): 2013 vs 2018.
+//
+// Encodes the comparisons §IV draws — open-resolver population shrink,
+// stable incorrect-answer volume, rising error rate, and the growth of
+// malicious responders — plus the three open-resolver estimates of §IV-B1
+// (strict RA=1-and-correct, RA-flag-only, correct-answer-only).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/report.h"
+
+namespace orp::core {
+
+/// §IV-B1's three ways to count "open resolvers" from one scan.
+struct OpenResolverEstimates {
+  std::uint64_t strict = 0;        // RA=1 and correct answer
+  std::uint64_t ra_flag_only = 0;  // RA=1 regardless of answer
+  std::uint64_t correct_only = 0;  // correct answer regardless of RA
+};
+
+OpenResolverEstimates estimate_open_resolvers(const analysis::ScanAnalysis& a);
+
+struct TemporalContrast {
+  OpenResolverEstimates est_old;
+  OpenResolverEstimates est_new;
+
+  std::uint64_t r2_old = 0;
+  std::uint64_t r2_new = 0;
+  std::uint64_t incorrect_old = 0;
+  std::uint64_t incorrect_new = 0;
+  double err_old = 0;   // Table III error rates
+  double err_new = 0;
+  std::uint64_t malicious_r2_old = 0;
+  std::uint64_t malicious_r2_new = 0;
+  std::uint64_t malicious_ips_old = 0;
+  std::uint64_t malicious_ips_new = 0;
+
+  /// The paper's headline claims, as predicates over this contrast.
+  bool open_resolvers_decreased() const noexcept {
+    return est_new.strict < est_old.strict;
+  }
+  bool incorrect_roughly_stable(double tolerance = 0.25) const noexcept;
+  bool error_rate_increased() const noexcept { return err_new > err_old; }
+  bool malicious_increased() const noexcept {
+    return malicious_r2_new > malicious_r2_old &&
+           malicious_ips_new > malicious_ips_old;
+  }
+};
+
+TemporalContrast contrast(const analysis::ScanAnalysis& older,
+                          const analysis::ScanAnalysis& newer);
+
+std::string render_contrast(const TemporalContrast& c, int year_old,
+                            int year_new);
+
+}  // namespace orp::core

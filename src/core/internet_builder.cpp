@@ -1,0 +1,123 @@
+#include "core/internet_builder.h"
+
+#include <unordered_set>
+
+#include "net/reserved.h"
+#include "util/rng.h"
+
+namespace orp::core {
+namespace {
+
+const dns::DnsName& measurement_sld() {
+  static const dns::DnsName sld =
+      dns::DnsName::must_parse("ucfsealresearch.net");
+  return sld;
+}
+
+}  // namespace
+
+SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
+                                     const InternetConfig& config) {
+  util::Rng rng(util::mix64(config.seed ^ 0x17e12e7b01dULL));
+  network_ = std::make_unique<net::Network>(loop_, config.seed);
+  network_->set_latency(config.latency);
+  network_->set_loss_rate(config.loss_rate);
+
+  // Infrastructure addresses (mirroring the paper's setup: the authoritative
+  // server on a public cloud, the prober in the university network).
+  auth_addr_ = net::IPv4Addr(45, 76, 18, 21);     // "Vultr" cloud instance
+  prober_addr_ = net::IPv4Addr(132, 170, 3, 44);  // campus prober
+
+  scheme_ = std::make_unique<zone::SubdomainScheme>(
+      measurement_sld(), spec.cluster_size, util::mix64(config.seed));
+
+  const dns::DnsName auth_ns_name = measurement_sld().child("ns1");
+  hierarchy_ = resolver::build_hierarchy(*network_, measurement_sld(),
+                                         auth_ns_name, auth_addr_,
+                                         config.root_count);
+  auth_ = std::make_unique<authns::AuthServer>(
+      *network_, auth_addr_, *scheme_,
+      net::SimTime::seconds(spec.zone_load_seconds));
+
+  // Engine configuration for honest resolvers: real root hints.
+  resolver::EngineConfig engine_config;
+  engine_config.hints = hierarchy_.hints;
+
+  // ---- Plant the population inside the scanned permutation slice ----------
+  const prober::PermutationParams params =
+      prober::derive_params(config.scan_seed);
+  const prober::CyclicPermutation perm(params.generator, params.start);
+
+  std::unordered_set<std::uint64_t> used_indices;
+  std::unordered_set<std::uint32_t> used_addrs;
+  std::vector<net::IPv4Addr> addresses;
+  addresses.reserve(spec.hosts.size());
+
+  if (spec.raw_steps < spec.hosts.size() * 4)
+    throw std::invalid_argument(
+        "scan slice too small to host the population");
+  const std::uint64_t slice = spec.raw_steps;
+  for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
+    net::IPv4Addr addr;
+    while (true) {
+      const std::uint64_t i = rng.bounded(slice);
+      if (!used_indices.insert(i).second) continue;
+      const std::uint64_t raw = perm.raw_at(i);
+      if (raw >= (std::uint64_t{1} << 32)) continue;
+      addr = net::IPv4Addr(static_cast<std::uint32_t>(raw));
+      if (net::is_reserved(addr)) continue;
+      if (addr == prober_addr_ || addr == auth_addr_) continue;
+      if (network_->bound(net::Endpoint{addr, net::kDnsPort})) continue;
+      if (!used_addrs.insert(addr.value()).second) continue;
+      break;
+    }
+    addresses.push_back(addr);
+  }
+
+  // Upstream pool for forwarders (honest recursive, non-forwarding hosts).
+  std::vector<net::IPv4Addr> upstreams;
+  for (std::size_t h = 0; h < spec.hosts.size(); ++h)
+    if (spec.hosts[h].upstream_candidate) upstreams.push_back(addresses[h]);
+
+  hosts_.reserve(spec.hosts.size());
+  for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
+    const HostSpec& hs = spec.hosts[h];
+    resolver::BehaviorProfile profile = hs.profile;
+    if (profile.forwarder) {
+      if (upstreams.empty()) {
+        profile.forwarder = false;  // degenerate tiny population
+      } else {
+        profile.upstream = upstreams[rng.bounded(upstreams.size())];
+        if (profile.upstream == addresses[h] && upstreams.size() > 1)
+          profile.upstream = upstreams[(rng.bounded(upstreams.size() - 1))];
+      }
+    }
+    hosts_.push_back(std::make_unique<resolver::ResolverHost>(
+        *network_, addresses[h], std::move(profile), engine_config,
+        rng.fork(h)()));
+
+    // Geo registration: malicious resolvers carry their calibrated country.
+    if (!hs.country.empty())
+      geo_.add_range(addresses[h], addresses[h], hs.country,
+                     64500 + static_cast<std::uint32_t>(rng.bounded(1000)),
+                     "AS-" + hs.country);
+  }
+
+  // ---- Intel databases ------------------------------------------------------
+  for (const ThreatEntry& e : spec.threat_entries)
+    threats_.add_report(e.addr, e.category, e.source, e.reports);
+  // Fig. 4 flavor: the ransomware-tracker address carries multi-category
+  // community reports, exactly what the paper screenshots from Cymon.
+  if (const auto fig4 = net::IPv4Addr::parse("208.91.197.91");
+      fig4 && threats_.is_reported(*fig4)) {
+    threats_.add_report(*fig4, intel::ThreatCategory::kPhishing,
+                        "community", 3);
+    threats_.add_report(*fig4, intel::ThreatCategory::kBotnet, "community", 2);
+  }
+  for (const OrgEntry& e : spec.org_entries) orgs_.add_range(e.addr, e.addr, e.org);
+  orgs_.add_range(auth_addr_, auth_addr_, "Vultr Holdings");
+  orgs_.build();
+  geo_.build();
+}
+
+}  // namespace orp::core

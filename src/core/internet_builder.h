@@ -1,0 +1,74 @@
+// Assembly of the simulated Internet: event loop, network, DNS hierarchy
+// (roots, .net TLD), the measurement's authoritative server, the intel
+// databases, and the calibrated resolver population — planted at addresses
+// drawn from the *scanned slice* of the ZMap permutation so that a 1/scale
+// scan meets exactly the population built for it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "authns/auth_server.h"
+#include "core/population.h"
+#include "intel/geo_db.h"
+#include "intel/org_db.h"
+#include "intel/threat_db.h"
+#include "net/event_loop.h"
+#include "net/transport.h"
+#include "prober/permutation.h"
+#include "resolver/root_tld.h"
+#include "resolver/scripted_resolver.h"
+#include "zone/cluster.h"
+
+namespace orp::core {
+
+struct InternetConfig {
+  std::uint64_t seed = 42;
+  /// The scan seed: planting must use the same permutation the scanner will
+  /// walk, and only indices below `raw_steps` are reachable by the scan.
+  std::uint64_t scan_seed = 2018;
+  net::LatencyModel latency;
+  double loss_rate = 0.0;
+  int root_count = 3;
+};
+
+class SimulatedInternet {
+ public:
+  SimulatedInternet(const PopulationSpec& spec, const InternetConfig& config);
+
+  SimulatedInternet(const SimulatedInternet&) = delete;
+  SimulatedInternet& operator=(const SimulatedInternet&) = delete;
+
+  net::EventLoop& loop() noexcept { return loop_; }
+  net::Network& network() noexcept { return *network_; }
+  authns::AuthServer& auth() noexcept { return *auth_; }
+  const zone::SubdomainScheme& scheme() const noexcept { return *scheme_; }
+
+  const intel::ThreatDb& threats() const noexcept { return threats_; }
+  const intel::GeoDb& geo() const noexcept { return geo_; }
+  const intel::OrgDb& orgs() const noexcept { return orgs_; }
+
+  net::IPv4Addr prober_address() const noexcept { return prober_addr_; }
+  net::IPv4Addr auth_address() const noexcept { return auth_addr_; }
+
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+  const std::vector<std::unique_ptr<resolver::ResolverHost>>& hosts()
+      const noexcept {
+    return hosts_;
+  }
+
+ private:
+  net::EventLoop loop_;
+  std::unique_ptr<net::Network> network_;
+  resolver::SimHierarchy hierarchy_;
+  std::unique_ptr<zone::SubdomainScheme> scheme_;
+  std::unique_ptr<authns::AuthServer> auth_;
+  std::vector<std::unique_ptr<resolver::ResolverHost>> hosts_;
+  intel::ThreatDb threats_;
+  intel::GeoDb geo_;
+  intel::OrgDb orgs_;
+  net::IPv4Addr prober_addr_;
+  net::IPv4Addr auth_addr_;
+};
+
+}  // namespace orp::core

@@ -1,0 +1,207 @@
+#include "core/ipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace orp::core {
+namespace {
+
+constexpr int kRa = 2;
+constexpr int kAa = 2;
+constexpr int kRc = dns::kRcodeCount;
+constexpr int kCls = kAnsClassCount;
+constexpr int kCells = kRa * kAa * kRc * kCls;
+
+constexpr int idx(int ra, int aa, int rc, int cls) {
+  return ((ra * kAa + aa) * kRc + rc) * kCls + cls;
+}
+
+bool is_answer_class(int cls) { return cls != static_cast<int>(AnsClass::kNone); }
+
+struct Margins {
+  // ra_target[bit][cls], aa_target[bit][cls]
+  double ra[kRa][kCls] = {};
+  double aa[kAa][kCls] = {};
+  // rcode_target[rc][0=without, 1=with]
+  double rcode[kRc][2] = {};
+};
+
+Margins build_margins(const CalibrationTargets& t) {
+  Margins m;
+  auto fill_flag = [](double out[][kCls], const analysis::FlagTable& table,
+                      std::uint64_t mal0, std::uint64_t mal1) {
+    const analysis::FlagBreakdown* bits[] = {&table.bit0, &table.bit1};
+    const std::uint64_t mal[] = {mal0, mal1};
+    for (int b = 0; b < 2; ++b) {
+      const auto clamped_mal = std::min(mal[b], bits[b]->incorrect);
+      out[b][static_cast<int>(AnsClass::kNone)] =
+          static_cast<double>(bits[b]->without_answer);
+      out[b][static_cast<int>(AnsClass::kCorrect)] =
+          static_cast<double>(bits[b]->correct);
+      out[b][static_cast<int>(AnsClass::kIncorrectBenign)] =
+          static_cast<double>(bits[b]->incorrect - clamped_mal);
+      out[b][static_cast<int>(AnsClass::kIncorrectMalicious)] =
+          static_cast<double>(clamped_mal);
+    }
+  };
+  fill_flag(m.ra, t.ra, t.mal_ra0, t.mal_ra1);
+  fill_flag(m.aa, t.aa, t.mal_aa0, t.mal_aa1);
+  for (int rc = 0; rc < kRc; ++rc) {
+    m.rcode[rc][0] = static_cast<double>(t.rcodes.rows[rc].without_answer);
+    m.rcode[rc][1] = static_cast<double>(t.rcodes.rows[rc].with_answer);
+  }
+  return m;
+}
+
+}  // namespace
+
+IpfResult calibrate_joint(const CalibrationTargets& targets, double tolerance,
+                          int max_iterations) {
+  const Margins m = build_margins(targets);
+
+  std::vector<double> cells(kCells, 1.0);
+  // Structural zeros: every malicious response in the study carried rcode 0.
+  for (int ra = 0; ra < kRa; ++ra)
+    for (int aa = 0; aa < kAa; ++aa)
+      for (int rc = 1; rc < kRc; ++rc)
+        cells[idx(ra, aa, rc, static_cast<int>(AnsClass::kIncorrectMalicious))] =
+            0.0;
+
+  auto scale_part = [&cells](const std::vector<int>& part, double target) {
+    double sum = 0;
+    for (const int i : part) sum += cells[i];
+    if (sum <= 0) return;
+    const double f = target / sum;
+    for (const int i : part) cells[i] *= f;
+  };
+
+  // Pre-build the cell index lists for every margin part.
+  std::vector<std::vector<int>> ra_parts(kRa * kCls), aa_parts(kAa * kCls),
+      rc_parts(kRc * 2);
+  for (int ra = 0; ra < kRa; ++ra)
+    for (int aa = 0; aa < kAa; ++aa)
+      for (int rc = 0; rc < kRc; ++rc)
+        for (int cls = 0; cls < kCls; ++cls) {
+          const int i = idx(ra, aa, rc, cls);
+          ra_parts[ra * kCls + cls].push_back(i);
+          aa_parts[aa * kCls + cls].push_back(i);
+          rc_parts[rc * 2 + (is_answer_class(cls) ? 1 : 0)].push_back(i);
+        }
+
+  auto margin_error = [&]() {
+    double worst = 0;
+    auto check = [&](const std::vector<int>& part, double target) {
+      double sum = 0;
+      for (const int i : part) sum += cells[i];
+      const double denom = std::max(1.0, target);
+      worst = std::max(worst, std::abs(sum - target) / denom);
+    };
+    for (int b = 0; b < kRa; ++b)
+      for (int cls = 0; cls < kCls; ++cls)
+        check(ra_parts[b * kCls + cls], m.ra[b][cls]);
+    for (int b = 0; b < kAa; ++b)
+      for (int cls = 0; cls < kCls; ++cls)
+        check(aa_parts[b * kCls + cls], m.aa[b][cls]);
+    for (int rc = 0; rc < kRc; ++rc)
+      for (int w = 0; w < 2; ++w) check(rc_parts[rc * 2 + w], m.rcode[rc][w]);
+    return worst;
+  };
+
+  IpfResult result;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    for (int b = 0; b < kRa; ++b)
+      for (int cls = 0; cls < kCls; ++cls)
+        scale_part(ra_parts[b * kCls + cls], m.ra[b][cls]);
+    for (int b = 0; b < kAa; ++b)
+      for (int cls = 0; cls < kCls; ++cls)
+        scale_part(aa_parts[b * kCls + cls], m.aa[b][cls]);
+    for (int rc = 0; rc < kRc; ++rc)
+      for (int w = 0; w < 2; ++w)
+        scale_part(rc_parts[rc * 2 + w], m.rcode[rc][w]);
+    result.iterations = iter + 1;
+    result.max_margin_error = margin_error();
+    if (result.max_margin_error < tolerance) break;
+  }
+
+  // Integerize by largest remainder over the surviving cells.
+  struct Frac {
+    int cell;
+    double frac;
+  };
+  std::vector<Frac> fracs;
+  std::vector<std::uint64_t> integer(kCells, 0);
+  double fitted_total = 0;
+  for (int i = 0; i < kCells; ++i) fitted_total += cells[i];
+  const auto target_total =
+      static_cast<std::uint64_t>(std::llround(fitted_total));
+  std::uint64_t assigned = 0;
+  for (int i = 0; i < kCells; ++i) {
+    if (cells[i] < 1e-6) continue;
+    const double floor_v = std::floor(cells[i]);
+    integer[i] = static_cast<std::uint64_t>(floor_v);
+    assigned += integer[i];
+    fracs.push_back({i, cells[i] - floor_v});
+  }
+  std::sort(fracs.begin(), fracs.end(), [](const Frac& a, const Frac& b) {
+    if (a.frac != b.frac) return a.frac > b.frac;
+    return a.cell < b.cell;
+  });
+  for (std::size_t k = 0; assigned < target_total && !fracs.empty(); ++k) {
+    ++integer[fracs[k % fracs.size()].cell];
+    ++assigned;
+  }
+
+  for (int ra = 0; ra < kRa; ++ra)
+    for (int aa = 0; aa < kAa; ++aa)
+      for (int rc = 0; rc < kRc; ++rc)
+        for (int cls = 0; cls < kCls; ++cls) {
+          const std::uint64_t c = integer[idx(ra, aa, rc, cls)];
+          if (c == 0) continue;
+          result.cells.push_back(JointCell{ra == 1, aa == 1,
+                                           static_cast<dns::Rcode>(rc),
+                                           static_cast<AnsClass>(cls), c});
+          result.total += c;
+        }
+  return result;
+}
+
+analysis::FlagTable IpfResult::ra_margin() const {
+  analysis::FlagTable t;
+  for (const JointCell& c : cells) {
+    analysis::FlagBreakdown& b = c.ra ? t.bit1 : t.bit0;
+    switch (c.cls) {
+      case AnsClass::kNone: b.without_answer += c.count; break;
+      case AnsClass::kCorrect: b.correct += c.count; break;
+      default: b.incorrect += c.count; break;
+    }
+  }
+  return t;
+}
+
+analysis::FlagTable IpfResult::aa_margin() const {
+  analysis::FlagTable t;
+  for (const JointCell& c : cells) {
+    analysis::FlagBreakdown& b = c.aa ? t.bit1 : t.bit0;
+    switch (c.cls) {
+      case AnsClass::kNone: b.without_answer += c.count; break;
+      case AnsClass::kCorrect: b.correct += c.count; break;
+      default: b.incorrect += c.count; break;
+    }
+  }
+  return t;
+}
+
+analysis::RcodeTable IpfResult::rcode_margin() const {
+  analysis::RcodeTable t;
+  for (const JointCell& c : cells) {
+    analysis::RcodeRow& row = t.rows[static_cast<std::size_t>(c.rcode)];
+    if (c.cls == AnsClass::kNone)
+      row.without_answer += c.count;
+    else
+      row.with_answer += c.count;
+  }
+  return t;
+}
+
+}  // namespace orp::core

@@ -1,0 +1,69 @@
+// Iterative proportional fitting of the behavioral joint distribution.
+//
+// The paper publishes three 2-way views of the same R2 population — RA x
+// answer-class (Table IV), AA x answer-class (Table V), rcode x answer-
+// presence (Table VI) — plus the malicious sub-population's RA/AA margins
+// (Table X). To synthesize resolvers whose *joint* behavior reproduces all
+// of those margins at once, we fit a maximum-entropy contingency table over
+//   (RA in {0,1}) x (AA in {0,1}) x (rcode in 0..15) x (answer class)
+// with answer class in {none, correct, incorrect-benign, incorrect-
+// malicious}, using classic IPF (Deming & Stephan, 1940): repeatedly rescale
+// the cells so each margin matches its target, until convergence. Malicious
+// cells are structurally zero outside rcode 0 (the paper: all 26,926
+// malicious responses had NoError).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/answer_analysis.h"
+#include "analysis/header_analysis.h"
+
+namespace orp::core {
+
+enum class AnsClass : std::uint8_t {
+  kNone = 0,
+  kCorrect,
+  kIncorrectBenign,
+  kIncorrectMalicious,
+};
+constexpr int kAnsClassCount = 4;
+
+struct CalibrationTargets {
+  analysis::AnswerBreakdown answers;  // authoritative totals (Table III)
+  analysis::FlagTable ra;             // reconciled Table IV
+  analysis::FlagTable aa;             // reconciled Table V
+  analysis::RcodeTable rcodes;        // reconciled Table VI
+  std::uint64_t mal_ra0 = 0;          // Table X
+  std::uint64_t mal_ra1 = 0;
+  std::uint64_t mal_aa0 = 0;
+  std::uint64_t mal_aa1 = 0;
+};
+
+struct JointCell {
+  bool ra = false;
+  bool aa = false;
+  dns::Rcode rcode = dns::Rcode::kNoError;
+  AnsClass cls = AnsClass::kNone;
+  std::uint64_t count = 0;
+};
+
+struct IpfResult {
+  std::vector<JointCell> cells;  // nonzero cells only, integerized
+  int iterations = 0;
+  double max_margin_error = 0;   // worst relative margin deviation at stop
+  std::uint64_t total = 0;       // sum of integerized cells
+
+  /// Recompute a margin from the fitted cells (for tests/benches).
+  analysis::FlagTable ra_margin() const;
+  analysis::FlagTable aa_margin() const;
+  analysis::RcodeTable rcode_margin() const;
+};
+
+/// Fit the joint. `tolerance` is the maximum acceptable relative deviation
+/// of any fitted margin cell from its target.
+IpfResult calibrate_joint(const CalibrationTargets& targets,
+                          double tolerance = 1e-10, int max_iterations = 2000);
+
+}  // namespace orp::core

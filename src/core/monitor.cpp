@@ -1,0 +1,222 @@
+#include "core/monitor.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace orp::core {
+namespace {
+
+std::uint64_t lerp_u64(std::uint64_t a, std::uint64_t b, double t) {
+  const double v = static_cast<double>(a) +
+                   (static_cast<double>(b) - static_cast<double>(a)) * t;
+  return v <= 0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
+}
+
+analysis::FlagBreakdown lerp_flag(const analysis::FlagBreakdown& a,
+                                  const analysis::FlagBreakdown& b, double t) {
+  analysis::FlagBreakdown out;
+  out.without_answer = lerp_u64(a.without_answer, b.without_answer, t);
+  out.correct = lerp_u64(a.correct, b.correct, t);
+  out.incorrect = lerp_u64(a.incorrect, b.incorrect, t);
+  return out;
+}
+
+analysis::FormStats lerp_form(const analysis::FormStats& a,
+                              const analysis::FormStats& b, double t) {
+  analysis::FormStats out;
+  out.r2 = lerp_u64(a.r2, b.r2, t);
+  out.unique = lerp_u64(a.unique, b.unique, t);
+  out.example = t < 0.5 ? a.example : b.example;
+  return out;
+}
+
+/// The observatory's monthly labels: 2013-10 .. 2018-04 is 54 months.
+std::string month_label(double t) {
+  const int months_total = 54;
+  const int offset = static_cast<int>(std::llround(t * months_total));
+  const int absolute = (2013 * 12 + 9) + offset;  // 2013-10 is month index 9
+  const int year = absolute / 12;
+  const int month = absolute % 12 + 1;
+  return std::to_string(year) + "-" + util::zero_pad(month, 2);
+}
+
+}  // namespace
+
+PaperYear interpolate_year(const PaperYear& from, const PaperYear& to,
+                           double t) {
+  if (t <= 0) return from;
+  if (t >= 1) return to;
+  PaperYear y;
+  y.year = static_cast<int>(std::llround(
+      from.year + (to.year - from.year) * t));
+
+  y.q1 = lerp_u64(from.q1, to.q1, t);
+  y.q2_r1 = lerp_u64(from.q2_r1, to.q2_r1, t);
+  y.r2 = lerp_u64(from.r2, to.r2, t);
+  y.duration_seconds =
+      from.duration_seconds + (to.duration_seconds - from.duration_seconds) * t;
+  y.probe_rate_pps =
+      from.probe_rate_pps + (to.probe_rate_pps - from.probe_rate_pps) * t;
+
+  y.answers.r2 = lerp_u64(from.answers.r2, to.answers.r2, t);
+  y.answers.without_answer =
+      lerp_u64(from.answers.without_answer, to.answers.without_answer, t);
+  y.answers.correct = lerp_u64(from.answers.correct, to.answers.correct, t);
+  y.answers.incorrect =
+      lerp_u64(from.answers.incorrect, to.answers.incorrect, t);
+  // Keep the identity r2 = W/O + W exact after rounding.
+  y.answers.r2 =
+      y.answers.without_answer + y.answers.correct + y.answers.incorrect;
+  y.empty_question = lerp_u64(from.empty_question, to.empty_question, t);
+  y.r2 = y.answers.r2 + y.empty_question;
+
+  y.ra.bit0 = lerp_flag(from.ra.bit0, to.ra.bit0, t);
+  y.ra.bit1 = lerp_flag(from.ra.bit1, to.ra.bit1, t);
+  y.aa.bit0 = lerp_flag(from.aa.bit0, to.aa.bit0, t);
+  y.aa.bit1 = lerp_flag(from.aa.bit1, to.aa.bit1, t);
+  for (std::size_t i = 0; i < y.rcodes.rows.size(); ++i) {
+    y.rcodes.rows[i].with_answer = lerp_u64(from.rcodes.rows[i].with_answer,
+                                            to.rcodes.rows[i].with_answer, t);
+    y.rcodes.rows[i].without_answer =
+        lerp_u64(from.rcodes.rows[i].without_answer,
+                 to.rcodes.rows[i].without_answer, t);
+  }
+
+  y.incorrect.ip = lerp_form(from.incorrect.ip, to.incorrect.ip, t);
+  y.incorrect.url = lerp_form(from.incorrect.url, to.incorrect.url, t);
+  y.incorrect.str = lerp_form(from.incorrect.str, to.incorrect.str, t);
+  y.incorrect.na = lerp_form(from.incorrect.na, to.incorrect.na, t);
+
+  // Top-10 catalogs: blend by address union, then re-rank.
+  std::map<std::string, PaperTopEntry> heads;
+  for (const auto& e : from.top10) {
+    PaperTopEntry blended = e;
+    blended.count = lerp_u64(e.count, 0, t);
+    heads[e.addr] = blended;
+  }
+  for (const auto& e : to.top10) {
+    const auto it = heads.find(e.addr);
+    if (it == heads.end()) {
+      PaperTopEntry blended = e;
+      blended.count = lerp_u64(0, e.count, t);
+      heads[e.addr] = blended;
+    } else {
+      it->second.count = lerp_u64(
+          // both catalogs carry this address: lerp the real endpoints
+          [&] {
+            for (const auto& f : from.top10)
+              if (f.addr == e.addr) return f.count;
+            return std::uint64_t{0};
+          }(),
+          e.count, t);
+      it->second.reported = e.reported;
+      it->second.category = e.category;
+    }
+  }
+  for (auto& [addr, entry] : heads)
+    if (entry.count > 0) y.top10.push_back(entry);
+  std::sort(y.top10.begin(), y.top10.end(),
+            [](const PaperTopEntry& a, const PaperTopEntry& b) {
+              return a.count > b.count;
+            });
+  if (y.top10.size() > 10) y.top10.resize(10);
+
+  // Category table: both years enumerate all seven categories.
+  for (const auto& fc : from.categories) {
+    PaperCategoryRow row = fc;
+    for (const auto& tc : to.categories) {
+      if (tc.category != fc.category) continue;
+      row.unique_ips = lerp_u64(fc.unique_ips, tc.unique_ips, t);
+      row.r2 = lerp_u64(fc.r2, tc.r2, t);
+    }
+    y.categories.push_back(row);
+  }
+  y.malicious_ips = 0;
+  y.malicious_r2 = 0;
+  for (const auto& c : y.categories) {
+    y.malicious_ips += c.unique_ips;
+    y.malicious_r2 += c.r2;
+  }
+
+  y.table10_published = false;
+  y.mal_ra0 = lerp_u64(from.mal_ra0, to.mal_ra0, t);
+  y.mal_ra1 = y.malicious_r2 > y.mal_ra0 ? y.malicious_r2 - y.mal_ra0 : 0;
+  y.mal_aa0 = lerp_u64(from.mal_aa0, to.mal_aa0, t);
+  y.mal_aa1 = y.malicious_r2 > y.mal_aa0 ? y.malicious_r2 - y.mal_aa0 : 0;
+
+  // Countries: key union, lerped, rescaled to the malicious total by the
+  // population builder's apportionment.
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> countries;
+  for (const auto& c : from.countries) countries[c.country].first = c.r2;
+  for (const auto& c : to.countries) countries[c.country].second = c.r2;
+  for (const auto& [code, counts] : countries) {
+    const std::uint64_t v = lerp_u64(counts.first, counts.second, t);
+    if (v > 0) y.countries.push_back(PaperCountryRow{code, v});
+  }
+
+  // Empty-question sub-structure follows the 2018 shape, scaled.
+  y.empty_q = to.empty_q;
+  y.empty_q.total = y.empty_question;
+  y.empty_q.with_answer = lerp_u64(0, to.empty_q.with_answer, t);
+  return y;
+}
+
+bool MonitoringSeries::open_resolver_decline() const {
+  if (snapshots.size() < 2) return false;
+  return snapshots.back().open_resolvers.strict <
+         snapshots.front().open_resolvers.strict;
+}
+
+bool MonitoringSeries::malicious_growth() const {
+  if (snapshots.size() < 2) return false;
+  return snapshots.back().malicious_r2 > snapshots.front().malicious_r2;
+}
+
+MonitoringSeries run_monitoring(const MonitoringConfig& config) {
+  MonitoringSeries series;
+  const int n = std::max(2, config.snapshots);
+  for (int i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / (n - 1);
+    const PaperYear year = interpolate_year(paper_2013(), paper_2018(), t);
+    PipelineConfig cfg;
+    cfg.scale = config.scale;
+    cfg.seed = config.seed + static_cast<std::uint64_t>(i);
+    const ScanOutcome outcome = run_measurement(year, cfg);
+
+    MonitoringSnapshot snap;
+    snap.t = t;
+    snap.label = month_label(t);
+    snap.open_resolvers = estimate_open_resolvers(outcome.analysis);
+    snap.r2 = outcome.scan.r2_received;
+    snap.incorrect = outcome.analysis.answers.incorrect;
+    snap.err_percent = outcome.analysis.answers.err_percent();
+    snap.malicious_r2 = outcome.analysis.malicious.total_r2;
+    snap.malicious_ips = outcome.analysis.malicious.total_ips;
+    series.snapshots.push_back(std::move(snap));
+  }
+  return series;
+}
+
+std::string render_monitoring(const MonitoringSeries& series) {
+  util::TextTable t({"snapshot", "open resolvers", "R2", "incorrect",
+                     "err(%)", "malicious R2", "malicious IPs"});
+  for (const auto& s : series.snapshots) {
+    t.add_row({s.label, util::with_commas(s.open_resolvers.strict),
+               util::with_commas(s.r2), util::with_commas(s.incorrect),
+               util::fixed(s.err_percent, 2),
+               util::with_commas(s.malicious_r2),
+               util::with_commas(s.malicious_ips)});
+  }
+  std::string out = t.render();
+  out += "trends: open-resolver decline=";
+  out += series.open_resolver_decline() ? "yes" : "no";
+  out += ", malicious growth=";
+  out += series.malicious_growth() ? "yes" : "no";
+  out += "\n";
+  return out;
+}
+
+}  // namespace orp::core

@@ -1,0 +1,59 @@
+// Continuous monitoring — the capability §V argues the ecosystem lacks
+// ("a systematic and constant follow-up of the behavioral analysis in the
+// open resolver ecosystem is a gap in the literature").
+//
+// The two calibrated campaigns (2013-10 and 2018-04) are treated as
+// endpoints of a population drift; interpolate_year() produces a synthetic
+// population for any point between them, and run_monitoring() replays the
+// periodic scans a standing observatory would have run, yielding the trend
+// lines the paper could only sample twice: open-resolver decline vs
+// malicious-responder growth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/contrast.h"
+#include "core/paper_data.h"
+#include "core/pipeline.h"
+
+namespace orp::core {
+
+/// Linear population drift between two calibrated years; t in [0, 1]
+/// (0 = `from`, 1 = `to`). Every count lerps; content catalogs (top-10
+/// addresses, countries) blend by key union. The population builder's
+/// reconciliation step absorbs the rounding, so any t yields a buildable
+/// population.
+PaperYear interpolate_year(const PaperYear& from, const PaperYear& to,
+                           double t);
+
+struct MonitoringSnapshot {
+  double t = 0;             // drift position
+  std::string label;        // e.g. "2015-03"
+  OpenResolverEstimates open_resolvers;
+  std::uint64_t r2 = 0;
+  std::uint64_t incorrect = 0;
+  double err_percent = 0;
+  std::uint64_t malicious_r2 = 0;
+  std::uint64_t malicious_ips = 0;
+};
+
+struct MonitoringSeries {
+  std::vector<MonitoringSnapshot> snapshots;
+
+  /// The trends §V predicts a monitor would surface.
+  bool open_resolver_decline() const;   // strict estimate falls end-to-end
+  bool malicious_growth() const;        // malicious responses rise end-to-end
+};
+
+struct MonitoringConfig {
+  int snapshots = 6;           // 2013-10 .. 2018-04 inclusive
+  std::uint64_t scale = 2048;  // per-snapshot scan scale
+  std::uint64_t seed = 42;
+};
+
+MonitoringSeries run_monitoring(const MonitoringConfig& config);
+
+std::string render_monitoring(const MonitoringSeries& series);
+
+}  // namespace orp::core

@@ -1,0 +1,276 @@
+#include "core/paper_data.h"
+
+namespace orp::core {
+namespace {
+
+using intel::ThreatCategory;
+
+analysis::RcodeTable make_rcodes(
+    std::initializer_list<std::tuple<dns::Rcode, std::uint64_t, std::uint64_t>>
+        rows) {
+  analysis::RcodeTable t;
+  for (const auto& [rc, with, without] : rows) {
+    t.rows[static_cast<std::size_t>(rc)] = analysis::RcodeRow{with, without};
+  }
+  return t;
+}
+
+PaperYear build_2013() {
+  PaperYear y;
+  y.year = 2013;
+
+  // Table II: 10/28/2013 2PM -> 11/04/2013 6PM, "7d 5h".
+  y.q1 = 3'676'724'690;
+  y.q2_r1 = 38'079'578;
+  y.r2 = 16'660'123;
+  y.duration_seconds = 7 * 86400 + 5 * 3600;  // 625,  7d5h
+  y.probe_rate_pps = static_cast<double>(y.q1) / y.duration_seconds;  // ~5.9k
+
+  // Table III. The 2013 analysis does not report empty-question exclusions.
+  y.answers = analysis::AnswerBreakdown{
+      .r2 = 16'660'123,
+      .without_answer = 4'867'241,
+      .correct = 11'671'589,
+      .incorrect = 121'293,
+  };
+  y.empty_question = 0;
+
+  // Table IV. Internally consistent with Table III to the packet.
+  y.ra.bit0 = analysis::FlagBreakdown{
+      .without_answer = 4'147'838, .correct = 166'108, .incorrect = 75'842};
+  y.ra.bit1 = analysis::FlagBreakdown{
+      .without_answer = 719'403, .correct = 11'505'481, .incorrect = 45'451};
+
+  // Table V. Also consistent (W_Incorr for AA0 derived from the row total).
+  y.aa.bit0 = analysis::FlagBreakdown{
+      .without_answer = 4'717'485, .correct = 11'518'500, .incorrect = 43'014};
+  y.aa.bit1 = analysis::FlagBreakdown{
+      .without_answer = 149'756, .correct = 153'089, .incorrect = 78'279};
+
+  // Table VI. The W row sums to 11,794,580 (+1,698 vs Table III) and the W/O
+  // row to 4,867,229 (-12); the reconciler trues these up for calibration.
+  y.rcodes = make_rcodes({
+      {dns::Rcode::kNoError, 11'780'575, 1'198'772},
+      {dns::Rcode::kFormErr, 0, 453},
+      {dns::Rcode::kServFail, 12'723, 354'176},
+      {dns::Rcode::kNXDomain, 10, 145'724},
+      {dns::Rcode::kNotImp, 0, 38},
+      {dns::Rcode::kRefused, 1'272, 3'168'053},
+      {dns::Rcode::kYXDomain, 0, 0},
+      {dns::Rcode::kYXRRSet, 0, 2},
+      {dns::Rcode::kNotAuth, 0, 11},
+  });
+
+  // Table VII. The printed "string" row (10 R2, 57 unique) is impossible as
+  // written (unique > occurrences); we keep the R2 counts, which sum exactly,
+  // and clamp unique to the R2 count.
+  y.incorrect.ip = analysis::FormStats{112'270, 28'443, "216.194.64.193"};
+  y.incorrect.url = analysis::FormStats{249, 175, "u.dcoin.co"};
+  y.incorrect.str = analysis::FormStats{10, 10, "wild"};
+  y.incorrect.na = analysis::FormStats{8'764, 0, "<0x00>"};
+
+  // §IV-C1 prose gives six of the ten 2013 counts; the remaining four are
+  // reconstructed so the ranking is strictly decreasing and the total is the
+  // printed 26,514 (see DESIGN.md "Known paper inconsistencies").
+  y.top10 = {
+      {"74.220.199.15", 9'651, "Unified Layer", 'Y',
+       ThreatCategory::kMalware, false},
+      {"192.168.1.254", 5'460, "private network", '-',
+       ThreatCategory::kMalware, true},
+      {"20.20.20.20", 5'030, "Microsoft", 'N', ThreatCategory::kMalware,
+       true},
+      {"192.168.2.1", 1'120, "private network", '-', ThreatCategory::kMalware,
+       true},
+      {"0.0.0.0", 1'032, "unroutable", 'N', ThreatCategory::kMalware, false},
+      {"64.94.110.11", 1'005, "Search Guide Inc", 'N',
+       ThreatCategory::kMalware, true},
+      {"173.192.59.63", 995, "SoftLayer", 'N', ThreatCategory::kMalware,
+       false},
+      {"221.238.203.46", 811, "Tianjin Telecom", 'N',
+       ThreatCategory::kMalware, false},
+      {"68.87.91.199", 748, "Comcast", 'N', ThreatCategory::kMalware, false},
+      {"192.168.1.1", 662, "private network", '-', ThreatCategory::kMalware,
+       true},
+  };
+
+  // Table IX, 2013 columns.
+  y.categories = {
+      {ThreatCategory::kMalware, 65, 11'149},
+      {ThreatCategory::kPhishing, 19, 1'092},
+      {ThreatCategory::kSpam, 4, 67},
+      {ThreatCategory::kSshBruteforce, 2, 2},
+      {ThreatCategory::kScan, 8, 493},
+      {ThreatCategory::kBotnet, 1, 70},
+      {ThreatCategory::kEmailBruteforce, 1, 1},
+  };
+  y.malicious_ips = 100;
+  y.malicious_r2 = 12'874;
+
+  // Table X exists only for 2018. For 2013 we extrapolate the malicious
+  // RA/AA split pro rata the 2013 incorrect-answer flag distribution:
+  //   RA0 : RA1 = 75,842 : 45,451 over 12,874 -> 8,050 : 4,824
+  //   AA0 : AA1 = 43,014 : 78,279 over 12,874 -> 4,565 : 8,309
+  y.table10_published = false;
+  y.mal_ra0 = 8'050;
+  y.mal_ra1 = 4'824;
+  y.mal_aa0 = 4'565;
+  y.mal_aa1 = 8'309;
+
+  // §IV-C2 country list (sums to 12,874 across 36 countries).
+  y.countries = {
+      {"US", 12'616}, {"TR", 91}, {"VG", 28}, {"PL", 24}, {"IR", 18},
+      {"BR", 9},      {"KR", 8},  {"TW", 8},  {"AR", 7},  {"BG", 6},
+      {"ES", 5},      {"PT", 5},  {"AT", 4},  {"CA", 4},  {"DE", 4},
+      {"NL", 4},      {"VN", 4},  {"CH", 3},  {"RU", 3},  {"SA", 3},
+      {"AU", 2},      {"ID", 2},  {"KE", 2},  {"SE", 2},  {"CN", 1},
+      {"FR", 1},      {"GB", 1},  {"HK", 1},  {"MA", 1},  {"NA", 1},
+      {"NI", 1},      {"PR", 1},  {"SG", 1},  {"TH", 1},  {"VA", 1},
+      {"ZA", 1},
+  };
+  return y;
+}
+
+PaperYear build_2018() {
+  PaperYear y;
+  y.year = 2018;
+
+  // Table II: 04/26/2018 3PM -> 04/27/2018 2AM ("11h"); §IV prose says the
+  // probing itself lasted 10h35m at 100k pps.
+  y.q1 = 3'702'258'432;
+  y.q2_r1 = 13'049'863;
+  y.r2 = 6'506'258;
+  y.duration_seconds = 11 * 3600;
+  y.probe_rate_pps = 100'000;
+
+  // Table III over the 6,505,764 question-bearing responses; 494 more had an
+  // empty question section (§IV-B4).
+  y.answers = analysis::AnswerBreakdown{
+      .r2 = 6'505'764,
+      .without_answer = 3'642'109,
+      .correct = 2'752'562,
+      .incorrect = 111'093,
+  };
+  y.empty_question = 494;
+
+  // Table IV. Internally consistent with Table III to the packet.
+  y.ra.bit0 = analysis::FlagBreakdown{
+      .without_answer = 3'434'415, .correct = 3'994, .incorrect = 65'172};
+  y.ra.bit1 = analysis::FlagBreakdown{
+      .without_answer = 207'694, .correct = 2'748'568, .incorrect = 45'921};
+
+  // Table V. Sums to 2,752,572 correct / 3,642,099 without (each off by 10
+  // against Table III); the reconciler trues these up.
+  y.aa.bit0 = analysis::FlagBreakdown{
+      .without_answer = 3'512'053, .correct = 2'727'477, .incorrect = 17'041};
+  y.aa.bit1 = analysis::FlagBreakdown{
+      .without_answer = 130'046, .correct = 25'095, .incorrect = 94'052};
+
+  // Table VI. The W column sums exactly to Table III's 2,863,655; the W/O
+  // column sums to 3,642,095 (-14).
+  y.rcodes = make_rcodes({
+      {dns::Rcode::kNoError, 2'860'940, 377'803},
+      {dns::Rcode::kFormErr, 23, 233},
+      {dns::Rcode::kServFail, 2'489, 200'320},
+      {dns::Rcode::kNXDomain, 10, 48'830},
+      {dns::Rcode::kNotImp, 0, 605},
+      {dns::Rcode::kRefused, 193, 2'934'269},
+      {dns::Rcode::kYXDomain, 0, 1},
+      {dns::Rcode::kYXRRSet, 0, 2},
+      {dns::Rcode::kNotAuth, 0, 80'032},
+  });
+
+  // Table VII (sums exactly: 111,093 R2 over 15,131 unique values).
+  y.incorrect.ip = analysis::FormStats{110'790, 15'022, "216.194.64.193"};
+  y.incorrect.url = analysis::FormStats{231, 80, "u.dcoin.co"};
+  y.incorrect.str = analysis::FormStats{72, 29, "wild"};
+  y.incorrect.na = analysis::FormStats{0, 0, ""};
+
+  // Table VIII, verbatim. Categories for the reported rows follow §IV-C1/2:
+  // 208.91.197.91 is the ransomware-tracker address of Fig. 4.
+  y.top10 = {
+      {"216.194.64.193", 23'692, "Tera-byte Dot Com", 'N',
+       ThreatCategory::kMalware, false},
+      {"74.220.199.15", 13'369, "Unified Layer", 'Y',
+       ThreatCategory::kMalware, false},
+      {"208.91.197.91", 8'239, "Confluence Network Inc", 'Y',
+       ThreatCategory::kMalware, false},
+      {"141.8.225.68", 1'197, "Rook Media GmbH", 'Y',
+       ThreatCategory::kMalware, false},
+      {"192.168.1.1", 1'014, "private network", '-',
+       ThreatCategory::kMalware, false},
+      {"192.168.2.1", 741, "private network", '-', ThreatCategory::kMalware,
+       false},
+      {"114.44.34.86", 734, "Chunghwa Telecom", 'N',
+       ThreatCategory::kMalware, false},
+      {"172.30.1.254", 607, "private network", '-', ThreatCategory::kMalware,
+       false},
+      {"10.0.0.1", 548, "private network", '-', ThreatCategory::kMalware,
+       false},
+      {"118.166.1.6", 528, "Chunghwa Telecom", 'N', ThreatCategory::kMalware,
+       false},
+  };
+
+  // Table IX, 2018 columns.
+  y.categories = {
+      {ThreatCategory::kMalware, 170, 23'189},
+      {ThreatCategory::kPhishing, 125, 2'878},
+      {ThreatCategory::kSpam, 15, 44},
+      {ThreatCategory::kSshBruteforce, 10, 323},
+      {ThreatCategory::kScan, 9, 388},
+      {ThreatCategory::kBotnet, 4, 102},
+      {ThreatCategory::kEmailBruteforce, 2, 2},
+  };
+  y.malicious_ips = 335;
+  y.malicious_r2 = 26'926;
+
+  // Table X. The AA0 cell is garbled in the text; derived as
+  // 26,926 - 19,454 = 7,472 (27.8%).
+  y.table10_published = true;
+  y.mal_ra0 = 19'534;
+  y.mal_ra1 = 7'392;
+  y.mal_aa0 = 7'472;
+  y.mal_aa1 = 19'454;
+
+  // §IV-C2 country list (sums to 26,926 across 31 countries).
+  y.countries = {
+      {"US", 21'819}, {"IN", 3'596}, {"HK", 714}, {"VG", 291}, {"AE", 162},
+      {"CN", 146},    {"DE", 31},    {"PL", 24},  {"RU", 18},  {"BG", 16},
+      {"NL", 14},     {"IE", 12},    {"AU", 11},  {"KY", 11},  {"CA", 8},
+      {"FR", 7},      {"GB", 7},     {"JP", 7},   {"CH", 6},   {"PT", 6},
+      {"IT", 5},      {"SG", 3},     {"TR", 3},   {"VN", 2},   {"AR", 1},
+      {"AT", 1},      {"ES", 1},     {"JO", 1},   {"LT", 1},   {"MY", 1},
+      {"UA", 1},
+  };
+
+  // §IV-B4: the 494 empty-question responses. The printed sub-counts are
+  // themselves inconsistent (RA rows sum to 487, rcode rows to 493); the
+  // population builder apportions the gap.
+  y.empty_q.total = 494;
+  y.empty_q.with_answer = 19;
+  y.empty_q.private_answers = 14;   // 13 in 192.168/16, 1 in 10/8
+  y.empty_q.answers_10slash8 = 1;
+  y.empty_q.malformed_answers = 1;  // the "0000" answer
+  y.empty_q.unknown_org = 4;
+  y.empty_q.ra1 = 184;
+  y.empty_q.aa1 = 2;
+  y.empty_q.rcode[static_cast<std::size_t>(dns::Rcode::kNoError)] = 26;
+  y.empty_q.rcode[static_cast<std::size_t>(dns::Rcode::kFormErr)] = 1;
+  y.empty_q.rcode[static_cast<std::size_t>(dns::Rcode::kServFail)] = 301;
+  y.empty_q.rcode[static_cast<std::size_t>(dns::Rcode::kNXDomain)] = 2;
+  y.empty_q.rcode[static_cast<std::size_t>(dns::Rcode::kRefused)] = 163;
+  return y;
+}
+
+}  // namespace
+
+const PaperYear& paper_2013() {
+  static const PaperYear y = build_2013();
+  return y;
+}
+
+const PaperYear& paper_2018() {
+  static const PaperYear y = build_2018();
+  return y;
+}
+
+}  // namespace orp::core

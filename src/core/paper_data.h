@@ -1,0 +1,109 @@
+// The published measurements of the paper, transcribed table by table.
+//
+// These constants serve three purposes: (1) they are the calibration targets
+// the synthetic population is fitted to, (2) the benches print them beside
+// the measured values, and (3) the reconciler documents where the paper's
+// own tables disagree with each other (they do, at the ±10..±1,698 packet
+// level — see reconcile.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/answer_analysis.h"
+#include "analysis/header_analysis.h"
+#include "analysis/incorrect_answers.h"
+#include "intel/threat_db.h"
+
+namespace orp::core {
+
+struct PaperTopEntry {
+  std::string addr;
+  std::uint64_t count = 0;
+  std::string org;
+  char reported = 'N';  // 'Y', 'N', '-' (private / N-A)
+  /// Category when the address is threat-reported.
+  intel::ThreatCategory category = intel::ThreatCategory::kMalware;
+  /// True where the count is reconstructed from prose rather than printed in
+  /// a table (parts of the 2013 top-10; see DESIGN.md).
+  bool reconstructed = false;
+};
+
+struct PaperCategoryRow {
+  intel::ThreatCategory category;
+  std::uint64_t unique_ips = 0;
+  std::uint64_t r2 = 0;
+};
+
+struct PaperCountryRow {
+  std::string country;
+  std::uint64_t r2 = 0;
+};
+
+/// §IV-B4 sub-analysis of the empty-question responses (2018 only).
+struct PaperEmptyQuestion {
+  std::uint64_t total = 0;
+  std::uint64_t with_answer = 0;
+  std::uint64_t private_answers = 0;
+  std::uint64_t answers_10slash8 = 0;     // of the private answers
+  std::uint64_t malformed_answers = 0;
+  std::uint64_t unknown_org = 0;
+  std::uint64_t ra1 = 0;
+  std::uint64_t aa1 = 0;
+  std::array<std::uint64_t, dns::kRcodeCount> rcode{};
+};
+
+/// One measurement year, fully transcribed.
+struct PaperYear {
+  int year = 0;
+
+  // Table II.
+  std::uint64_t q1 = 0;
+  std::uint64_t q2_r1 = 0;  // the paper reports Q2 and R1 as one count
+  std::uint64_t r2 = 0;
+  double duration_seconds = 0;
+  double probe_rate_pps = 0;
+
+  // Table III (question-bearing responses only).
+  analysis::AnswerBreakdown answers;
+  std::uint64_t empty_question = 0;  // R2 - answers.r2
+
+  // Tables IV and V.
+  analysis::FlagTable ra;
+  analysis::FlagTable aa;
+
+  // Table VI.
+  analysis::RcodeTable rcodes;
+
+  // Table VII.
+  analysis::IncorrectSummary incorrect;
+
+  // Table VIII (2013's is reconstructed from §IV-C1 prose).
+  std::vector<PaperTopEntry> top10;
+
+  // Table IX.
+  std::vector<PaperCategoryRow> categories;
+  std::uint64_t malicious_ips = 0;
+  std::uint64_t malicious_r2 = 0;
+
+  // Table X (published for 2018; extrapolated for 2013 pro rata the
+  // incorrect-answer flag distribution — flagged by `table10_published`).
+  bool table10_published = false;
+  std::uint64_t mal_ra0 = 0;
+  std::uint64_t mal_ra1 = 0;
+  std::uint64_t mal_aa0 = 0;
+  std::uint64_t mal_aa1 = 0;
+
+  // §IV-C2 country lists.
+  std::vector<PaperCountryRow> countries;
+
+  // §IV-B4 (2018 only; zero-initialized for 2013).
+  PaperEmptyQuestion empty_q;
+};
+
+const PaperYear& paper_2013();
+const PaperYear& paper_2018();
+
+}  // namespace orp::core

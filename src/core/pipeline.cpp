@@ -1,0 +1,63 @@
+#include "core/pipeline.h"
+
+#include "analysis/flow.h"
+#include "util/rng.h"
+
+namespace orp::core {
+
+std::uint64_t ScanOutcome::expect(std::uint64_t paper_count) const {
+  return (paper_count + scale_factor / 2) / scale_factor;
+}
+
+ScanOutcome run_measurement(const PaperYear& year,
+                            const PipelineConfig& config) {
+  ScanOutcome outcome;
+  outcome.year = year.year;
+  outcome.scale_factor = config.scale;
+
+  // 1. Calibrated population.
+  outcome.spec = build_population(year, config.scale, config.seed);
+
+  // 2. Simulated Internet (planted inside the scan's permutation slice).
+  InternetConfig net_config;
+  net_config.seed = config.seed;
+  net_config.scan_seed = util::mix64(config.seed + year.year);
+  net_config.loss_rate = config.loss_rate;
+  SimulatedInternet internet(outcome.spec, net_config);
+
+  // 3. The scanner, configured from Table II at this run's scale.
+  prober::ScanConfig scan_config;
+  scan_config.seed = net_config.scan_seed;
+  scan_config.rate_pps = outcome.spec.rate_pps;
+  scan_config.raw_steps = outcome.spec.raw_steps;
+  scan_config.rotate_pause =
+      net::SimTime::seconds(outcome.spec.zone_load_seconds);
+  prober::Scanner scanner(internet.network(), internet.prober_address(),
+                          scan_config, internet.scheme());
+  scanner.set_rotate_callback([&internet](std::uint32_t cluster) {
+    internet.auth().load_cluster(cluster);
+  });
+
+  bool done = false;
+  scanner.start([&done]() { done = true; });
+  internet.loop().run();
+  (void)done;
+
+  // 4. Collect and analyze.
+  outcome.scan = scanner.stats();
+  outcome.auth = internet.auth().stats();
+  outcome.clusters = scanner.clusters().stats();
+  outcome.cluster_loads = internet.auth().stats().cluster_loads;
+  outcome.events_executed = internet.loop().executed();
+  outcome.sim_duration_seconds = outcome.scan.duration().as_seconds();
+
+  outcome.views =
+      analysis::classify_all(scanner.responses(), internet.scheme());
+  if (config.analyze) {
+    outcome.analysis = analysis::analyze_scan(
+        outcome.views, internet.threats(), internet.geo(), internet.orgs());
+  }
+  return outcome;
+}
+
+}  // namespace orp::core

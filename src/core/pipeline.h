@@ -1,0 +1,48 @@
+// End-to-end measurement pipeline: population -> simulated Internet ->
+// ZMap-style scan -> capture -> behavioral analysis. One call reproduces one
+// of the paper's two measurement campaigns at a chosen scale.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/report.h"
+#include "core/internet_builder.h"
+#include "core/population.h"
+#include "prober/scanner.h"
+
+namespace orp::core {
+
+struct PipelineConfig {
+  /// 1/scale sample of the full campaign. 1 = the paper's full 3.7B-probe
+  /// scan (hours of CPU and tens of GB of RAM; scaled runs are the default).
+  std::uint64_t scale = 1024;
+  std::uint64_t seed = 42;
+  /// Skip the analysis pass (benches that only need raw scan stats).
+  bool analyze = true;
+  /// Uniform packet-loss probability injected into the simulated network
+  /// (0 = the calibrated default; loss is for robustness experiments).
+  double loss_rate = 0.0;
+};
+
+struct ScanOutcome {
+  int year = 0;
+  PopulationSpec spec;                // calibration artifacts
+  prober::ScanStats scan;             // prober-side counters (Q1, R2)
+  authns::AuthStats auth;             // authns-side counters (Q2, R1)
+  zone::ClusterStats clusters;        // Fig. 3 lifecycle
+  std::uint64_t cluster_loads = 0;    // zone loads at the auth server
+  std::vector<analysis::R2View> views;
+  analysis::ScanAnalysis analysis;
+  std::uint64_t events_executed = 0;
+  double sim_duration_seconds = 0;    // simulated wall-clock of the campaign
+
+  /// Scale a paper-published count down to this run's scale for printing
+  /// beside measured values.
+  std::uint64_t expect(std::uint64_t paper_count) const;
+  std::uint64_t scale_factor = 1;
+};
+
+/// Run one campaign. `year` is normally paper_2013() or paper_2018().
+ScanOutcome run_measurement(const PaperYear& year, const PipelineConfig& config);
+
+}  // namespace orp::core

@@ -1,0 +1,503 @@
+#include "core/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/reconcile.h"
+#include "net/reserved.h"
+#include "prober/permutation.h"
+#include "util/apportion.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace orp::core {
+namespace {
+
+using resolver::AnswerMode;
+using resolver::BehaviorProfile;
+
+/// Deterministic synthetic public IPv4 address (outside reserved space).
+net::IPv4Addr synth_public_addr(util::Rng& rng) {
+  while (true) {
+    const net::IPv4Addr addr(static_cast<std::uint32_t>(rng()));
+    if (!net::is_reserved(addr)) return addr;
+  }
+}
+
+/// A multiset of answer values with per-value counts, flattened and
+/// shuffled so materialization can pop one value per host.
+template <typename T>
+class ValuePool {
+ public:
+  void add(T value, std::uint64_t count) {
+    for (std::uint64_t i = 0; i < count; ++i) values_.push_back(value);
+  }
+  void shuffle(util::Rng& rng) { rng.shuffle(values_); }
+  bool empty() const noexcept { return values_.empty(); }
+  std::size_t size() const noexcept { return values_.size(); }
+  T pop() {
+    if (values_.empty()) return T{};
+    T v = std::move(values_.back());
+    values_.pop_back();
+    return v;
+  }
+
+ private:
+  std::vector<T> values_;
+};
+
+/// Split `total` across `uniques` values as evenly as integer math allows.
+std::vector<std::uint64_t> spread(std::uint64_t total, std::uint64_t uniques) {
+  if (uniques == 0) return {};
+  std::vector<std::uint64_t> out(uniques, total / uniques);
+  for (std::uint64_t i = 0; i < total % uniques; ++i) ++out[i];
+  return out;
+}
+
+std::uint64_t scale_to(std::uint64_t value, std::uint64_t scale) {
+  if (value == 0) return 0;
+  return std::max<std::uint64_t>(1, (value + scale / 2) / scale);
+}
+
+/// Software banner assignment for the version.bind side channel (Takano et
+/// al., cited in §VI). Weights are loosely modeled on that survey: BIND
+/// dominates honest recursives, dnsmasq dominates CPE forwarders, and
+/// deviant/malicious responders mostly hide or fake their banner.
+std::string sample_version(util::Rng& rng, AnswerMode mode, bool forwarder) {
+  static const char* kBind[] = {
+      "9.9.4-RedHat-9.9.4-61.el7", "9.10.3-P4-Ubuntu", "9.8.2rc1-RedHat",
+      "9.11.2", "named"};
+  if (forwarder) {
+    const double u = rng.uniform01();
+    if (u < 0.60) return "dnsmasq-2.76";
+    if (u < 0.75) return "dnsmasq-2.40";
+    if (u < 0.85) return "";  // hidden
+    return kBind[rng.bounded(std::size(kBind))];
+  }
+  switch (mode) {
+    case AnswerMode::kRecursive: {
+      const double u = rng.uniform01();
+      if (u < 0.45) return kBind[rng.bounded(std::size(kBind))];
+      if (u < 0.60) return "unbound 1.6.0";
+      if (u < 0.70) return "PowerDNS Recursor 4.1.1";
+      if (u < 0.78) return "Microsoft DNS 6.1.7601";
+      if (u < 0.88) return "dnsmasq-2.76";
+      return "";  // version hidden
+    }
+    case AnswerMode::kNone:
+      return rng.chance(0.25) ? kBind[rng.bounded(std::size(kBind))] : "";
+    default:
+      // Manipulators and garbage emitters: hidden, or an implausibly old
+      // banner to blend in.
+      return rng.chance(0.15) ? "9.4.2" : "";
+  }
+}
+
+}  // namespace
+
+PopulationSpec build_population(const PaperYear& year, std::uint64_t scale,
+                                std::uint64_t seed) {
+  if (scale == 0) scale = 1;
+  PopulationSpec spec;
+  spec.year = year.year;
+  spec.scale = scale;
+  util::Rng rng(util::mix64(seed ^ static_cast<std::uint64_t>(year.year)));
+
+  // ---- 1. Reconcile the published margins to Table III ---------------------
+  analysis::AnswerBreakdown answers = year.answers;
+  analysis::FlagTable ra = year.ra;
+  analysis::FlagTable aa = year.aa;
+  analysis::RcodeTable rcodes = year.rcodes;
+  spec.reconcile_moved = reconcile_flag_table(ra, answers);
+  spec.reconcile_moved += reconcile_flag_table(aa, answers);
+  spec.reconcile_moved += reconcile_rcode_table(rcodes, answers);
+
+  // ---- 2. Fit the behavioral joint -----------------------------------------
+  CalibrationTargets targets;
+  targets.answers = answers;
+  targets.ra = ra;
+  targets.aa = aa;
+  targets.rcodes = rcodes;
+  targets.mal_ra0 = year.mal_ra0;
+  targets.mal_ra1 = year.mal_ra1;
+  targets.mal_aa0 = year.mal_aa0;
+  targets.mal_aa1 = year.mal_aa1;
+  spec.joint = calibrate_joint(targets);
+
+  // ---- 3. Scale the joint ---------------------------------------------------
+  const std::uint64_t scaled_total = scale_to(answers.r2, scale);
+  std::vector<std::uint64_t> cell_counts;
+  cell_counts.reserve(spec.joint.cells.size());
+  for (const JointCell& c : spec.joint.cells) cell_counts.push_back(c.count);
+  const std::vector<std::uint64_t> scaled_cells =
+      util::apportion(cell_counts, scaled_total, /*keep_nonzero=*/true);
+
+  std::uint64_t scaled_correct = 0;
+  std::uint64_t scaled_benign = 0;
+  std::uint64_t scaled_malicious = 0;
+  for (std::size_t i = 0; i < spec.joint.cells.size(); ++i) {
+    switch (spec.joint.cells[i].cls) {
+      case AnsClass::kCorrect: scaled_correct += scaled_cells[i]; break;
+      case AnsClass::kIncorrectBenign: scaled_benign += scaled_cells[i]; break;
+      case AnsClass::kIncorrectMalicious:
+        scaled_malicious += scaled_cells[i];
+        break;
+      case AnsClass::kNone: break;
+    }
+  }
+
+  // ---- 4. Benign incorrect-answer form quotas (Table VII) ------------------
+  const std::uint64_t heads_malicious_r2 = [&] {
+    std::uint64_t n = 0;
+    for (const auto& e : year.top10)
+      if (e.reported == 'Y') n += e.count;
+    return n;
+  }();
+  const std::uint64_t mal_r2_full = std::min(year.malicious_r2,
+                                             year.incorrect.ip.r2);
+  const std::uint64_t benign_ip_full = year.incorrect.ip.r2 - mal_r2_full;
+  const std::vector<std::uint64_t> form_full{
+      benign_ip_full, year.incorrect.url.r2, year.incorrect.str.r2,
+      year.incorrect.na.r2};
+  const std::vector<std::uint64_t> form_scaled =
+      util::apportion(form_full, scaled_benign, /*keep_nonzero=*/true);
+
+  // ---- 5a. Benign IP answer pool (Table VIII heads + tail) -----------------
+  ValuePool<net::IPv4Addr> benign_ips;
+  {
+    std::vector<std::uint64_t> counts;
+    std::vector<net::IPv4Addr> addrs;
+    std::uint64_t head_total = 0;
+    std::size_t head_n = 0;
+    for (const auto& e : year.top10) {
+      if (e.reported == 'Y') continue;  // malicious heads live in 5b
+      const auto parsed = net::IPv4Addr::parse(e.addr);
+      addrs.push_back(parsed.value_or(synth_public_addr(rng)));
+      counts.push_back(e.count);
+      head_total += e.count;
+      ++head_n;
+      if (!net::is_private_address(addrs.back()) && e.addr != "0.0.0.0")
+        spec.org_entries.push_back(OrgEntry{addrs.back(), e.org});
+    }
+    const std::uint64_t tail_total =
+        benign_ip_full > head_total ? benign_ip_full - head_total : 0;
+    const std::uint64_t tail_unique_full =
+        year.incorrect.ip.unique > year.malicious_ips + head_n
+            ? year.incorrect.ip.unique - year.malicious_ips - head_n
+            : 1;
+    counts.push_back(tail_total);  // tail bucket
+
+    std::vector<std::uint64_t> scaled =
+        util::apportion(counts, form_scaled[0], /*keep_nonzero=*/true);
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+      benign_ips.add(addrs[i], scaled[i]);
+
+    const std::uint64_t tail_scaled = scaled.back();
+    if (tail_scaled > 0) {
+      std::uint64_t tail_uniques = std::max<std::uint64_t>(
+          1, tail_unique_full * tail_scaled / std::max<std::uint64_t>(
+                                                  1, tail_total));
+      tail_uniques = std::min(tail_uniques, tail_scaled);
+      for (const std::uint64_t n : spread(tail_scaled, tail_uniques))
+        benign_ips.add(synth_public_addr(rng), n);
+    }
+    benign_ips.shuffle(rng);
+  }
+
+  // ---- 5b. Malicious answer pool (Table VIII heads + Table IX tails) -------
+  ValuePool<net::IPv4Addr> malicious_ips;
+  {
+    struct Bucket {
+      net::IPv4Addr addr;          // head address, or unset for a tail
+      intel::ThreatCategory cat;
+      std::uint64_t r2_full;
+      std::uint64_t uniques_full;  // 1 for heads
+    };
+    std::vector<Bucket> buckets;
+    std::vector<std::uint64_t> head_r2_by_cat(intel::kThreatCategoryCount, 0);
+    std::vector<std::uint64_t> head_ip_by_cat(intel::kThreatCategoryCount, 0);
+    for (const auto& e : year.top10) {
+      if (e.reported != 'Y') continue;
+      const auto parsed = net::IPv4Addr::parse(e.addr);
+      const net::IPv4Addr addr = parsed.value_or(synth_public_addr(rng));
+      buckets.push_back(Bucket{addr, e.category, e.count, 1});
+      head_r2_by_cat[static_cast<std::size_t>(e.category)] += e.count;
+      head_ip_by_cat[static_cast<std::size_t>(e.category)] += 1;
+      spec.org_entries.push_back(OrgEntry{addr, e.org});
+      spec.threat_entries.push_back(ThreatEntry{
+          addr, e.category, static_cast<std::uint32_t>(4 + rng.bounded(12)),
+          "orp-intel"});
+    }
+    (void)heads_malicious_r2;
+    for (const auto& cat : year.categories) {
+      const auto ci = static_cast<std::size_t>(cat.category);
+      const std::uint64_t tail_r2 =
+          cat.r2 > head_r2_by_cat[ci] ? cat.r2 - head_r2_by_cat[ci] : 0;
+      const std::uint64_t tail_ips =
+          cat.unique_ips > head_ip_by_cat[ci]
+              ? cat.unique_ips - head_ip_by_cat[ci]
+              : 0;
+      if (tail_r2 == 0 && tail_ips == 0) continue;
+      buckets.push_back(Bucket{net::IPv4Addr(), cat.category,
+                               std::max<std::uint64_t>(tail_r2, tail_ips),
+                               std::max<std::uint64_t>(1, tail_ips)});
+    }
+
+    std::vector<std::uint64_t> full_counts;
+    full_counts.reserve(buckets.size());
+    for (const auto& b : buckets) full_counts.push_back(b.r2_full);
+    const std::vector<std::uint64_t> scaled =
+        util::apportion(full_counts, scaled_malicious, /*keep_nonzero=*/true);
+
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      const Bucket& b = buckets[i];
+      if (scaled[i] == 0) continue;
+      if (b.uniques_full == 1 && b.addr.value() != 0) {
+        malicious_ips.add(b.addr, scaled[i]);
+        continue;
+      }
+      // Category tail: synthesize addresses, register threat reports.
+      std::uint64_t uniques = std::max<std::uint64_t>(
+          1, b.uniques_full * scaled[i] / std::max<std::uint64_t>(1, b.r2_full));
+      uniques = std::min(uniques, scaled[i]);
+      for (const std::uint64_t n : spread(scaled[i], uniques)) {
+        const net::IPv4Addr addr = synth_public_addr(rng);
+        malicious_ips.add(addr, n);
+        spec.threat_entries.push_back(ThreatEntry{
+            addr, b.cat, static_cast<std::uint32_t>(1 + rng.bounded(6)),
+            "orp-intel"});
+      }
+    }
+    malicious_ips.shuffle(rng);
+  }
+
+  // ---- 5c. Country pool for malicious resolvers (§IV-C2) -------------------
+  ValuePool<std::string> countries;
+  {
+    std::vector<std::uint64_t> counts;
+    for (const auto& c : year.countries) counts.push_back(c.r2);
+    // Proportional (not keep_nonzero): at small scales the one-resolver
+    // countries drop out of the sample, exactly as a 1/N subsample would.
+    const std::vector<std::uint64_t> scaled =
+        util::apportion(counts, scaled_malicious, /*keep_nonzero=*/false);
+    for (std::size_t i = 0; i < scaled.size(); ++i)
+      countries.add(year.countries[i].country, scaled[i]);
+    countries.shuffle(rng);
+  }
+
+  // ---- 5d. URL and garbage-string pools (Table VII) ------------------------
+  ValuePool<std::string> urls;
+  {
+    const std::uint64_t total = form_scaled[1];
+    if (total > 0) {
+      std::uint64_t uniques = std::max<std::uint64_t>(
+          1, year.incorrect.url.unique * total /
+                 std::max<std::uint64_t>(1, year.incorrect.url.r2));
+      uniques = std::min(uniques, total);
+      const auto per = spread(total, uniques);
+      for (std::size_t i = 0; i < per.size(); ++i) {
+        const std::string url =
+            i == 0 ? "u.dcoin.co"
+                   : "lp" + std::to_string(i) + ".ad-redirect.net";
+        urls.add(url, per[i]);
+      }
+      urls.shuffle(rng);
+    }
+  }
+  ValuePool<std::string> strings;
+  {
+    const std::uint64_t total = form_scaled[2];
+    if (total > 0) {
+      static const char* kExamples[] = {"wild", "OK", "ff", "04b400000000"};
+      std::uint64_t uniques = std::max<std::uint64_t>(
+          1, year.incorrect.str.unique * total /
+                 std::max<std::uint64_t>(1, year.incorrect.str.r2));
+      uniques = std::min(uniques, total);
+      const auto per = spread(total, uniques);
+      for (std::size_t i = 0; i < per.size(); ++i) {
+        const std::string s = i < std::size(kExamples)
+                                  ? kExamples[i]
+                                  : "garbage" + std::to_string(i);
+        strings.add(s, per[i]);
+      }
+      strings.shuffle(rng);
+    }
+  }
+
+  // Benign form labels: 0 = ip, 1 = url, 2 = string, 3 = undecodable.
+  ValuePool<int> benign_forms;
+  for (int f = 0; f < 4; ++f) benign_forms.add(f, form_scaled[f]);
+  benign_forms.shuffle(rng);
+
+  // ---- 6. Recursion fan (Table II Q2:R2 calibration) ------------------------
+  spec.q2_fan_mean = answers.correct > 0
+                         ? static_cast<double>(year.q2_r1) /
+                               static_cast<double>(answers.correct)
+                         : 1.0;
+  const int fan_lo = std::max(1, static_cast<int>(spec.q2_fan_mean));
+  const int fan_hi = fan_lo + 1;
+  const double hi_fraction = spec.q2_fan_mean - fan_lo;
+  std::uint64_t hi_remaining = static_cast<std::uint64_t>(
+      std::llround(hi_fraction * static_cast<double>(scaled_correct)));
+
+  // ---- 7. Materialize the question-bearing hosts ---------------------------
+  constexpr double kForwarderFraction = 0.15;
+  spec.hosts.reserve(scaled_total + 8);
+  for (std::size_t i = 0; i < spec.joint.cells.size(); ++i) {
+    const JointCell& cell = spec.joint.cells[i];
+    for (std::uint64_t k = 0; k < scaled_cells[i]; ++k) {
+      HostSpec host;
+      BehaviorProfile& p = host.profile;
+      p.respond = true;
+      p.ra = cell.ra;
+      p.aa = cell.aa;
+      p.rcode = cell.rcode;
+      switch (cell.cls) {
+        case AnsClass::kNone:
+          p.answer = AnswerMode::kNone;
+          break;
+        case AnsClass::kCorrect:
+          p.answer = AnswerMode::kRecursive;
+          if (hi_remaining > 0) {
+            p.backend_fan = fan_hi;
+            --hi_remaining;
+          } else {
+            p.backend_fan = fan_lo;
+          }
+          // Validator share per the paper-era censuses (§VI [43,44]):
+          // roughly one in eight recursives sets DO upstream.
+          p.dnssec_ok = rng.chance(0.12);
+          if (rng.chance(kForwarderFraction)) {
+            p.forwarder = true;  // upstream assigned by the internet builder
+          } else {
+            host.upstream_candidate = true;
+          }
+          break;
+        case AnsClass::kIncorrectMalicious:
+          p.answer = AnswerMode::kFixedIp;
+          p.fixed_answer = malicious_ips.pop();
+          host.country = countries.pop();
+          break;
+        case AnsClass::kIncorrectBenign:
+          switch (benign_forms.pop()) {
+            case 0:
+              p.answer = AnswerMode::kFixedIp;
+              p.fixed_answer = benign_ips.pop();
+              break;
+            case 1:
+              p.answer = AnswerMode::kUrl;
+              p.text_answer = urls.pop();
+              break;
+            case 2:
+              p.answer = AnswerMode::kGarbageString;
+              p.text_answer = strings.pop();
+              break;
+            default:
+              p.answer = AnswerMode::kUndecodable;
+              break;
+          }
+          break;
+      }
+      p.version = sample_version(rng, p.answer, p.forwarder);
+      spec.hosts.push_back(std::move(host));
+    }
+  }
+
+  // ---- 8. Empty-question responders (§IV-B4) --------------------------------
+  if (year.empty_question > 0) {
+    const std::uint64_t eq_scaled = scale_to(year.empty_question, scale);
+    // Sub-type quotas at full scale: answers first, then the no-answer bulk.
+    const std::uint64_t eq_no_answer_full =
+        year.empty_question - year.empty_q.with_answer;
+    const std::vector<std::uint64_t> eq_full{
+        year.empty_q.private_answers - year.empty_q.answers_10slash8,  // 192.168
+        year.empty_q.answers_10slash8,                                 // 10/8
+        year.empty_q.malformed_answers,
+        year.empty_q.unknown_org,
+        eq_no_answer_full};
+    const std::vector<std::uint64_t> eq_scaled_counts =
+        util::apportion(eq_full, eq_scaled, /*keep_nonzero=*/false);
+
+    // rcode mix for the no-answer bulk (NoError share excludes the answers).
+    std::vector<double> rcode_cum;
+    std::vector<dns::Rcode> rcode_vals;
+    {
+      double acc = 0;
+      for (std::size_t rc = 0; rc < year.empty_q.rcode.size(); ++rc) {
+        std::uint64_t n = year.empty_q.rcode[rc];
+        if (rc == 0) n = n > year.empty_q.with_answer
+                             ? n - year.empty_q.with_answer
+                             : 0;
+        if (n == 0) continue;
+        acc += static_cast<double>(n);
+        rcode_cum.push_back(acc);
+        rcode_vals.push_back(static_cast<dns::Rcode>(rc));
+      }
+    }
+    const double ra1_no_answer_rate =
+        eq_no_answer_full > 0
+            ? static_cast<double>(year.empty_q.ra1 - year.empty_q.with_answer) /
+                  static_cast<double>(eq_no_answer_full)
+            : 0.0;
+
+    auto make_eq = [&](AnswerMode mode, net::IPv4Addr addr, std::string text,
+                       bool ra_bit, dns::Rcode rc) {
+      HostSpec host;
+      BehaviorProfile& p = host.profile;
+      p.respond = true;
+      p.omit_question = true;
+      p.answer = mode;
+      p.fixed_answer = addr;
+      p.text_answer = std::move(text);
+      p.ra = ra_bit;
+      p.aa = false;
+      p.rcode = rc;
+      spec.hosts.push_back(std::move(host));
+    };
+
+    for (std::uint64_t k = 0; k < eq_scaled_counts[0]; ++k)
+      make_eq(AnswerMode::kFixedIp,
+              net::IPv4Addr(192, 168, static_cast<std::uint8_t>(rng.bounded(4)),
+                            static_cast<std::uint8_t>(1 + rng.bounded(250))),
+              "", true, dns::Rcode::kNoError);
+    for (std::uint64_t k = 0; k < eq_scaled_counts[1]; ++k)
+      make_eq(AnswerMode::kFixedIp, net::IPv4Addr(10, 0, 0, 3), "", true,
+              dns::Rcode::kNoError);
+    for (std::uint64_t k = 0; k < eq_scaled_counts[2]; ++k)
+      make_eq(AnswerMode::kGarbageString, net::IPv4Addr(), "0000", true,
+              dns::Rcode::kNoError);
+    for (std::uint64_t k = 0; k < eq_scaled_counts[3]; ++k)
+      make_eq(AnswerMode::kFixedIp, synth_public_addr(rng), "", true,
+              dns::Rcode::kNoError);
+    for (std::uint64_t k = 0; k < eq_scaled_counts[4]; ++k) {
+      const dns::Rcode rc =
+          rcode_cum.empty()
+              ? dns::Rcode::kServFail
+              : rcode_vals[util::sample_cumulative(rng, rcode_cum)];
+      make_eq(AnswerMode::kNone, net::IPv4Addr(), "",
+              rng.chance(ra1_no_answer_rate), rc);
+    }
+    // The paper saw exactly two AA=1 responses among the 494; mark one host
+    // when the scaled sub-population is large enough to carry it.
+    if (eq_scaled >= 256 && !spec.hosts.empty())
+      spec.hosts.back().profile.aa = true;
+  }
+
+  // ---- 9. Shuffle so behaviors land at uncorrelated addresses ---------------
+  rng.shuffle(spec.hosts);
+
+  // ---- 10. Scan parameters --------------------------------------------------
+  const double coverage = static_cast<double>(year.q1) /
+                          static_cast<double>(net::probeable_address_count());
+  const double full_raw =
+      static_cast<double>(prober::kPermutationPrime - 1) * coverage;
+  spec.raw_steps = static_cast<std::uint64_t>(full_raw / static_cast<double>(scale));
+  spec.rate_pps = year.probe_rate_pps / static_cast<double>(scale);
+  spec.cluster_size = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(64, 5'000'000 / scale));
+  spec.zone_load_seconds =
+      60.0 * static_cast<double>(spec.cluster_size) / 5'000'000.0;
+  return spec;
+}
+
+}  // namespace orp::core

@@ -1,0 +1,75 @@
+// Synthesis of the resolver population from the paper's published margins.
+//
+// build_population() is the bridge between the paper's tables and a runnable
+// simulated Internet:
+//   1. reconcile the margins (reconcile.h),
+//   2. fit the behavioral joint by IPF (ipf.h),
+//   3. scale everything to the requested 1/scale sample
+//      (largest-remainder, keeping rare behaviors represented),
+//   4. materialize one BehaviorProfile per future R2 — flags and rcode from
+//      the joint cell, answer content drawn from pools that reproduce
+//      Tables VII-IX (top-10 head, malicious categories, URL/garbage tails),
+//      country tags that reproduce the §IV-C2 geography, recursion fan
+//      calibrated to Table II's Q2:R2 ratio, and the §IV-B4 empty-question
+//      sub-population,
+//   5. emit the threat-intel/org entries the analysis layer will consult.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ipf.h"
+#include "core/paper_data.h"
+#include "resolver/behavior.h"
+
+namespace orp::core {
+
+struct HostSpec {
+  resolver::BehaviorProfile profile;
+  /// ISO country tag for the geo database; empty = unconstrained.
+  std::string country;
+  /// Set on honest recursive hosts eligible to serve as forwarder upstreams.
+  bool upstream_candidate = false;
+};
+
+struct ThreatEntry {
+  net::IPv4Addr addr;
+  intel::ThreatCategory category;
+  std::uint32_t reports = 1;
+  std::string source;
+};
+
+struct OrgEntry {
+  net::IPv4Addr addr;  // registered as a /32
+  std::string org;
+};
+
+struct PopulationSpec {
+  int year = 0;
+  std::uint64_t scale = 1;
+
+  /// One entry per future R2 (probed host that responds).
+  std::vector<HostSpec> hosts;
+
+  std::vector<ThreatEntry> threat_entries;
+  std::vector<OrgEntry> org_entries;
+
+  /// Scan parameters derived from Table II at this scale.
+  double rate_pps = 0;
+  std::uint64_t raw_steps = 0;       // permutation elements to consume
+  std::uint32_t cluster_size = 0;    // probe subdomains per zone file
+  double zone_load_seconds = 0;
+
+  /// Calibration diagnostics.
+  IpfResult joint;
+  std::uint64_t reconcile_moved = 0;
+  double q2_fan_mean = 0;
+};
+
+/// `scale` >= 1: build a 1/scale population. `seed` drives every random
+/// choice (content assignment, shuffles) deterministically.
+PopulationSpec build_population(const PaperYear& year, std::uint64_t scale,
+                                std::uint64_t seed);
+
+}  // namespace orp::core

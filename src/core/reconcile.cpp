@@ -1,0 +1,65 @@
+#include "core/reconcile.h"
+
+#include <cstdlib>
+
+#include "util/apportion.h"
+
+namespace orp::core {
+namespace {
+
+/// Apportion a 2-cell column to a target total; returns the L1 adjustment
+/// (total packets added or removed across the cells).
+std::uint64_t fit_column(std::uint64_t& a, std::uint64_t& b,
+                         std::uint64_t target) {
+  const std::vector<std::uint64_t> fitted =
+      util::apportion({a, b}, target, /*keep_nonzero=*/true);
+  std::uint64_t moved = 0;
+  moved += static_cast<std::uint64_t>(
+      std::llabs(static_cast<long long>(fitted[0]) - static_cast<long long>(a)));
+  moved += static_cast<std::uint64_t>(
+      std::llabs(static_cast<long long>(fitted[1]) - static_cast<long long>(b)));
+  a = fitted[0];
+  b = fitted[1];
+  return moved;
+}
+
+}  // namespace
+
+std::uint64_t reconcile_flag_table(analysis::FlagTable& table,
+                                   const analysis::AnswerBreakdown& target) {
+  std::uint64_t moved = 0;
+  moved += fit_column(table.bit0.without_answer, table.bit1.without_answer,
+                      target.without_answer);
+  moved += fit_column(table.bit0.correct, table.bit1.correct, target.correct);
+  moved +=
+      fit_column(table.bit0.incorrect, table.bit1.incorrect, target.incorrect);
+  return moved;
+}
+
+std::uint64_t reconcile_rcode_table(analysis::RcodeTable& table,
+                                    const analysis::AnswerBreakdown& target) {
+  std::vector<std::uint64_t> with(table.rows.size());
+  std::vector<std::uint64_t> without(table.rows.size());
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    with[i] = table.rows[i].with_answer;
+    without[i] = table.rows[i].without_answer;
+  }
+  const auto with_fitted =
+      util::apportion(with, target.with_answer(), /*keep_nonzero=*/true);
+  const auto without_fitted =
+      util::apportion(without, target.without_answer, /*keep_nonzero=*/true);
+  std::uint64_t moved = 0;
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    moved += static_cast<std::uint64_t>(
+        std::llabs(static_cast<long long>(with_fitted[i]) -
+                   static_cast<long long>(with[i])));
+    moved += static_cast<std::uint64_t>(
+        std::llabs(static_cast<long long>(without_fitted[i]) -
+                   static_cast<long long>(without[i])));
+    table.rows[i].with_answer = with_fitted[i];
+    table.rows[i].without_answer = without_fitted[i];
+  }
+  return moved;
+}
+
+}  // namespace orp::core

@@ -1,0 +1,42 @@
+// Marginal reconciliation.
+//
+// The paper's tables disagree with each other at the margin level:
+//   * Table V (2018) sums to 2,752,572 correct answers where Table III says
+//     2,752,562, and to 3,642,099 no-answer responses where Table III says
+//     3,642,109 (both off by 10);
+//   * Table VI's 2013 W row sums to 11,794,580 (+1,698 vs Table III) and its
+//     W/O rows are short by 12 (2013) and 14 (2018);
+//   * the §IV-B4 sub-counts sum to 487 (RA) and 493 (rcode) out of 494.
+// A joint distribution can only be fitted to *consistent* margins, so before
+// calibration each table's columns are rescaled (largest-remainder) to the
+// authoritative Table III totals. The report records how many packets moved,
+// so the adjustment is visible rather than silent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/answer_analysis.h"
+#include "analysis/header_analysis.h"
+
+namespace orp::core {
+
+struct ReconcileReport {
+  std::uint64_t flag_packets_moved = 0;
+  std::uint64_t rcode_packets_moved = 0;
+
+  std::uint64_t total_moved() const noexcept {
+    return flag_packets_moved + rcode_packets_moved;
+  }
+};
+
+/// Rescale a flag table's three columns (W/O, W_Corr, W_Incorr) so each sums
+/// to the corresponding Table III total. Returns packets moved (L1/2).
+std::uint64_t reconcile_flag_table(analysis::FlagTable& table,
+                                   const analysis::AnswerBreakdown& target);
+
+/// Rescale the rcode table's W and W/O columns to Table III's totals.
+std::uint64_t reconcile_rcode_table(analysis::RcodeTable& table,
+                                    const analysis::AnswerBreakdown& target);
+
+}  // namespace orp::core

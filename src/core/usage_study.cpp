@@ -1,0 +1,198 @@
+#include "core/usage_study.h"
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "authns/auth_server.h"
+#include "authns/static_auth.h"
+#include "dns/builder.h"
+#include "net/reserved.h"
+#include "resolver/root_tld.h"
+#include "resolver/scripted_resolver.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace orp::core {
+namespace {
+
+net::IPv4Addr fresh_public_addr(util::Rng& rng,
+                                std::unordered_set<std::uint32_t>& used) {
+  while (true) {
+    const net::IPv4Addr addr(static_cast<std::uint32_t>(rng()));
+    if (net::is_reserved(addr)) continue;
+    if (used.insert(addr.value()).second) return addr;
+  }
+}
+
+dns::SoaRdata site_soa(const dns::DnsName& origin) {
+  dns::SoaRdata soa;
+  soa.mname = origin.child("ns1");
+  soa.rname = origin.child("hostmaster");
+  return soa;
+}
+
+}  // namespace
+
+UsageStudyResult run_usage_study(const UsageStudyConfig& config) {
+  UsageStudyResult result;
+  util::Rng rng(util::mix64(config.seed ^ 0xd17153a1eULL));
+  std::unordered_set<std::uint32_t> used_addrs;
+
+  net::EventLoop loop;
+  net::Network network(loop, config.seed);
+  network.set_latency({net::SimTime::millis(10), net::SimTime::millis(15)});
+
+  // ---- The "rest of the Internet": popular .net sites ------------------------
+  // Reuse the measurement hierarchy builder for roots + the .net TLD, then
+  // hang the site catalog off the same TLD server.
+  const dns::DnsName measurement_sld =
+      dns::DnsName::must_parse("ucfsealresearch.net");
+  const net::IPv4Addr measurement_auth(45, 76, 18, 21);
+  used_addrs.insert(measurement_auth.value());
+  resolver::SimHierarchy hierarchy = resolver::build_hierarchy(
+      network, measurement_sld, measurement_sld.child("ns1"),
+      measurement_auth, 3);
+
+  struct Site {
+    dns::DnsName name;
+    net::IPv4Addr true_addr;
+    std::unique_ptr<authns::StaticAuthServer> ns;
+  };
+  std::vector<Site> sites;
+  sites.reserve(static_cast<std::size_t>(config.popular_domains));
+  for (int k = 0; k < config.popular_domains; ++k) {
+    Site site;
+    site.name = dns::DnsName::must_parse("site" + std::to_string(k) + ".net");
+    site.true_addr = fresh_public_addr(rng, used_addrs);
+    const net::IPv4Addr ns_addr = fresh_public_addr(rng, used_addrs);
+    zone::Zone zone(site.name, site_soa(site.name));
+    zone.add(dns::ResourceRecord{site.name.child("www"), dns::RRType::kA,
+                                 dns::RRClass::kIN, 300,
+                                 dns::ARdata{site.true_addr}});
+    zone.add(dns::ResourceRecord{site.name, dns::RRType::kA, dns::RRClass::kIN,
+                                 300, dns::ARdata{site.true_addr}});
+    site.ns = std::make_unique<authns::StaticAuthServer>(network, ns_addr,
+                                                         std::move(zone));
+    hierarchy.net_tld->delegate(resolver::DelegationEntry{
+        site.name, site.name.child("ns1"), ns_addr});
+    sites.push_back(std::move(site));
+  }
+
+  // ---- The resolver pool ------------------------------------------------------
+  resolver::EngineConfig engine_config;
+  engine_config.hints = hierarchy.hints;
+
+  intel::ThreatDb threats;
+  const int n_malicious = std::max(
+      config.malicious_fraction > 0 ? 1 : 0,
+      static_cast<int>(config.malicious_fraction * config.open_resolvers));
+  std::vector<std::unique_ptr<resolver::ResolverHost>> resolvers;
+  std::vector<bool> is_malicious(
+      static_cast<std::size_t>(config.open_resolvers), false);
+  for (int i = 0; i < config.open_resolvers; ++i) {
+    resolver::BehaviorProfile profile;
+    if (i < n_malicious) {
+      // Manipulator: every query lands on its scripted address. Categories
+      // follow the Table IX mix (malware-heavy, then phishing).
+      profile.answer = resolver::AnswerMode::kFixedIp;
+      profile.fixed_answer = fresh_public_addr(rng, used_addrs);
+      const auto category =
+          rng.uniform01() < 0.52
+              ? intel::ThreatCategory::kMalware
+              : (rng.uniform01() < 0.75 ? intel::ThreatCategory::kPhishing
+                                        : intel::ThreatCategory::kBotnet);
+      threats.add_report(profile.fixed_answer, category, "orp-intel",
+                         static_cast<std::uint32_t>(1 + rng.bounded(9)));
+      is_malicious[static_cast<std::size_t>(i)] = true;
+    } else {
+      profile.answer = resolver::AnswerMode::kRecursive;
+    }
+    resolvers.push_back(std::make_unique<resolver::ResolverHost>(
+        network, fresh_public_addr(rng, used_addrs), profile, engine_config,
+        rng.fork(static_cast<std::uint64_t>(i))()));
+  }
+  result.resolvers_total = resolvers.size();
+  result.resolvers_malicious = static_cast<std::uint64_t>(n_malicious);
+
+  // Market share: clients pick resolvers Zipf-ranked, with the ranking
+  // decoupled from maliciousness (a hostile resolver can be popular).
+  std::vector<std::size_t> rank(resolvers.size());
+  for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = i;
+  rng.shuffle(rank);
+  const util::ZipfSampler resolver_pick(resolvers.size(),
+                                        config.resolver_zipf_s);
+  const util::ZipfSampler domain_pick(sites.size(), config.domain_zipf_s);
+
+  // ---- Clients ------------------------------------------------------------------
+  result.clients_total = static_cast<std::uint64_t>(config.clients);
+  const net::IPv4Addr client_base(172, 100, 0, 0);  // synthetic client block
+  (void)client_base;
+  std::uint16_t next_client_port = 30000;
+  for (int c = 0; c < config.clients; ++c) {
+    const std::size_t resolver_idx = rank[resolver_pick(rng)];
+    if (is_malicious[resolver_idx]) ++result.clients_on_malicious;
+    const net::IPv4Addr resolver_addr = resolvers[resolver_idx]->address();
+    const net::IPv4Addr client_addr = fresh_public_addr(rng, used_addrs);
+
+    for (int q = 0; q < config.queries_per_client; ++q) {
+      const std::size_t site_idx = domain_pick(rng);
+      const dns::DnsName qname = sites[site_idx].name.child("www");
+      const net::IPv4Addr expected = sites[site_idx].true_addr;
+      const net::Endpoint ep{client_addr, next_client_port++};
+      if (next_client_port >= 60000) next_client_port = 30000;
+      ++result.queries_total;
+
+      network.bind(ep, [&result, &threats, expected, ep,
+                        &network](const net::Datagram& d) {
+        network.unbind(ep);
+        const auto decoded = dns::decode(d.payload);
+        if (!decoded || !decoded->first_a_answer()) return;
+        ++result.queries_answered;
+        const net::IPv4Addr got = *decoded->first_a_answer();
+        if (got == expected) return;
+        ++result.queries_misdirected;
+        if (const auto cat = threats.dominant_category(got))
+          ++result.misdirected_by_category[static_cast<std::size_t>(*cat)];
+      });
+      network.send(net::Datagram{
+          ep, net::Endpoint{resolver_addr, net::kDnsPort},
+          dns::encode(dns::make_query(static_cast<std::uint16_t>(q + 1),
+                                      qname))});
+    }
+  }
+
+  loop.run();
+  return result;
+}
+
+std::string render_usage_study(const UsageStudyResult& r) {
+  util::TextTable t({"metric", "value"});
+  t.set_align(0, util::Align::kLeft);
+  t.add_row({"resolver pool", util::with_commas(r.resolvers_total)});
+  t.add_row({"  malicious resolvers",
+             util::with_commas(r.resolvers_malicious) + " (" +
+                 util::fixed(100.0 * static_cast<double>(r.resolvers_malicious) /
+                                 static_cast<double>(r.resolvers_total),
+                             2) +
+                 "%)"});
+  t.add_row({"clients", util::with_commas(r.clients_total)});
+  t.add_row({"  configured onto a malicious resolver",
+             util::with_commas(r.clients_on_malicious) + " (" +
+                 util::fixed(r.client_exposure_rate(), 2) + "%)"});
+  t.add_row({"queries issued", util::with_commas(r.queries_total)});
+  t.add_row({"queries answered", util::with_commas(r.queries_answered)});
+  t.add_row({"queries misdirected",
+             util::with_commas(r.queries_misdirected) + " (" +
+                 util::fixed(r.misdirection_rate(), 2) + "%)"});
+  for (std::size_t i = 0; i < r.misdirected_by_category.size(); ++i) {
+    if (r.misdirected_by_category[i] == 0) continue;
+    t.add_row({"  -> " + std::string(intel::to_string(
+                             static_cast<intel::ThreatCategory>(i))),
+               util::with_commas(r.misdirected_by_category[i])});
+  }
+  return t.render();
+}
+
+}  // namespace orp::core

@@ -1,0 +1,61 @@
+#include "dns/builder.h"
+
+namespace orp::dns {
+
+Message make_query(std::uint16_t id, const DnsName& qname, RRType qtype) {
+  Message msg;
+  msg.header.id = id;
+  msg.header.flags.qr = false;
+  msg.header.flags.rd = true;
+  msg.questions.push_back(Question{qname, qtype, RRClass::kIN});
+  return msg;
+}
+
+Message make_response(const Message& query) {
+  Message msg;
+  msg.header.id = query.header.id;
+  msg.header.flags.qr = true;
+  msg.header.flags.opcode = query.header.flags.opcode;
+  msg.header.flags.rd = query.header.flags.rd;
+  msg.questions = query.questions;
+  return msg;
+}
+
+Message make_a_response(const Message& query, net::IPv4Addr addr,
+                        std::uint32_t ttl, bool ra, bool aa) {
+  Message msg = make_response(query);
+  msg.header.flags.ra = ra;
+  msg.header.flags.aa = aa;
+  msg.header.flags.rcode = Rcode::kNoError;
+  if (!query.questions.empty()) {
+    msg.answers.push_back(ResourceRecord{query.questions.front().qname,
+                                         RRType::kA, RRClass::kIN, ttl,
+                                         ARdata{addr}});
+  }
+  return msg;
+}
+
+Message make_error_response(const Message& query, Rcode rcode, bool ra) {
+  Message msg = make_response(query);
+  msg.header.flags.ra = ra;
+  msg.header.flags.rcode = rcode;
+  return msg;
+}
+
+Message make_referral(
+    const Message& query, const DnsName& zone,
+    const std::vector<std::pair<DnsName, net::IPv4Addr>>& nameservers,
+    std::uint32_t ttl) {
+  Message msg = make_response(query);
+  msg.header.flags.aa = false;
+  msg.header.flags.ra = false;
+  for (const auto& [ns_name, ns_addr] : nameservers) {
+    msg.authority.push_back(ResourceRecord{zone, RRType::kNS, RRClass::kIN,
+                                           ttl, NameRdata{ns_name}});
+    msg.additional.push_back(ResourceRecord{ns_name, RRType::kA, RRClass::kIN,
+                                            ttl, ARdata{ns_addr}});
+  }
+  return msg;
+}
+
+}  // namespace orp::dns

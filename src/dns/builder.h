@@ -1,0 +1,31 @@
+// Convenience constructors for common message shapes.
+#pragma once
+
+#include <cstdint>
+
+#include "dns/message.h"
+
+namespace orp::dns {
+
+/// A recursive query, as the prober sends: RD=1, one question.
+Message make_query(std::uint16_t id, const DnsName& qname,
+                   RRType qtype = RRType::kA);
+
+/// Start a response from a query: copies id, question, RD; sets QR=1.
+Message make_response(const Message& query);
+
+/// Response carrying one A answer for the query's qname.
+Message make_a_response(const Message& query, net::IPv4Addr addr,
+                        std::uint32_t ttl = 300, bool ra = true,
+                        bool aa = false);
+
+/// Response with an error rcode and no answer section.
+Message make_error_response(const Message& query, Rcode rcode, bool ra = true);
+
+/// A referral response: NS records in authority, glue A records additional.
+Message make_referral(const Message& query, const DnsName& zone,
+                      const std::vector<std::pair<DnsName, net::IPv4Addr>>&
+                          nameservers,
+                      std::uint32_t ttl = 172800);
+
+}  // namespace orp::dns

@@ -1,0 +1,496 @@
+#include "dns/codec.h"
+
+#include <cstring>
+#include <map>
+#include <string>
+
+namespace orp::dns {
+namespace {
+
+// ---- Writer ---------------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(bool compress) : compress_(compress) {}
+
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void raw(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    bytes_[offset] = static_cast<std::uint8_t>(v >> 8);
+    bytes_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+
+  /// Write a (possibly compressed) domain name.
+  void name(const DnsName& n) {
+    const auto& labels = n.labels();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      // Key: the remaining suffix starting at label i, lower-cased.
+      std::string key;
+      for (std::size_t j = i; j < labels.size(); ++j) {
+        for (char c : labels[j])
+          key.push_back(
+              (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c);
+        key.push_back('.');
+      }
+      if (compress_) {
+        if (const auto it = offsets_.find(key); it != offsets_.end()) {
+          u16(static_cast<std::uint16_t>(0xC000 | it->second));
+          return;
+        }
+        // Compression pointers can only address offsets < 2^14.
+        if (bytes_.size() < (1u << 14)) offsets_.emplace(key, bytes_.size());
+      }
+      u8(static_cast<std::uint8_t>(labels[i].size()));
+      raw({reinterpret_cast<const std::uint8_t*>(labels[i].data()),
+           labels[i].size()});
+    }
+    u8(0);  // root
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  bool compress_;
+  std::vector<std::uint8_t> bytes_;
+  std::map<std::string, std::size_t> offsets_;
+};
+
+void write_rdata(Writer& w, const ResourceRecord& rr) {
+  const std::size_t len_at = w.size();
+  w.u16(0);  // rdlength, patched below
+  const std::size_t start = w.size();
+  std::visit(
+      [&](const auto& data) {
+        using T = std::decay_t<decltype(data)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          w.u32(data.addr.value());
+        } else if constexpr (std::is_same_v<T, NameRdata>) {
+          w.name(data.name);
+        } else if constexpr (std::is_same_v<T, SoaRdata>) {
+          w.name(data.mname);
+          w.name(data.rname);
+          w.u32(data.serial);
+          w.u32(data.refresh);
+          w.u32(data.retry);
+          w.u32(data.expire);
+          w.u32(data.minimum);
+        } else if constexpr (std::is_same_v<T, MxRdata>) {
+          w.u16(data.preference);
+          w.name(data.exchange);
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          for (const auto& s : data.strings) {
+            const std::size_t n = std::min<std::size_t>(s.size(), 255);
+            w.u8(static_cast<std::uint8_t>(n));
+            w.raw({reinterpret_cast<const std::uint8_t*>(s.data()), n});
+          }
+        } else if constexpr (std::is_same_v<T, AAAARdata>) {
+          w.raw(data.addr);
+        } else if constexpr (std::is_same_v<T, RawRdata>) {
+          w.raw(data.bytes);
+        }
+      },
+      rr.rdata);
+  w.patch_u16(len_at, static_cast<std::uint16_t>(w.size() - start));
+}
+
+void write_record(Writer& w, const ResourceRecord& rr) {
+  w.name(rr.name);
+  w.u16(static_cast<std::uint16_t>(rr.type));
+  w.u16(static_cast<std::uint16_t>(rr.rrclass));
+  w.u32(rr.ttl);
+  write_rdata(w, rr);
+}
+
+std::vector<std::uint8_t> encode_impl(const Message& msg,
+                                      const EncodeOptions& opts,
+                                      bool trust_header_counts) {
+  Writer w(opts.compress);
+  w.u16(msg.header.id);
+  w.u16(msg.header.flags.pack());
+  if (trust_header_counts) {
+    w.u16(msg.header.qdcount);
+    w.u16(msg.header.ancount);
+    w.u16(msg.header.nscount);
+    w.u16(msg.header.arcount);
+  } else {
+    w.u16(static_cast<std::uint16_t>(msg.questions.size()));
+    w.u16(static_cast<std::uint16_t>(msg.answers.size()));
+    w.u16(static_cast<std::uint16_t>(msg.authority.size()));
+    w.u16(static_cast<std::uint16_t>(msg.additional.size()));
+  }
+  for (const auto& q : msg.questions) {
+    w.name(q.qname);
+    w.u16(static_cast<std::uint16_t>(q.qtype));
+    w.u16(static_cast<std::uint16_t>(q.qclass));
+  }
+  for (const auto& rr : msg.answers) write_record(w, rr);
+  for (const auto& rr : msg.authority) write_record(w, rr);
+  for (const auto& rr : msg.additional) write_record(w, rr);
+  return w.take();
+}
+
+// ---- Reader ---------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> wire) : wire_(wire) {}
+
+  bool u8(std::uint8_t& out) {
+    if (pos_ + 1 > wire_.size()) return false;
+    out = wire_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t& out) {
+    if (pos_ + 2 > wire_.size()) return false;
+    out = static_cast<std::uint16_t>((wire_[pos_] << 8) | wire_[pos_ + 1]);
+    pos_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& out) {
+    std::uint16_t hi = 0;
+    std::uint16_t lo = 0;
+    if (!u16(hi) || !u16(lo)) return false;
+    out = (static_cast<std::uint32_t>(hi) << 16) | lo;
+    return true;
+  }
+  bool bytes(std::size_t n, std::vector<std::uint8_t>& out) {
+    if (pos_ + n > wire_.size()) return false;
+    out.assign(wire_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               wire_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+  std::size_t remaining() const noexcept { return wire_.size() - pos_; }
+
+  /// Decode a possibly-compressed name starting at the cursor.
+  /// On success the cursor lands after the name's in-place representation.
+  bool name(DnsName& out, DecodeError& err) {
+    std::vector<std::string> labels;
+    std::size_t cursor = pos_;
+    std::size_t in_place_end = 0;  // set at the first pointer jump
+    std::size_t total_len = 1;
+    int jumps = 0;
+    while (true) {
+      if (cursor >= wire_.size()) {
+        err = DecodeError::kTruncatedName;
+        return false;
+      }
+      const std::uint8_t len = wire_[cursor];
+      if ((len & 0xC0) == 0xC0) {
+        if (cursor + 1 >= wire_.size()) {
+          err = DecodeError::kTruncatedName;
+          return false;
+        }
+        const std::size_t target =
+            (static_cast<std::size_t>(len & 0x3F) << 8) | wire_[cursor + 1];
+        if (in_place_end == 0) in_place_end = cursor + 2;
+        // RFC 1035 pointers must point backwards; forward pointers enable
+        // loops and are rejected (also catches self-pointing).
+        if (target >= cursor) {
+          err = DecodeError::kForwardPointer;
+          return false;
+        }
+        if (++jumps > 64) {
+          err = DecodeError::kCompressionLoop;
+          return false;
+        }
+        cursor = target;
+        continue;
+      }
+      if ((len & 0xC0) != 0) {  // 0x40/0x80 label types are unsupported
+        err = DecodeError::kLabelTooLong;
+        return false;
+      }
+      if (len == 0) {
+        if (in_place_end == 0) in_place_end = cursor + 1;
+        break;
+      }
+      if (cursor + 1 + len > wire_.size()) {
+        err = DecodeError::kTruncatedName;
+        return false;
+      }
+      total_len += 1 + len;
+      if (total_len > kMaxNameLength) {
+        err = DecodeError::kNameTooLong;
+        return false;
+      }
+      // Wire labels may carry arbitrary octets, but a NUL inside a label
+      // would make the parsed name lie to every C-string consumer; treat it
+      // as malformed (the DnsName invariant, enforced here rather than by a
+      // throw out of the hot decode path).
+      for (std::size_t b = 0; b < len; ++b) {
+        if (wire_[cursor + 1 + b] == 0) {
+          err = DecodeError::kBadLabel;
+          return false;
+        }
+      }
+      labels.emplace_back(
+          reinterpret_cast<const char*>(wire_.data() + cursor + 1), len);
+      cursor += 1 + static_cast<std::size_t>(len);
+    }
+    pos_ = in_place_end;
+    out = DnsName(std::move(labels));
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> wire_;
+  std::size_t pos_ = 0;
+};
+
+bool read_record(Reader& r, ResourceRecord& rr, DecodeError& err) {
+  if (!r.name(rr.name, err)) return false;
+  std::uint16_t type = 0;
+  std::uint16_t rrclass = 0;
+  std::uint32_t ttl = 0;
+  std::uint16_t rdlength = 0;
+  if (!r.u16(type) || !r.u16(rrclass) || !r.u32(ttl) || !r.u16(rdlength)) {
+    err = DecodeError::kTruncatedRecord;
+    return false;
+  }
+  rr.type = static_cast<RRType>(type);
+  rr.rrclass = static_cast<RRClass>(rrclass);
+  rr.ttl = ttl;
+  if (rdlength > r.remaining()) {
+    err = DecodeError::kBadRdataLength;
+    return false;
+  }
+  const std::size_t rdata_end = r.pos() + rdlength;
+
+  switch (rr.type) {
+    case RRType::kA: {
+      if (rdlength != 4) {
+        err = DecodeError::kBadRdataLength;
+        return false;
+      }
+      std::uint32_t v = 0;
+      r.u32(v);
+      rr.rdata = ARdata{net::IPv4Addr(v)};
+      return true;
+    }
+    case RRType::kNS:
+    case RRType::kCNAME:
+    case RRType::kPTR: {
+      NameRdata data;
+      if (!r.name(data.name, err)) return false;
+      if (r.pos() != rdata_end) {
+        err = DecodeError::kBadRdataLength;
+        return false;
+      }
+      rr.rdata = std::move(data);
+      return true;
+    }
+    case RRType::kSOA: {
+      SoaRdata data;
+      if (!r.name(data.mname, err) || !r.name(data.rname, err)) return false;
+      if (!r.u32(data.serial) || !r.u32(data.refresh) || !r.u32(data.retry) ||
+          !r.u32(data.expire) || !r.u32(data.minimum)) {
+        err = DecodeError::kTruncatedRecord;
+        return false;
+      }
+      if (r.pos() != rdata_end) {
+        err = DecodeError::kBadRdataLength;
+        return false;
+      }
+      rr.rdata = std::move(data);
+      return true;
+    }
+    case RRType::kMX: {
+      MxRdata data;
+      if (!r.u16(data.preference)) {
+        err = DecodeError::kTruncatedRecord;
+        return false;
+      }
+      if (!r.name(data.exchange, err)) return false;
+      if (r.pos() != rdata_end) {
+        err = DecodeError::kBadRdataLength;
+        return false;
+      }
+      rr.rdata = std::move(data);
+      return true;
+    }
+    case RRType::kTXT: {
+      TxtRdata data;
+      while (r.pos() < rdata_end) {
+        std::uint8_t len = 0;
+        if (!r.u8(len) || r.pos() + len > rdata_end) {
+          err = DecodeError::kBadRdataLength;
+          return false;
+        }
+        std::vector<std::uint8_t> chunk;
+        r.bytes(len, chunk);
+        data.strings.emplace_back(chunk.begin(), chunk.end());
+      }
+      rr.rdata = std::move(data);
+      return true;
+    }
+    case RRType::kAAAA: {
+      if (rdlength != 16) {
+        err = DecodeError::kBadRdataLength;
+        return false;
+      }
+      AAAARdata data;
+      std::vector<std::uint8_t> chunk;
+      r.bytes(16, chunk);
+      std::memcpy(data.addr.data(), chunk.data(), 16);
+      rr.rdata = data;
+      return true;
+    }
+    default: {
+      RawRdata data;
+      data.type = type;
+      if (!r.bytes(rdlength, data.bytes)) {
+        err = DecodeError::kTruncatedRecord;
+        return false;
+      }
+      rr.rdata = std::move(data);
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(DecodeError e) noexcept {
+  switch (e) {
+    case DecodeError::kTruncatedHeader: return "truncated header";
+    case DecodeError::kTruncatedName: return "truncated name";
+    case DecodeError::kLabelTooLong: return "label too long";
+    case DecodeError::kBadLabel: return "bad label octet";
+    case DecodeError::kNameTooLong: return "name too long";
+    case DecodeError::kCompressionLoop: return "compression loop";
+    case DecodeError::kForwardPointer: return "forward compression pointer";
+    case DecodeError::kTruncatedQuestion: return "truncated question";
+    case DecodeError::kTruncatedRecord: return "truncated record";
+    case DecodeError::kBadRdataLength: return "bad rdata length";
+    case DecodeError::kTrailingGarbage: return "trailing garbage";
+  }
+  return "unknown decode error";
+}
+
+DecodeResult decode(std::span<const std::uint8_t> wire) {
+  Reader r(wire);
+  Message msg;
+  std::uint16_t flags_raw = 0;
+  if (!r.u16(msg.header.id) || !r.u16(flags_raw) ||
+      !r.u16(msg.header.qdcount) || !r.u16(msg.header.ancount) ||
+      !r.u16(msg.header.nscount) || !r.u16(msg.header.arcount)) {
+    return DecodeError::kTruncatedHeader;
+  }
+  msg.header.flags = Flags::unpack(flags_raw);
+
+  DecodeError err{};
+  for (std::uint16_t i = 0; i < msg.header.qdcount; ++i) {
+    Question q;
+    if (!r.name(q.qname, err)) return err;
+    std::uint16_t qtype = 0;
+    std::uint16_t qclass = 0;
+    if (!r.u16(qtype) || !r.u16(qclass))
+      return DecodeError::kTruncatedQuestion;
+    q.qtype = static_cast<RRType>(qtype);
+    q.qclass = static_cast<RRClass>(qclass);
+    msg.questions.push_back(std::move(q));
+  }
+  auto read_section = [&](std::uint16_t count,
+                          std::vector<ResourceRecord>& out) -> bool {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      ResourceRecord rr;
+      if (!read_record(r, rr, err)) return false;
+      out.push_back(std::move(rr));
+    }
+    return true;
+  };
+  if (!read_section(msg.header.ancount, msg.answers)) return err;
+  if (!read_section(msg.header.nscount, msg.authority)) return err;
+  if (!read_section(msg.header.arcount, msg.additional)) return err;
+  return msg;
+}
+
+PartialDecode decode_partial(std::span<const std::uint8_t> wire) {
+  PartialDecode out;
+  Reader r(wire);
+  Message& msg = out.message;
+  std::uint16_t flags_raw = 0;
+  if (!r.u16(msg.header.id) || !r.u16(flags_raw) ||
+      !r.u16(msg.header.qdcount) || !r.u16(msg.header.ancount) ||
+      !r.u16(msg.header.nscount) || !r.u16(msg.header.arcount)) {
+    out.failed_at = DecodeStage::kHeader;
+    out.error = DecodeError::kTruncatedHeader;
+    return out;
+  }
+  msg.header.flags = Flags::unpack(flags_raw);
+
+  DecodeError err{};
+  for (std::uint16_t i = 0; i < msg.header.qdcount; ++i) {
+    Question q;
+    if (!r.name(q.qname, err)) {
+      out.failed_at = DecodeStage::kQuestion;
+      out.error = err;
+      return out;
+    }
+    std::uint16_t qtype = 0;
+    std::uint16_t qclass = 0;
+    if (!r.u16(qtype) || !r.u16(qclass)) {
+      out.failed_at = DecodeStage::kQuestion;
+      out.error = DecodeError::kTruncatedQuestion;
+      return out;
+    }
+    q.qtype = static_cast<RRType>(qtype);
+    q.qclass = static_cast<RRClass>(qclass);
+    msg.questions.push_back(std::move(q));
+  }
+  auto read_section = [&](std::uint16_t count, std::vector<ResourceRecord>& rrs,
+                          DecodeStage stage) -> bool {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      ResourceRecord rr;
+      if (!read_record(r, rr, err)) {
+        out.failed_at = stage;
+        out.error = err;
+        return false;
+      }
+      rrs.push_back(std::move(rr));
+    }
+    return true;
+  };
+  if (!read_section(msg.header.ancount, msg.answers, DecodeStage::kAnswer))
+    return out;
+  if (!read_section(msg.header.nscount, msg.authority,
+                    DecodeStage::kAuthority))
+    return out;
+  if (!read_section(msg.header.arcount, msg.additional,
+                    DecodeStage::kAdditional))
+    return out;
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const Message& msg, const EncodeOptions& opts) {
+  return encode_impl(msg, opts, /*trust_header_counts=*/false);
+}
+
+std::vector<std::uint8_t> encode_raw_counts(const Message& msg,
+                                            const EncodeOptions& opts) {
+  return encode_impl(msg, opts, /*trust_header_counts=*/true);
+}
+
+std::vector<std::uint8_t> encode_name(const DnsName& name) {
+  Writer w(/*compress=*/false);
+  w.name(name);
+  return w.take();
+}
+
+}  // namespace orp::dns

@@ -1,0 +1,92 @@
+// DNS wire-format encoder/decoder (RFC 1035 §4.1), including message
+// compression (§4.1.4).
+//
+// The decoder is written the way the paper's libpcap tooling had to be:
+// fully bounds-checked, loop-protected against malicious compression
+// pointers, and reporting *why* a packet failed to decode — the 2013 corpus
+// contained 8,764 responses whose answer sections could not be parsed, and
+// the analysis layer treats "undecodable" as a first-class behavioral
+// category (Table VII row "N/A").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "dns/message.h"
+#include "util/expected.h"
+
+namespace orp::dns {
+
+enum class DecodeError {
+  kTruncatedHeader,
+  kTruncatedName,
+  kLabelTooLong,
+  kBadLabel,  // NUL octet inside a label (our names are C-string-safe)
+  kNameTooLong,
+  kCompressionLoop,
+  kForwardPointer,
+  kTruncatedQuestion,
+  kTruncatedRecord,
+  kBadRdataLength,
+  kTrailingGarbage,
+};
+
+std::string_view to_string(DecodeError e) noexcept;
+
+using DecodeResult = util::Expected<Message, DecodeError>;
+
+/// Decode a full DNS message from wire bytes.
+DecodeResult decode(std::span<const std::uint8_t> wire);
+
+/// How far a partial decode got before failing.
+enum class DecodeStage {
+  kComplete,   // no failure
+  kHeader,     // could not even read the 12-byte header
+  kQuestion,   // failed inside the question section
+  kAnswer,     // failed inside the answer section
+  kAuthority,
+  kAdditional,
+};
+
+/// Best-effort decode: parses as far as possible and reports where parsing
+/// stopped. This mirrors what the paper's libpcap tooling experienced on the
+/// 2013 corpus — 8,764 responses whose header and question parsed fine but
+/// whose answer bytes did not ("N/A" in Table VII). `message` holds every
+/// section decoded before the failure point.
+struct PartialDecode {
+  Message message;
+  DecodeStage failed_at = DecodeStage::kComplete;
+  std::optional<DecodeError> error;
+
+  bool complete() const noexcept { return failed_at == DecodeStage::kComplete; }
+};
+
+PartialDecode decode_partial(std::span<const std::uint8_t> wire);
+
+/// Encoding options.
+struct EncodeOptions {
+  /// Use RFC 1035 name compression for owner names and rdata names.
+  bool compress = true;
+};
+
+/// Encode a message to wire bytes. Section counts in the emitted header are
+/// taken from the actual section sizes, not `header.qdcount` etc. — except
+/// that deliberately inconsistent counts can be forced via
+/// `Message::header` when `trust_header_counts` is set (used to synthesize
+/// the malformed packets observed in the wild).
+std::vector<std::uint8_t> encode(const Message& msg,
+                                 const EncodeOptions& opts = {});
+
+/// Encode with header counts taken verbatim from msg.header — this is how
+/// the deviant-resolver profiles emit packets whose counts lie about their
+/// contents (a real-world failure mode the 2013 parser hit).
+std::vector<std::uint8_t> encode_raw_counts(const Message& msg,
+                                            const EncodeOptions& opts = {});
+
+/// Encode just a name in uncompressed wire format (for tests and rdata).
+std::vector<std::uint8_t> encode_name(const DnsName& name);
+
+}  // namespace orp::dns

@@ -1,0 +1,92 @@
+#include "dns/edns.h"
+
+#include <algorithm>
+
+#include "dns/codec.h"
+
+namespace orp::dns {
+namespace {
+
+std::uint32_t pack_opt_ttl(const EdnsInfo& info) {
+  std::uint32_t ttl = 0;
+  ttl |= static_cast<std::uint32_t>(info.extended_rcode) << 24;
+  ttl |= static_cast<std::uint32_t>(info.version) << 16;
+  if (info.do_bit) ttl |= 0x8000u;
+  return ttl;
+}
+
+EdnsInfo unpack_opt(const ResourceRecord& rr) {
+  EdnsInfo info;
+  info.udp_payload_size = static_cast<std::uint16_t>(rr.rrclass);
+  info.extended_rcode = static_cast<std::uint8_t>(rr.ttl >> 24);
+  info.version = static_cast<std::uint8_t>(rr.ttl >> 16);
+  info.do_bit = (rr.ttl & 0x8000u) != 0;
+  return info;
+}
+
+}  // namespace
+
+std::optional<EdnsInfo> extract_edns(const Message& msg) {
+  for (const auto& rr : msg.additional) {
+    if (rr.type == RRType::kOPT) return unpack_opt(rr);
+  }
+  return std::nullopt;
+}
+
+void set_edns(Message& msg, const EdnsInfo& info) {
+  clear_edns(msg);
+  ResourceRecord opt;
+  opt.name = DnsName();  // OPT owner is the root
+  opt.type = RRType::kOPT;
+  opt.rrclass = static_cast<RRClass>(info.udp_payload_size);
+  opt.ttl = pack_opt_ttl(info);
+  opt.rdata = RawRdata{static_cast<std::uint16_t>(RRType::kOPT), {}};
+  msg.additional.push_back(std::move(opt));
+}
+
+void clear_edns(Message& msg) {
+  std::erase_if(msg.additional, [](const ResourceRecord& rr) {
+    return rr.type == RRType::kOPT;
+  });
+}
+
+std::size_t response_size_budget(const Message& query) {
+  if (const auto edns = extract_edns(query)) return edns->response_budget();
+  return kClassicUdpLimit;
+}
+
+bool truncate_to_fit(Message& response, std::size_t budget) {
+  if (encode(response).size() <= budget) return false;
+  // Drop data sections largest-first until the message fits; the question
+  // (and OPT, when present) stay so the client can retry appropriately.
+  const auto edns = extract_edns(response);
+  response.header.flags.tc = true;
+  while (encode(response).size() > budget) {
+    if (!response.additional.empty() &&
+        !(response.additional.size() == 1 &&
+          response.additional[0].type == RRType::kOPT)) {
+      // Remove the last non-OPT additional record.
+      for (auto it = response.additional.rbegin();
+           it != response.additional.rend(); ++it) {
+        if (it->type != RRType::kOPT) {
+          response.additional.erase(std::next(it).base());
+          break;
+        }
+      }
+      continue;
+    }
+    if (!response.authority.empty()) {
+      response.authority.pop_back();
+      continue;
+    }
+    if (!response.answers.empty()) {
+      response.answers.pop_back();
+      continue;
+    }
+    break;  // nothing left to drop; header+question exceed budget (absurd)
+  }
+  if (edns) set_edns(response, *edns);
+  return true;
+}
+
+}  // namespace orp::dns

@@ -1,0 +1,51 @@
+// EDNS(0) — RFC 6891 extension mechanisms.
+//
+// The paper's amplification analysis (§II-C) hinges on EDNS: classic DNS
+// caps UDP responses at 512 bytes, so a resolver that advertises a larger
+// EDNS buffer is a far better amplifier. EDNS rides in an OPT pseudo-RR in
+// the additional section: the CLASS field carries the requestor's UDP
+// payload size and the TTL field packs extended-rcode/version/flags.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dns/message.h"
+
+namespace orp::dns {
+
+constexpr std::size_t kClassicUdpLimit = 512;  // RFC 1035 §4.2.1
+
+struct EdnsInfo {
+  std::uint16_t udp_payload_size = 1232;
+  std::uint8_t extended_rcode = 0;
+  std::uint8_t version = 0;
+  bool do_bit = false;  // DNSSEC OK
+
+  /// The effective response-size budget this peer advertises.
+  std::size_t response_budget() const noexcept {
+    return udp_payload_size < kClassicUdpLimit ? kClassicUdpLimit
+                                               : udp_payload_size;
+  }
+};
+
+/// Find and decode the OPT pseudo-RR, if any.
+std::optional<EdnsInfo> extract_edns(const Message& msg);
+
+/// Append an OPT pseudo-RR advertising `info`. Replaces any existing OPT.
+void set_edns(Message& msg, const EdnsInfo& info);
+
+/// Remove the OPT pseudo-RR (if present).
+void clear_edns(Message& msg);
+
+/// The UDP size budget a responder must honor for this query:
+/// 512 without EDNS, the advertised size with it.
+std::size_t response_size_budget(const Message& query);
+
+/// Truncate `response` to fit `budget` bytes when wire-encoded: drops
+/// answer/authority/additional records (keeping the question and OPT) and
+/// sets TC=1, exactly the RFC 2181 §9 contract. Returns true if truncation
+/// was applied.
+bool truncate_to_fit(Message& response, std::size_t budget);
+
+}  // namespace orp::dns

@@ -1,0 +1,107 @@
+#include "dns/message.h"
+
+#include <sstream>
+
+namespace orp::dns {
+
+std::uint16_t Flags::pack() const noexcept {
+  std::uint16_t raw = 0;
+  raw |= static_cast<std::uint16_t>(qr ? 1 : 0) << 15;
+  raw |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(opcode) & 0xF)
+         << 11;
+  raw |= static_cast<std::uint16_t>(aa ? 1 : 0) << 10;
+  raw |= static_cast<std::uint16_t>(tc ? 1 : 0) << 9;
+  raw |= static_cast<std::uint16_t>(rd ? 1 : 0) << 8;
+  raw |= static_cast<std::uint16_t>(ra ? 1 : 0) << 7;
+  raw |= static_cast<std::uint16_t>((z & 0x1)) << 6;
+  raw |= static_cast<std::uint16_t>(ad ? 1 : 0) << 5;
+  raw |= static_cast<std::uint16_t>(cd ? 1 : 0) << 4;
+  raw |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(rcode) & 0xF);
+  return raw;
+}
+
+Flags Flags::unpack(std::uint16_t raw) noexcept {
+  Flags f;
+  f.qr = (raw >> 15) & 1;
+  f.opcode = static_cast<Opcode>((raw >> 11) & 0xF);
+  f.aa = (raw >> 10) & 1;
+  f.tc = (raw >> 9) & 1;
+  f.rd = (raw >> 8) & 1;
+  f.ra = (raw >> 7) & 1;
+  f.z = static_cast<std::uint8_t>((raw >> 6) & 0x1);
+  f.ad = (raw >> 5) & 1;
+  f.cd = (raw >> 4) & 1;
+  f.rcode = static_cast<Rcode>(raw & 0xF);
+  return f;
+}
+
+std::optional<net::IPv4Addr> Message::first_a_answer() const {
+  for (const auto& rr : answers) {
+    if (rr.type != RRType::kA) continue;
+    if (const auto* a = std::get_if<ARdata>(&rr.rdata)) return a->addr;
+  }
+  return std::nullopt;
+}
+
+std::string to_string(const ResourceRecord& rr) {
+  std::ostringstream out;
+  out << rr.name.to_string() << " " << rr.ttl << " " << to_string(rr.rrclass)
+      << " " << to_string(rr.type) << " ";
+  std::visit(
+      [&](const auto& data) {
+        using T = std::decay_t<decltype(data)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          out << data.addr.to_string();
+        } else if constexpr (std::is_same_v<T, NameRdata>) {
+          out << data.name.to_string() << ".";
+        } else if constexpr (std::is_same_v<T, SoaRdata>) {
+          out << data.mname.to_string() << ". " << data.rname.to_string()
+              << ". " << data.serial << " " << data.refresh << " "
+              << data.retry << " " << data.expire << " " << data.minimum;
+        } else if constexpr (std::is_same_v<T, MxRdata>) {
+          out << data.preference << " " << data.exchange.to_string() << ".";
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          for (std::size_t i = 0; i < data.strings.size(); ++i) {
+            if (i != 0) out << " ";
+            out << '"' << data.strings[i] << '"';
+          }
+        } else if constexpr (std::is_same_v<T, AAAARdata>) {
+          out << "<aaaa>";
+        } else if constexpr (std::is_same_v<T, RawRdata>) {
+          out << "\\# " << data.bytes.size();
+        }
+      },
+      rr.rdata);
+  return out.str();
+}
+
+std::string Message::to_string() const {
+  std::ostringstream out;
+  const auto& f = header.flags;
+  out << ";; id " << header.id << "  " << (f.qr ? "response" : "query")
+      << "  rcode " << orp::dns::to_string(f.rcode) << "\n;; flags:";
+  if (f.qr) out << " qr";
+  if (f.aa) out << " aa";
+  if (f.tc) out << " tc";
+  if (f.rd) out << " rd";
+  if (f.ra) out << " ra";
+  out << "\n";
+  if (!questions.empty()) {
+    out << ";; QUESTION\n";
+    for (const auto& q : questions)
+      out << ";  " << q.qname.to_string() << " " << orp::dns::to_string(q.qclass)
+          << " " << orp::dns::to_string(q.qtype) << "\n";
+  }
+  auto section = [&out](const char* title,
+                        const std::vector<ResourceRecord>& rrs) {
+    if (rrs.empty()) return;
+    out << ";; " << title << "\n";
+    for (const auto& rr : rrs) out << "   " << orp::dns::to_string(rr) << "\n";
+  };
+  section("ANSWER", answers);
+  section("AUTHORITY", authority);
+  section("ADDITIONAL", additional);
+  return out.str();
+}
+
+}  // namespace orp::dns

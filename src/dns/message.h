@@ -1,0 +1,129 @@
+// DNS message model (RFC 1035 §4): header with flag bits, question section,
+// and answer/authority/additional resource-record sections.
+//
+// The behavioral analysis of the paper centers on exactly these header bits —
+// QR, AA, TC, RD, RA — and the rcode, so the model keeps them first-class.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/types.h"
+#include "net/ipv4.h"
+
+namespace orp::dns {
+
+/// The 16-bit flags word of the DNS header, unpacked.
+struct Flags {
+  bool qr = false;             // query (0) / response (1)
+  Opcode opcode = Opcode::kQuery;
+  bool aa = false;             // Authoritative Answer (paper Table V)
+  bool tc = false;             // TrunCation
+  bool rd = false;             // Recursion Desired (set on all probes)
+  bool ra = false;             // Recursion Available (paper Table IV)
+  std::uint8_t z = 0;          // reserved, must be zero
+  bool ad = false;             // DNSSEC authenticated data
+  bool cd = false;             // DNSSEC checking disabled
+  Rcode rcode = Rcode::kNoError;
+
+  std::uint16_t pack() const noexcept;
+  static Flags unpack(std::uint16_t raw) noexcept;
+
+  friend bool operator==(const Flags&, const Flags&) noexcept = default;
+};
+
+struct Header {
+  std::uint16_t id = 0;
+  Flags flags;
+  std::uint16_t qdcount = 0;
+  std::uint16_t ancount = 0;
+  std::uint16_t nscount = 0;
+  std::uint16_t arcount = 0;
+};
+
+struct Question {
+  DnsName qname;
+  RRType qtype = RRType::kA;
+  RRClass qclass = RRClass::kIN;
+};
+
+// ---- RDATA variants ------------------------------------------------------
+
+struct ARdata {
+  net::IPv4Addr addr;
+};
+
+struct NameRdata {  // NS, CNAME, PTR
+  DnsName name;
+};
+
+struct SoaRdata {
+  DnsName mname;
+  DnsName rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 3600;
+  std::uint32_t retry = 600;
+  std::uint32_t expire = 86400;
+  std::uint32_t minimum = 300;
+};
+
+struct MxRdata {
+  std::uint16_t preference = 10;
+  DnsName exchange;
+};
+
+struct TxtRdata {
+  std::vector<std::string> strings;
+};
+
+struct AAAARdata {
+  std::array<std::uint8_t, 16> addr{};
+};
+
+/// Anything we do not model structurally — kept as raw bytes so deviant
+/// resolvers can emit arbitrary (even malformed) rdata, as observed in the
+/// wild ("wild", "OK", "ff", 0x00 bytes — paper Table VII).
+struct RawRdata {
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+using Rdata =
+    std::variant<ARdata, NameRdata, SoaRdata, MxRdata, TxtRdata, AAAARdata,
+                 RawRdata>;
+
+struct ResourceRecord {
+  DnsName name;
+  RRType type = RRType::kA;
+  RRClass rrclass = RRClass::kIN;
+  std::uint32_t ttl = 0;
+  Rdata rdata;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+
+  /// Convenience accessors used throughout the analysis layer.
+  bool has_question() const noexcept { return !questions.empty(); }
+  bool has_answer() const noexcept { return !answers.empty(); }
+
+  /// First A record in the answer section, if any.
+  std::optional<net::IPv4Addr> first_a_answer() const;
+
+  /// Human-readable dump (dig-style) for examples and forensics output.
+  std::string to_string() const;
+};
+
+/// Render one RR as presentation text ("name ttl IN A 1.2.3.4").
+std::string to_string(const ResourceRecord& rr);
+
+}  // namespace orp::dns

@@ -1,0 +1,123 @@
+#include "dns/name.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace orp::dns {
+namespace {
+
+bool valid_label(std::string_view label) noexcept {
+  if (label.empty() || label.size() > kMaxLabelLength) return false;
+  for (const char c : label)
+    if (c == '\0') return false;
+  return true;
+}
+
+char ascii_lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool label_equals_ci(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  return true;
+}
+
+}  // namespace
+
+DnsName::DnsName(std::vector<std::string> labels) : labels_(std::move(labels)) {
+  std::size_t wire = 1;
+  for (const auto& l : labels_) {
+    if (!valid_label(l)) throw std::invalid_argument("invalid DNS label");
+    wire += 1 + l.size();
+  }
+  if (wire > kMaxNameLength) throw std::invalid_argument("DNS name too long");
+}
+
+std::optional<DnsName> DnsName::parse(std::string_view text) {
+  if (text == "." || text.empty()) return DnsName();
+  if (text.back() == '.') text.remove_suffix(1);
+  std::vector<std::string> labels;
+  std::size_t wire = 1;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t dot = text.find('.', start);
+    const std::string_view label =
+        dot == std::string_view::npos ? text.substr(start)
+                                      : text.substr(start, dot - start);
+    if (!valid_label(label)) return std::nullopt;
+    wire += 1 + label.size();
+    if (wire > kMaxNameLength) return std::nullopt;
+    labels.emplace_back(label);
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  DnsName name;
+  name.labels_ = std::move(labels);
+  return name;
+}
+
+DnsName DnsName::must_parse(std::string_view text) {
+  auto parsed = parse(text);
+  if (!parsed) std::abort();
+  return *std::move(parsed);
+}
+
+std::size_t DnsName::wire_length() const noexcept {
+  std::size_t len = 1;
+  for (const auto& l : labels_) len += 1 + l.size();
+  return len;
+}
+
+std::string DnsName::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i != 0) out.push_back('.');
+    out += labels_[i];
+  }
+  return out;
+}
+
+bool DnsName::equals(const DnsName& other) const noexcept {
+  if (labels_.size() != other.labels_.size()) return false;
+  for (std::size_t i = 0; i < labels_.size(); ++i)
+    if (!label_equals_ci(labels_[i], other.labels_[i])) return false;
+  return true;
+}
+
+bool DnsName::is_subdomain_of(const DnsName& ancestor) const noexcept {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  const std::size_t offset = labels_.size() - ancestor.labels_.size();
+  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i)
+    if (!label_equals_ci(labels_[offset + i], ancestor.labels_[i]))
+      return false;
+  return true;
+}
+
+DnsName DnsName::parent(std::size_t n) const {
+  DnsName out;
+  if (n >= labels_.size()) return out;
+  out.labels_.assign(labels_.begin() + static_cast<std::ptrdiff_t>(n),
+                     labels_.end());
+  return out;
+}
+
+DnsName DnsName::child(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return DnsName(std::move(labels));
+}
+
+std::string DnsName::canonical_key() const {
+  std::string key = util::to_lower(to_string());
+  return key;
+}
+
+}  // namespace orp::dns

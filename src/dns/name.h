@@ -1,0 +1,65 @@
+// DNS domain names (RFC 1035 §3.1): sequences of labels, case-insensitive,
+// with the 63-octet-per-label and 255-octet-total limits enforced.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orp::dns {
+
+class DnsName {
+ public:
+  /// The root name (zero labels).
+  DnsName() = default;
+
+  /// Build from pre-validated labels (throws std::invalid_argument on limit
+  /// violations — construction is not a hot path).
+  explicit DnsName(std::vector<std::string> labels);
+
+  /// Parse presentation format ("www.example.com", trailing dot optional).
+  /// Returns nullopt on empty labels, oversize labels/name, or embedded NUL.
+  static std::optional<DnsName> parse(std::string_view text);
+
+  /// Parse, aborting on failure. For literals known to be valid.
+  static DnsName must_parse(std::string_view text);
+
+  const std::vector<std::string>& labels() const noexcept { return labels_; }
+  std::size_t label_count() const noexcept { return labels_.size(); }
+  bool is_root() const noexcept { return labels_.empty(); }
+
+  /// Wire-format length: sum of (1 + len) per label, plus root byte.
+  std::size_t wire_length() const noexcept;
+
+  /// Presentation format without trailing dot; "." for the root.
+  std::string to_string() const;
+
+  /// Case-insensitive equality (RFC 1035 §2.3.3).
+  bool equals(const DnsName& other) const noexcept;
+
+  /// True if this name is `ancestor` or underneath it (case-insensitive).
+  bool is_subdomain_of(const DnsName& ancestor) const noexcept;
+
+  /// Name with the first `n` labels removed ("a.b.c" -> parent() = "b.c").
+  DnsName parent(std::size_t n = 1) const;
+
+  /// New name with `label` prepended.
+  DnsName child(std::string_view label) const;
+
+  /// Canonical (lower-case) form for use as a map key.
+  std::string canonical_key() const;
+
+  friend bool operator==(const DnsName& a, const DnsName& b) noexcept {
+    return a.equals(b);
+  }
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+constexpr std::size_t kMaxLabelLength = 63;
+constexpr std::size_t kMaxNameLength = 255;
+
+}  // namespace orp::dns

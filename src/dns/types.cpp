@@ -1,0 +1,56 @@
+#include "dns/types.h"
+
+#include <array>
+
+namespace orp::dns {
+namespace {
+
+constexpr std::array<std::string_view, 16> kRcodeNames{
+    "NoError",  "FormErr",  "ServFail", "NXDomain", "NotImp",   "Refused",
+    "YXDomain", "YXRRSet",  "NXRRSet",  "NotAuth",  "NotZone",  "Rcode11",
+    "Rcode12",  "Rcode13",  "Rcode14",  "Rcode15"};
+
+}  // namespace
+
+std::string_view to_string(RRType t) noexcept {
+  switch (t) {
+    case RRType::kA: return "A";
+    case RRType::kNS: return "NS";
+    case RRType::kCNAME: return "CNAME";
+    case RRType::kSOA: return "SOA";
+    case RRType::kPTR: return "PTR";
+    case RRType::kMX: return "MX";
+    case RRType::kTXT: return "TXT";
+    case RRType::kAAAA: return "AAAA";
+    case RRType::kOPT: return "OPT";
+    case RRType::kANY: return "ANY";
+  }
+  return "TYPE?";
+}
+
+std::string_view to_string(RRClass c) noexcept {
+  switch (c) {
+    case RRClass::kIN: return "IN";
+    case RRClass::kCH: return "CH";
+    case RRClass::kANY: return "ANY";
+  }
+  return "CLASS?";
+}
+
+std::string_view to_string(Rcode r) noexcept {
+  const auto idx = static_cast<std::size_t>(r);
+  if (idx < kRcodeNames.size()) return kRcodeNames[idx];
+  return "Rcode?";
+}
+
+bool rcode_from_string(std::string_view name, Rcode& out) noexcept {
+  for (std::size_t i = 0; i < kRcodeNames.size(); ++i) {
+    if (kRcodeNames[i] == name) {
+      out = static_cast<Rcode>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace orp::dns

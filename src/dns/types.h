@@ -1,0 +1,63 @@
+// Core DNS protocol enumerations (RFC 1035, RFC 6895).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace orp::dns {
+
+/// Resource record types used in this study. 'ANY' (QTYPE *) is the
+/// amplification-attack workhorse analyzed in §II-C of the paper.
+enum class RRType : std::uint16_t {
+  kA = 1,
+  kNS = 2,
+  kCNAME = 5,
+  kSOA = 6,
+  kPTR = 12,
+  kMX = 15,
+  kTXT = 16,
+  kAAAA = 28,
+  kOPT = 41,   // EDNS0 pseudo-RR (RFC 6891)
+  kANY = 255,  // QTYPE only
+};
+
+enum class RRClass : std::uint16_t {
+  kIN = 1,
+  kCH = 3,
+  kANY = 255,
+};
+
+enum class Opcode : std::uint8_t {
+  kQuery = 0,
+  kIQuery = 1,
+  kStatus = 2,
+  kNotify = 4,
+  kUpdate = 5,
+};
+
+/// Response codes per RFC 6895 (the paper's Table VI enumerates 0-9).
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNXDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+  kYXDomain = 6,
+  kYXRRSet = 7,
+  kNXRRSet = 8,
+  kNotAuth = 9,
+  kNotZone = 10,
+};
+
+constexpr int kRcodeCount = 16;
+
+std::string_view to_string(RRType t) noexcept;
+std::string_view to_string(RRClass c) noexcept;
+std::string_view to_string(Rcode r) noexcept;
+
+/// Parse an rcode name ("NoError", "ServFail", ...) back to its value.
+bool rcode_from_string(std::string_view name, Rcode& out) noexcept;
+
+}  // namespace orp::dns

@@ -1,0 +1,69 @@
+#include "intel/geo_db.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace orp::intel {
+
+void GeoDb::add_range(net::IPv4Addr first, net::IPv4Addr last,
+                      std::string_view country, std::uint32_t asn,
+                      std::string_view as_name) {
+  if (first.value() > last.value())
+    throw std::invalid_argument("GeoDb range: first > last");
+  entries_.push_back(GeoEntry{first.value(), last.value(),
+                              std::string(country), asn,
+                              std::string(as_name)});
+  built_ = false;
+}
+
+void GeoDb::add_prefix(net::Prefix prefix, std::string_view country,
+                       std::uint32_t asn, std::string_view as_name) {
+  add_range(net::IPv4Addr(prefix.first()), net::IPv4Addr(prefix.last()),
+            country, asn, as_name);
+}
+
+void GeoDb::build() {
+  // Sort by range start, then by size descending so that for equal starts the
+  // wider (outer) range precedes the narrower (inner) one.
+  std::sort(entries_.begin(), entries_.end(),
+            [](const GeoEntry& a, const GeoEntry& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return (a.last - a.first) > (b.last - b.first);
+            });
+  built_ = true;
+}
+
+std::optional<GeoEntry> GeoDb::lookup(net::IPv4Addr addr) const {
+  if (!built_ || entries_.empty()) return std::nullopt;
+  const std::uint32_t v = addr.value();
+  // Walk back from the insertion point, keeping the narrowest covering
+  // range. Because entries are sorted by start, every candidate lies to the
+  // left; we stop early once a covering range is found and the remaining
+  // candidates' starts are so far left that only *wider* ranges could cover
+  // v (a range starting earlier and still covering v is at least as wide as
+  // the distance from its start to v).
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), v,
+      [](std::uint32_t value, const GeoEntry& e) { return value < e.first; });
+  std::optional<GeoEntry> best;
+  std::uint64_t best_width = ~std::uint64_t{0};
+  while (it != entries_.begin()) {
+    --it;
+    if (best && std::uint64_t{v} - it->first > best_width) break;
+    if (it->last >= v) {
+      const std::uint64_t width = std::uint64_t{it->last} - it->first;
+      if (width < best_width) {
+        best = *it;
+        best_width = width;
+      }
+    }
+  }
+  return best;
+}
+
+std::string GeoDb::country_of(net::IPv4Addr addr) const {
+  const auto entry = lookup(addr);
+  return entry ? entry->country : "??";
+}
+
+}  // namespace orp::intel

@@ -1,0 +1,49 @@
+// Geolocation / AS database — stand-in for the ip2location service used in
+// §IV-C2 ("Distribution of Malicious Resolvers"). Range-based longest-match
+// lookup from IPv4 ranges to ISO country code and autonomous system.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace orp::intel {
+
+struct GeoEntry {
+  std::uint32_t first = 0;  // inclusive range, host byte order
+  std::uint32_t last = 0;
+  std::string country;      // ISO 3166-1 alpha-2
+  std::uint32_t asn = 0;
+  std::string as_name;
+};
+
+class GeoDb {
+ public:
+  /// Ranges may nest; lookup returns the narrowest covering range
+  /// (allocation-within-allocation, the normal shape of registry data).
+  void add_range(net::IPv4Addr first, net::IPv4Addr last,
+                 std::string_view country, std::uint32_t asn = 0,
+                 std::string_view as_name = "");
+  void add_prefix(net::Prefix prefix, std::string_view country,
+                  std::uint32_t asn = 0, std::string_view as_name = "");
+
+  /// Must be called after all ranges are added and before lookups.
+  void build();
+
+  std::optional<GeoEntry> lookup(net::IPv4Addr addr) const;
+
+  /// Country only; "??" when unknown (the paper's Whois-miss case).
+  std::string country_of(net::IPv4Addr addr) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<GeoEntry> entries_;
+  bool built_ = false;
+};
+
+}  // namespace orp::intel

@@ -1,0 +1,52 @@
+#include "intel/org_db.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace orp::intel {
+
+void OrgDb::add_range(net::IPv4Addr first, net::IPv4Addr last,
+                      std::string_view org) {
+  if (first.value() > last.value())
+    throw std::invalid_argument("OrgDb range: first > last");
+  entries_.push_back(Entry{first.value(), last.value(), std::string(org)});
+  built_ = false;
+}
+
+void OrgDb::add_prefix(net::Prefix prefix, std::string_view org) {
+  add_range(net::IPv4Addr(prefix.first()), net::IPv4Addr(prefix.last()), org);
+}
+
+void OrgDb::build() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return (a.last - a.first) > (b.last - b.first);
+            });
+  built_ = true;
+}
+
+std::string OrgDb::org_of(net::IPv4Addr addr) const {
+  if (net::is_private_address(addr)) return "private network";
+  if (!built_) return "unknown";
+  const std::uint32_t v = addr.value();
+  auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), v,
+      [](std::uint32_t value, const Entry& e) { return value < e.first; });
+  const Entry* best = nullptr;
+  std::uint64_t best_width = ~std::uint64_t{0};
+  while (it != entries_.begin()) {
+    --it;
+    if (best && std::uint64_t{v} - it->first > best_width) break;
+    if (it->last >= v) {
+      const std::uint64_t width = std::uint64_t{it->last} - it->first;
+      if (width < best_width) {
+        best = &*it;
+        best_width = width;
+      }
+    }
+  }
+  return best ? best->org : "unknown";
+}
+
+}  // namespace orp::intel

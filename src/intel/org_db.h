@@ -1,0 +1,38 @@
+// Organization attribution — stand-in for the Whois lookups behind
+// Table VIII's "Org Name" column. Private-network addresses answer with
+// "private network" without consulting the database, as the paper renders
+// them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace orp::intel {
+
+class OrgDb {
+ public:
+  void add_range(net::IPv4Addr first, net::IPv4Addr last,
+                 std::string_view org);
+  void add_prefix(net::Prefix prefix, std::string_view org);
+  void build();
+
+  /// "private network" for RFC1918/CGN space, the registered org name when
+  /// covered, "unknown" otherwise (the paper's Whois-miss case, §IV-B4).
+  std::string org_of(net::IPv4Addr addr) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint32_t first;
+    std::uint32_t last;
+    std::string org;
+  };
+  std::vector<Entry> entries_;
+  bool built_ = false;
+};
+
+}  // namespace orp::intel

@@ -1,0 +1,78 @@
+#include "intel/threat_db.h"
+
+#include <array>
+#include <sstream>
+
+namespace orp::intel {
+
+std::string_view to_string(ThreatCategory c) noexcept {
+  switch (c) {
+    case ThreatCategory::kMalware: return "Malware";
+    case ThreatCategory::kPhishing: return "Phishing";
+    case ThreatCategory::kSpam: return "Spam";
+    case ThreatCategory::kSshBruteforce: return "SSH Bruteforce";
+    case ThreatCategory::kScan: return "Scan";
+    case ThreatCategory::kBotnet: return "Botnet";
+    case ThreatCategory::kEmailBruteforce: return "Email Bruteforce";
+  }
+  return "Unknown";
+}
+
+void ThreatDb::add_report(net::IPv4Addr addr, ThreatCategory category,
+                          std::string_view source, std::uint32_t count) {
+  auto& reports = db_[addr];
+  for (auto& r : reports) {
+    if (r.category == category && r.source == source) {
+      r.count += count;
+      return;
+    }
+  }
+  reports.push_back(ThreatReport{category, std::string(source), count});
+}
+
+bool ThreatDb::is_reported(net::IPv4Addr addr) const {
+  return db_.contains(addr);
+}
+
+std::vector<ThreatReport> ThreatDb::lookup(net::IPv4Addr addr) const {
+  const auto it = db_.find(addr);
+  if (it == db_.end()) return {};
+  return it->second;
+}
+
+std::optional<ThreatCategory> ThreatDb::dominant_category(
+    net::IPv4Addr addr) const {
+  const auto it = db_.find(addr);
+  if (it == db_.end()) return std::nullopt;
+  std::array<std::uint64_t, kThreatCategoryCount> totals{};
+  for (const auto& r : it->second)
+    totals[static_cast<std::size_t>(r.category)] += r.count;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < totals.size(); ++i)
+    if (totals[i] > totals[best]) best = i;
+  if (totals[best] == 0) return std::nullopt;
+  return static_cast<ThreatCategory>(best);
+}
+
+std::string ThreatDb::report_card(net::IPv4Addr addr) const {
+  std::ostringstream out;
+  out << addr.to_string() << "\n";
+  const auto it = db_.find(addr);
+  if (it == db_.end()) {
+    out << "  no reports on file\n";
+    return out.str();
+  }
+  std::array<std::uint64_t, kThreatCategoryCount> totals{};
+  for (const auto& r : it->second)
+    totals[static_cast<std::size_t>(r.category)] += r.count;
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    if (totals[i] == 0) continue;
+    out << "  " << to_string(static_cast<ThreatCategory>(i)) << ": "
+        << totals[i] << " report(s)\n";
+  }
+  if (const auto dom = dominant_category(addr))
+    out << "  dominant category: " << to_string(*dom) << "\n";
+  return out.str();
+}
+
+}  // namespace orp::intel

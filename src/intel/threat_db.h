@@ -1,0 +1,67 @@
+// Threat-intelligence database — the stand-in for the Cymon API the paper
+// queries (§IV-C2). Maps IP addresses to community reports in the seven
+// categories of Table IX. Lookup semantics mirror the paper's: an address is
+// "malicious" if it has at least one report, and when reports span multiple
+// categories the most frequently reported category wins.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace orp::intel {
+
+/// Report categories, in Table IX order.
+enum class ThreatCategory : std::uint8_t {
+  kMalware = 0,
+  kPhishing,
+  kSpam,
+  kSshBruteforce,
+  kScan,
+  kBotnet,
+  kEmailBruteforce,
+};
+
+constexpr std::size_t kThreatCategoryCount = 7;
+
+std::string_view to_string(ThreatCategory c) noexcept;
+
+struct ThreatReport {
+  ThreatCategory category = ThreatCategory::kMalware;
+  std::string source;        // reporting feed, e.g. "ransomware-tracker"
+  std::uint32_t count = 1;   // number of community reports in this category
+};
+
+class ThreatDb {
+ public:
+  void add_report(net::IPv4Addr addr, ThreatCategory category,
+                  std::string_view source = "feed", std::uint32_t count = 1);
+
+  bool is_reported(net::IPv4Addr addr) const;
+
+  /// All reports for an address (empty if unreported).
+  std::vector<ThreatReport> lookup(net::IPv4Addr addr) const;
+
+  /// The paper's tie-break: category with the largest report count.
+  std::optional<ThreatCategory> dominant_category(net::IPv4Addr addr) const;
+
+  /// Fig. 4-style report card ("208.91.197.91 — malware x12, phishing x3…").
+  std::string report_card(net::IPv4Addr addr) const;
+
+  std::size_t reported_address_count() const noexcept { return db_.size(); }
+
+ private:
+  struct AddrHash {
+    std::size_t operator()(net::IPv4Addr a) const noexcept {
+      return std::hash<std::uint32_t>{}(a.value());
+    }
+  };
+  std::unordered_map<net::IPv4Addr, std::vector<ThreatReport>, AddrHash> db_;
+};
+
+}  // namespace orp::intel

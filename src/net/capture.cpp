@@ -1,0 +1,27 @@
+#include "net/capture.h"
+
+namespace orp::net {
+
+void Capture::attach(Network& net) {
+  net.add_tap([this](SimTime t, const Datagram& d) { observe(t, d); });
+}
+
+void Capture::observe(SimTime t, const Datagram& d) {
+  if (d.dst.addr == host_) {
+    ++inbound_count_;
+    inbound_.push_back({t, d.src, d.dst, d.payload});
+  } else if (d.src.addr == host_) {
+    ++outbound_count_;
+    if (!count_only_outbound_)
+      outbound_.push_back({t, d.src, d.dst, d.payload});
+  }
+}
+
+void Capture::clear() {
+  inbound_.clear();
+  outbound_.clear();
+  inbound_count_ = 0;
+  outbound_count_ = 0;
+}
+
+}  // namespace orp::net

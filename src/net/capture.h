@@ -1,0 +1,60 @@
+// Packet capture: the in-memory analogue of the paper's pcap traces.
+//
+// The paper captures Q1/R2 at the prober (modified ZMap) and Q2/R1 at the
+// authoritative name server (tcpdump). A Capture is a tap over the simulated
+// network filtered to one vantage point; records keep raw wire bytes so the
+// analysis layer re-decodes them exactly as the paper's libpcap tooling did —
+// including failing on the undecodable packets of the 2013 corpus.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/sim_time.h"
+#include "net/transport.h"
+
+namespace orp::net {
+
+struct CapturedPacket {
+  SimTime time;
+  Endpoint src;
+  Endpoint dst;
+  std::vector<std::uint8_t> payload;
+};
+
+/// A vantage point: capture every datagram to or from `host`, except that
+/// counting-only mode can be enabled for very high-volume directions (the
+/// paper does not retain 3.7B Q1 payloads either — ZMap only logs sends).
+class Capture {
+ public:
+  explicit Capture(IPv4Addr host) : host_(host) {}
+
+  /// Attach to a network as a tap.
+  void attach(Network& net);
+
+  /// When set, packets *sent by* host_ are counted but payloads not stored.
+  void set_count_only_outbound(bool v) noexcept { count_only_outbound_ = v; }
+
+  const std::vector<CapturedPacket>& inbound() const noexcept {
+    return inbound_;
+  }
+  const std::vector<CapturedPacket>& outbound() const noexcept {
+    return outbound_;
+  }
+  std::uint64_t inbound_count() const noexcept { return inbound_count_; }
+  std::uint64_t outbound_count() const noexcept { return outbound_count_; }
+
+  void clear();
+
+ private:
+  void observe(SimTime t, const Datagram& d);
+
+  IPv4Addr host_;
+  bool count_only_outbound_ = false;
+  std::vector<CapturedPacket> inbound_;
+  std::vector<CapturedPacket> outbound_;
+  std::uint64_t inbound_count_ = 0;
+  std::uint64_t outbound_count_ = 0;
+};
+
+}  // namespace orp::net

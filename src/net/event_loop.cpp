@@ -1,0 +1,40 @@
+#include "net/event_loop.h"
+
+#include <utility>
+
+namespace orp::net {
+
+void EventLoop::schedule_at(SimTime at, Action action) {
+  if (at < now_) at = now_;  // no scheduling into the past
+  queue_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+std::uint64_t EventLoop::run() {
+  std::uint64_t count = 0;
+  while (!queue_.empty()) {
+    // Move the event out before popping; the action may schedule more events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.action();
+    ++count;
+    ++executed_;
+  }
+  return count;
+}
+
+std::uint64_t EventLoop::run_until(SimTime deadline) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ev.action();
+    ++count;
+    ++executed_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+}  // namespace orp::net

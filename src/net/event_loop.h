@@ -1,0 +1,61 @@
+// A deterministic discrete-event scheduler.
+//
+// All simulated activity (packet delivery, resolver timeouts, zone loads,
+// prober pacing) is expressed as events on one queue. Ties in timestamp are
+// broken by insertion sequence so runs are bit-reproducible regardless of
+// std::priority_queue internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "net/sim_time.h"
+
+namespace orp::net {
+
+class EventLoop {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `action` at absolute simulated time `at` (clamped to now).
+  void schedule_at(SimTime at, Action action);
+
+  /// Schedule `action` `delay` after the current simulated time.
+  void schedule_in(SimTime delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Run until the queue drains. Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Run until the queue drains or simulated time would pass `deadline`.
+  std::uint64_t run_until(SimTime deadline);
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace orp::net

@@ -1,0 +1,69 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+
+namespace orp::net {
+
+std::string IPv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i != 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<IPv4Addr> IPv4Addr::parse(std::string_view s) {
+  std::uint32_t value = 0;
+  const char* p = s.data();
+  const char* end = s.data() + s.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i != 0) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+    unsigned octet = 0;
+    const auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || next == p || octet > 255) return std::nullopt;
+    // Reject leading zeros like "01" (ambiguous octal forms).
+    if (next - p > 1 && *p == '0') return std::nullopt;
+    value = (value << 8) | octet;
+    p = next;
+  }
+  if (p != end) return std::nullopt;
+  return IPv4Addr(value);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view cidr) {
+  const auto slash = cidr.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IPv4Addr::parse(cidr.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int length = -1;
+  const auto len_str = cidr.substr(slash + 1);
+  const auto [next, ec] =
+      std::from_chars(len_str.data(), len_str.data() + len_str.size(), length);
+  if (ec != std::errc{} || next != len_str.data() + len_str.size() ||
+      length < 0 || length > 32)
+    return std::nullopt;
+  return Prefix(*addr, length);
+}
+
+std::string Prefix::to_string() const {
+  return base().to_string() + "/" + std::to_string(length_);
+}
+
+bool is_private_address(IPv4Addr a) noexcept {
+  static constexpr Prefix kPrivate[] = {
+      Prefix(IPv4Addr(10, 0, 0, 0), 8),
+      Prefix(IPv4Addr(172, 16, 0, 0), 12),
+      Prefix(IPv4Addr(192, 168, 0, 0), 16),
+      Prefix(IPv4Addr(100, 64, 0, 0), 10),
+  };
+  for (const auto& p : kPrivate)
+    if (p.contains(a)) return true;
+  return false;
+}
+
+}  // namespace orp::net

@@ -1,0 +1,80 @@
+// IPv4 address and CIDR prefix value types.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace orp::net {
+
+/// An IPv4 address as a value type; host byte order internally.
+class IPv4Addr {
+ public:
+  constexpr IPv4Addr() = default;
+  constexpr explicit IPv4Addr(std::uint32_t value) noexcept : value_(value) {}
+  constexpr IPv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  std::string to_string() const;
+  /// Parse dotted-quad notation; rejects out-of-range octets and junk.
+  static std::optional<IPv4Addr> parse(std::string_view s);
+
+  friend constexpr auto operator<=>(IPv4Addr, IPv4Addr) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix, e.g. 192.168.0.0/16.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  /// `base` is masked down to the prefix boundary.
+  constexpr Prefix(IPv4Addr base, int length) noexcept
+      : base_(base.value() & mask_for(length)), length_(length) {}
+
+  static std::optional<Prefix> parse(std::string_view cidr);
+
+  constexpr IPv4Addr base() const noexcept { return IPv4Addr(base_); }
+  constexpr int length() const noexcept { return length_; }
+
+  constexpr std::uint32_t first() const noexcept { return base_; }
+  constexpr std::uint32_t last() const noexcept {
+    return base_ | ~mask_for(length_);
+  }
+  /// Number of addresses covered (up to 2^32, hence 64-bit).
+  constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+  constexpr bool contains(IPv4Addr a) const noexcept {
+    return (a.value() & mask_for(length_)) == base_;
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept =
+      default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int length) noexcept {
+    return length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  }
+
+  std::uint32_t base_ = 0;
+  int length_ = 0;
+};
+
+/// Well-known private-network membership (RFC1918 + RFC6598 CGN), used by the
+/// analysis layer to flag answers pointing into private space (Table VIII).
+bool is_private_address(IPv4Addr a) noexcept;
+
+}  // namespace orp::net

@@ -1,0 +1,189 @@
+#include "net/pcap.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace orp::net {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // microsecond timestamps
+constexpr std::uint32_t kLinkTypeRaw = 101;   // packets begin with the IP header
+constexpr std::size_t kIpHeaderLen = 20;
+constexpr std::size_t kUdpHeaderLen = 8;
+
+void put_u16be(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16be(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16be(out, static_cast<std::uint16_t>(v));
+}
+
+void put_u16le(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16le(out, static_cast<std::uint16_t>(v));
+  put_u16le(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+std::uint16_t get_u16be(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::string_view to_string(PcapError e) noexcept {
+  switch (e) {
+    case PcapError::kIoError: return "I/O error";
+    case PcapError::kBadMagic: return "bad magic";
+    case PcapError::kTruncatedHeader: return "truncated header";
+    case PcapError::kTruncatedPacket: return "truncated packet";
+    case PcapError::kUnsupportedLinkType: return "unsupported link type";
+    case PcapError::kMalformedIp: return "malformed IP header";
+    case PcapError::kNotUdp: return "not a UDP packet";
+  }
+  return "unknown";
+}
+
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2)
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  if (len & 1) sum += static_cast<std::uint32_t>(data[len - 1] << 8);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::vector<std::uint8_t> to_pcap(const std::vector<CapturedPacket>& packets) {
+  std::vector<std::uint8_t> out;
+  // Global header.
+  put_u32le(out, kMagic);
+  put_u16le(out, 2);   // version major
+  put_u16le(out, 4);   // version minor
+  put_u32le(out, 0);   // thiszone
+  put_u32le(out, 0);   // sigfigs
+  put_u32le(out, 65535);  // snaplen
+  put_u32le(out, kLinkTypeRaw);
+
+  for (const CapturedPacket& pkt : packets) {
+    const std::size_t frame_len =
+        kIpHeaderLen + kUdpHeaderLen + pkt.payload.size();
+    const auto nanos = static_cast<std::uint64_t>(pkt.time.as_nanos());
+    put_u32le(out, static_cast<std::uint32_t>(nanos / 1'000'000'000));
+    put_u32le(out, static_cast<std::uint32_t>((nanos % 1'000'000'000) / 1000));
+    put_u32le(out, static_cast<std::uint32_t>(frame_len));  // incl_len
+    put_u32le(out, static_cast<std::uint32_t>(frame_len));  // orig_len
+
+    // IPv4 header.
+    std::vector<std::uint8_t> ip;
+    ip.reserve(kIpHeaderLen);
+    ip.push_back(0x45);  // version 4, IHL 5
+    ip.push_back(0);     // DSCP/ECN
+    put_u16be(ip, static_cast<std::uint16_t>(frame_len));
+    put_u16be(ip, 0);       // identification
+    put_u16be(ip, 0x4000);  // don't fragment
+    ip.push_back(64);       // TTL
+    ip.push_back(17);       // UDP
+    put_u16be(ip, 0);       // checksum placeholder
+    put_u32be(ip, pkt.src.addr.value());
+    put_u32be(ip, pkt.dst.addr.value());
+    const std::uint16_t checksum = internet_checksum(ip.data(), ip.size());
+    ip[10] = static_cast<std::uint8_t>(checksum >> 8);
+    ip[11] = static_cast<std::uint8_t>(checksum);
+    out.insert(out.end(), ip.begin(), ip.end());
+
+    // UDP header (checksum 0 = not computed, legal for IPv4).
+    put_u16be(out, pkt.src.port);
+    put_u16be(out, pkt.dst.port);
+    put_u16be(out,
+              static_cast<std::uint16_t>(kUdpHeaderLen + pkt.payload.size()));
+    put_u16be(out, 0);
+    out.insert(out.end(), pkt.payload.begin(), pkt.payload.end());
+  }
+  return out;
+}
+
+util::Expected<std::vector<CapturedPacket>, PcapError> from_pcap(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 24) return PcapError::kTruncatedHeader;
+  if (get_u32le(bytes.data()) != kMagic) return PcapError::kBadMagic;
+  if (get_u32le(bytes.data() + 20) != kLinkTypeRaw)
+    return PcapError::kUnsupportedLinkType;
+
+  std::vector<CapturedPacket> packets;
+  std::size_t pos = 24;
+  while (pos + 16 <= bytes.size()) {
+    const std::uint32_t ts_sec = get_u32le(bytes.data() + pos);
+    const std::uint32_t ts_usec = get_u32le(bytes.data() + pos + 4);
+    const std::uint32_t incl_len = get_u32le(bytes.data() + pos + 8);
+    pos += 16;
+    if (pos + incl_len > bytes.size()) return PcapError::kTruncatedPacket;
+    const std::uint8_t* frame = bytes.data() + pos;
+    pos += incl_len;
+
+    if (incl_len < kIpHeaderLen + kUdpHeaderLen) return PcapError::kMalformedIp;
+    if ((frame[0] >> 4) != 4) return PcapError::kMalformedIp;
+    const std::size_t ihl = static_cast<std::size_t>(frame[0] & 0xF) * 4;
+    if (ihl < kIpHeaderLen || incl_len < ihl + kUdpHeaderLen)
+      return PcapError::kMalformedIp;
+    if (frame[9] != 17) return PcapError::kNotUdp;
+
+    CapturedPacket pkt;
+    pkt.time = SimTime::nanos(static_cast<std::int64_t>(ts_sec) * 1'000'000'000 +
+                              static_cast<std::int64_t>(ts_usec) * 1000);
+    pkt.src.addr = IPv4Addr((static_cast<std::uint32_t>(frame[12]) << 24) |
+                            (static_cast<std::uint32_t>(frame[13]) << 16) |
+                            (static_cast<std::uint32_t>(frame[14]) << 8) |
+                            frame[15]);
+    pkt.dst.addr = IPv4Addr((static_cast<std::uint32_t>(frame[16]) << 24) |
+                            (static_cast<std::uint32_t>(frame[17]) << 16) |
+                            (static_cast<std::uint32_t>(frame[18]) << 8) |
+                            frame[19]);
+    const std::uint8_t* udp = frame + ihl;
+    pkt.src.port = get_u16be(udp);
+    pkt.dst.port = get_u16be(udp + 2);
+    const std::size_t udp_len = get_u16be(udp + 4);
+    if (udp_len < kUdpHeaderLen || ihl + udp_len > incl_len)
+      return PcapError::kNotUdp;
+    pkt.payload.assign(udp + kUdpHeaderLen, udp + udp_len);
+    packets.push_back(std::move(pkt));
+  }
+  return packets;
+}
+
+bool write_pcap_file(const std::string& path,
+                     const std::vector<CapturedPacket>& packets) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const auto bytes = to_pcap(packets);
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+util::Expected<std::vector<CapturedPacket>, PcapError> read_pcap_file(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return PcapError::kIoError;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0)
+    bytes.insert(bytes.end(), buffer, buffer + n);
+  std::fclose(f);
+  return from_pcap(bytes);
+}
+
+}  // namespace orp::net

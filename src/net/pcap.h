@@ -1,0 +1,47 @@
+// Classic pcap file I/O (the libpcap format, LINKTYPE_RAW).
+//
+// The authors' 2013 corpus was stored as .pcap and parsed with libpcap-based
+// code (§IV-C "Caveats"); this module lets captures from the simulated
+// network round-trip through the same on-disk format — each datagram is
+// framed as a raw IPv4 + UDP packet with a correct IP header checksum, so
+// external tools (tcpdump/wireshark) can open the traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/capture.h"
+#include "util/expected.h"
+
+namespace orp::net {
+
+enum class PcapError {
+  kIoError,
+  kBadMagic,
+  kTruncatedHeader,
+  kTruncatedPacket,
+  kUnsupportedLinkType,
+  kMalformedIp,
+  kNotUdp,
+};
+
+std::string_view to_string(PcapError e) noexcept;
+
+/// Serialize captured datagrams to pcap bytes (LINKTYPE_RAW, IPv4/UDP).
+std::vector<std::uint8_t> to_pcap(const std::vector<CapturedPacket>& packets);
+
+/// Parse pcap bytes back into captured datagrams.
+util::Expected<std::vector<CapturedPacket>, PcapError> from_pcap(
+    const std::vector<std::uint8_t>& bytes);
+
+/// File convenience wrappers.
+bool write_pcap_file(const std::string& path,
+                     const std::vector<CapturedPacket>& packets);
+util::Expected<std::vector<CapturedPacket>, PcapError> read_pcap_file(
+    const std::string& path);
+
+/// RFC 1071 Internet checksum (exposed for tests).
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len);
+
+}  // namespace orp::net

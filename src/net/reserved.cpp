@@ -1,0 +1,69 @@
+#include "net/reserved.h"
+
+#include <array>
+
+namespace orp::net {
+namespace {
+
+// Table I of the paper, verbatim. The text renders some prefixes with a
+// truncated octet (e.g. "0.0.0/8"); the RFCs referenced fix the intended
+// canonical blocks used here.
+constexpr std::array<ReservedBlock, 16> kBlocks{{
+    {Prefix(IPv4Addr(0, 0, 0, 0), 8), "RFC1122"},
+    {Prefix(IPv4Addr(10, 0, 0, 0), 8), "RFC1918"},
+    {Prefix(IPv4Addr(100, 64, 0, 0), 10), "RFC6598"},
+    {Prefix(IPv4Addr(127, 0, 0, 0), 8), "RFC1122"},
+    {Prefix(IPv4Addr(169, 254, 0, 0), 16), "RFC3927"},
+    {Prefix(IPv4Addr(172, 16, 0, 0), 12), "RFC1918"},
+    {Prefix(IPv4Addr(192, 0, 0, 0), 24), "RFC6890"},
+    {Prefix(IPv4Addr(192, 0, 2, 0), 24), "RFC5737"},
+    {Prefix(IPv4Addr(192, 88, 99, 0), 24), "RFC3068"},
+    {Prefix(IPv4Addr(192, 168, 0, 0), 16), "RFC1918"},
+    {Prefix(IPv4Addr(198, 18, 0, 0), 15), "RFC2544"},
+    {Prefix(IPv4Addr(198, 51, 100, 0), 24), "RFC5737"},
+    {Prefix(IPv4Addr(203, 0, 113, 0), 24), "RFC5737"},
+    {Prefix(IPv4Addr(224, 0, 0, 0), 4), "RFC5771"},
+    {Prefix(IPv4Addr(240, 0, 0, 0), 4), "RFC1112"},
+    {Prefix(IPv4Addr(255, 255, 255, 255), 32), "RFC919"},
+}};
+
+constexpr std::uint64_t compute_blocks_sum() {
+  std::uint64_t total = 0;
+  for (const auto& b : kBlocks) total += b.prefix.size();
+  return total;
+}
+
+// The true sum of the 16 Table I block sizes. The paper's printed total
+// (575,931,649) does not match its own rows — it is short by exactly one /8
+// (16,777,216), an arithmetic slip in the paper. The real sum matters: after
+// removing the one overlapping address (255.255.255.255/32 lies inside
+// 240.0.0.0/4), 2^32 - 592,708,864 = 3,702,258,432 — *exactly* the paper's
+// 2018 Q1 packet count (Table II), confirming the probed set was "everything
+// outside Table I".
+constexpr std::uint64_t kBlocksSum = compute_blocks_sum();
+static_assert(kBlocksSum == 592708865ULL);
+
+// 255.255.255.255/32 lies inside 240.0.0.0/4, so the count of *unique*
+// reserved addresses is one less than the sum of block sizes.
+constexpr std::uint64_t kUniqueReserved = kBlocksSum - 1;
+
+}  // namespace
+
+std::span<const ReservedBlock> reserved_blocks() noexcept { return kBlocks; }
+
+std::uint64_t reserved_address_count() noexcept { return kBlocksSum; }
+
+std::uint64_t paper_table1_total() noexcept { return 575931649ULL; }
+
+std::uint64_t probeable_address_count() noexcept {
+  // 2^32 - 592,708,864 = 3,702,258,432, matching the paper's 2018 Q1 count.
+  return (std::uint64_t{1} << 32) - kUniqueReserved;
+}
+
+bool is_reserved(IPv4Addr a) noexcept {
+  for (const auto& b : kBlocks)
+    if (b.prefix.contains(a)) return true;
+  return false;
+}
+
+}  // namespace orp::net

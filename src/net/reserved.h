@@ -1,0 +1,42 @@
+// The RFC-reserved IPv4 blocks excluded from probing (paper Table I).
+//
+// The paper excludes 16 address blocks totalling 575,931,649 addresses and
+// scans the remaining ~3.7 billion. We reproduce the exact list, expose a
+// fast membership test (used on the prober's hot path: one check per
+// generated target), and the arithmetic behind Table I.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "net/ipv4.h"
+
+namespace orp::net {
+
+struct ReservedBlock {
+  Prefix prefix;
+  std::string_view rfc;
+};
+
+/// The 16 blocks of Table I, in the paper's order.
+std::span<const ReservedBlock> reserved_blocks() noexcept;
+
+/// True sum of the Table I block sizes: 592,708,865. (The paper prints
+/// 575,931,649 in its Total row — short by exactly one /8; see
+/// paper_table1_total().)
+std::uint64_t reserved_address_count() noexcept;
+
+/// The total the paper printed for Table I (575,931,649), kept so benches
+/// can display paper-vs-recomputed side by side.
+std::uint64_t paper_table1_total() noexcept;
+
+/// 2^32 minus unique reserved addresses: 3,702,258,432 probeable addresses —
+/// exactly the 2018 Q1 count of Table II.
+std::uint64_t probeable_address_count() noexcept;
+
+/// Membership test against the Table I exclusion list. O(number of blocks)
+/// over a compile-time table; branch-predictable and allocation-free.
+bool is_reserved(IPv4Addr a) noexcept;
+
+}  // namespace orp::net

@@ -1,0 +1,11 @@
+#include "net/sim_time.h"
+
+#include "util/strings.h"
+
+namespace orp::net {
+
+std::string SimTime::to_string() const {
+  return util::human_duration(as_seconds());
+}
+
+}  // namespace orp::net

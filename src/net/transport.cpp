@@ -1,0 +1,55 @@
+#include "net/transport.h"
+
+#include <utility>
+
+namespace orp::net {
+
+void Network::bind(Endpoint ep, Handler handler) {
+  handlers_[ep] = std::move(handler);
+}
+
+void Network::unbind(Endpoint ep) { handlers_.erase(ep); }
+
+bool Network::bound(Endpoint ep) const { return handlers_.contains(ep); }
+
+SimTime Network::sample_latency() {
+  const auto jitter_ns = latency_.jitter.as_nanos();
+  const auto extra =
+      jitter_ns > 0
+          ? static_cast<std::int64_t>(
+                rng_.bounded(static_cast<std::uint64_t>(jitter_ns)))
+          : 0;
+  return latency_.base + SimTime::nanos(extra);
+}
+
+void Network::send(Datagram d) {
+  ++sent_;
+  for (const auto& tap : taps_) tap(loop_.now(), d);
+  if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) {
+    ++dropped_loss_;
+    return;
+  }
+  const auto it = handlers_.find(d.dst);
+  if (it == handlers_.end()) {
+    ++dropped_unbound_;
+    return;
+  }
+  const SimTime deliver_at = loop_.now() + sample_latency();
+  // Copy the handler reference target by key lookup at delivery time, so a
+  // host that unbinds mid-flight drops the packet instead of touching a
+  // dangling callback.
+  loop_.schedule_at(deliver_at, [this, d = std::move(d)]() {
+    const auto live = handlers_.find(d.dst);
+    if (live == handlers_.end()) {
+      ++dropped_unbound_;
+      return;
+    }
+    ++delivered_;
+    // Copy before invoking: a handler may unbind itself (one-shot ephemeral
+    // ports do), which would otherwise destroy the function mid-call.
+    const Handler handler = live->second;
+    handler(d);
+  });
+}
+
+}  // namespace orp::net

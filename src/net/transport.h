@@ -1,0 +1,100 @@
+// Simulated UDP datagram network.
+//
+// Hosts register an endpoint (address, port) and receive datagrams through a
+// callback. Delivery goes through the event loop with a configurable latency
+// model and loss rate. Taps can observe every accepted datagram — this is
+// how the prober-side and authns-side captures of Fig. 2 are implemented
+// (the paper used modified ZMap output and tcpdump respectively).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/ipv4.h"
+#include "util/rng.h"
+
+namespace orp::net {
+
+constexpr std::uint16_t kDnsPort = 53;
+
+struct Endpoint {
+  IPv4Addr addr;
+  std::uint16_t port = 0;
+
+  friend constexpr auto operator<=>(const Endpoint&, const Endpoint&) noexcept =
+      default;
+};
+
+struct Datagram {
+  Endpoint src;
+  Endpoint dst;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Latency model: base propagation delay plus uniform jitter.
+struct LatencyModel {
+  SimTime base = SimTime::millis(20);
+  SimTime jitter = SimTime::millis(30);
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Datagram&)>;
+  using Tap = std::function<void(SimTime, const Datagram&)>;
+
+  explicit Network(EventLoop& loop, std::uint64_t seed = 1)
+      : loop_(loop), rng_(seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  void set_latency(LatencyModel m) noexcept { latency_ = m; }
+  void set_loss_rate(double p) noexcept { loss_rate_ = p; }
+
+  /// Bind a handler to an endpoint. Rebinding replaces the previous handler.
+  void bind(Endpoint ep, Handler handler);
+  void unbind(Endpoint ep);
+  bool bound(Endpoint ep) const;
+
+  /// Send a datagram. If nothing is bound at the destination the packet is
+  /// silently dropped — exactly how probing a non-resolver address behaves.
+  void send(Datagram d);
+
+  /// Install a tap observing every datagram accepted into the network
+  /// (before loss is applied), stamped with the send time.
+  void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
+
+  std::uint64_t sent() const noexcept { return sent_; }
+  std::uint64_t delivered() const noexcept { return delivered_; }
+  std::uint64_t dropped_loss() const noexcept { return dropped_loss_; }
+  std::uint64_t dropped_unbound() const noexcept { return dropped_unbound_; }
+
+  EventLoop& loop() noexcept { return loop_; }
+
+ private:
+  struct EndpointHash {
+    std::size_t operator()(const Endpoint& e) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (std::uint64_t{e.addr.value()} << 16) | e.port);
+    }
+  };
+
+  SimTime sample_latency();
+
+  EventLoop& loop_;
+  util::Rng rng_;
+  LatencyModel latency_{};
+  double loss_rate_ = 0.0;
+  std::unordered_map<Endpoint, Handler, EndpointHash> handlers_;
+  std::vector<Tap> taps_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_loss_ = 0;
+  std::uint64_t dropped_unbound_ = 0;
+};
+
+}  // namespace orp::net

@@ -1,0 +1,86 @@
+#include "prober/permutation.h"
+
+#include "util/rng.h"
+
+namespace orp::prober {
+
+std::vector<std::uint64_t> factorize(std::uint64_t n) {
+  std::vector<std::uint64_t> factors;
+  for (std::uint64_t f = 2; f * f <= n; f += (f == 2 ? 1 : 2)) {
+    if (n % f == 0) {
+      factors.push_back(f);
+      while (n % f == 0) n /= f;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+std::uint64_t modpow(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  __uint128_t result = 1;
+  __uint128_t b = base % m;
+  while (exp > 0) {
+    if (exp & 1) result = (result * b) % m;
+    b = (b * b) % m;
+    exp >>= 1;
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+bool is_generator(std::uint64_t g) {
+  if (g <= 1 || g >= kPermutationPrime) return false;
+  // g is a generator iff g^((p-1)/q) != 1 for every prime factor q of p-1.
+  static const std::vector<std::uint64_t> kFactors =
+      factorize(kPermutationPrime - 1);
+  for (const std::uint64_t q : kFactors) {
+    if (modpow(g, (kPermutationPrime - 1) / q, kPermutationPrime) == 1)
+      return false;
+  }
+  return true;
+}
+
+PermutationParams derive_params(std::uint64_t seed) {
+  util::Rng rng(seed);
+  PermutationParams params;
+  do {
+    params.generator = 2 + rng.bounded(kPermutationPrime - 3);
+  } while (!is_generator(params.generator));
+  params.start = 1 + rng.bounded(kPermutationPrime - 2);
+  return params;
+}
+
+CyclicPermutation::CyclicPermutation(std::uint64_t seed) {
+  const PermutationParams p = derive_params(seed);
+  generator_ = p.generator;
+  start_ = p.start;
+  state_ = p.start;
+}
+
+CyclicPermutation::CyclicPermutation(std::uint64_t generator,
+                                     std::uint64_t start)
+    : generator_(generator), start_(start), state_(start) {}
+
+std::uint64_t CyclicPermutation::next_raw() {
+  const std::uint64_t current = state_;
+  state_ = static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(state_) * generator_) % kPermutationPrime);
+  ++steps_;
+  return current;
+}
+
+std::optional<net::IPv4Addr> CyclicPermutation::next_address() {
+  while (!cycle_complete()) {
+    const std::uint64_t raw = next_raw();
+    if (raw < (std::uint64_t{1} << 32))
+      return net::IPv4Addr(static_cast<std::uint32_t>(raw));
+  }
+  return std::nullopt;
+}
+
+std::uint64_t CyclicPermutation::raw_at(std::uint64_t k) const {
+  const __uint128_t v = static_cast<__uint128_t>(start_) *
+                        modpow(generator_, k, kPermutationPrime);
+  return static_cast<std::uint64_t>(v % kPermutationPrime);
+}
+
+}  // namespace orp::prober

@@ -1,0 +1,72 @@
+// ZMap-style address-space permutation (Durumeric et al., USENIX Sec'13).
+//
+// ZMap visits every IPv4 address exactly once, in an order that looks random
+// to the network, without keeping per-address state: it iterates the cyclic
+// multiplicative group modulo the prime p = 2^32 + 15. Successive states are
+// x_{k+1} = g * x_k mod p for a generator g of the group; states >= 2^32 are
+// skipped (there are only 14), and state 0 never occurs. One full cycle of
+// p - 1 steps therefore covers 1..2^32-1 exactly once.
+//
+// A *truncated* iteration (the first N outputs) is a uniform pseudo-random
+// sample of the space — which is exactly what our scaled scans are, and what
+// a partially-completed ZMap run is in reality.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace orp::prober {
+
+/// The ZMap modulus: the smallest prime above 2^32.
+constexpr std::uint64_t kPermutationPrime = 4294967311ULL;  // 2^32 + 15
+
+/// Prime factorization of p-1, needed to test candidate generators.
+std::vector<std::uint64_t> factorize(std::uint64_t n);
+
+/// (base^exp) mod m with 128-bit intermediates.
+std::uint64_t modpow(std::uint64_t base, std::uint64_t exp, std::uint64_t m);
+
+/// True iff g generates the full multiplicative group mod kPermutationPrime.
+bool is_generator(std::uint64_t g);
+
+/// Deterministically derive a generator and a starting state from a seed,
+/// as ZMap derives them from its scan seed.
+struct PermutationParams {
+  std::uint64_t generator = 0;
+  std::uint64_t start = 0;  // x_0 in [1, p-1]
+};
+PermutationParams derive_params(std::uint64_t seed);
+
+/// Iterator over the permutation. Yields raw group elements; callers skip
+/// the >= 2^32 values (next_address() does this for you).
+class CyclicPermutation {
+ public:
+  explicit CyclicPermutation(std::uint64_t seed);
+  CyclicPermutation(std::uint64_t generator, std::uint64_t start);
+
+  /// The next raw group element in (0, p). Advances the state.
+  std::uint64_t next_raw();
+
+  /// The next state that is a valid 32-bit address (skips the <=15 raw
+  /// values >= 2^32). Returns nullopt once the cycle is complete.
+  std::optional<net::IPv4Addr> next_address();
+
+  /// Random access: the k-th raw element, x_0 * g^k mod p. O(log k).
+  std::uint64_t raw_at(std::uint64_t k) const;
+
+  std::uint64_t generator() const noexcept { return generator_; }
+  std::uint64_t start() const noexcept { return start_; }
+  std::uint64_t steps() const noexcept { return steps_; }
+  bool cycle_complete() const noexcept { return steps_ >= kPermutationPrime - 1; }
+
+ private:
+  std::uint64_t generator_;
+  std::uint64_t start_;
+  std::uint64_t state_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace orp::prober

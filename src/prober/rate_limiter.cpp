@@ -1,0 +1,40 @@
+#include "prober/rate_limiter.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace orp::prober {
+
+RateLimiter::RateLimiter(double rate_pps, std::uint64_t burst)
+    : rate_pps_(rate_pps),
+      capacity_(static_cast<double>(burst)),
+      tokens_(static_cast<double>(burst)) {
+  if (rate_pps <= 0) throw std::invalid_argument("rate must be positive");
+}
+
+void RateLimiter::refill(net::SimTime now) {
+  if (now <= last_refill_) return;
+  const double elapsed = (now - last_refill_).as_seconds();
+  tokens_ = std::min(capacity_, tokens_ + elapsed * rate_pps_);
+  last_refill_ = now;
+}
+
+bool RateLimiter::try_acquire(std::uint64_t n, net::SimTime now,
+                              net::SimTime& next_ready) {
+  refill(now);
+  const double need = static_cast<double>(n);
+  if (tokens_ + 1e-9 >= need) {
+    tokens_ -= need;
+    granted_ += n;
+    return true;
+  }
+  const double deficit = need - tokens_;
+  // Clamp the wait to a representable step: a sub-nanosecond deficit would
+  // otherwise round to "ready now" and livelock the caller's retry loop.
+  const net::SimTime wait = std::max(net::SimTime::micros(1),
+                                     net::SimTime::seconds(deficit / rate_pps_));
+  next_ready = now + wait;
+  return false;
+}
+
+}  // namespace orp::prober

@@ -1,0 +1,38 @@
+// Send pacing for the scanner.
+//
+// The paper probed at 100k packets/second ("to cope with our limited
+// bandwidth, I/O constraints, etc."), i.e. well below ZMap's line rate. We
+// model pacing as a token bucket evaluated in simulated time: the scanner
+// asks when it may send its next batch and schedules itself accordingly.
+#pragma once
+
+#include <cstdint>
+
+#include "net/sim_time.h"
+
+namespace orp::prober {
+
+class RateLimiter {
+ public:
+  /// `rate_pps` packets per (simulated) second; `burst` is the bucket depth.
+  RateLimiter(double rate_pps, std::uint64_t burst = 256);
+
+  /// Try to take `n` tokens at time `now`. Returns true and consumes them if
+  /// available; otherwise returns false and `next_ready` is set to the
+  /// earliest time the request could succeed.
+  bool try_acquire(std::uint64_t n, net::SimTime now, net::SimTime& next_ready);
+
+  double rate() const noexcept { return rate_pps_; }
+  std::uint64_t granted() const noexcept { return granted_; }
+
+ private:
+  void refill(net::SimTime now);
+
+  double rate_pps_;
+  double capacity_;
+  double tokens_;
+  net::SimTime last_refill_;
+  std::uint64_t granted_ = 0;
+};
+
+}  // namespace orp::prober

@@ -1,0 +1,153 @@
+#include "prober/scanner.h"
+
+#include "dns/builder.h"
+
+namespace orp::prober {
+
+namespace {
+constexpr std::uint16_t kProberPort = 54321;  // fixed source port, ZMap-style
+}
+
+Scanner::Scanner(net::Network& network, net::IPv4Addr prober_addr,
+                 ScanConfig config, zone::SubdomainScheme scheme)
+    : network_(network),
+      addr_(prober_addr),
+      config_(config),
+      clusters_(std::move(scheme), config.rotate_pause),
+      permutation_(config.seed),
+      limiter_(config.rate_pps, config.batch_size * 4) {
+  network_.bind(net::Endpoint{addr_, kProberPort},
+                [this](const net::Datagram& d) { on_datagram(d); });
+}
+
+void Scanner::start(DoneCallback done) {
+  done_ = std::move(done);
+  stats_.started = network_.loop().now();
+  network_.loop().schedule_in(net::SimTime::nanos(0),
+                              [this]() { send_batch(); });
+  network_.loop().schedule_in(config_.reap_interval,
+                              [this]() { reap(false); });
+}
+
+void Scanner::send_batch() {
+  if (sending_done_) return;
+  net::SimTime next_ready;
+  if (!limiter_.try_acquire(config_.batch_size, network_.loop().now(),
+                            next_ready)) {
+    network_.loop().schedule_at(next_ready, [this]() { send_batch(); });
+    return;
+  }
+
+  // The limiter paces *packets on the wire*; excluded addresses cost a
+  // permutation step but no send budget (as in ZMap).
+  bool rotated = false;
+  for (std::uint64_t sent = 0;
+       sent < config_.batch_size && raw_consumed_ < config_.raw_steps;) {
+    ++raw_consumed_;
+    const std::uint64_t raw = permutation_.next_raw();
+    if (raw >= (std::uint64_t{1} << 32)) {
+      ++stats_.skipped_overflow;
+      continue;
+    }
+    const net::IPv4Addr target(static_cast<std::uint32_t>(raw));
+    if (net::is_reserved(target)) {
+      ++stats_.skipped_reserved;
+      continue;
+    }
+    ++sent;
+    const std::uint32_t cluster_before = clusters_.current_cluster();
+    send_one_probe(target);
+    if (clusters_.current_cluster() != cluster_before) {
+      // A zone rotation started at the auth server; stop the batch so the
+      // send pause covers the reload window.
+      rotated = true;
+      if (on_rotate_) on_rotate_(clusters_.current_cluster());
+      break;
+    }
+  }
+
+  if (raw_consumed_ >= config_.raw_steps) {
+    sending_done_ = true;
+    // Final drain: one response window after the last probe, then sweep.
+    network_.loop().schedule_in(config_.response_timeout, [this]() {
+      reap(true);
+      maybe_finish();
+    });
+    return;
+  }
+  // Pause across a zone reload so recursions never race the loading server,
+  // as the authors' pipeline coordinated prober and name server.
+  const net::SimTime delay =
+      rotated ? config_.rotate_pause : net::SimTime::nanos(0);
+  network_.loop().schedule_in(delay, [this]() { send_batch(); });
+}
+
+void Scanner::send_one_probe(net::IPv4Addr target) {
+  const zone::SubdomainId id = clusters_.acquire();
+  const dns::DnsName qname = clusters_.scheme().qname(id);
+  dns::Message query = dns::make_query(next_txn_++, qname, config_.qtype);
+  if (next_txn_ == 0) next_txn_ = 1;
+  outstanding_[qname.canonical_key()] =
+      Outstanding{id, network_.loop().now()};
+  ++stats_.q1_sent;
+  network_.send(net::Datagram{net::Endpoint{addr_, kProberPort},
+                              net::Endpoint{target, net::kDnsPort},
+                              dns::encode(query)});
+}
+
+void Scanner::on_datagram(const net::Datagram& d) {
+  ++stats_.r2_received;
+  responses_.push_back(
+      R2Record{network_.loop().now(), d.src.addr, d.payload});
+
+  // Group the flow by qname (§III-B): the DNS ID field is too narrow at
+  // 100k pps, so the question name is the flow key.
+  const auto decoded = dns::decode(d.payload);
+  if (decoded && !decoded->questions.empty()) {
+    const auto key = decoded->questions.front().qname.canonical_key();
+    const auto it = outstanding_.find(key);
+    if (it != outstanding_.end()) {
+      ++stats_.r2_matched;
+      clusters_.retire_answered(it->second.id);
+      outstanding_.erase(it);
+    } else {
+      ++stats_.r2_unmatched;
+    }
+    return;
+  }
+  if (decoded && decoded->questions.empty()) {
+    // The paper's 494 unmatchable responses: no dns_question to group by.
+    ++stats_.r2_empty_question;
+    return;
+  }
+  // Header too mangled even to count a question; still an R2.
+  ++stats_.r2_unmatched;
+}
+
+void Scanner::reap(bool final_sweep) {
+  const net::SimTime now = network_.loop().now();
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (final_sweep || now - it->second.sent >= config_.response_timeout) {
+      if (config_.subdomain_reuse)
+        clusters_.release_unanswered(it->second.id);
+      it = outstanding_.erase(it);
+      ++stats_.timeouts_reaped;
+    } else {
+      ++it;
+    }
+  }
+  if (!sending_done_) {
+    network_.loop().schedule_in(config_.reap_interval,
+                                [this]() { reap(false); });
+  }
+}
+
+void Scanner::maybe_finish() {
+  if (finished_ || !sending_done_) return;
+  finished_ = true;
+  stats_.finished = network_.loop().now();
+  network_.unbind(net::Endpoint{addr_, kProberPort});
+  if (done_) done_();
+}
+
+}  // namespace orp::prober

@@ -1,0 +1,118 @@
+// The probing system of Fig. 2: a modified-ZMap-style scanner that walks the
+// address space in cyclic-permutation order, skips the Table I exclusion
+// list, paces itself, stamps each probe with a unique probe subdomain, and
+// collects R2 responses — reusing the subdomains of unanswered probes so the
+// authoritative server's zone rotations stay rare (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/codec.h"
+#include "net/capture.h"
+#include "net/reserved.h"
+#include "net/transport.h"
+#include "prober/permutation.h"
+#include "prober/rate_limiter.h"
+#include "zone/cluster.h"
+
+namespace orp::prober {
+
+struct ScanConfig {
+  std::uint64_t seed = 2018;
+  double rate_pps = 100000.0;       // paper: 100k pps
+  std::uint64_t batch_size = 64;    // probes per send event
+  /// Number of raw permutation elements to consume. The full cycle is
+  /// kPermutationPrime - 1; a scaled scan consumes the first (cycle/scale).
+  std::uint64_t raw_steps = kPermutationPrime - 1;
+  net::SimTime response_timeout = net::SimTime::seconds(30.0);
+  net::SimTime reap_interval = net::SimTime::seconds(10.0);
+  net::SimTime rotate_pause;        // send pause per zone rotation
+  dns::RRType qtype = dns::RRType::kA;
+  /// §III-B subdomain reuse. Disabling it burns a fresh name per probe —
+  /// the ~800-zone-load regime the paper engineered away (ablation knob).
+  bool subdomain_reuse = true;
+};
+
+/// One collected R2, as captured at the prober (raw bytes; the analysis
+/// layer re-decodes, because decode *failure* is itself a measured behavior).
+struct R2Record {
+  net::SimTime time;
+  net::IPv4Addr resolver;
+  std::vector<std::uint8_t> payload;
+};
+
+struct ScanStats {
+  std::uint64_t q1_sent = 0;            // probes sent (Table II "Q1")
+  std::uint64_t skipped_reserved = 0;   // Table I exclusions hit
+  std::uint64_t skipped_overflow = 0;   // raw permutation values >= 2^32
+  std::uint64_t r2_received = 0;        // responses (Table II "R2")
+  std::uint64_t r2_matched = 0;         // grouped to a probe by qname
+  std::uint64_t r2_empty_question = 0;  // §IV-B4 population
+  std::uint64_t r2_unmatched = 0;       // question present but not ours
+  std::uint64_t timeouts_reaped = 0;
+  net::SimTime started;
+  net::SimTime finished;
+
+  net::SimTime duration() const noexcept { return finished - started; }
+};
+
+class Scanner {
+ public:
+  using DoneCallback = std::function<void()>;
+  /// Invoked when the subdomain planner rotates to a new cluster; the
+  /// pipeline wires this to AuthServer::load_cluster.
+  using RotateCallback = std::function<void(std::uint32_t cluster)>;
+
+  Scanner(net::Network& network, net::IPv4Addr prober_addr, ScanConfig config,
+          zone::SubdomainScheme scheme);
+
+  void set_rotate_callback(RotateCallback cb) { on_rotate_ = std::move(cb); }
+
+  /// Begin scanning; `done` fires after the last probe's response window.
+  void start(DoneCallback done);
+
+  const ScanStats& stats() const noexcept { return stats_; }
+  const std::vector<R2Record>& responses() const noexcept {
+    return responses_;
+  }
+  const zone::ClusterManager& clusters() const noexcept { return clusters_; }
+  net::IPv4Addr address() const noexcept { return addr_; }
+
+  /// Release response storage once analysis has consumed it.
+  std::vector<R2Record> take_responses() { return std::move(responses_); }
+
+ private:
+  void send_batch();
+  void send_one_probe(net::IPv4Addr target);
+  void on_datagram(const net::Datagram& d);
+  void reap(bool final_sweep);
+  void maybe_finish();
+
+  net::Network& network_;
+  net::IPv4Addr addr_;
+  ScanConfig config_;
+  zone::ClusterManager clusters_;
+  CyclicPermutation permutation_;
+  RateLimiter limiter_;
+  RotateCallback on_rotate_;
+  DoneCallback done_;
+
+  struct Outstanding {
+    zone::SubdomainId id;
+    net::SimTime sent;
+  };
+  std::unordered_map<std::string, Outstanding> outstanding_;  // qname key
+
+  std::uint64_t raw_consumed_ = 0;
+  std::uint16_t next_txn_ = 1;
+  bool sending_done_ = false;
+  bool finished_ = false;
+  ScanStats stats_;
+  std::vector<R2Record> responses_;
+};
+
+}  // namespace orp::prober

@@ -1,0 +1,17 @@
+#include "resolver/behavior.h"
+
+namespace orp::resolver {
+
+std::string_view to_string(AnswerMode m) noexcept {
+  switch (m) {
+    case AnswerMode::kNone: return "none";
+    case AnswerMode::kRecursive: return "recursive";
+    case AnswerMode::kFixedIp: return "fixed-ip";
+    case AnswerMode::kUrl: return "url";
+    case AnswerMode::kGarbageString: return "garbage-string";
+    case AnswerMode::kUndecodable: return "undecodable";
+  }
+  return "?";
+}
+
+}  // namespace orp::resolver

@@ -1,0 +1,73 @@
+#include "resolver/cache.h"
+
+#include <algorithm>
+
+namespace orp::resolver {
+
+std::string DnsCache::key(const dns::DnsName& qname, dns::RRType qtype) {
+  return qname.canonical_key() + "/" +
+         std::to_string(static_cast<std::uint16_t>(qtype));
+}
+
+void DnsCache::put(const dns::DnsName& qname, dns::RRType qtype,
+                   std::vector<dns::ResourceRecord> records, net::SimTime now) {
+  if (capacity_ == 0) return;
+  std::uint32_t min_ttl = ~std::uint32_t{0};
+  for (const auto& rr : records) min_ttl = std::min(min_ttl, rr.ttl);
+  if (records.empty()) min_ttl = 0;
+  std::string k = key(qname, qtype);
+  if (const auto it = entries_.find(k); it != entries_.end()) {
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+  }
+  lru_.push_front(k);
+  entries_.emplace(std::move(k),
+                   Entry{std::move(records),
+                         now + net::SimTime::seconds(min_ttl), lru_.begin()});
+  ++stats_.insertions;
+  evict_if_needed();
+}
+
+std::optional<std::vector<dns::ResourceRecord>> DnsCache::get(
+    const dns::DnsName& qname, dns::RRType qtype, net::SimTime now) {
+  const auto it = entries_.find(key(qname, qtype));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second.expires <= now) {
+    ++stats_.expired;
+    ++stats_.misses;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.records;
+}
+
+std::size_t DnsCache::purge_expired(net::SimTime now) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires <= now) {
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++removed;
+      ++stats_.expired;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void DnsCache::evict_if_needed() {
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace orp::resolver

@@ -1,0 +1,67 @@
+// TTL-bounded DNS cache (RFC 1034 §5) with LRU eviction.
+//
+// The paper's probing methodology is built around defeating this exact
+// component: every probe uses a never-before-seen qname, so a cache can
+// never satisfy Q1 and every R2 reflects live resolver behavior. The cache
+// still matters for the substrate: NS/glue caching is why real resolvers
+// skip root/TLD on repeat business, and the examples demonstrate both the
+// hit and the bypass.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "net/sim_time.h"
+
+namespace orp::resolver {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+class DnsCache {
+ public:
+  explicit DnsCache(std::size_t capacity = 100000) : capacity_(capacity) {}
+
+  /// Store records under (qname, qtype); entry expires at now + min TTL.
+  void put(const dns::DnsName& qname, dns::RRType qtype,
+           std::vector<dns::ResourceRecord> records, net::SimTime now);
+
+  /// Lookup; expired entries are dropped lazily.
+  std::optional<std::vector<dns::ResourceRecord>> get(const dns::DnsName& qname,
+                                                      dns::RRType qtype,
+                                                      net::SimTime now);
+
+  /// Drop every expired entry eagerly; returns how many were removed.
+  std::size_t purge_expired(net::SimTime now);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  const CacheStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    std::vector<dns::ResourceRecord> records;
+    net::SimTime expires;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  static std::string key(const dns::DnsName& qname, dns::RRType qtype);
+  void evict_if_needed();
+
+  std::size_t capacity_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  CacheStats stats_;
+};
+
+}  // namespace orp::resolver

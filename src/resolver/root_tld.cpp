@@ -1,0 +1,82 @@
+#include "resolver/root_tld.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "dns/builder.h"
+
+namespace orp::resolver {
+
+ReferralServer::ReferralServer(net::Network& network, net::IPv4Addr addr,
+                               dns::DnsName apex)
+    : network_(network), addr_(addr), apex_(std::move(apex)) {
+  network_.bind(net::Endpoint{addr_, net::kDnsPort},
+                [this](const net::Datagram& d) { on_datagram(d); });
+}
+
+void ReferralServer::delegate(DelegationEntry entry) {
+  delegations_.push_back(std::move(entry));
+}
+
+void ReferralServer::on_datagram(const net::Datagram& d) {
+  ++queries_;
+  const auto decoded = dns::decode(d.payload);
+  if (!decoded || decoded->questions.empty()) return;  // drop junk
+  const dns::Question& q = decoded->questions.front();
+
+  dns::Message response;
+  if (!q.qname.is_subdomain_of(apex_)) {
+    response = dns::make_error_response(*decoded, dns::Rcode::kRefused,
+                                        /*ra=*/false);
+  } else {
+    // Longest-match delegation.
+    const DelegationEntry* best = nullptr;
+    for (const auto& del : delegations_) {
+      if (!q.qname.is_subdomain_of(del.zone)) continue;
+      if (!best || del.zone.label_count() > best->zone.label_count())
+        best = &del;
+    }
+    if (best) {
+      response = dns::make_referral(*decoded, best->zone,
+                                    {{best->ns_name, best->ns_addr}});
+    } else {
+      response = dns::make_error_response(*decoded, dns::Rcode::kNXDomain,
+                                          /*ra=*/false);
+      response.header.flags.aa = true;
+    }
+  }
+  network_.send(net::Datagram{net::Endpoint{addr_, net::kDnsPort}, d.src,
+                              dns::encode(response)});
+}
+
+SimHierarchy build_hierarchy(net::Network& network, const dns::DnsName& sld,
+                             const dns::DnsName& auth_ns_name,
+                             net::IPv4Addr auth_ns_addr, int root_count) {
+  SimHierarchy h;
+  // Addresses chosen to echo the real root/gTLD constellation.
+  const net::IPv4Addr root_addrs[] = {
+      net::IPv4Addr(198, 41, 0, 4),    // a.root-servers.net
+      net::IPv4Addr(199, 9, 14, 201),  // b.root-servers.net
+      net::IPv4Addr(192, 33, 4, 12),   // c.root-servers.net
+      net::IPv4Addr(199, 7, 91, 13),   // d.root-servers.net
+      net::IPv4Addr(192, 203, 230, 10),
+      net::IPv4Addr(192, 5, 5, 241),
+  };
+  const net::IPv4Addr tld_addr(192, 5, 6, 30);  // a.gtld-servers.net
+  const dns::DnsName net_zone = dns::DnsName::must_parse("net");
+  const dns::DnsName tld_ns = dns::DnsName::must_parse("a.gtld-servers.net");
+
+  const int n = std::min<int>(root_count, std::size(root_addrs));
+  for (int i = 0; i < n; ++i) {
+    auto root = std::make_unique<ReferralServer>(network, root_addrs[i],
+                                                 dns::DnsName());
+    root->delegate(DelegationEntry{net_zone, tld_ns, tld_addr});
+    h.hints.roots.push_back(root_addrs[i]);
+    h.roots.push_back(std::move(root));
+  }
+  h.net_tld = std::make_unique<ReferralServer>(network, tld_addr, net_zone);
+  h.net_tld->delegate(DelegationEntry{sld, auth_ns_name, auth_ns_addr});
+  return h;
+}
+
+}  // namespace orp::resolver

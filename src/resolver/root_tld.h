@@ -1,0 +1,69 @@
+// Simulated root and TLD name servers (Fig. 1 steps 2-5).
+//
+// The paper could not build its own root/TLD infrastructure and treated it
+// as out of scope; our simulated Internet has to provide it so that honest
+// resolvers can genuinely walk the hierarchy: root refers .net queries to
+// the TLD server, which refers <sld>.net queries to the measurement's
+// authoritative server.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dns/codec.h"
+#include "net/transport.h"
+
+namespace orp::resolver {
+
+struct DelegationEntry {
+  dns::DnsName zone;       // e.g. "ucfsealresearch.net"
+  dns::DnsName ns_name;    // e.g. "ns1.ucfsealresearch.net"
+  net::IPv4Addr ns_addr;   // glue
+};
+
+/// A referral-only server: answers every query with a delegation toward the
+/// most specific registered zone, or NXDomain when it knows nothing below
+/// the apex it serves. One class covers both the root (serving ".", knowing
+/// TLDs) and a TLD server (serving "net", knowing SLDs).
+class ReferralServer {
+ public:
+  ReferralServer(net::Network& network, net::IPv4Addr addr, dns::DnsName apex);
+
+  /// Register a child zone delegation.
+  void delegate(DelegationEntry entry);
+
+  net::IPv4Addr address() const noexcept { return addr_; }
+  const dns::DnsName& apex() const noexcept { return apex_; }
+  std::uint64_t queries() const noexcept { return queries_; }
+
+ private:
+  void on_datagram(const net::Datagram& d);
+
+  net::Network& network_;
+  net::IPv4Addr addr_;
+  dns::DnsName apex_;
+  std::vector<DelegationEntry> delegations_;
+  std::uint64_t queries_ = 0;
+};
+
+/// The root hints a resolver is configured with.
+struct RootHints {
+  std::vector<net::IPv4Addr> roots;
+};
+
+/// Builds the standard simulated hierarchy used across tests, examples and
+/// the measurement pipeline: `root_count` root servers (all equivalent), a
+/// .net TLD server, and the delegation chain down to `auth_ns` for `sld`.
+struct SimHierarchy {
+  std::vector<std::unique_ptr<ReferralServer>> roots;
+  std::unique_ptr<ReferralServer> net_tld;
+  RootHints hints;
+};
+
+SimHierarchy build_hierarchy(net::Network& network, const dns::DnsName& sld,
+                             const dns::DnsName& auth_ns_name,
+                             net::IPv4Addr auth_ns_addr, int root_count = 3);
+
+}  // namespace orp::resolver

@@ -1,0 +1,224 @@
+#include "resolver/scripted_resolver.h"
+
+#include <memory>
+
+#include "dns/edns.h"
+#include <utility>
+
+namespace orp::resolver {
+
+ResolverHost::ResolverHost(net::Network& network, net::IPv4Addr addr,
+                           BehaviorProfile profile, EngineConfig engine_config,
+                           std::uint64_t seed)
+    : network_(network),
+      addr_(addr),
+      profile_(std::move(profile)),
+      engine_config_(std::move(engine_config)),
+      seed_(seed),
+      rrl_(profile_.rrl) {
+  network_.bind(net::Endpoint{addr_, net::kDnsPort},
+                [this](const net::Datagram& d) { on_query(d); });
+}
+
+ResolverHost::~ResolverHost() {
+  network_.unbind(net::Endpoint{addr_, net::kDnsPort});
+}
+
+void ResolverHost::stamp(dns::Message& response) const {
+  response.header.flags.ra = profile_.ra;
+  response.header.flags.aa = profile_.aa;
+  response.header.flags.rcode = profile_.rcode;
+  if (profile_.omit_question) {
+    response.questions.clear();
+  }
+}
+
+void ResolverHost::on_query(const net::Datagram& d) {
+  ++stats_.queries;
+  if (!profile_.respond) return;
+  const auto decoded = dns::decode(d.payload);
+  if (!decoded || decoded->questions.empty()) return;
+
+  // CHAOS-class version.bind: the fingerprinting side channel.
+  if (decoded->questions.front().qclass == dns::RRClass::kCH) {
+    respond_chaos(*decoded, d.src);
+    return;
+  }
+  // A forwarder relays regardless of mode: the upstream does the work.
+  if (profile_.forwarder) {
+    respond_forwarded(*decoded, d.src);
+    return;
+  }
+  if (profile_.answer == AnswerMode::kRecursive) {
+    respond_recursive(*decoded, d.src);
+    return;
+  }
+  respond_fabricated(*decoded, d.src);
+}
+
+void ResolverHost::respond_chaos(const dns::Message& query,
+                                 net::Endpoint client) {
+  const dns::Question& q = query.questions.front();
+  const bool is_version_bind =
+      q.qname == dns::DnsName::must_parse("version.bind") &&
+      (q.qtype == dns::RRType::kTXT || q.qtype == dns::RRType::kANY);
+  dns::Message response = dns::make_response(query);
+  response.header.flags.ra = profile_.ra;
+  if (is_version_bind && !profile_.version.empty()) {
+    response.header.flags.aa = true;
+    response.answers.push_back(dns::ResourceRecord{
+        q.qname, dns::RRType::kTXT, dns::RRClass::kCH, 0,
+        dns::TxtRdata{{profile_.version}}});
+  } else {
+    response.header.flags.rcode = dns::Rcode::kRefused;
+  }
+  emit(std::move(response), client, false, dns::response_size_budget(query));
+}
+
+void ResolverHost::respond_fabricated(const dns::Message& query,
+                                      net::Endpoint client) {
+  dns::Message response = dns::make_response(query);
+  const dns::DnsName& qname = query.questions.front().qname;
+  bool raw_counts = false;
+
+  switch (profile_.answer) {
+    case AnswerMode::kNone:
+      break;
+    case AnswerMode::kFixedIp:
+      response.answers.push_back(
+          dns::ResourceRecord{qname, dns::RRType::kA, dns::RRClass::kIN, 3600,
+                              dns::ARdata{profile_.fixed_answer}});
+      break;
+    case AnswerMode::kUrl: {
+      // A CNAME whose target is the "URL" the wild resolvers returned
+      // (e.g. u.dcoin.co) instead of a resolved address.
+      const auto target = dns::DnsName::parse(profile_.text_answer);
+      response.answers.push_back(dns::ResourceRecord{
+          qname, dns::RRType::kCNAME, dns::RRClass::kIN, 3600,
+          dns::NameRdata{target.value_or(dns::DnsName::must_parse("invalid"))}});
+      break;
+    }
+    case AnswerMode::kGarbageString:
+      response.answers.push_back(dns::ResourceRecord{
+          qname, dns::RRType::kTXT, dns::RRClass::kIN, 3600,
+          dns::TxtRdata{{profile_.text_answer}}});
+      break;
+    case AnswerMode::kUndecodable: {
+      // Claim one answer record but ship none: the receiving parser runs off
+      // the end of the packet mid-record. This reproduces the 8,764
+      // undecodable answers of the 2013 corpus (§IV-C "Caveats").
+      response.header.qdcount =
+          static_cast<std::uint16_t>(response.questions.size());
+      response.header.ancount = 1;
+      response.header.nscount = 0;
+      response.header.arcount = 0;
+      raw_counts = true;
+      break;
+    }
+    case AnswerMode::kRecursive:
+      break;  // unreachable; handled by respond_recursive
+  }
+
+  stamp(response);
+  if (raw_counts && profile_.omit_question) response.header.qdcount = 0;
+  emit(std::move(response), client, raw_counts,
+       dns::response_size_budget(query));
+}
+
+void ResolverHost::respond_recursive(const dns::Message& query,
+                                     net::Endpoint client) {
+  if (!engine_) {
+    EngineConfig cfg = engine_config_;
+    cfg.dnssec_ok = profile_.dnssec_ok;
+    engine_ = std::make_unique<IterativeEngine>(network_, addr_, cfg, seed_);
+  }
+  const dns::Question& q = query.questions.front();
+  // Resolver farms: `backend_fan` backends resolve independently; the
+  // frontend answers from whichever finishes first. This is the calibrated
+  // source of the Q2:R2 inflation seen at the authoritative server.
+  auto answered = std::make_shared<bool>(false);
+  const int fan = std::max(1, profile_.backend_fan);
+  for (int i = 0; i < fan; ++i) {
+    ++stats_.recursions;
+    engine_->resolve(q.qname, q.qtype,
+                     [this, query, client, answered](
+                         const ResolutionOutcome& outcome) {
+                       if (*answered) return;
+                       *answered = true;
+                       dns::Message response = dns::make_response(query);
+                       if (outcome.success) {
+                         response.answers = outcome.answers;
+                       }
+                       stamp(response);
+                       // An honest resolver reports resolution failures; a
+                       // stamped rcode override wins either way.
+                       if (profile_.rcode == dns::Rcode::kNoError &&
+                           !outcome.success) {
+                         response.header.flags.rcode = outcome.rcode;
+                       }
+                       emit(std::move(response), client, false,
+                            dns::response_size_budget(query));
+                     });
+  }
+}
+
+void ResolverHost::respond_forwarded(const dns::Message& query,
+                                     net::Endpoint client) {
+  ++stats_.forwarded;
+  const std::uint16_t port = next_port_++;
+  if (next_port_ >= 20000) next_port_ = 10000;
+  const net::Endpoint local{addr_, port};
+  network_.bind(local, [this, query, client, local](const net::Datagram& d) {
+    network_.unbind(local);
+    const auto upstream_response = dns::decode(d.payload);
+    if (!upstream_response) return;
+    dns::Message response = dns::make_response(query);
+    response.answers = upstream_response->answers;
+    stamp(response);
+    emit(std::move(response), client, false,
+         dns::response_size_budget(query));
+  });
+  dns::Message upstream_q =
+      dns::make_query(query.header.id, query.questions.front().qname,
+                      query.questions.front().qtype);
+  network_.send(net::Datagram{local,
+                              net::Endpoint{profile_.upstream, net::kDnsPort},
+                              dns::encode(upstream_q)});
+}
+
+void ResolverHost::emit(dns::Message response, net::Endpoint client,
+                        bool raw_counts, std::size_t budget) {
+  switch (rrl_.check(client.addr, network_.loop().now())) {
+    case RrlAction::kSend:
+      break;
+    case RrlAction::kDrop:
+      ++stats_.rrl_dropped;
+      return;
+    case RrlAction::kSlip: {
+      // Minimal TC=1 nudge: question echoed, all data sections dropped. A
+      // legitimate client retries over TCP; a spoofed victim gets ~0 bytes
+      // of amplification.
+      ++stats_.rrl_slipped;
+      response.answers.clear();
+      response.authority.clear();
+      response.additional.clear();
+      response.header.flags.tc = true;
+      raw_counts = false;
+      break;
+    }
+  }
+  ++stats_.responses;
+  // Honor the client's advertised UDP budget (512 for classic DNS).
+  if (!raw_counts && dns::truncate_to_fit(response, budget))
+    ++stats_.truncated;
+  auto payload = raw_counts ? dns::encode_raw_counts(response)
+                            : dns::encode(response);
+  network_.loop().schedule_in(
+      profile_.response_delay,
+      [this, client, payload = std::move(payload)]() {
+        network_.send(net::Datagram{net::Endpoint{addr_, net::kDnsPort},
+                                    client, payload});
+      });
+}
+
+}  // namespace orp::resolver

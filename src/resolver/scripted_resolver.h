@@ -1,0 +1,62 @@
+// A simulated host executing one BehaviorProfile on port 53.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "resolver/behavior.h"
+#include "resolver/recursive_resolver.h"
+#include "resolver/rrl.h"
+
+namespace orp::resolver {
+
+struct HostStats {
+  std::uint64_t queries = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t recursions = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t truncated = 0;      // responses cut to the client's UDP budget
+  std::uint64_t rrl_dropped = 0;    // suppressed by response-rate limiting
+  std::uint64_t rrl_slipped = 0;    // replaced by a minimal TC=1 nudge
+};
+
+class ResolverHost {
+ public:
+  /// `engine_config` supplies root hints for profiles that genuinely
+  /// recurse; it is unused (and the engine never instantiated) otherwise.
+  ResolverHost(net::Network& network, net::IPv4Addr addr,
+               BehaviorProfile profile, EngineConfig engine_config,
+               std::uint64_t seed);
+  ~ResolverHost();
+
+  ResolverHost(const ResolverHost&) = delete;
+  ResolverHost& operator=(const ResolverHost&) = delete;
+
+  net::IPv4Addr address() const noexcept { return addr_; }
+  const BehaviorProfile& profile() const noexcept { return profile_; }
+  const HostStats& stats() const noexcept { return stats_; }
+
+ private:
+  void on_query(const net::Datagram& d);
+  void respond_chaos(const dns::Message& query, net::Endpoint client);
+  void respond_fabricated(const dns::Message& query, net::Endpoint client);
+  void respond_recursive(const dns::Message& query, net::Endpoint client);
+  void respond_forwarded(const dns::Message& query, net::Endpoint client);
+  void emit(dns::Message response, net::Endpoint client, bool raw_counts,
+            std::size_t budget);
+
+  /// Apply this profile's header stamping to a response under construction.
+  void stamp(dns::Message& response) const;
+
+  net::Network& network_;
+  net::IPv4Addr addr_;
+  BehaviorProfile profile_;
+  EngineConfig engine_config_;
+  std::uint64_t seed_;
+  std::unique_ptr<IterativeEngine> engine_;  // lazily created
+  std::uint16_t next_port_ = 10000;
+  ResponseRateLimiter rrl_;
+  HostStats stats_;
+};
+
+}  // namespace orp::resolver

@@ -1,0 +1,85 @@
+#include "util/apportion.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace orp::util {
+
+std::vector<std::uint64_t> apportion(const std::vector<std::uint64_t>& counts,
+                                     std::uint64_t target_total,
+                                     bool keep_nonzero) {
+  std::vector<std::uint64_t> out(counts.size(), 0);
+  const auto source_total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  if (source_total == 0 || target_total == 0) return out;
+
+  struct Cell {
+    std::size_t idx;
+    double remainder;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(counts.size());
+
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const __uint128_t prod = static_cast<__uint128_t>(counts[i]) * target_total;
+    auto floor_share = static_cast<std::uint64_t>(prod / source_total);
+    const auto rem_num = static_cast<std::uint64_t>(prod % source_total);
+    if (keep_nonzero && floor_share == 0) {
+      // Reserve the floor of 1 now; these cells still compete for remainders.
+      floor_share = 1;
+      out[i] = 1;
+      assigned += 1;
+      continue;
+    }
+    out[i] = floor_share;
+    assigned += floor_share;
+    cells.push_back(
+        {i, static_cast<double>(rem_num) / static_cast<double>(source_total)});
+  }
+
+  if (assigned > target_total) {
+    // keep_nonzero floors over-committed (only possible when target_total is
+    // smaller than the number of nonzero cells). Repeatedly take one unit
+    // from the currently largest cell so the floored rare cells survive as
+    // long as anything larger remains.
+    while (assigned > target_total) {
+      std::size_t largest = 0;
+      for (std::size_t i = 1; i < out.size(); ++i)
+        if (out[i] > out[largest]) largest = i;
+      if (out[largest] == 0) break;  // nothing left to trim
+      --out[largest];
+      --assigned;
+    }
+    return out;
+  }
+
+  // Distribute the leftover units to the largest remainders (ties broken by
+  // index for determinism).
+  std::sort(cells.begin(), cells.end(), [](const Cell& a, const Cell& b) {
+    if (a.remainder != b.remainder) return a.remainder > b.remainder;
+    return a.idx < b.idx;
+  });
+  std::uint64_t leftover = target_total - assigned;
+  for (std::size_t k = 0; leftover > 0 && !cells.empty(); ++k) {
+    ++out[cells[k % cells.size()].idx];
+    --leftover;
+  }
+  return out;
+}
+
+std::uint64_t scale_count(std::uint64_t count, std::uint64_t numer,
+                          std::uint64_t denom) {
+  if (denom == 0) throw std::invalid_argument("scale_count: zero denominator");
+  const __uint128_t prod = static_cast<__uint128_t>(count) * numer;
+  return static_cast<std::uint64_t>((prod + denom / 2) / denom);
+}
+
+double percent(std::uint64_t part, std::uint64_t whole) {
+  if (whole == 0) return 0.0;
+  return 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace orp::util

@@ -1,0 +1,35 @@
+// Integer apportionment utilities.
+//
+// The paper reports full-scale packet counts (billions of Q1, millions of R2).
+// Our benches run at a configurable scale factor; to keep every table's
+// *proportions* intact after integer rounding we use largest-remainder
+// (Hamilton) apportionment rather than naive per-cell rounding, which would
+// let small cells (e.g. the 10 NXDomain-with-answer packets of Table VI)
+// vanish or the row totals drift from the column totals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace orp::util {
+
+/// Scale `counts` so they sum exactly to `target_total`, preserving the
+/// original proportions as closely as integer arithmetic allows
+/// (largest-remainder method). Zero-count cells stay zero.
+///
+/// If `keep_nonzero` is true, every cell that was nonzero in the input is
+/// guaranteed at least 1 in the output (provided target_total >= number of
+/// nonzero cells); this keeps rare-but-load-bearing behaviors (the paper's
+/// single YXDomain packet, the 2 YXRRSet packets) represented at any scale.
+std::vector<std::uint64_t> apportion(const std::vector<std::uint64_t>& counts,
+                                     std::uint64_t target_total,
+                                     bool keep_nonzero = true);
+
+/// Scale a single count by `numer/denom` with round-half-up.
+std::uint64_t scale_count(std::uint64_t count, std::uint64_t numer,
+                          std::uint64_t denom);
+
+/// Percentage helper: 100 * part / whole, 0 when whole == 0.
+double percent(std::uint64_t part, std::uint64_t whole);
+
+}  // namespace orp::util

@@ -1,0 +1,49 @@
+// A minimal expected<T, E> (C++23 std::expected is unavailable on this
+// toolchain). Used for fallible decode paths where exceptions would be both
+// slow (billions of packets) and wrong (a malformed packet is data, not a
+// program error — the 2013 corpus contains 8,764 of them).
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace orp::util {
+
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(E error) : storage_(std::in_place_index<1>, std::move(error)) {}
+
+  bool has_value() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  T& value() & {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  const T& value() const& {
+    assert(has_value());
+    return std::get<0>(storage_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<0>(std::move(storage_));
+  }
+
+  const E& error() const {
+    assert(!has_value());
+    return std::get<1>(storage_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace orp::util

@@ -1,0 +1,50 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace orp::util {
+
+std::uint64_t Rng::bounded(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless method, widened to 64x64 -> 128.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::size_t sample_cumulative(Rng& rng, const std::vector<double>& cumulative) {
+  if (cumulative.empty()) throw std::invalid_argument("empty cumulative weights");
+  const double total = cumulative.back();
+  if (!(total > 0.0)) throw std::invalid_argument("non-positive total weight");
+  const double u = rng.uniform01() * total;
+  const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cumulative.begin());
+  return std::min(idx, cumulative.size() - 1);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be positive");
+  cumulative_.reserve(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cumulative_.push_back(acc);
+  }
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const {
+  return sample_cumulative(rng, cumulative_);
+}
+
+}  // namespace orp::util

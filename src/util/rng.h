@@ -1,0 +1,135 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// Every stochastic component in this repository draws from an explicitly
+// seeded Rng so that a (seed, scale) pair fully determines a simulated
+// Internet, a scan, and every downstream table. We deliberately avoid
+// std::mt19937 default-seeding and std::random_device: reproducibility is a
+// correctness property of a measurement-replication system.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+namespace orp::util {
+
+/// splitmix64: used to expand a single 64-bit seed into a well-distributed
+/// state vector (the construction recommended by the xoshiro authors).
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// 64-bit mixing function (Stafford variant 13). Useful for hashing small
+/// integers into pseudo-random but stable values, e.g. deriving a per-host
+/// seed from (global seed, host address).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, 256-bit state generator.
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eedcafef00dULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + bounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Fork a statistically independent child generator. The child's stream is
+  /// a pure function of the parent seed and the label, so adding draws to one
+  /// component never perturbs another (stream-splitting discipline).
+  Rng fork(std::uint64_t label) noexcept {
+    return Rng(mix64(state_[0] ^ mix64(label + 0x517cc1b727220a95ULL)));
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[bounded(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Stable 64-bit FNV-1a hash of a string (for deriving seeds from labels).
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Draw an index from a discrete distribution given cumulative weights.
+/// `cumulative` must be non-empty and non-decreasing with positive total.
+std::size_t sample_cumulative(Rng& rng, const std::vector<double>& cumulative);
+
+/// Zipf-like rank sampler: P(rank k) proportional to 1/(k+1)^s over [0, n).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+  std::size_t operator()(Rng& rng) const;
+  std::size_t size() const noexcept { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace orp::util

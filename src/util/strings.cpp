@@ -1,0 +1,98 @@
+#include "util/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace orp::util {
+
+std::string with_commas(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string human_duration(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const auto total = static_cast<std::uint64_t>(seconds + 0.5);
+  const std::uint64_t days = total / 86400;
+  const std::uint64_t hours = (total % 86400) / 3600;
+  const std::uint64_t mins = (total % 3600) / 60;
+  const std::uint64_t secs = total % 60;
+  std::string out;
+  if (days > 0) out += std::to_string(days) + "d ";
+  if (hours > 0 || days > 0) out += std::to_string(hours) + "h ";
+  if (days == 0 && (mins > 0 || hours > 0)) out += std::to_string(mins) + "m ";
+  if (days == 0 && hours == 0) out += std::to_string(secs) + "s";
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out.empty() ? "0s" : out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(width - s.size(), ' ') + std::string(s);
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  if (s.size() >= width) return std::string(s);
+  return std::string(s) + std::string(width - s.size(), ' ');
+}
+
+bool all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isdigit(c) != 0; });
+}
+
+std::string zero_pad(std::uint64_t n, int width) {
+  std::string digits = std::to_string(n);
+  if (static_cast<int>(digits.size()) >= width) return digits;
+  return std::string(static_cast<std::size_t>(width) - digits.size(), '0') +
+         digits;
+}
+
+}  // namespace orp::util

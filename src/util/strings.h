@@ -1,0 +1,39 @@
+// Small string/format helpers shared across the project.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orp::util {
+
+/// 1234567 -> "1,234,567".
+std::string with_commas(std::uint64_t n);
+
+/// Fixed-precision double formatting ("3.879").
+std::string fixed(double v, int precision = 3);
+
+/// Duration in seconds -> "7d 5h", "11h", "35m 12s" style.
+std::string human_duration(double seconds);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+/// Split on a delimiter character; empty fields preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Left/right padding to a column width.
+std::string pad_left(std::string_view s, std::size_t width);
+std::string pad_right(std::string_view s, std::size_t width);
+
+/// True if every character is an ASCII digit (and s is non-empty).
+bool all_digits(std::string_view s);
+
+/// Zero-padded decimal rendering of `n` to exactly `width` digits.
+std::string zero_pad(std::uint64_t n, int width);
+
+}  // namespace orp::util

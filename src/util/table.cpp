@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace orp::util {
+
+TextTable::TextTable(std::vector<std::string> headers) {
+  set_headers(std::move(headers));
+}
+
+void TextTable::set_headers(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+  aligns_.assign(headers_.size(), Align::kRight);
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  if (column >= aligns_.size()) aligns_.resize(column + 1, Align::kRight);
+  aligns_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back({std::move(row), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TextTable::add_separator() { pending_separator_ = true; }
+
+std::string TextTable::render() const {
+  std::size_t ncols = headers_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  if (ncols == 0) return {};
+
+  std::vector<std::size_t> widths(ncols, 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = std::max(widths[c], headers_[c].size());
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      widths[c] = std::max(widths[c], r.cells[c].size());
+
+  auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t c = 0; c < ncols; ++c)
+      line += std::string(widths[c] + 2, '-') + "+";
+    line += "\n";
+    return line;
+  };
+  static const std::string kEmpty;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < ncols; ++c) {
+      // Bind to lvalues on both branches: a mixed string/char* ternary would
+      // materialize a temporary and leave the view dangling.
+      const std::string& cell = c < cells.size() ? cells[c] : kEmpty;
+      const Align a = c < aligns_.size() ? aligns_[c] : Align::kRight;
+      line += " ";
+      line += a == Align::kLeft ? pad_right(cell, widths[c])
+                                : pad_left(cell, widths[c]);
+      line += " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = rule();
+  if (!headers_.empty()) {
+    out += emit_row(headers_);
+    out += rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.separator_before) out += rule();
+    out += emit_row(r.cells);
+  }
+  out += rule();
+  return out;
+}
+
+std::string section_title(std::string_view title) {
+  std::string bar(title.size() + 4, '=');
+  return bar + "\n= " + std::string(title) + " =\n" + bar + "\n";
+}
+
+}  // namespace orp::util

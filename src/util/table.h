@@ -1,0 +1,46 @@
+// ASCII table renderer used by the bench harness to print paper-style tables
+// ("paper value | measured value" rows for Tables II–X).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orp::util {
+
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, add rows, render with box-drawing
+/// ASCII. Column widths auto-fit content.
+class TextTable {
+ public:
+  TextTable() = default;
+  explicit TextTable(std::vector<std::string> headers);
+
+  void set_headers(std::vector<std::string> headers);
+  void set_align(std::size_t column, Align align);
+  void add_row(std::vector<std::string> row);
+  /// Insert a horizontal separator before the next added row.
+  void add_separator();
+
+  std::string render() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Render a titled section header for bench output.
+std::string section_title(std::string_view title);
+
+}  // namespace orp::util

@@ -1,0 +1,96 @@
+#include "zone/cluster.h"
+
+#include <charconv>
+
+#include "net/reserved.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace orp::zone {
+
+SubdomainScheme::SubdomainScheme(dns::DnsName sld, std::uint32_t cluster_size,
+                                 std::uint64_t seed)
+    : sld_(std::move(sld)), cluster_size_(cluster_size), seed_(seed) {}
+
+dns::DnsName SubdomainScheme::qname(SubdomainId id) const {
+  return sld_.child(util::zero_pad(id.index, 7))
+      .child("or" + util::zero_pad(id.cluster, 3));
+}
+
+std::optional<SubdomainId> SubdomainScheme::parse(
+    const dns::DnsName& qname) const {
+  if (!qname.is_subdomain_of(sld_)) return std::nullopt;
+  if (qname.label_count() != sld_.label_count() + 2) return std::nullopt;
+  const std::string& first = qname.labels()[0];
+  const std::string& second = qname.labels()[1];
+  if (first.size() < 3 || first.compare(0, 2, "or") != 0) return std::nullopt;
+  if (!util::all_digits({first.data() + 2, first.size() - 2}) ||
+      !util::all_digits(second))
+    return std::nullopt;
+  SubdomainId id;
+  std::from_chars(first.data() + 2, first.data() + first.size(), id.cluster);
+  std::from_chars(second.data(), second.data() + second.size(), id.index);
+  return id;
+}
+
+net::IPv4Addr SubdomainScheme::ground_truth(SubdomainId id) const {
+  // Deterministic pseudo-random mapping, avoiding reserved space so that a
+  // "correct" answer is never confusable with the private-network redirects
+  // the analysis flags (Table VIII).
+  std::uint64_t h = util::mix64(
+      seed_ ^ (static_cast<std::uint64_t>(id.cluster) << 32) ^ id.index);
+  net::IPv4Addr addr(static_cast<std::uint32_t>(h));
+  while (net::is_reserved(addr)) {
+    h = util::mix64(h + 0x9e3779b97f4a7c15ULL);
+    addr = net::IPv4Addr(static_cast<std::uint32_t>(h));
+  }
+  return addr;
+}
+
+ClusterManager::ClusterManager(SubdomainScheme scheme,
+                               net::SimTime load_latency)
+    : scheme_(std::move(scheme)), load_latency_(load_latency) {
+  rotate();  // initial zone load
+  current_cluster_ = 0;
+}
+
+SubdomainId ClusterManager::acquire() {
+  if (next_index_ < scheme_.cluster_size()) {
+    ++stats_.subdomains_issued;
+    return SubdomainId{current_cluster_, next_index_++};
+  }
+  if (!reusable_.empty()) {
+    const SubdomainId id = reusable_.back();
+    reusable_.pop_back();
+    ++stats_.subdomains_reused;
+    return id;
+  }
+  ++current_cluster_;
+  next_index_ = 0;
+  rotate();
+  ++stats_.subdomains_issued;
+  return SubdomainId{current_cluster_, next_index_++};
+}
+
+void ClusterManager::release_unanswered(SubdomainId id) {
+  // Only names the auth server still serves can be reused (it keeps the
+  // current and the previous cluster resident); a name from an older,
+  // unloaded cluster would draw NXDomain.
+  if (id.cluster + 1 < current_cluster_) return;
+  reusable_.push_back(id);
+}
+
+void ClusterManager::retire_answered(SubdomainId) {
+  // Answered subdomains may live in resolver caches; never reuse them.
+}
+
+void ClusterManager::rotate() {
+  ++stats_.clusters_loaded;
+  stats_.load_time_total += load_latency_;
+  // Names whose cluster just lost residency can no longer be reused.
+  std::erase_if(reusable_, [this](SubdomainId id) {
+    return id.cluster + 1 < current_cluster_;
+  });
+}
+
+}  // namespace orp::zone

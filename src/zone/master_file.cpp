@@ -1,0 +1,319 @@
+#include "zone/master_file.h"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace orp::zone {
+namespace {
+
+struct Token {
+  std::string text;
+  bool quoted = false;
+};
+
+/// Strip comments and tokenize one logical line; quoted strings keep spaces.
+std::vector<Token> tokenize(std::string_view line) {
+  std::vector<Token> tokens;
+  std::string current;
+  bool in_quotes = false;
+  bool have_current = false;
+  auto flush = [&](bool quoted) {
+    if (have_current || quoted) tokens.push_back({current, quoted});
+    current.clear();
+    have_current = false;
+  };
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        in_quotes = false;
+        flush(true);
+      } else {
+        current.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      flush(false);
+      in_quotes = true;
+      continue;
+    }
+    if (c == ';') break;  // comment to end of line
+    if (c == ' ' || c == '\t' || c == '\r') {
+      flush(false);
+      continue;
+    }
+    current.push_back(c);
+    have_current = true;
+  }
+  flush(false);
+  return tokens;
+}
+
+/// Join physical lines into logical lines across ( ... ) groups.
+std::vector<std::pair<int, std::string>> logical_lines(std::string_view text) {
+  std::vector<std::pair<int, std::string>> out;
+  int line_no = 0;
+  int open_line = 0;
+  int depth = 0;
+  std::string pending;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string_view raw =
+        nl == std::string_view::npos ? text.substr(start)
+                                     : text.substr(start, nl - start);
+    ++line_no;
+    // Count parens outside quotes/comments; strip them (they only group).
+    std::string cleaned;
+    bool in_quotes = false;
+    for (const char c : raw) {
+      if (c == '"') in_quotes = !in_quotes;
+      if (!in_quotes) {
+        if (c == ';') break;
+        if (c == '(') {
+          ++depth;
+          cleaned.push_back(' ');
+          continue;
+        }
+        if (c == ')') {
+          --depth;
+          cleaned.push_back(' ');
+          continue;
+        }
+      }
+      cleaned.push_back(c);
+    }
+    if (pending.empty()) open_line = line_no;
+    pending += cleaned;
+    pending.push_back(' ');
+    if (depth == 0) {
+      out.emplace_back(open_line, pending);
+      pending.clear();
+    }
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  if (!pending.empty()) out.emplace_back(open_line, pending);
+  return out;
+}
+
+bool parse_u32(const std::string& s, std::uint32_t& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+/// Resolve a presentation-form name against $ORIGIN.
+std::optional<dns::DnsName> resolve_name(const std::string& text,
+                                         const dns::DnsName& origin) {
+  if (text == "@") return origin;
+  if (!text.empty() && text.back() == '.') return dns::DnsName::parse(text);
+  const auto relative = dns::DnsName::parse(text);
+  if (!relative) return std::nullopt;
+  std::vector<std::string> labels = relative->labels();
+  labels.insert(labels.end(), origin.labels().begin(), origin.labels().end());
+  try {
+    return dns::DnsName(std::move(labels));
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+struct PendingRecord {
+  int line;
+  dns::ResourceRecord rr;
+};
+
+}  // namespace
+
+util::Expected<Zone, ParseError> parse_master_file(
+    std::string_view text, const dns::DnsName& default_origin) {
+  dns::DnsName origin = default_origin;
+  std::uint32_t default_ttl = 3600;
+  std::optional<dns::DnsName> last_owner;
+  std::vector<PendingRecord> records;
+  std::optional<dns::SoaRdata> soa;
+  std::optional<dns::DnsName> soa_owner;
+  std::uint32_t soa_ttl = 3600;
+
+  for (const auto& [line_no, line] : logical_lines(text)) {
+    auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    // Directives.
+    if (tokens[0].text == "$ORIGIN") {
+      if (tokens.size() < 2)
+        return ParseError{line_no, "$ORIGIN needs a name"};
+      const auto parsed = dns::DnsName::parse(tokens[1].text);
+      if (!parsed) return ParseError{line_no, "bad $ORIGIN name"};
+      origin = *parsed;
+      continue;
+    }
+    if (tokens[0].text == "$TTL") {
+      if (tokens.size() < 2 || !parse_u32(tokens[1].text, default_ttl))
+        return ParseError{line_no, "bad $TTL"};
+      continue;
+    }
+    if (tokens[0].text.starts_with("$"))
+      return ParseError{line_no, "unsupported directive " + tokens[0].text};
+
+    // Owner: present unless the physical line began with whitespace.
+    std::size_t cursor = 0;
+    dns::DnsName owner;
+    const bool line_starts_blank =
+        !line.empty() && (line[0] == ' ' || line[0] == '\t');
+    if (line_starts_blank) {
+      if (!last_owner)
+        return ParseError{line_no, "continuation line with no prior owner"};
+      owner = *last_owner;
+    } else {
+      const auto parsed = resolve_name(tokens[cursor].text, origin);
+      if (!parsed) return ParseError{line_no, "bad owner name"};
+      owner = *parsed;
+      ++cursor;
+    }
+    last_owner = owner;
+
+    // Optional TTL and class, in either order.
+    std::uint32_t ttl = default_ttl;
+    for (int i = 0; i < 2 && cursor < tokens.size(); ++i) {
+      std::uint32_t maybe_ttl = 0;
+      if (tokens[cursor].text == "IN" || tokens[cursor].text == "in") {
+        ++cursor;
+      } else if (parse_u32(tokens[cursor].text, maybe_ttl)) {
+        ttl = maybe_ttl;
+        ++cursor;
+      }
+    }
+    if (cursor >= tokens.size())
+      return ParseError{line_no, "missing record type"};
+    const std::string type = util::to_lower(tokens[cursor].text);
+    ++cursor;
+    const auto remaining = tokens.size() - cursor;
+
+    dns::ResourceRecord rr;
+    rr.name = owner;
+    rr.ttl = ttl;
+    rr.rrclass = dns::RRClass::kIN;
+
+    if (type == "soa") {
+      if (remaining < 7) return ParseError{line_no, "SOA needs 7 fields"};
+      dns::SoaRdata data;
+      const auto mname = resolve_name(tokens[cursor].text, origin);
+      const auto rname = resolve_name(tokens[cursor + 1].text, origin);
+      if (!mname || !rname) return ParseError{line_no, "bad SOA names"};
+      data.mname = *mname;
+      data.rname = *rname;
+      std::uint32_t* fields[] = {&data.serial, &data.refresh, &data.retry,
+                                 &data.expire, &data.minimum};
+      for (int f = 0; f < 5; ++f) {
+        if (!parse_u32(tokens[cursor + 2 + f].text, *fields[f]))
+          return ParseError{line_no, "bad SOA counter"};
+      }
+      if (soa) return ParseError{line_no, "duplicate SOA"};
+      soa = data;
+      soa_owner = owner;
+      soa_ttl = ttl;
+      continue;  // the Zone constructor emits the apex SOA record
+    }
+    if (type == "a") {
+      if (remaining < 1) return ParseError{line_no, "A needs an address"};
+      const auto addr = net::IPv4Addr::parse(tokens[cursor].text);
+      if (!addr) return ParseError{line_no, "bad IPv4 address"};
+      rr.type = dns::RRType::kA;
+      rr.rdata = dns::ARdata{*addr};
+    } else if (type == "ns" || type == "cname" || type == "ptr") {
+      if (remaining < 1) return ParseError{line_no, "missing target name"};
+      const auto target = resolve_name(tokens[cursor].text, origin);
+      if (!target) return ParseError{line_no, "bad target name"};
+      rr.type = type == "ns" ? dns::RRType::kNS
+                             : (type == "cname" ? dns::RRType::kCNAME
+                                                : dns::RRType::kPTR);
+      rr.rdata = dns::NameRdata{*target};
+    } else if (type == "mx") {
+      if (remaining < 2) return ParseError{line_no, "MX needs pref + host"};
+      std::uint32_t pref = 0;
+      if (!parse_u32(tokens[cursor].text, pref) || pref > 65535)
+        return ParseError{line_no, "bad MX preference"};
+      const auto target = resolve_name(tokens[cursor + 1].text, origin);
+      if (!target) return ParseError{line_no, "bad MX exchange"};
+      rr.type = dns::RRType::kMX;
+      rr.rdata = dns::MxRdata{static_cast<std::uint16_t>(pref), *target};
+    } else if (type == "txt") {
+      if (remaining < 1) return ParseError{line_no, "TXT needs a string"};
+      dns::TxtRdata data;
+      for (std::size_t i = cursor; i < tokens.size(); ++i)
+        data.strings.push_back(tokens[i].text);
+      rr.type = dns::RRType::kTXT;
+      rr.rdata = std::move(data);
+    } else {
+      return ParseError{line_no, "unsupported record type " + type};
+    }
+    records.push_back({line_no, std::move(rr)});
+  }
+
+  if (!soa) return ParseError{0, "zone has no SOA record"};
+  Zone zone(*soa_owner, *soa);
+  (void)soa_ttl;
+  for (auto& pending : records) {
+    if (!pending.rr.name.is_subdomain_of(*soa_owner))
+      return ParseError{pending.line, "record outside zone origin"};
+    zone.add(std::move(pending.rr));
+  }
+  return zone;
+}
+
+std::string master_file_line(const dns::ResourceRecord& rr) {
+  std::ostringstream out;
+  out << rr.name.to_string() << ". " << rr.ttl << " IN "
+      << dns::to_string(rr.type) << " ";
+  std::visit(
+      [&](const auto& data) {
+        using T = std::decay_t<decltype(data)>;
+        if constexpr (std::is_same_v<T, dns::ARdata>) {
+          out << data.addr.to_string();
+        } else if constexpr (std::is_same_v<T, dns::NameRdata>) {
+          out << data.name.to_string() << ".";
+        } else if constexpr (std::is_same_v<T, dns::SoaRdata>) {
+          out << data.mname.to_string() << ". " << data.rname.to_string()
+              << ". " << data.serial << " " << data.refresh << " "
+              << data.retry << " " << data.expire << " " << data.minimum;
+        } else if constexpr (std::is_same_v<T, dns::MxRdata>) {
+          out << data.preference << " " << data.exchange.to_string() << ".";
+        } else if constexpr (std::is_same_v<T, dns::TxtRdata>) {
+          for (std::size_t i = 0; i < data.strings.size(); ++i) {
+            if (i) out << " ";
+            out << '"' << data.strings[i] << '"';
+          }
+        } else {
+          out << "\\# " << 0;  // unsupported types serialize as empty
+        }
+      },
+      rr.rdata);
+  return out.str();
+}
+
+std::string to_master_file(const Zone& zone) {
+  std::ostringstream out;
+  out << "$ORIGIN " << zone.origin().to_string() << ".\n";
+  out << "$TTL 3600\n";
+
+  // SOA first, then everything else in a stable sorted order.
+  std::vector<std::string> lines;
+  zone.visit_records([&](const dns::ResourceRecord& rr) {
+    if (rr.type == dns::RRType::kSOA) return;
+    lines.push_back(master_file_line(rr));
+  });
+  std::sort(lines.begin(), lines.end());
+
+  dns::ResourceRecord soa_rr{zone.origin(), dns::RRType::kSOA,
+                             dns::RRClass::kIN, 3600, zone.soa()};
+  out << master_file_line(soa_rr) << "\n";
+  for (const auto& line : lines) out << line << "\n";
+  return out.str();
+}
+
+}  // namespace orp::zone

@@ -1,0 +1,36 @@
+// RFC 1035 §5 master-file (zone file) parsing and serialization.
+//
+// The measurement's authoritative server was BIND 9 loading generated zone
+// files of five million subdomains (§III-B); this module speaks that format:
+// $ORIGIN/$TTL directives, comments, relative and absolute owner names, the
+// record types this study uses (SOA, NS, A, CNAME, TXT, MX, PTR), and
+// round-trips a Zone to text and back.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/expected.h"
+#include "zone/zone.h"
+
+namespace orp::zone {
+
+struct ParseError {
+  int line = 0;
+  std::string message;
+};
+
+/// Parse master-file text into a Zone. The file must contain exactly one SOA
+/// record (at the zone apex). `default_origin` seeds $ORIGIN resolution when
+/// the file does not open with a directive.
+util::Expected<Zone, ParseError> parse_master_file(
+    std::string_view text, const dns::DnsName& default_origin = dns::DnsName());
+
+/// Serialize a zone in canonical master-file form ($ORIGIN + $TTL header,
+/// absolute owner names, one record per line).
+std::string to_master_file(const Zone& zone);
+
+/// Render a single record as one master-file line (absolute names).
+std::string master_file_line(const dns::ResourceRecord& rr);
+
+}  // namespace orp::zone

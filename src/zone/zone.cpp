@@ -1,0 +1,67 @@
+#include "zone/zone.h"
+
+#include <stdexcept>
+
+namespace orp::zone {
+
+Zone::Zone(dns::DnsName origin, dns::SoaRdata soa)
+    : origin_(std::move(origin)), soa_(std::move(soa)) {
+  // Apex SOA record.
+  rrsets_[origin_.canonical_key()][dns::RRType::kSOA].push_back(
+      dns::ResourceRecord{origin_, dns::RRType::kSOA, dns::RRClass::kIN, 3600,
+                          soa_});
+}
+
+void Zone::add(dns::ResourceRecord rr) {
+  if (!rr.name.is_subdomain_of(origin_))
+    throw std::invalid_argument("record owner outside zone origin");
+  rrsets_[rr.name.canonical_key()][rr.type].push_back(std::move(rr));
+}
+
+void Zone::add_a_records(
+    const std::vector<std::pair<dns::DnsName, net::IPv4Addr>>& entries,
+    std::uint32_t ttl) {
+  for (const auto& [name, addr] : entries) {
+    rrsets_[name.canonical_key()][dns::RRType::kA].push_back(
+        dns::ResourceRecord{name, dns::RRType::kA, dns::RRClass::kIN, ttl,
+                            dns::ARdata{addr}});
+  }
+}
+
+void Zone::visit_records(
+    const std::function<void(const dns::ResourceRecord&)>& fn) const {
+  for (const auto& [name, sets] : rrsets_)
+    for (const auto& [type, records] : sets)
+      for (const auto& rr : records) fn(rr);
+}
+
+LookupResult Zone::lookup(const dns::DnsName& qname, dns::RRType qtype) const {
+  LookupResult result;
+  if (!qname.is_subdomain_of(origin_)) {
+    result.status = LookupStatus::kOutOfZone;
+    return result;
+  }
+  const auto node = rrsets_.find(qname.canonical_key());
+  if (node == rrsets_.end()) {
+    result.status = LookupStatus::kNXDomain;
+    return result;
+  }
+  if (qtype == dns::RRType::kANY) {
+    for (const auto& [type, records] : node->second)
+      result.records.insert(result.records.end(), records.begin(),
+                            records.end());
+    result.status = result.records.empty() ? LookupStatus::kNoData
+                                           : LookupStatus::kAnswer;
+    return result;
+  }
+  const auto set = node->second.find(qtype);
+  if (set == node->second.end() || set->second.empty()) {
+    result.status = LookupStatus::kNoData;
+    return result;
+  }
+  result.records = set->second;
+  result.status = LookupStatus::kAnswer;
+  return result;
+}
+
+}  // namespace orp::zone

@@ -1,0 +1,71 @@
+// Authoritative zone data model: an origin, its SOA/NS apex records, and a
+// store of owned RRsets. Lookup implements RFC 1034 §4.3.2 semantics for the
+// cases this study needs: authoritative answer, authoritative NXDomain, and
+// out-of-zone refusal.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+
+namespace orp::zone {
+
+enum class LookupStatus {
+  kAnswer,      // name exists and has records of the requested type
+  kNoData,      // name exists, no records of the requested type (NOERROR/0)
+  kNXDomain,    // name does not exist in the zone
+  kOutOfZone,   // name is not under this zone's origin
+};
+
+struct LookupResult {
+  LookupStatus status = LookupStatus::kOutOfZone;
+  std::vector<dns::ResourceRecord> records;
+};
+
+class Zone {
+ public:
+  Zone(dns::DnsName origin, dns::SoaRdata soa);
+
+  const dns::DnsName& origin() const noexcept { return origin_; }
+  const dns::SoaRdata& soa() const noexcept { return soa_; }
+
+  /// Add a record; owner must be at or under the origin.
+  void add(dns::ResourceRecord rr);
+
+  /// Bulk-add A records. Used by the cluster loader (5M names per load).
+  void add_a_records(const std::vector<std::pair<dns::DnsName, net::IPv4Addr>>&
+                         entries,
+                     std::uint32_t ttl);
+
+  LookupResult lookup(const dns::DnsName& qname, dns::RRType qtype) const;
+
+  /// Visit every record in the zone (apex SOA included). Iteration order is
+  /// unspecified; serializers sort for themselves.
+  void visit_records(
+      const std::function<void(const dns::ResourceRecord&)>& fn) const;
+
+  std::size_t name_count() const noexcept { return rrsets_.size(); }
+  std::uint32_t serial() const noexcept { return soa_.serial; }
+  void bump_serial() noexcept { ++soa_.serial; }
+
+ private:
+  struct TypeHash {
+    std::size_t operator()(dns::RRType t) const noexcept {
+      return static_cast<std::size_t>(t);
+    }
+  };
+  using RRsetMap =
+      std::unordered_map<dns::RRType, std::vector<dns::ResourceRecord>,
+                         TypeHash>;
+
+  dns::DnsName origin_;
+  dns::SoaRdata soa_;
+  std::unordered_map<std::string, RRsetMap> rrsets_;  // canonical name -> sets
+};
+
+}  // namespace orp::zone

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "authns/auth_server.h"
+#include "dns/builder.h"
+
+namespace orp::authns {
+namespace {
+
+class AuthServerTest : public ::testing::Test {
+ protected:
+  AuthServerTest()
+      : net(loop, 3),
+        scheme(dns::DnsName::must_parse("ucfsealresearch.net"), 100, 7),
+        server(net, net::IPv4Addr(45, 76, 18, 21), scheme,
+               net::SimTime::seconds(2.0)) {
+    net.set_latency({net::SimTime::millis(1), net::SimTime::nanos(0)});
+    net.bind(client, [this](const net::Datagram& d) {
+      auto decoded = dns::decode(d.payload);
+      ASSERT_TRUE(decoded.has_value());
+      replies.push_back(*std::move(decoded));
+    });
+  }
+
+  void query(const dns::DnsName& qname, dns::RRType type = dns::RRType::kA) {
+    net.send(net::Datagram{client,
+                           net::Endpoint{server.address(), net::kDnsPort},
+                           dns::encode(dns::make_query(1, qname, type))});
+    loop.run();
+  }
+
+  net::EventLoop loop;
+  net::Network net;
+  zone::SubdomainScheme scheme;
+  AuthServer server;
+  net::Endpoint client{net::IPv4Addr(9, 9, 9, 9), 5353};
+  std::vector<dns::Message> replies;
+};
+
+TEST_F(AuthServerTest, AnswersProbeSubdomainAuthoritatively) {
+  const zone::SubdomainId id{0, 42};
+  query(scheme.qname(id));
+  ASSERT_EQ(replies.size(), 1u);
+  const dns::Message& r = replies[0];
+  EXPECT_TRUE(r.header.flags.qr);
+  EXPECT_TRUE(r.header.flags.aa);   // authoritative
+  EXPECT_FALSE(r.header.flags.ra);  // recursion disabled, as configured
+  ASSERT_TRUE(r.first_a_answer().has_value());
+  EXPECT_EQ(*r.first_a_answer(), scheme.ground_truth(id));
+  EXPECT_EQ(server.stats().answered, 1u);
+}
+
+TEST_F(AuthServerTest, AnyQueryAlsoAnswered) {
+  query(scheme.qname({0, 1}), dns::RRType::kANY);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].has_answer());
+}
+
+TEST_F(AuthServerTest, NXDomainForUnloadedCluster) {
+  query(scheme.qname({7, 3}));  // only cluster 0 is loaded
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].header.flags.rcode, dns::Rcode::kNXDomain);
+  EXPECT_TRUE(replies[0].header.flags.aa);
+  EXPECT_FALSE(replies[0].has_answer());
+}
+
+TEST_F(AuthServerTest, NXDomainForIndexBeyondClusterSize) {
+  query(scheme.qname({0, 100}));  // cluster_size is 100 -> max index 99
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].header.flags.rcode, dns::Rcode::kNXDomain);
+}
+
+TEST_F(AuthServerTest, PreviousClusterStaysResident) {
+  server.load_cluster(1, /*initial=*/true);
+  query(scheme.qname({0, 5}));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].has_answer());
+  server.load_cluster(2, /*initial=*/true);
+  query(scheme.qname({0, 5}));
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[1].header.flags.rcode, dns::Rcode::kNXDomain);
+}
+
+TEST_F(AuthServerTest, RefusesOutOfZone) {
+  query(dns::DnsName::must_parse("www.google.com"));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].header.flags.rcode, dns::Rcode::kRefused);
+  EXPECT_EQ(server.stats().refused, 1u);
+}
+
+TEST_F(AuthServerTest, ServesApexNsWithGlueAddress) {
+  query(dns::DnsName::must_parse("ns1.ucfsealresearch.net"));
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_TRUE(replies[0].first_a_answer().has_value());
+  EXPECT_EQ(*replies[0].first_a_answer(), server.address());
+}
+
+TEST_F(AuthServerTest, ApexSoaAnswered) {
+  query(dns::DnsName::must_parse("ucfsealresearch.net"), dns::RRType::kSOA);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].has_answer());
+}
+
+TEST_F(AuthServerTest, NoDataForApexMx) {
+  query(dns::DnsName::must_parse("ucfsealresearch.net"), dns::RRType::kMX);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].header.flags.rcode, dns::Rcode::kNoError);
+  EXPECT_FALSE(replies[0].has_answer());
+}
+
+TEST_F(AuthServerTest, FormErrForGarbagePayload) {
+  net.send(net::Datagram{client,
+                         net::Endpoint{server.address(), net::kDnsPort},
+                         {0xAB, 0xCD, 0x01}});
+  loop.run();
+  // Header too short to even decode: server still tries to respond FORMERR.
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].header.flags.rcode, dns::Rcode::kFormErr);
+}
+
+TEST_F(AuthServerTest, ServFailDuringZoneReload) {
+  loop.schedule_in(net::SimTime::seconds(1.0), [this] {
+    server.load_cluster(1);  // opens a 2s busy window
+    net.send(net::Datagram{client,
+                           net::Endpoint{server.address(), net::kDnsPort},
+                           dns::encode(dns::make_query(
+                               7, scheme.qname({1, 0}), dns::RRType::kA))});
+  });
+  loop.run();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].header.flags.rcode, dns::Rcode::kServFail);
+}
+
+TEST_F(AuthServerTest, AfterReloadWindowServesNewCluster) {
+  loop.schedule_in(net::SimTime::seconds(1.0),
+                   [this] { server.load_cluster(1); });
+  loop.schedule_in(net::SimTime::seconds(4.0), [this] {
+    net.send(net::Datagram{client,
+                           net::Endpoint{server.address(), net::kDnsPort},
+                           dns::encode(dns::make_query(
+                               7, scheme.qname({1, 0}), dns::RRType::kA))});
+  });
+  loop.run();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].has_answer());
+}
+
+TEST_F(AuthServerTest, CountsQueriesAndResponses) {
+  query(scheme.qname({0, 1}));
+  query(dns::DnsName::must_parse("other.org"));
+  EXPECT_EQ(server.stats().queries_received, 2u);
+  EXPECT_EQ(server.stats().responses_sent, 2u);
+}
+
+}  // namespace
+}  // namespace orp::authns

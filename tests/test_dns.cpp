@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include "dns/builder.h"
+#include "dns/codec.h"
+#include "dns/message.h"
+#include "dns/name.h"
+#include "dns/types.h"
+
+namespace orp::dns {
+namespace {
+
+// ---- DnsName -------------------------------------------------------------------
+
+TEST(DnsName, ParseAndFormat) {
+  const auto n = DnsName::parse("www.Example.COM");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->label_count(), 3u);
+  EXPECT_EQ(n->to_string(), "www.Example.COM");
+  EXPECT_EQ(n->canonical_key(), "www.example.com");
+}
+
+TEST(DnsName, TrailingDotAccepted) {
+  EXPECT_EQ(DnsName::must_parse("example.com.").label_count(), 2u);
+}
+
+TEST(DnsName, RootForms) {
+  EXPECT_TRUE(DnsName::must_parse(".").is_root());
+  EXPECT_TRUE(DnsName().is_root());
+  EXPECT_EQ(DnsName().to_string(), ".");
+  EXPECT_EQ(DnsName().wire_length(), 1u);
+}
+
+TEST(DnsName, RejectsEmptyLabels) {
+  EXPECT_FALSE(DnsName::parse("a..b").has_value());
+  EXPECT_FALSE(DnsName::parse(".a").has_value());
+}
+
+TEST(DnsName, CaseInsensitiveEquality) {
+  EXPECT_EQ(DnsName::must_parse("A.B.c"), DnsName::must_parse("a.b.C"));
+  EXPECT_FALSE(DnsName::must_parse("a.b") == DnsName::must_parse("a.c"));
+}
+
+TEST(DnsName, SubdomainRelation) {
+  const auto sld = DnsName::must_parse("ucfsealresearch.net");
+  EXPECT_TRUE(DnsName::must_parse("or000.0000001.ucfsealresearch.net")
+                  .is_subdomain_of(sld));
+  EXPECT_TRUE(sld.is_subdomain_of(sld));
+  EXPECT_TRUE(sld.is_subdomain_of(DnsName()));  // everything under root
+  EXPECT_FALSE(DnsName::must_parse("example.net").is_subdomain_of(sld));
+  EXPECT_FALSE(DnsName::must_parse("net").is_subdomain_of(sld));
+  EXPECT_FALSE(DnsName::must_parse("evilucfsealresearch.net")
+                   .is_subdomain_of(sld));
+}
+
+TEST(DnsName, ParentAndChild) {
+  const auto n = DnsName::must_parse("a.b.c");
+  EXPECT_EQ(n.parent().to_string(), "b.c");
+  EXPECT_EQ(n.parent(2).to_string(), "c");
+  EXPECT_TRUE(n.parent(3).is_root());
+  EXPECT_TRUE(n.parent(9).is_root());
+  EXPECT_EQ(n.child("x").to_string(), "x.a.b.c");
+}
+
+class LabelLengthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LabelLengthSweep, SixtyThreeIsTheLimit) {
+  const std::string label(GetParam(), 'a');
+  const auto parsed = DnsName::parse(label + ".com");
+  if (GetParam() >= 1 && GetParam() <= kMaxLabelLength)
+    EXPECT_TRUE(parsed.has_value());
+  else
+    EXPECT_FALSE(parsed.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, LabelLengthSweep,
+                         ::testing::Values(1, 2, 32, 62, 63, 64, 100));
+
+TEST(DnsName, TotalLengthLimit) {
+  // Four 62-char labels plus dots: wire length 4*63+1 = 253 -> ok.
+  const std::string l62(62, 'x');
+  const std::string ok = l62 + "." + l62 + "." + l62 + "." + l62;
+  EXPECT_TRUE(DnsName::parse(ok).has_value());
+  // Adding one more label of length 2 exceeds 255.
+  EXPECT_FALSE(DnsName::parse(ok + ".ab").has_value());
+}
+
+// ---- Flags ----------------------------------------------------------------------
+
+TEST(Flags, PackUnpackRoundTripAllBitPatterns) {
+  // Exhaustive over the whole 16-bit flags word: unpack -> pack must be the
+  // identity on every field we model (z keeps only its defined bit).
+  for (std::uint32_t raw = 0; raw <= 0xFFFF; ++raw) {
+    const Flags f = Flags::unpack(static_cast<std::uint16_t>(raw));
+    const Flags g = Flags::unpack(f.pack());
+    EXPECT_EQ(f, g) << raw;
+  }
+}
+
+TEST(Flags, KnownEncodings) {
+  Flags f;
+  f.qr = true;
+  f.ra = true;
+  f.rd = true;
+  EXPECT_EQ(f.pack(), 0x8180);  // standard answer header
+  f.aa = true;
+  EXPECT_EQ(f.pack(), 0x8580);
+  f.rcode = Rcode::kNXDomain;
+  EXPECT_EQ(f.pack(), 0x8583);
+}
+
+// ---- Types -----------------------------------------------------------------------
+
+TEST(Types, RcodeNames) {
+  EXPECT_EQ(to_string(Rcode::kNoError), "NoError");
+  EXPECT_EQ(to_string(Rcode::kRefused), "Refused");
+  EXPECT_EQ(to_string(Rcode::kNotAuth), "NotAuth");
+  Rcode rc;
+  EXPECT_TRUE(rcode_from_string("ServFail", rc));
+  EXPECT_EQ(rc, Rcode::kServFail);
+  EXPECT_FALSE(rcode_from_string("NotARcode", rc));
+}
+
+TEST(Types, RRTypeNames) {
+  EXPECT_EQ(to_string(RRType::kA), "A");
+  EXPECT_EQ(to_string(RRType::kANY), "ANY");
+  EXPECT_EQ(to_string(RRType::kOPT), "OPT");
+}
+
+// ---- Codec round trips -------------------------------------------------------------
+
+Message sample_message() {
+  Message m = make_query(0x1234, DnsName::must_parse("or001.0000042.ucfsealresearch.net"));
+  m.header.flags.qr = true;
+  m.header.flags.ra = true;
+  m.answers.push_back(ResourceRecord{
+      m.questions[0].qname, RRType::kA, RRClass::kIN, 300,
+      ARdata{net::IPv4Addr(93, 184, 216, 34)}});
+  m.authority.push_back(ResourceRecord{
+      DnsName::must_parse("ucfsealresearch.net"), RRType::kNS, RRClass::kIN,
+      172800, NameRdata{DnsName::must_parse("ns1.ucfsealresearch.net")}});
+  m.additional.push_back(ResourceRecord{
+      DnsName::must_parse("ns1.ucfsealresearch.net"), RRType::kA,
+      RRClass::kIN, 172800, ARdata{net::IPv4Addr(45, 76, 18, 21)}});
+  return m;
+}
+
+void expect_equal(const Message& a, const Message& b) {
+  EXPECT_EQ(a.header.id, b.header.id);
+  EXPECT_EQ(a.header.flags, b.header.flags);
+  ASSERT_EQ(a.questions.size(), b.questions.size());
+  for (std::size_t i = 0; i < a.questions.size(); ++i) {
+    EXPECT_EQ(a.questions[i].qname, b.questions[i].qname);
+    EXPECT_EQ(a.questions[i].qtype, b.questions[i].qtype);
+  }
+  ASSERT_EQ(a.answers.size(), b.answers.size());
+  ASSERT_EQ(a.authority.size(), b.authority.size());
+  ASSERT_EQ(a.additional.size(), b.additional.size());
+  auto rr_equal = [](const ResourceRecord& x, const ResourceRecord& y) {
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.type, y.type);
+    EXPECT_EQ(x.ttl, y.ttl);
+    EXPECT_EQ(to_string(x), to_string(y));
+  };
+  for (std::size_t i = 0; i < a.answers.size(); ++i)
+    rr_equal(a.answers[i], b.answers[i]);
+  for (std::size_t i = 0; i < a.authority.size(); ++i)
+    rr_equal(a.authority[i], b.authority[i]);
+  for (std::size_t i = 0; i < a.additional.size(); ++i)
+    rr_equal(a.additional[i], b.additional[i]);
+}
+
+TEST(Codec, RoundTripCompressed) {
+  const Message m = sample_message();
+  const auto wire = encode(m, {.compress = true});
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.has_value()) << to_string(decoded.error());
+  expect_equal(m, *decoded);
+}
+
+TEST(Codec, RoundTripUncompressed) {
+  const Message m = sample_message();
+  const auto wire = encode(m, {.compress = false});
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  expect_equal(m, *decoded);
+}
+
+TEST(Codec, CompressionShrinksRepeatedNames) {
+  const Message m = sample_message();
+  EXPECT_LT(encode(m, {.compress = true}).size(),
+            encode(m, {.compress = false}).size());
+}
+
+struct RdataCase {
+  const char* label;
+  Rdata rdata;
+  RRType type;
+};
+
+class RdataRoundTrip : public ::testing::TestWithParam<RdataCase> {};
+
+TEST_P(RdataRoundTrip, EncodesAndDecodes) {
+  Message m = make_query(7, DnsName::must_parse("x.example.net"));
+  m.header.flags.qr = true;
+  m.answers.push_back(ResourceRecord{m.questions[0].qname, GetParam().type,
+                                     RRClass::kIN, 60, GetParam().rdata});
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->answers.size(), 1u);
+  EXPECT_EQ(to_string(decoded->answers[0]), to_string(m.answers[0]));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, RdataRoundTrip,
+    ::testing::Values(
+        RdataCase{"a", ARdata{net::IPv4Addr(8, 8, 8, 8)}, RRType::kA},
+        RdataCase{"cname", NameRdata{DnsName::must_parse("u.dcoin.co")},
+                  RRType::kCNAME},
+        RdataCase{"ns", NameRdata{DnsName::must_parse("ns1.example.net")},
+                  RRType::kNS},
+        RdataCase{"ptr", NameRdata{DnsName::must_parse("host.example.net")},
+                  RRType::kPTR},
+        RdataCase{"soa",
+                  SoaRdata{DnsName::must_parse("ns1.example.net"),
+                           DnsName::must_parse("hostmaster.example.net"),
+                           2018042601, 7200, 900, 1209600, 300},
+                  RRType::kSOA},
+        RdataCase{"mx", MxRdata{10, DnsName::must_parse("mail.example.net")},
+                  RRType::kMX},
+        RdataCase{"txt", TxtRdata{{"wild", "OK"}}, RRType::kTXT},
+        RdataCase{"raw", RawRdata{99, {0xDE, 0xAD, 0xBE, 0xEF}},
+                  static_cast<RRType>(99)}),
+    [](const auto& info) { return info.param.label; });
+
+// ---- Malformed input ---------------------------------------------------------------
+
+TEST(Codec, TruncatedHeaderRejected) {
+  const std::vector<std::uint8_t> wire{0x12, 0x34, 0x01};
+  const auto decoded = decode(wire);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.error(), DecodeError::kTruncatedHeader);
+}
+
+TEST(Codec, EmptyPayloadRejected) {
+  EXPECT_FALSE(decode(std::vector<std::uint8_t>{}).has_value());
+}
+
+TEST(Codec, LyingAncountDetected) {
+  // The deviant-resolver trick: header claims one answer, none present.
+  Message m = make_query(9, DnsName::must_parse("q.example.net"));
+  m.header.flags.qr = true;
+  m.header.qdcount = 1;
+  m.header.ancount = 1;
+  const auto wire = encode_raw_counts(m);
+  const auto decoded = decode(wire);
+  ASSERT_FALSE(decoded.has_value());
+  const PartialDecode partial = decode_partial(wire);
+  EXPECT_EQ(partial.failed_at, DecodeStage::kAnswer);
+  ASSERT_EQ(partial.message.questions.size(), 1u);  // question survived
+}
+
+TEST(Codec, ForwardCompressionPointerRejected) {
+  // Header + a name that is a pointer to itself (offset 12).
+  std::vector<std::uint8_t> wire(12, 0);
+  wire[5] = 1;  // qdcount = 1
+  wire.push_back(0xC0);
+  wire.push_back(12);  // pointer to its own first byte
+  wire.push_back(0);
+  wire.push_back(1);
+  wire.push_back(0);
+  wire.push_back(1);
+  const auto decoded = decode(wire);
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.error(), DecodeError::kForwardPointer);
+}
+
+TEST(Codec, TruncatedNameRejected) {
+  std::vector<std::uint8_t> wire(12, 0);
+  wire[5] = 1;        // qdcount = 1
+  wire.push_back(30);  // label length 30, but no bytes follow
+  wire.push_back('a');
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Codec, BadRdataLengthRejected) {
+  Message m = make_query(9, DnsName::must_parse("q.example.net"));
+  m.header.flags.qr = true;
+  m.answers.push_back(ResourceRecord{m.questions[0].qname, RRType::kA,
+                                     RRClass::kIN, 60,
+                                     ARdata{net::IPv4Addr(1, 2, 3, 4)}});
+  auto wire = encode(m);
+  wire.resize(wire.size() - 2);  // chop the tail of the A rdata
+  const auto decoded = decode(wire);
+  ASSERT_FALSE(decoded.has_value());
+}
+
+TEST(Codec, UnsupportedLabelTypeRejected) {
+  std::vector<std::uint8_t> wire(12, 0);
+  wire[5] = 1;
+  wire.push_back(0x40);  // 01xxxxxx: extended label type, unsupported
+  EXPECT_FALSE(decode(wire).has_value());
+}
+
+TEST(Codec, CompressedPointerIntoQuestionWorks) {
+  // Craft: question "a.b", answer name = pointer to question name.
+  Message m = make_query(5, DnsName::must_parse("a.b"));
+  m.header.flags.qr = true;
+  m.answers.push_back(ResourceRecord{DnsName::must_parse("a.b"), RRType::kA,
+                                     RRClass::kIN, 60,
+                                     ARdata{net::IPv4Addr(9, 9, 9, 9)}});
+  const auto wire = encode(m, {.compress = true});
+  const auto decoded = decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->answers[0].name, DnsName::must_parse("a.b"));
+}
+
+TEST(Codec, DecodePartialCompleteOnGoodMessage) {
+  const auto wire = encode(sample_message());
+  const PartialDecode partial = decode_partial(wire);
+  EXPECT_TRUE(partial.complete());
+  EXPECT_EQ(partial.message.answers.size(), 1u);
+}
+
+TEST(Codec, EncodeNameMatchesWireLength) {
+  const auto n = DnsName::must_parse("www.example.com");
+  EXPECT_EQ(encode_name(n).size(), n.wire_length());
+}
+
+// ---- Builders ------------------------------------------------------------------------
+
+TEST(Builder, QueryShape) {
+  const Message q = make_query(42, DnsName::must_parse("probe.example.net"),
+                               RRType::kANY);
+  EXPECT_FALSE(q.header.flags.qr);
+  EXPECT_TRUE(q.header.flags.rd);
+  ASSERT_EQ(q.questions.size(), 1u);
+  EXPECT_EQ(q.questions[0].qtype, RRType::kANY);
+}
+
+TEST(Builder, ResponseEchoesQuestionAndId) {
+  const Message q = make_query(42, DnsName::must_parse("probe.example.net"));
+  const Message r = make_a_response(q, net::IPv4Addr(1, 2, 3, 4));
+  EXPECT_TRUE(r.header.flags.qr);
+  EXPECT_EQ(r.header.id, 42);
+  ASSERT_TRUE(r.first_a_answer().has_value());
+  EXPECT_EQ(r.first_a_answer()->to_string(), "1.2.3.4");
+}
+
+TEST(Builder, ErrorResponseHasNoAnswer) {
+  const Message q = make_query(1, DnsName::must_parse("x.example.net"));
+  const Message r = make_error_response(q, Rcode::kRefused, false);
+  EXPECT_EQ(r.header.flags.rcode, Rcode::kRefused);
+  EXPECT_FALSE(r.has_answer());
+  EXPECT_FALSE(r.header.flags.ra);
+}
+
+TEST(Builder, ReferralCarriesGlue) {
+  const Message q = make_query(1, DnsName::must_parse("x.sld.net"));
+  const Message r = make_referral(
+      q, DnsName::must_parse("sld.net"),
+      {{DnsName::must_parse("ns1.sld.net"), net::IPv4Addr(5, 6, 7, 8)}});
+  ASSERT_EQ(r.authority.size(), 1u);
+  ASSERT_EQ(r.additional.size(), 1u);
+  EXPECT_EQ(r.authority[0].type, RRType::kNS);
+  EXPECT_EQ(r.additional[0].type, RRType::kA);
+}
+
+TEST(Message, FirstAAnswerSkipsNonA) {
+  Message m = make_query(1, DnsName::must_parse("x.y"));
+  m.answers.push_back(ResourceRecord{m.questions[0].qname, RRType::kCNAME,
+                                     RRClass::kIN, 60,
+                                     NameRdata{DnsName::must_parse("z.y")}});
+  EXPECT_FALSE(m.first_a_answer().has_value());
+  m.answers.push_back(ResourceRecord{m.questions[0].qname, RRType::kA,
+                                     RRClass::kIN, 60,
+                                     ARdata{net::IPv4Addr(4, 4, 4, 4)}});
+  EXPECT_TRUE(m.first_a_answer().has_value());
+}
+
+TEST(Message, ToStringMentionsSections) {
+  const std::string s = sample_message().to_string();
+  EXPECT_NE(s.find("ANSWER"), std::string::npos);
+  EXPECT_NE(s.find("AUTHORITY"), std::string::npos);
+  EXPECT_NE(s.find("flags:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orp::dns

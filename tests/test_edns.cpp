@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "authns/auth_server.h"
+#include "dns/builder.h"
+#include "dns/codec.h"
+#include "dns/edns.h"
+#include "resolver/root_tld.h"
+#include "resolver/scripted_resolver.h"
+
+namespace orp::dns {
+namespace {
+
+// ---- OPT pseudo-RR round trips ----------------------------------------------
+
+TEST(Edns, SetAndExtract) {
+  Message m = make_query(1, DnsName::must_parse("x.example.net"));
+  EXPECT_FALSE(extract_edns(m).has_value());
+  set_edns(m, EdnsInfo{.udp_payload_size = 4096, .do_bit = true});
+  const auto info = extract_edns(m);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->udp_payload_size, 4096);
+  EXPECT_TRUE(info->do_bit);
+  EXPECT_EQ(info->version, 0);
+}
+
+TEST(Edns, SurvivesWireRoundTrip) {
+  Message m = make_query(1, DnsName::must_parse("x.example.net"));
+  set_edns(m, EdnsInfo{.udp_payload_size = 1232});
+  const auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.has_value());
+  const auto info = extract_edns(*decoded);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->udp_payload_size, 1232);
+}
+
+TEST(Edns, SetReplacesExistingOpt) {
+  Message m = make_query(1, DnsName::must_parse("x.example.net"));
+  set_edns(m, EdnsInfo{.udp_payload_size = 512});
+  set_edns(m, EdnsInfo{.udp_payload_size = 4096});
+  EXPECT_EQ(m.additional.size(), 1u);
+  EXPECT_EQ(extract_edns(m)->udp_payload_size, 4096);
+}
+
+TEST(Edns, ClearRemovesOpt) {
+  Message m = make_query(1, DnsName::must_parse("x.example.net"));
+  set_edns(m, EdnsInfo{});
+  clear_edns(m);
+  EXPECT_FALSE(extract_edns(m).has_value());
+}
+
+TEST(Edns, BudgetDefaultsTo512WithoutOpt) {
+  const Message m = make_query(1, DnsName::must_parse("x.example.net"));
+  EXPECT_EQ(response_size_budget(m), kClassicUdpLimit);
+}
+
+TEST(Edns, TinyAdvertisedBufferClampsTo512) {
+  Message m = make_query(1, DnsName::must_parse("x.example.net"));
+  set_edns(m, EdnsInfo{.udp_payload_size = 100});
+  EXPECT_EQ(response_size_budget(m), kClassicUdpLimit);
+}
+
+// ---- Truncation ----------------------------------------------------------------
+
+Message bulky_response() {
+  Message q = make_query(7, DnsName::must_parse("big.example.net"),
+                         RRType::kANY);
+  Message r = make_response(q);
+  for (int i = 0; i < 30; ++i) {
+    r.answers.push_back(ResourceRecord{
+        q.questions[0].qname, RRType::kTXT, RRClass::kIN, 300,
+        TxtRdata{{"record-" + std::to_string(i) + std::string(40, 'x')}}});
+  }
+  return r;
+}
+
+TEST(Edns, TruncateLeavesSmallMessagesAlone) {
+  Message r = make_a_response(make_query(1, DnsName::must_parse("a.b")),
+                              net::IPv4Addr(1, 2, 3, 4));
+  EXPECT_FALSE(truncate_to_fit(r, kClassicUdpLimit));
+  EXPECT_FALSE(r.header.flags.tc);
+}
+
+TEST(Edns, TruncateSetsTcAndFits) {
+  Message r = bulky_response();
+  ASSERT_GT(encode(r).size(), kClassicUdpLimit);
+  EXPECT_TRUE(truncate_to_fit(r, kClassicUdpLimit));
+  EXPECT_TRUE(r.header.flags.tc);
+  EXPECT_LE(encode(r).size(), kClassicUdpLimit);
+  EXPECT_EQ(r.questions.size(), 1u);  // question preserved
+}
+
+TEST(Edns, LargerBudgetKeepsMoreRecords) {
+  Message small = bulky_response();
+  Message large = bulky_response();
+  truncate_to_fit(small, 512);
+  const bool large_truncated = truncate_to_fit(large, 4096);
+  EXPECT_GE(large.answers.size(), small.answers.size());
+  if (large_truncated) {
+    EXPECT_TRUE(large.header.flags.tc);
+  }
+}
+
+}  // namespace
+}  // namespace orp::dns
+
+namespace orp::resolver {
+namespace {
+
+// ---- End-to-end: auth truncation + engine fallback ------------------------------
+
+class EdnsPathFixture : public ::testing::Test {
+ protected:
+  EdnsPathFixture()
+      : net(loop, 5),
+        scheme(dns::DnsName::must_parse("ucfsealresearch.net"), 1000, 7),
+        auth(net, net::IPv4Addr(45, 76, 18, 21), scheme,
+             net::SimTime::nanos(0)),
+        hierarchy(build_hierarchy(net, scheme.sld(),
+                                  scheme.sld().child("ns1"), auth.address(),
+                                  1)) {
+    net.set_latency({net::SimTime::millis(2), net::SimTime::millis(1)});
+    // A record-rich apex so ANY overflows 512 bytes.
+    for (int i = 0; i < 12; ++i) {
+      auth.add_record(dns::ResourceRecord{
+          scheme.sld(), dns::RRType::kTXT, dns::RRClass::kIN, 3600,
+          dns::TxtRdata{{"filler-" + std::to_string(i) + std::string(48, 'y')}}});
+    }
+    engine_config.hints = hierarchy.hints;
+  }
+
+  net::EventLoop loop;
+  net::Network net;
+  zone::SubdomainScheme scheme;
+  authns::AuthServer auth;
+  SimHierarchy hierarchy;
+  EngineConfig engine_config;
+};
+
+TEST_F(EdnsPathFixture, ClassicClientGetsTruncatedAnyResponse) {
+  const net::Endpoint client{net::IPv4Addr(9, 9, 9, 9), 5353};
+  std::optional<dns::Message> reply;
+  net.bind(client, [&](const net::Datagram& d) {
+    auto decoded = dns::decode(d.payload);
+    ASSERT_TRUE(decoded.has_value());
+    reply = *decoded;
+    EXPECT_LE(d.payload.size(), dns::kClassicUdpLimit);
+  });
+  net.send(net::Datagram{
+      client, net::Endpoint{auth.address(), net::kDnsPort},
+      dns::encode(dns::make_query(1, scheme.sld(), dns::RRType::kANY))});
+  loop.run();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->header.flags.tc);
+  EXPECT_GE(auth.stats().truncated, 1u);
+}
+
+TEST_F(EdnsPathFixture, EdnsClientGetsFullAnyResponse) {
+  const net::Endpoint client{net::IPv4Addr(9, 9, 9, 9), 5353};
+  std::optional<dns::Message> reply;
+  std::size_t wire_size = 0;
+  net.bind(client, [&](const net::Datagram& d) {
+    wire_size = d.payload.size();
+    auto decoded = dns::decode(d.payload);
+    ASSERT_TRUE(decoded.has_value());
+    reply = *decoded;
+  });
+  dns::Message q = dns::make_query(1, scheme.sld(), dns::RRType::kANY);
+  dns::set_edns(q, dns::EdnsInfo{.udp_payload_size = 4096});
+  net.send(net::Datagram{client, net::Endpoint{auth.address(), net::kDnsPort},
+                         dns::encode(q)});
+  loop.run();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_FALSE(reply->header.flags.tc);
+  EXPECT_GT(wire_size, dns::kClassicUdpLimit);
+  EXPECT_GE(reply->answers.size(), 12u);
+  // The server echoes its own OPT.
+  EXPECT_TRUE(dns::extract_edns(*reply).has_value());
+}
+
+TEST_F(EdnsPathFixture, EngineFallsBackOnTruncation) {
+  EngineConfig cfg = engine_config;
+  cfg.edns_payload_size = 0;  // classic resolver: will hit TC on big ANY
+  IterativeEngine engine(net, net::IPv4Addr(8, 8, 8, 8), cfg, 1);
+  std::optional<ResolutionOutcome> result;
+  engine.resolve(scheme.sld(), dns::RRType::kANY,
+                 [&](const ResolutionOutcome& o) { result = o; });
+  loop.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->success);
+  EXPECT_GE(result->answers.size(), 12u);  // fetched in full via fallback
+  EXPECT_GE(engine.truncated_seen(), 1u);
+}
+
+TEST_F(EdnsPathFixture, DnssecDoBitReachesTheAuthServer) {
+  EngineConfig cfg = engine_config;
+  cfg.dnssec_ok = true;
+  IterativeEngine validating(net, net::IPv4Addr(8, 8, 8, 8), cfg, 1);
+  IterativeEngine plain(net, net::IPv4Addr(8, 8, 4, 4), engine_config, 2);
+  int done = 0;
+  validating.resolve(scheme.qname({0, 1}), dns::RRType::kA,
+                     [&](const ResolutionOutcome&) { ++done; });
+  plain.resolve(scheme.qname({0, 2}), dns::RRType::kA,
+                [&](const ResolutionOutcome&) { ++done; });
+  loop.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(auth.stats().edns_queries, 2u);      // both resolvers use EDNS
+  EXPECT_EQ(auth.stats().dnssec_do_queries, 1u); // only the validator sets DO
+}
+
+TEST_F(EdnsPathFixture, EdnsEngineNeverSeesTruncation) {
+  IterativeEngine engine(net, net::IPv4Addr(8, 8, 8, 8), engine_config, 1);
+  std::optional<ResolutionOutcome> result;
+  engine.resolve(scheme.sld(), dns::RRType::kANY,
+                 [&](const ResolutionOutcome& o) { result = o; });
+  loop.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->success);
+  EXPECT_EQ(engine.truncated_seen(), 0u);
+}
+
+}  // namespace
+}  // namespace orp::resolver

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "analysis/export.h"
+
+namespace orp::analysis {
+namespace {
+
+TEST(CsvEscape, PlainFieldsUntouched) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("1.2.3.4"), "1.2.3.4");
+}
+
+TEST(CsvEscape, QuotesCommasAndNewlines) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+R2View make_view(AnswerForm form) {
+  R2View v;
+  v.resolver = net::IPv4Addr(9, 8, 7, 6);
+  v.has_question = true;
+  v.ra = true;
+  v.form = form;
+  if (form == AnswerForm::kIp) {
+    v.answer_ip = net::IPv4Addr(1, 2, 3, 4);
+    v.correct = true;
+  }
+  if (form == AnswerForm::kString) v.answer_text = "wild, \"quoted\"";
+  return v;
+}
+
+TEST(ViewsCsv, HeaderPlusOneRowPerView) {
+  const std::vector<R2View> views{make_view(AnswerForm::kIp),
+                                  make_view(AnswerForm::kNone)};
+  const std::string csv = views_to_csv(views);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("resolver,time_s"), std::string::npos);
+  EXPECT_NE(csv.find("9.8.7.6"), std::string::npos);
+  EXPECT_NE(csv.find("1.2.3.4,1"), std::string::npos);
+}
+
+TEST(ViewsCsv, GarbageAnswersAreEscaped) {
+  const std::vector<R2View> views{make_view(AnswerForm::kString)};
+  const std::string csv = views_to_csv(views);
+  EXPECT_NE(csv.find("\"wild, \"\"quoted\"\"\""), std::string::npos);
+}
+
+TEST(AnalysisCsv, CarriesHeadlineMetrics) {
+  ScanAnalysis a;
+  a.r2_total = 100;
+  a.answers = AnswerBreakdown{.r2 = 100, .without_answer = 50, .correct = 40,
+                              .incorrect = 10};
+  a.malicious.total_r2 = 3;
+  a.malicious.total_ips = 2;
+  a.malicious.categories[0] = CategoryRow{2, 3};
+  a.geo.countries.push_back(CountryCount{"US", 3});
+  const std::string csv = analysis_to_csv(a);
+  EXPECT_NE(csv.find("answers_correct,40"), std::string::npos);
+  EXPECT_NE(csv.find("error_rate_percent,20"), std::string::npos);
+  EXPECT_NE(csv.find("malicious_r2,3"), std::string::npos);
+  EXPECT_NE(csv.find("malicious_Malware,3"), std::string::npos);
+  EXPECT_NE(csv.find("geo_US,3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orp::analysis

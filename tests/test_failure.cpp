@@ -1,0 +1,150 @@
+// Failure injection: packet loss and authoritative-server outages.
+//
+// A measurement pipeline that only works on a perfect network is not a
+// measurement pipeline. These tests verify the scanner and analysis degrade
+// the way the real system would: loss costs responses but never wedges the
+// scan; an unreachable authoritative server turns honest resolvers into
+// ServFail responders (the behavior BIND operators see during outages).
+#include <gtest/gtest.h>
+
+#include "authns/auth_server.h"
+#include "core/paper_data.h"
+#include "core/pipeline.h"
+#include "resolver/root_tld.h"
+#include "resolver/scripted_resolver.h"
+
+namespace orp {
+namespace {
+
+TEST(LossInjection, ScanCompletesAndUndercountsProportionally) {
+  core::PipelineConfig clean_cfg;
+  clean_cfg.scale = 16384;
+  clean_cfg.seed = 11;
+  const core::ScanOutcome clean =
+      core::run_measurement(core::paper_2018(), clean_cfg);
+
+  core::PipelineConfig lossy_cfg = clean_cfg;
+  lossy_cfg.loss_rate = 0.25;
+  const core::ScanOutcome lossy =
+      core::run_measurement(core::paper_2018(), lossy_cfg);
+
+  // The scan always terminates and sends the same probe set.
+  EXPECT_EQ(lossy.scan.q1_sent, clean.scan.q1_sent);
+  // Responses drop: losing Q1 or R2 kills a flow; the survival rate for a
+  // direct exchange is (1-p)^2 ~ 56%, with recursion paths faring worse.
+  EXPECT_LT(lossy.scan.r2_received, clean.scan.r2_received);
+  const double survival = static_cast<double>(lossy.scan.r2_received) /
+                          static_cast<double>(clean.scan.r2_received);
+  EXPECT_GT(survival, 0.30);
+  EXPECT_LT(survival, 0.80);
+  // The analysis still runs and stays internally consistent.
+  EXPECT_EQ(lossy.analysis.answers.r2,
+            lossy.analysis.answers.without_answer +
+                lossy.analysis.answers.with_answer());
+}
+
+TEST(LossInjection, TotalLossYieldsZeroResponsesNotAHang) {
+  core::PipelineConfig cfg;
+  cfg.scale = 65536;
+  cfg.seed = 11;
+  cfg.loss_rate = 1.0;
+  const core::ScanOutcome outcome =
+      core::run_measurement(core::paper_2018(), cfg);
+  EXPECT_EQ(outcome.scan.r2_received, 0u);
+  EXPECT_GT(outcome.scan.q1_sent, 0u);
+}
+
+class OutageFixture : public ::testing::Test {
+ protected:
+  OutageFixture()
+      : net(loop, 7),
+        scheme(dns::DnsName::must_parse("ucfsealresearch.net"), 1000, 7) {
+    net.set_latency({net::SimTime::millis(5), net::SimTime::millis(2)});
+  }
+
+  std::optional<dns::Message> probe(net::IPv4Addr host,
+                                    const dns::DnsName& qname) {
+    std::optional<dns::Message> response;
+    const net::Endpoint prober{net::IPv4Addr(132, 170, 3, 44), 54321};
+    net.bind(prober, [&](const net::Datagram& d) {
+      if (const auto decoded = dns::decode(d.payload)) response = *decoded;
+    });
+    net.send(net::Datagram{prober, net::Endpoint{host, net::kDnsPort},
+                           dns::encode(dns::make_query(9, qname))});
+    loop.run();
+    net.unbind(prober);
+    return response;
+  }
+
+  net::EventLoop loop;
+  net::Network net;
+  zone::SubdomainScheme scheme;
+};
+
+TEST_F(OutageFixture, HonestResolverServFailsWhenAuthIsDown) {
+  // Hierarchy exists, but the delegated auth server address is never bound.
+  const auto hierarchy = resolver::build_hierarchy(
+      net, scheme.sld(), scheme.sld().child("ns1"),
+      net::IPv4Addr(45, 76, 18, 21), 2);
+  resolver::EngineConfig cfg;
+  cfg.hints = hierarchy.hints;
+  cfg.query_timeout = net::SimTime::millis(100);
+  cfg.max_retries = 1;
+  resolver::BehaviorProfile honest;
+  honest.answer = resolver::AnswerMode::kRecursive;
+  resolver::ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7), honest, cfg, 1);
+
+  const auto r2 = probe(host.address(), scheme.qname({0, 1}));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->header.flags.rcode, dns::Rcode::kServFail);
+  EXPECT_FALSE(r2->has_answer());
+}
+
+TEST_F(OutageFixture, HonestResolverServFailsWithNoRootsAtAll) {
+  resolver::EngineConfig cfg;  // empty hints: the resolver is marooned
+  resolver::BehaviorProfile honest;
+  honest.answer = resolver::AnswerMode::kRecursive;
+  resolver::ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7), honest, cfg, 1);
+  const auto r2 = probe(host.address(), scheme.qname({0, 1}));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->header.flags.rcode, dns::Rcode::kServFail);
+}
+
+TEST_F(OutageFixture, ResolverSurvivesMidResolutionAuthDisappearance) {
+  authns::AuthServer auth(net, net::IPv4Addr(45, 76, 18, 21), scheme,
+                          net::SimTime::nanos(0));
+  const auto hierarchy = resolver::build_hierarchy(
+      net, scheme.sld(), scheme.sld().child("ns1"), auth.address(), 2);
+  resolver::EngineConfig cfg;
+  cfg.hints = hierarchy.hints;
+  cfg.query_timeout = net::SimTime::millis(100);
+  cfg.max_retries = 1;
+  resolver::BehaviorProfile honest;
+  honest.answer = resolver::AnswerMode::kRecursive;
+  resolver::ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7), honest, cfg, 1);
+
+  // Take the auth server off the network just as the probe goes out: the
+  // resolver's root/TLD walk succeeds but the final leg times out.
+  loop.schedule_in(net::SimTime::millis(1), [this, &auth] {
+    net.unbind(net::Endpoint{auth.address(), net::kDnsPort});
+  });
+  const auto r2 = probe(host.address(), scheme.qname({0, 1}));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->header.flags.rcode, dns::Rcode::kServFail);
+}
+
+TEST_F(OutageFixture, LostForwarderUpstreamMeansSilence) {
+  resolver::EngineConfig cfg;
+  resolver::BehaviorProfile fwd;
+  fwd.answer = resolver::AnswerMode::kRecursive;
+  fwd.forwarder = true;
+  fwd.upstream = net::IPv4Addr(66, 1, 1, 1);  // nobody home
+  resolver::ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7), fwd, cfg, 1);
+  const auto r2 = probe(host.address(), scheme.qname({0, 1}));
+  // The forwarder has no answer to relay and (like real CPE gear) no
+  // timeout of its own: the probe is simply never answered.
+  EXPECT_FALSE(r2.has_value());
+}
+
+}  // namespace
+}  // namespace orp

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "intel/geo_db.h"
+#include "intel/org_db.h"
+#include "intel/threat_db.h"
+
+namespace orp::intel {
+namespace {
+
+// ---- ThreatDb -----------------------------------------------------------------
+
+TEST(ThreatDb, UnreportedAddressIsClean) {
+  ThreatDb db;
+  EXPECT_FALSE(db.is_reported(net::IPv4Addr(8, 8, 8, 8)));
+  EXPECT_TRUE(db.lookup(net::IPv4Addr(8, 8, 8, 8)).empty());
+  EXPECT_FALSE(db.dominant_category(net::IPv4Addr(8, 8, 8, 8)).has_value());
+}
+
+TEST(ThreatDb, ReportsAccumulatePerSourceAndCategory) {
+  ThreatDb db;
+  const net::IPv4Addr addr(208, 91, 197, 91);
+  db.add_report(addr, ThreatCategory::kMalware, "tracker", 2);
+  db.add_report(addr, ThreatCategory::kMalware, "tracker", 3);
+  db.add_report(addr, ThreatCategory::kMalware, "other", 1);
+  const auto reports = db.lookup(addr);
+  ASSERT_EQ(reports.size(), 2u);  // same source merged, new source appended
+  EXPECT_EQ(reports[0].count, 5u);
+}
+
+TEST(ThreatDb, DominantCategoryByReportVolume) {
+  ThreatDb db;
+  const net::IPv4Addr addr(1, 2, 3, 4);
+  db.add_report(addr, ThreatCategory::kPhishing, "a", 2);
+  db.add_report(addr, ThreatCategory::kMalware, "b", 5);
+  db.add_report(addr, ThreatCategory::kBotnet, "c", 1);
+  EXPECT_EQ(db.dominant_category(addr), ThreatCategory::kMalware);
+}
+
+TEST(ThreatDb, DominantTieBreaksToFirstCategory) {
+  ThreatDb db;
+  const net::IPv4Addr addr(1, 2, 3, 4);
+  db.add_report(addr, ThreatCategory::kPhishing, "a", 3);
+  db.add_report(addr, ThreatCategory::kMalware, "b", 3);
+  // Malware precedes phishing in the category order (Table IX order).
+  EXPECT_EQ(db.dominant_category(addr), ThreatCategory::kMalware);
+}
+
+TEST(ThreatDb, ReportCardMentionsCategories) {
+  ThreatDb db;
+  const net::IPv4Addr addr(208, 91, 197, 91);
+  db.add_report(addr, ThreatCategory::kMalware, "tracker", 4);
+  db.add_report(addr, ThreatCategory::kPhishing, "feed", 1);
+  const std::string card = db.report_card(addr);
+  EXPECT_NE(card.find("208.91.197.91"), std::string::npos);
+  EXPECT_NE(card.find("Malware"), std::string::npos);
+  EXPECT_NE(card.find("Phishing"), std::string::npos);
+  EXPECT_NE(card.find("dominant category: Malware"), std::string::npos);
+  EXPECT_NE(db.report_card(net::IPv4Addr(9, 9, 9, 9)).find("no reports"),
+            std::string::npos);
+}
+
+TEST(ThreatDb, CategoryNames) {
+  EXPECT_EQ(to_string(ThreatCategory::kSshBruteforce), "SSH Bruteforce");
+  EXPECT_EQ(to_string(ThreatCategory::kEmailBruteforce), "Email Bruteforce");
+}
+
+// ---- GeoDb ---------------------------------------------------------------------
+
+TEST(GeoDb, LooksUpCoveringRange) {
+  GeoDb db;
+  db.add_prefix(*net::Prefix::parse("41.0.0.0/8"), "ZA", 100, "ZA-NET");
+  db.build();
+  EXPECT_EQ(db.country_of(net::IPv4Addr(41, 7, 7, 7)), "ZA");
+  EXPECT_EQ(db.country_of(net::IPv4Addr(42, 0, 0, 1)), "??");
+}
+
+TEST(GeoDb, NarrowestNestedRangeWins) {
+  GeoDb db;
+  db.add_prefix(*net::Prefix::parse("41.0.0.0/8"), "ZA");
+  db.add_prefix(*net::Prefix::parse("41.20.0.0/16"), "KE");
+  db.add_prefix(*net::Prefix::parse("41.20.30.0/24"), "NA");
+  db.build();
+  EXPECT_EQ(db.country_of(net::IPv4Addr(41, 20, 30, 40)), "NA");
+  EXPECT_EQ(db.country_of(net::IPv4Addr(41, 20, 99, 1)), "KE");
+  EXPECT_EQ(db.country_of(net::IPv4Addr(41, 99, 0, 1)), "ZA");
+}
+
+TEST(GeoDb, SingleAddressRanges) {
+  GeoDb db;
+  db.add_range(net::IPv4Addr(5, 5, 5, 5), net::IPv4Addr(5, 5, 5, 5), "VG");
+  db.build();
+  EXPECT_EQ(db.country_of(net::IPv4Addr(5, 5, 5, 5)), "VG");
+  EXPECT_EQ(db.country_of(net::IPv4Addr(5, 5, 5, 6)), "??");
+}
+
+TEST(GeoDb, LookupReturnsAsInfo) {
+  GeoDb db;
+  db.add_prefix(*net::Prefix::parse("9.0.0.0/8"), "US", 64500, "EXAMPLE-AS");
+  db.build();
+  const auto entry = db.lookup(net::IPv4Addr(9, 1, 2, 3));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->asn, 64500u);
+  EXPECT_EQ(entry->as_name, "EXAMPLE-AS");
+}
+
+TEST(GeoDb, RejectsInvertedRange) {
+  GeoDb db;
+  EXPECT_THROW(
+      db.add_range(net::IPv4Addr(2, 0, 0, 0), net::IPv4Addr(1, 0, 0, 0), "US"),
+      std::invalid_argument);
+}
+
+TEST(GeoDb, EmptyDbReturnsUnknown) {
+  GeoDb db;
+  db.build();
+  EXPECT_EQ(db.country_of(net::IPv4Addr(1, 1, 1, 1)), "??");
+}
+
+TEST(GeoDb, ManyDisjointRanges) {
+  GeoDb db;
+  for (int i = 1; i < 200; ++i)
+    db.add_prefix(net::Prefix(net::IPv4Addr(static_cast<std::uint8_t>(i), 0, 0, 0), 8),
+                  i % 2 ? "US" : "IN");
+  db.build();
+  EXPECT_EQ(db.country_of(net::IPv4Addr(33, 1, 1, 1)), "US");
+  EXPECT_EQ(db.country_of(net::IPv4Addr(34, 1, 1, 1)), "IN");
+}
+
+// ---- OrgDb ----------------------------------------------------------------------
+
+TEST(OrgDb, PrivateNetworksShortCircuit) {
+  OrgDb db;
+  db.build();
+  EXPECT_EQ(db.org_of(net::IPv4Addr(192, 168, 1, 1)), "private network");
+  EXPECT_EQ(db.org_of(net::IPv4Addr(10, 0, 0, 1)), "private network");
+  EXPECT_EQ(db.org_of(net::IPv4Addr(172, 30, 1, 254)), "private network");
+}
+
+TEST(OrgDb, RegisteredOrgFound) {
+  OrgDb db;
+  const auto addr = *net::IPv4Addr::parse("216.194.64.193");
+  db.add_range(addr, addr, "Tera-byte Dot Com");
+  db.build();
+  EXPECT_EQ(db.org_of(addr), "Tera-byte Dot Com");
+  EXPECT_EQ(db.org_of(net::IPv4Addr(216, 194, 64, 194)), "unknown");
+}
+
+TEST(OrgDb, NestedAllocationNarrowestWins) {
+  OrgDb db;
+  db.add_prefix(*net::Prefix::parse("74.220.0.0/16"), "BigISP");
+  db.add_prefix(*net::Prefix::parse("74.220.199.0/24"), "Unified Layer");
+  db.build();
+  EXPECT_EQ(db.org_of(net::IPv4Addr(74, 220, 199, 15)), "Unified Layer");
+  EXPECT_EQ(db.org_of(net::IPv4Addr(74, 220, 1, 1)), "BigISP");
+}
+
+TEST(OrgDb, UnbuiltReturnsUnknown) {
+  OrgDb db;
+  db.add_prefix(*net::Prefix::parse("74.220.0.0/16"), "BigISP");
+  EXPECT_EQ(db.org_of(net::IPv4Addr(74, 220, 1, 1)), "unknown");
+}
+
+}  // namespace
+}  // namespace orp::intel

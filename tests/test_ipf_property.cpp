@@ -1,0 +1,159 @@
+// Property tests for the IPF calibrator: for *feasible* margins (derived
+// from an actual joint distribution), iterative proportional fitting must
+// reproduce every margin — not just the paper's specific numbers.
+#include <gtest/gtest.h>
+
+#include "core/ipf.h"
+#include "util/rng.h"
+
+namespace orp::core {
+namespace {
+
+/// Build a random ground-truth joint over (RA, AA, rcode in a small set,
+/// class) and read its margins into CalibrationTargets. The targets are
+/// feasible by construction.
+CalibrationTargets random_feasible_targets(std::uint64_t seed,
+                                           std::uint64_t scale) {
+  util::Rng rng(seed);
+  static constexpr dns::Rcode kRcodes[] = {
+      dns::Rcode::kNoError, dns::Rcode::kServFail, dns::Rcode::kNXDomain,
+      dns::Rcode::kRefused, dns::Rcode::kNotAuth};
+
+  CalibrationTargets t{};
+  for (int ra = 0; ra < 2; ++ra) {
+    for (int aa = 0; aa < 2; ++aa) {
+      for (const dns::Rcode rc : kRcodes) {
+        for (int cls = 0; cls < kAnsClassCount; ++cls) {
+          // Malicious cells only at NoError (the structural zero the
+          // calibrator enforces).
+          if (cls == static_cast<int>(AnsClass::kIncorrectMalicious) &&
+              rc != dns::Rcode::kNoError)
+            continue;
+          const std::uint64_t count = rng.bounded(scale);
+          if (count == 0) continue;
+
+          analysis::FlagBreakdown& ra_row = ra ? t.ra.bit1 : t.ra.bit0;
+          analysis::FlagBreakdown& aa_row = aa ? t.aa.bit1 : t.aa.bit0;
+          analysis::RcodeRow& rc_row =
+              t.rcodes.rows[static_cast<std::size_t>(rc)];
+          switch (static_cast<AnsClass>(cls)) {
+            case AnsClass::kNone:
+              ra_row.without_answer += count;
+              aa_row.without_answer += count;
+              rc_row.without_answer += count;
+              t.answers.without_answer += count;
+              break;
+            case AnsClass::kCorrect:
+              ra_row.correct += count;
+              aa_row.correct += count;
+              rc_row.with_answer += count;
+              t.answers.correct += count;
+              break;
+            case AnsClass::kIncorrectBenign:
+              ra_row.incorrect += count;
+              aa_row.incorrect += count;
+              rc_row.with_answer += count;
+              t.answers.incorrect += count;
+              break;
+            case AnsClass::kIncorrectMalicious:
+              ra_row.incorrect += count;
+              aa_row.incorrect += count;
+              rc_row.with_answer += count;
+              t.answers.incorrect += count;
+              if (ra)
+                t.mal_ra1 += count;
+              else
+                t.mal_ra0 += count;
+              if (aa)
+                t.mal_aa1 += count;
+              else
+                t.mal_aa0 += count;
+              break;
+          }
+        }
+      }
+    }
+  }
+  t.answers.r2 =
+      t.answers.without_answer + t.answers.correct + t.answers.incorrect;
+  return t;
+}
+
+class IpfPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IpfPropertySweep, FeasibleMarginsAreReproduced) {
+  const CalibrationTargets t = random_feasible_targets(GetParam(), 50000);
+  const IpfResult result = calibrate_joint(t);
+  EXPECT_LT(result.max_margin_error, 1e-8);
+  EXPECT_EQ(result.total, t.answers.r2);
+
+  const auto ra = result.ra_margin();
+  EXPECT_NEAR(static_cast<double>(ra.bit0.without_answer),
+              static_cast<double>(t.ra.bit0.without_answer), 8.0);
+  EXPECT_NEAR(static_cast<double>(ra.bit1.correct),
+              static_cast<double>(t.ra.bit1.correct), 8.0);
+  EXPECT_NEAR(static_cast<double>(ra.bit0.incorrect),
+              static_cast<double>(t.ra.bit0.incorrect), 8.0);
+  const auto aa = result.aa_margin();
+  EXPECT_NEAR(static_cast<double>(aa.bit1.correct),
+              static_cast<double>(t.aa.bit1.correct), 8.0);
+  const auto rc = result.rcode_margin();
+  for (std::size_t i = 0; i < rc.rows.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(rc.rows[i].with_answer),
+                static_cast<double>(t.rcodes.rows[i].with_answer), 8.0)
+        << "rcode " << i;
+  }
+}
+
+TEST_P(IpfPropertySweep, MaliciousStructuralZeroHolds) {
+  const CalibrationTargets t = random_feasible_targets(GetParam() + 77, 20000);
+  const IpfResult result = calibrate_joint(t);
+  std::uint64_t mal_ra0 = 0;
+  std::uint64_t mal_aa1 = 0;
+  for (const JointCell& c : result.cells) {
+    if (c.cls != AnsClass::kIncorrectMalicious) continue;
+    EXPECT_EQ(c.rcode, dns::Rcode::kNoError);
+    if (!c.ra) mal_ra0 += c.count;
+    if (c.aa) mal_aa1 += c.count;
+  }
+  EXPECT_NEAR(static_cast<double>(mal_ra0), static_cast<double>(t.mal_ra0),
+              8.0);
+  EXPECT_NEAR(static_cast<double>(mal_aa1), static_cast<double>(t.mal_aa1),
+              8.0);
+}
+
+TEST_P(IpfPropertySweep, CellsAreNonNegativeAndClassConsistent) {
+  const CalibrationTargets t = random_feasible_targets(GetParam() + 191, 30000);
+  const IpfResult result = calibrate_joint(t);
+  std::uint64_t by_class[kAnsClassCount] = {};
+  for (const JointCell& c : result.cells) {
+    EXPECT_GT(c.count, 0u);  // zero cells are omitted from the result
+    by_class[static_cast<int>(c.cls)] += c.count;
+  }
+  EXPECT_NEAR(static_cast<double>(by_class[0]),
+              static_cast<double>(t.answers.without_answer), 8.0);
+  EXPECT_NEAR(static_cast<double>(by_class[1]),
+              static_cast<double>(t.answers.correct), 8.0);
+  EXPECT_NEAR(static_cast<double>(by_class[2] + by_class[3]),
+              static_cast<double>(t.answers.incorrect), 8.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IpfPropertySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(IpfProperty, DegenerateAllInOneCell) {
+  // A population that is 100% refusers must fit trivially.
+  CalibrationTargets t{};
+  t.answers.r2 = 1000;
+  t.answers.without_answer = 1000;
+  t.ra.bit0.without_answer = 1000;
+  t.aa.bit0.without_answer = 1000;
+  t.rcodes.rows[static_cast<std::size_t>(dns::Rcode::kRefused)]
+      .without_answer = 1000;
+  const IpfResult result = calibrate_joint(t);
+  EXPECT_EQ(result.total, 1000u);
+  EXPECT_LT(result.max_margin_error, 1e-9);
+}
+
+}  // namespace
+}  // namespace orp::core

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "zone/cluster.h"
+#include "zone/master_file.h"
+
+namespace orp::zone {
+namespace {
+
+constexpr const char* kSample = R"($ORIGIN ucfsealresearch.net.
+$TTL 300
+@   3600 IN SOA ns1 hostmaster ( 2018042601 7200 900
+                                 1209600 300 ) ; paren-wrapped counters
+    IN NS ns1
+ns1 IN A 45.76.18.21
+www 60 IN A 93.184.216.34
+or000.0000001 IN A 10.11.12.13 ; probe subdomain
+alias IN CNAME www
+mail IN MX 10 mx1.ucfsealresearch.net.
+@ IN TXT "v=spf1 -all" "second string"
+)";
+
+TEST(MasterFile, ParsesTheWholeSample) {
+  const auto parsed = parse_master_file(kSample);
+  ASSERT_TRUE(parsed.has_value())
+      << parsed.error().line << ": " << parsed.error().message;
+  const Zone& zone = parsed.value();
+  EXPECT_EQ(zone.origin().to_string(), "ucfsealresearch.net");
+  EXPECT_EQ(zone.soa().serial, 2018042601u);
+  EXPECT_EQ(zone.soa().minimum, 300u);
+
+  const auto www = zone.lookup(dns::DnsName::must_parse("www.ucfsealresearch.net"),
+                               dns::RRType::kA);
+  ASSERT_EQ(www.status, LookupStatus::kAnswer);
+  EXPECT_EQ(www.records[0].ttl, 60u);
+
+  const auto probe = zone.lookup(
+      dns::DnsName::must_parse("or000.0000001.ucfsealresearch.net"),
+      dns::RRType::kA);
+  EXPECT_EQ(probe.status, LookupStatus::kAnswer);
+
+  const auto alias = zone.lookup(
+      dns::DnsName::must_parse("alias.ucfsealresearch.net"),
+      dns::RRType::kCNAME);
+  ASSERT_EQ(alias.status, LookupStatus::kAnswer);
+
+  const auto txt = zone.lookup(zone.origin(), dns::RRType::kTXT);
+  ASSERT_EQ(txt.status, LookupStatus::kAnswer);
+  const auto* strings = std::get_if<dns::TxtRdata>(&txt.records[0].rdata);
+  ASSERT_NE(strings, nullptr);
+  ASSERT_EQ(strings->strings.size(), 2u);
+  EXPECT_EQ(strings->strings[0], "v=spf1 -all");
+}
+
+TEST(MasterFile, RelativeNamesResolveAgainstOrigin) {
+  const auto parsed = parse_master_file(kSample);
+  ASSERT_TRUE(parsed.has_value());
+  const auto mx = parsed.value().lookup(
+      dns::DnsName::must_parse("mail.ucfsealresearch.net"), dns::RRType::kMX);
+  ASSERT_EQ(mx.status, LookupStatus::kAnswer);
+  const auto* data = std::get_if<dns::MxRdata>(&mx.records[0].rdata);
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->exchange.to_string(), "mx1.ucfsealresearch.net");
+}
+
+TEST(MasterFile, DefaultOriginParameterWorks) {
+  const auto parsed = parse_master_file(
+      "@ IN SOA ns1 hm 1 2 3 4 5\nwww IN A 1.2.3.4\n",
+      dns::DnsName::must_parse("example.net"));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed.value().origin().to_string(), "example.net");
+}
+
+TEST(MasterFile, RejectsZoneWithoutSoa) {
+  const auto parsed = parse_master_file("$ORIGIN x.net.\nwww IN A 1.2.3.4\n");
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_NE(parsed.error().message.find("SOA"), std::string::npos);
+}
+
+TEST(MasterFile, RejectsDuplicateSoa) {
+  const auto parsed = parse_master_file(
+      "$ORIGIN x.net.\n@ IN SOA a b 1 2 3 4 5\n@ IN SOA a b 1 2 3 4 5\n");
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_NE(parsed.error().message.find("duplicate"), std::string::npos);
+}
+
+TEST(MasterFile, RejectsBadAddressWithLineNumber) {
+  const auto parsed = parse_master_file(
+      "$ORIGIN x.net.\n@ IN SOA a b 1 2 3 4 5\nwww IN A 999.1.1.1\n");
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_EQ(parsed.error().line, 3);
+}
+
+TEST(MasterFile, RejectsOutOfZoneRecord) {
+  const auto parsed = parse_master_file(
+      "$ORIGIN x.net.\n@ IN SOA a b 1 2 3 4 5\nwww.other.org. IN A 1.1.1.1\n");
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_NE(parsed.error().message.find("outside"), std::string::npos);
+}
+
+TEST(MasterFile, RejectsUnsupportedType) {
+  const auto parsed = parse_master_file(
+      "$ORIGIN x.net.\n@ IN SOA a b 1 2 3 4 5\nwww IN NAPTR foo\n");
+  ASSERT_FALSE(parsed.has_value());
+}
+
+TEST(MasterFile, RoundTripsThroughSerialization) {
+  const auto parsed = parse_master_file(kSample);
+  ASSERT_TRUE(parsed.has_value());
+  const std::string text = to_master_file(parsed.value());
+  const auto reparsed = parse_master_file(text);
+  ASSERT_TRUE(reparsed.has_value())
+      << reparsed.error().line << ": " << reparsed.error().message;
+  EXPECT_EQ(to_master_file(reparsed.value()), text);  // fixed point
+  EXPECT_EQ(reparsed.value().name_count(), parsed.value().name_count());
+  EXPECT_EQ(reparsed.value().soa().serial, 2018042601u);
+}
+
+TEST(MasterFile, GeneratedProbeClusterRoundTrips) {
+  // The shape the measurement generates: a zone file of probe subdomains.
+  const SubdomainScheme scheme(dns::DnsName::must_parse("ucfsealresearch.net"),
+                               1000, 3);
+  std::string text = "$ORIGIN ucfsealresearch.net.\n$TTL 300\n"
+                     "@ IN SOA ns1 hostmaster 1 7200 900 1209600 300\n";
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    const SubdomainId id{0, i};
+    text += scheme.qname(id).to_string() + ". 300 IN A " +
+            scheme.ground_truth(id).to_string() + "\n";
+  }
+  const auto parsed = parse_master_file(text);
+  ASSERT_TRUE(parsed.has_value());
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    const SubdomainId id{0, i};
+    const auto result =
+        parsed.value().lookup(scheme.qname(id), dns::RRType::kA);
+    ASSERT_EQ(result.status, LookupStatus::kAnswer) << i;
+    const auto* a = std::get_if<dns::ARdata>(&result.records[0].rdata);
+    EXPECT_EQ(a->addr, scheme.ground_truth(id));
+  }
+}
+
+TEST(MasterFile, CommentsAndBlankLinesIgnored)
+{
+  const auto parsed = parse_master_file(
+      "; leading comment\n\n$ORIGIN x.net.\n"
+      "@ IN SOA a b 1 2 3 4 5 ; trailing\n\n; another\nwww IN A 1.1.1.1\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed.value()
+                .lookup(dns::DnsName::must_parse("www.x.net"), dns::RRType::kA)
+                .status,
+            LookupStatus::kAnswer);
+}
+
+}  // namespace
+}  // namespace orp::zone

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+
+namespace orp::core {
+namespace {
+
+TEST(Interpolation, EndpointsAreTheCalibratedYears) {
+  const PaperYear at0 = interpolate_year(paper_2013(), paper_2018(), 0.0);
+  EXPECT_EQ(at0.r2, paper_2013().r2);
+  EXPECT_EQ(at0.malicious_r2, paper_2013().malicious_r2);
+  const PaperYear at1 = interpolate_year(paper_2013(), paper_2018(), 1.0);
+  EXPECT_EQ(at1.r2, paper_2018().r2);
+  EXPECT_EQ(at1.top10.size(), paper_2018().top10.size());
+}
+
+TEST(Interpolation, MidpointBetweenEndpoints) {
+  const PaperYear mid = interpolate_year(paper_2013(), paper_2018(), 0.5);
+  EXPECT_GT(mid.r2, paper_2018().r2);
+  EXPECT_LT(mid.r2, paper_2013().r2);
+  EXPECT_GT(mid.malicious_r2, paper_2013().malicious_r2);
+  EXPECT_LT(mid.malicious_r2, paper_2018().malicious_r2);
+  // Identities the population builder depends on hold after rounding.
+  EXPECT_EQ(mid.answers.r2,
+            mid.answers.without_answer + mid.answers.with_answer());
+  EXPECT_EQ(mid.r2, mid.answers.r2 + mid.empty_question);
+  EXPECT_EQ(mid.mal_ra0 + mid.mal_ra1, mid.malicious_r2);
+  std::uint64_t cat_r2 = 0;
+  for (const auto& c : mid.categories) cat_r2 += c.r2;
+  EXPECT_EQ(cat_r2, mid.malicious_r2);
+}
+
+TEST(Interpolation, MidpointPopulationIsBuildable) {
+  const PaperYear mid = interpolate_year(paper_2013(), paper_2018(), 0.5);
+  const PopulationSpec spec = build_population(mid, 4096, 11);
+  EXPECT_GT(spec.hosts.size(), 0u);
+  // Host count tracks the interpolated R2.
+  const double expected = static_cast<double>(mid.answers.r2) / 4096.0;
+  EXPECT_NEAR(static_cast<double>(spec.hosts.size()), expected,
+              expected * 0.05 + 4);
+}
+
+TEST(Interpolation, CountryUnionCoversBothYears) {
+  const PaperYear mid = interpolate_year(paper_2013(), paper_2018(), 0.5);
+  bool has_tr = false;  // 2013-heavy country
+  bool has_in = false;  // 2018-heavy country
+  for (const auto& c : mid.countries) {
+    has_tr |= c.country == "TR";
+    has_in |= c.country == "IN";
+  }
+  EXPECT_TRUE(has_tr);
+  EXPECT_TRUE(has_in);
+}
+
+TEST(Monitoring, SeriesShowsTheSectionFiveTrends) {
+  MonitoringConfig config;
+  config.snapshots = 3;
+  config.scale = 2048;
+  config.seed = 42;
+  const MonitoringSeries series = run_monitoring(config);
+  ASSERT_EQ(series.snapshots.size(), 3u);
+  EXPECT_EQ(series.snapshots.front().label, "2013-10");
+  EXPECT_EQ(series.snapshots.back().label, "2018-04");
+  EXPECT_TRUE(series.open_resolver_decline());
+  EXPECT_TRUE(series.malicious_growth());
+  // Error rate rises monotonically across the drift.
+  EXPECT_LT(series.snapshots.front().err_percent,
+            series.snapshots.back().err_percent);
+  const std::string text = render_monitoring(series);
+  EXPECT_NE(text.find("decline=yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orp::core

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "net/capture.h"
+#include "net/event_loop.h"
+#include "net/ipv4.h"
+#include "net/reserved.h"
+#include "net/sim_time.h"
+#include "net/transport.h"
+
+namespace orp::net {
+namespace {
+
+// ---- IPv4Addr ----------------------------------------------------------------
+
+TEST(IPv4Addr, FormatAndParseRoundTrip) {
+  for (const char* s : {"0.0.0.0", "1.2.3.4", "255.255.255.255", "10.0.0.1",
+                        "192.168.1.254", "132.170.3.44"}) {
+    const auto parsed = IPv4Addr::parse(s);
+    ASSERT_TRUE(parsed.has_value()) << s;
+    EXPECT_EQ(parsed->to_string(), s);
+  }
+}
+
+TEST(IPv4Addr, RejectsMalformed) {
+  for (const char* s : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.x",
+                        "01.2.3.4", " 1.2.3.4", "1.2.3.4 ", "-1.2.3.4"}) {
+    EXPECT_FALSE(IPv4Addr::parse(s).has_value()) << s;
+  }
+}
+
+TEST(IPv4Addr, OctetAccess) {
+  const IPv4Addr a(192, 168, 1, 254);
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(3), 254);
+  EXPECT_EQ(a.value(), 0xC0A801FEu);
+}
+
+TEST(IPv4Addr, Ordering) {
+  EXPECT_LT(IPv4Addr(1, 0, 0, 0), IPv4Addr(2, 0, 0, 0));
+  EXPECT_EQ(IPv4Addr(0x01020304), IPv4Addr(1, 2, 3, 4));
+}
+
+// ---- Prefix --------------------------------------------------------------------
+
+TEST(Prefix, ContainsAndSize) {
+  const Prefix p(IPv4Addr(192, 168, 0, 0), 16);
+  EXPECT_TRUE(p.contains(IPv4Addr(192, 168, 255, 255)));
+  EXPECT_FALSE(p.contains(IPv4Addr(192, 169, 0, 0)));
+  EXPECT_EQ(p.size(), 65536u);
+}
+
+TEST(Prefix, MasksBaseDown) {
+  const Prefix p(IPv4Addr(10, 20, 30, 40), 8);
+  EXPECT_EQ(p.base(), IPv4Addr(10, 0, 0, 0));
+}
+
+TEST(Prefix, ZeroLengthCoversEverything) {
+  const Prefix p(IPv4Addr(1, 2, 3, 4), 0);
+  EXPECT_TRUE(p.contains(IPv4Addr(255, 255, 255, 255)));
+  EXPECT_EQ(p.size(), std::uint64_t{1} << 32);
+}
+
+TEST(Prefix, ParseRoundTrip) {
+  const auto p = Prefix::parse("198.18.0.0/15");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "198.18.0.0/15");
+  EXPECT_FALSE(Prefix::parse("1.2.3.4").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/33").has_value());
+  EXPECT_FALSE(Prefix::parse("bogus/8").has_value());
+}
+
+TEST(PrivateAddress, Rfc1918AndCgn) {
+  EXPECT_TRUE(is_private_address(IPv4Addr(10, 0, 0, 1)));
+  EXPECT_TRUE(is_private_address(IPv4Addr(172, 30, 1, 254)));
+  EXPECT_TRUE(is_private_address(IPv4Addr(192, 168, 2, 1)));
+  EXPECT_TRUE(is_private_address(IPv4Addr(100, 64, 0, 1)));
+  EXPECT_FALSE(is_private_address(IPv4Addr(8, 8, 8, 8)));
+  EXPECT_FALSE(is_private_address(IPv4Addr(172, 32, 0, 1)));
+}
+
+// ---- Reserved ranges (Table I) -------------------------------------------------
+
+TEST(Reserved, TableHasSixteenBlocks) {
+  EXPECT_EQ(reserved_blocks().size(), 16u);
+}
+
+TEST(Reserved, BlockSumMatchesRecomputedTotal) {
+  std::uint64_t total = 0;
+  for (const auto& b : reserved_blocks()) total += b.prefix.size();
+  EXPECT_EQ(total, reserved_address_count());
+  EXPECT_EQ(total, 592708865ULL);
+}
+
+TEST(Reserved, PaperTotalIsShortByExactlyOneSlashEight) {
+  EXPECT_EQ(reserved_address_count() - paper_table1_total(), 16777216ULL);
+}
+
+TEST(Reserved, ProbeableMatchesPaperQ1) {
+  // The 2018 Q1 count of Table II is exactly the non-reserved space.
+  EXPECT_EQ(probeable_address_count(), 3702258432ULL);
+}
+
+struct ReservedCase {
+  const char* member;
+  const char* outside;
+};
+
+class ReservedMembership : public ::testing::TestWithParam<ReservedCase> {};
+
+TEST_P(ReservedMembership, MemberInOutsideOut) {
+  const auto& c = GetParam();
+  EXPECT_TRUE(is_reserved(*IPv4Addr::parse(c.member))) << c.member;
+  EXPECT_FALSE(is_reserved(*IPv4Addr::parse(c.outside))) << c.outside;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOne, ReservedMembership,
+    ::testing::Values(ReservedCase{"0.255.255.255", "1.0.0.0"},
+                      ReservedCase{"10.1.2.3", "11.0.0.0"},
+                      ReservedCase{"100.64.0.0", "100.128.0.0"},
+                      ReservedCase{"127.0.0.1", "128.0.0.1"},
+                      ReservedCase{"169.254.17.1", "169.255.0.0"},
+                      ReservedCase{"172.16.0.1", "172.32.0.0"},
+                      ReservedCase{"192.0.0.8", "192.0.1.1"},
+                      ReservedCase{"192.0.2.55", "192.0.3.0"},
+                      ReservedCase{"192.88.99.1", "192.88.100.1"},
+                      ReservedCase{"192.168.255.1", "192.169.0.0"},
+                      ReservedCase{"198.19.255.255", "198.20.0.0"},
+                      ReservedCase{"198.51.100.25", "198.51.101.1"},
+                      ReservedCase{"203.0.113.99", "203.0.114.1"},
+                      ReservedCase{"224.0.0.1", "223.255.255.255"},
+                      ReservedCase{"240.0.0.1", "223.255.255.254"},
+                      ReservedCase{"255.255.255.255", "8.8.8.8"}));
+
+// ---- SimTime -------------------------------------------------------------------
+
+TEST(SimTime, ArithmeticAndConversions) {
+  const SimTime t = SimTime::seconds(1.5) + SimTime::millis(500);
+  EXPECT_DOUBLE_EQ(t.as_seconds(), 2.0);
+  EXPECT_EQ(SimTime::micros(3).as_nanos(), 3000);
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_EQ((SimTime::seconds(2.0) - SimTime::seconds(0.5)).as_nanos(),
+            1'500'000'000);
+}
+
+// ---- EventLoop -----------------------------------------------------------------
+
+TEST(EventLoop, ExecutesInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(SimTime::millis(30), [&] { order.push_back(3); });
+  loop.schedule_at(SimTime::millis(10), [&] { order.push_back(1); });
+  loop.schedule_at(SimTime::millis(20), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), SimTime::millis(30));
+}
+
+TEST(EventLoop, TieBrokenByInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    loop.schedule_at(SimTime::millis(5), [&order, i] { order.push_back(i); });
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, ActionsCanScheduleMore) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> reschedule = [&]() {
+    if (++count < 5) loop.schedule_in(SimTime::millis(1), reschedule);
+  };
+  loop.schedule_in(SimTime::millis(1), reschedule);
+  loop.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(loop.now(), SimTime::millis(5));
+}
+
+TEST(EventLoop, PastSchedulingClampsToNow) {
+  EventLoop loop;
+  SimTime seen;
+  loop.schedule_at(SimTime::millis(10), [&] {
+    loop.schedule_at(SimTime::millis(1), [&] { seen = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(seen, SimTime::millis(10));
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule_at(SimTime::seconds(1.0), [&] { ++ran; });
+  loop.schedule_at(SimTime::seconds(3.0), [&] { ++ran; });
+  const auto executed = loop.run_until(SimTime::seconds(2.0));
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.now(), SimTime::seconds(2.0));
+  loop.run();
+  EXPECT_EQ(ran, 2);
+}
+
+// ---- Network --------------------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  EventLoop loop;
+  Network net{loop, 99};
+  const Endpoint a{IPv4Addr(1, 1, 1, 1), 53};
+  const Endpoint b{IPv4Addr(2, 2, 2, 2), 53};
+};
+
+TEST_F(NetworkTest, DeliversToBoundEndpoint) {
+  std::vector<std::uint8_t> received;
+  net.bind(b, [&](const Datagram& d) { received = d.payload; });
+  net.send(Datagram{a, b, {1, 2, 3}});
+  loop.run();
+  EXPECT_EQ(received, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(net.delivered(), 1u);
+}
+
+TEST_F(NetworkTest, DropsWhenUnbound) {
+  net.send(Datagram{a, b, {1}});
+  loop.run();
+  EXPECT_EQ(net.dropped_unbound(), 1u);
+  EXPECT_EQ(net.delivered(), 0u);
+}
+
+TEST_F(NetworkTest, UnbindMidFlightDropsPacket) {
+  net.bind(b, [](const Datagram&) { FAIL() << "should not deliver"; });
+  net.send(Datagram{a, b, {1}});
+  net.unbind(b);
+  loop.run();
+  EXPECT_EQ(net.dropped_unbound(), 1u);
+}
+
+TEST_F(NetworkTest, LatencyWithinConfiguredBounds) {
+  net.set_latency({SimTime::millis(10), SimTime::millis(5)});
+  SimTime arrival;
+  net.bind(b, [&](const Datagram&) { arrival = loop.now(); });
+  net.send(Datagram{a, b, {1}});
+  loop.run();
+  EXPECT_GE(arrival, SimTime::millis(10));
+  EXPECT_LT(arrival, SimTime::millis(15));
+}
+
+TEST_F(NetworkTest, LossRateDropsEverythingAtOne) {
+  net.set_loss_rate(1.0);
+  net.bind(b, [](const Datagram&) { FAIL(); });
+  for (int i = 0; i < 50; ++i) net.send(Datagram{a, b, {1}});
+  loop.run();
+  EXPECT_EQ(net.dropped_loss(), 50u);
+}
+
+TEST_F(NetworkTest, TapsSeeEveryAcceptedPacket) {
+  int taps = 0;
+  net.add_tap([&](SimTime, const Datagram&) { ++taps; });
+  net.send(Datagram{a, b, {1}});  // unbound, still tapped
+  net.bind(b, [](const Datagram&) {});
+  net.send(Datagram{a, b, {2}});
+  loop.run();
+  EXPECT_EQ(taps, 2);
+}
+
+TEST_F(NetworkTest, RebindReplacesHandler) {
+  int first = 0;
+  int second = 0;
+  net.bind(b, [&](const Datagram&) { ++first; });
+  net.bind(b, [&](const Datagram&) { ++second; });
+  net.send(Datagram{a, b, {1}});
+  loop.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+// ---- Capture ---------------------------------------------------------------------
+
+TEST_F(NetworkTest, CaptureSplitsDirections) {
+  Capture cap(b.addr);
+  cap.attach(net);
+  net.bind(b, [&](const Datagram& d) {
+    net.send(Datagram{b, d.src, {9}});  // respond
+  });
+  net.bind(a, [](const Datagram&) {});
+  net.send(Datagram{a, b, {1, 2}});
+  loop.run();
+  EXPECT_EQ(cap.inbound_count(), 1u);
+  EXPECT_EQ(cap.outbound_count(), 1u);
+  ASSERT_EQ(cap.inbound().size(), 1u);
+  EXPECT_EQ(cap.inbound()[0].payload.size(), 2u);
+}
+
+TEST_F(NetworkTest, CaptureCountOnlyOutbound) {
+  Capture cap(a.addr);
+  cap.set_count_only_outbound(true);
+  cap.attach(net);
+  net.send(Datagram{a, b, {1}});
+  loop.run();
+  EXPECT_EQ(cap.outbound_count(), 1u);
+  EXPECT_TRUE(cap.outbound().empty());
+}
+
+}  // namespace
+}  // namespace orp::net

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dns/builder.h"
+#include "dns/codec.h"
+#include "net/pcap.h"
+
+namespace orp::net {
+namespace {
+
+std::vector<CapturedPacket> sample_packets() {
+  std::vector<CapturedPacket> packets;
+  for (int i = 0; i < 5; ++i) {
+    CapturedPacket pkt;
+    pkt.time = SimTime::seconds(1.5 * i);
+    pkt.src = Endpoint{IPv4Addr(132, 170, 3, 44), 54321};
+    pkt.dst = Endpoint{IPv4Addr(8, 8, static_cast<std::uint8_t>(i), 8), 53};
+    pkt.payload = dns::encode(dns::make_query(
+        static_cast<std::uint16_t>(i),
+        dns::DnsName::must_parse("or000.000000" + std::to_string(i) +
+                                 ".ucfsealresearch.net")));
+    packets.push_back(std::move(pkt));
+  }
+  return packets;
+}
+
+TEST(Pcap, RoundTripPreservesEverything) {
+  const auto original = sample_packets();
+  const auto parsed = from_pcap(to_pcap(original));
+  ASSERT_TRUE(parsed.has_value()) << to_string(parsed.error());
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].src, original[i].src);
+    EXPECT_EQ((*parsed)[i].dst, original[i].dst);
+    EXPECT_EQ((*parsed)[i].payload, original[i].payload);
+    // Microsecond resolution on disk.
+    EXPECT_NEAR((*parsed)[i].time.as_seconds(), original[i].time.as_seconds(),
+                1e-6);
+  }
+}
+
+TEST(Pcap, PayloadsStillDecodeAsDns) {
+  const auto parsed = from_pcap(to_pcap(sample_packets()));
+  ASSERT_TRUE(parsed.has_value());
+  for (const auto& pkt : *parsed) {
+    const auto msg = dns::decode(pkt.payload);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->questions.size(), 1u);
+  }
+}
+
+TEST(Pcap, EmptyCaptureIsJustTheGlobalHeader) {
+  const auto bytes = to_pcap({});
+  EXPECT_EQ(bytes.size(), 24u);
+  const auto parsed = from_pcap(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  auto bytes = to_pcap(sample_packets());
+  bytes[0] ^= 0xFF;
+  const auto parsed = from_pcap(bytes);
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_EQ(parsed.error(), PcapError::kBadMagic);
+}
+
+TEST(Pcap, RejectsTruncatedPacket) {
+  auto bytes = to_pcap(sample_packets());
+  bytes.resize(bytes.size() - 3);
+  const auto parsed = from_pcap(bytes);
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_EQ(parsed.error(), PcapError::kTruncatedPacket);
+}
+
+TEST(Pcap, RejectsTruncatedGlobalHeader) {
+  const std::vector<std::uint8_t> bytes{0xd4, 0xc3};
+  ASSERT_FALSE(from_pcap(bytes).has_value());
+}
+
+TEST(Pcap, IpChecksumValidates) {
+  const auto bytes = to_pcap(sample_packets());
+  // First packet's IP header starts after 24B global + 16B record header;
+  // the checksum over a correct header (checksum field included) is 0.
+  const std::uint8_t* ip = bytes.data() + 40;
+  EXPECT_EQ(internet_checksum(ip, 20), 0);
+}
+
+TEST(Pcap, ChecksumKnownVector) {
+  // RFC 1071 worked example: words 0001 f203 f4f5 f6f7 sum to 0x2ddf0,
+  // which folds to 0xddf2; the checksum is its one's complement 0x220d.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(Pcap, ChecksumOddLengthPadsWithZero) {
+  const std::uint8_t even[] = {0xab, 0xcd, 0x12, 0x00};
+  const std::uint8_t odd[] = {0xab, 0xcd, 0x12};
+  EXPECT_EQ(internet_checksum(even, 4), internet_checksum(odd, 3));
+}
+
+TEST(Pcap, FileRoundTrip) {
+  const std::string path = "/tmp/orp_test_capture.pcap";
+  const auto original = sample_packets();
+  ASSERT_TRUE(write_pcap_file(path, original));
+  const auto parsed = read_pcap_file(path);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, MissingFileIsIoError) {
+  const auto parsed = read_pcap_file("/tmp/does-not-exist-orp.pcap");
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_EQ(parsed.error(), PcapError::kIoError);
+}
+
+}  // namespace
+}  // namespace orp::net

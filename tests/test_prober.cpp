@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "authns/auth_server.h"
+#include "prober/permutation.h"
+#include "prober/rate_limiter.h"
+#include "prober/scanner.h"
+#include "resolver/scripted_resolver.h"
+
+namespace orp::prober {
+namespace {
+
+// ---- Number theory ---------------------------------------------------------------
+
+TEST(Permutation, PrimeFactorsOfGroupOrder) {
+  const auto factors = factorize(kPermutationPrime - 1);
+  std::uint64_t product_check = 1;
+  for (const auto f : factors) {
+    // Each factor is prime (trial division would have split it otherwise).
+    EXPECT_GT(f, 1u);
+    product_check *= 1;  // factors are distinct primes, multiplicity dropped
+  }
+  (void)product_check;
+  EXPECT_FALSE(factors.empty());
+  EXPECT_EQ(factors.front(), 2u);  // p-1 is even
+}
+
+TEST(Permutation, Modpow) {
+  EXPECT_EQ(modpow(2, 10, 1000000007ULL), 1024u);
+  EXPECT_EQ(modpow(3, 0, 97), 1u);
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  EXPECT_EQ(modpow(12345, kPermutationPrime - 1, kPermutationPrime), 1u);
+}
+
+TEST(Permutation, GeneratorDetection) {
+  EXPECT_FALSE(is_generator(0));
+  EXPECT_FALSE(is_generator(1));
+  EXPECT_FALSE(is_generator(kPermutationPrime));
+  // Any x^2 is a quadratic residue, hence not a generator of the full group.
+  const std::uint64_t square = static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(1234567) * 1234567) % kPermutationPrime);
+  EXPECT_FALSE(is_generator(square));
+  const auto params = derive_params(99);
+  EXPECT_TRUE(is_generator(params.generator));
+}
+
+TEST(Permutation, DeriveParamsDeterministic) {
+  const auto a = derive_params(5);
+  const auto b = derive_params(5);
+  EXPECT_EQ(a.generator, b.generator);
+  EXPECT_EQ(a.start, b.start);
+  const auto c = derive_params(6);
+  EXPECT_TRUE(c.generator != a.generator || c.start != a.start);
+}
+
+TEST(Permutation, NoRepeatsInPrefix) {
+  CyclicPermutation perm(42);
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 200000; ++i) {
+    const auto v = perm.next_raw();
+    EXPECT_GT(v, 0u);
+    EXPECT_LT(v, kPermutationPrime);
+    EXPECT_TRUE(seen.insert(v).second) << "repeat at step " << i;
+  }
+}
+
+TEST(Permutation, RandomAccessMatchesIteration) {
+  CyclicPermutation iter(7);
+  const CyclicPermutation indexed(7);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_EQ(iter.next_raw(), indexed.raw_at(k)) << k;
+  }
+}
+
+TEST(Permutation, NextAddressSkipsOverflowValues) {
+  CyclicPermutation perm(11);
+  for (int i = 0; i < 100000; ++i) {
+    const auto addr = perm.next_address();
+    ASSERT_TRUE(addr.has_value());
+  }
+}
+
+TEST(Permutation, AddressDistributionRoughlyUniform) {
+  // First-octet histogram over 100k outputs should not be wildly skewed.
+  CyclicPermutation perm(13);
+  std::array<int, 4> quadrant{};
+  for (int i = 0; i < 100000; ++i) {
+    const auto addr = perm.next_address();
+    ASSERT_TRUE(addr.has_value());
+    ++quadrant[addr->octet(0) / 64];
+  }
+  for (const int q : quadrant) {
+    EXPECT_GT(q, 22000);
+    EXPECT_LT(q, 28000);
+  }
+}
+
+// ---- RateLimiter ------------------------------------------------------------------
+
+TEST(RateLimiter, GrantsWithinBurst) {
+  RateLimiter limiter(1000.0, 100);
+  net::SimTime ready;
+  EXPECT_TRUE(limiter.try_acquire(100, net::SimTime::seconds(0), ready));
+  EXPECT_FALSE(limiter.try_acquire(1, net::SimTime::seconds(0), ready));
+  EXPECT_GT(ready, net::SimTime::seconds(0));
+}
+
+TEST(RateLimiter, RefillsAtRate) {
+  RateLimiter limiter(1000.0, 100);
+  net::SimTime ready;
+  ASSERT_TRUE(limiter.try_acquire(100, net::SimTime::seconds(0), ready));
+  // After 50ms, 50 tokens should be back.
+  EXPECT_TRUE(limiter.try_acquire(50, net::SimTime::millis(50), ready));
+  EXPECT_FALSE(limiter.try_acquire(60, net::SimTime::millis(50), ready));
+}
+
+TEST(RateLimiter, NextReadyEstimateIsSufficient) {
+  RateLimiter limiter(100.0, 10);
+  net::SimTime ready;
+  ASSERT_TRUE(limiter.try_acquire(10, net::SimTime::seconds(0), ready));
+  ASSERT_FALSE(limiter.try_acquire(10, net::SimTime::seconds(0), ready));
+  EXPECT_TRUE(limiter.try_acquire(10, ready, ready));
+}
+
+TEST(RateLimiter, SustainedThroughputMatchesRate) {
+  RateLimiter limiter(1000.0, 64);
+  net::SimTime now;
+  std::uint64_t sent = 0;
+  while (now < net::SimTime::seconds(10.0)) {
+    net::SimTime ready;
+    if (limiter.try_acquire(64, now, ready)) {
+      sent += 64;
+    } else {
+      now = ready;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(sent), 10000.0, 150.0);
+}
+
+TEST(RateLimiter, RejectsNonPositiveRate) {
+  EXPECT_THROW(RateLimiter(0.0), std::invalid_argument);
+}
+
+// ---- Scanner over a tiny handcrafted internet --------------------------------------
+
+class ScannerFixture : public ::testing::Test {
+ protected:
+  ScannerFixture()
+      : net(loop, 5),
+        scheme(dns::DnsName::must_parse("ucfsealresearch.net"), 64, 7),
+        auth(net, net::IPv4Addr(45, 76, 18, 21), scheme,
+             net::SimTime::nanos(0)),
+        hierarchy(resolver::build_hierarchy(net, scheme.sld(),
+                                            scheme.sld().child("ns1"),
+                                            auth.address(), 1)) {
+    net.set_latency({net::SimTime::millis(2), net::SimTime::millis(1)});
+    engine_config.hints = hierarchy.hints;
+  }
+
+  /// Plant a host at the k-th scan position (must be < raw_steps).
+  net::IPv4Addr plant(std::uint64_t scan_seed, std::uint64_t k,
+                      resolver::BehaviorProfile profile) {
+    const auto params = derive_params(scan_seed);
+    const CyclicPermutation perm(params.generator, params.start);
+    std::uint64_t raw = perm.raw_at(k);
+    while (raw >= (std::uint64_t{1} << 32) ||
+           net::is_reserved(net::IPv4Addr(static_cast<std::uint32_t>(raw))) ||
+           net.bound(net::Endpoint{
+               net::IPv4Addr(static_cast<std::uint32_t>(raw)), net::kDnsPort}))
+      raw = perm.raw_at(++k);
+    const net::IPv4Addr addr(static_cast<std::uint32_t>(raw));
+    hosts.push_back(std::make_unique<resolver::ResolverHost>(
+        net, addr, std::move(profile), engine_config, hosts.size() + 1));
+    return addr;
+  }
+
+  ScanConfig scan_config(std::uint64_t seed, std::uint64_t raw_steps) {
+    ScanConfig cfg;
+    cfg.seed = seed;
+    cfg.rate_pps = 100000;
+    cfg.raw_steps = raw_steps;
+    cfg.response_timeout = net::SimTime::seconds(2.0);
+    cfg.reap_interval = net::SimTime::millis(500);
+    return cfg;
+  }
+
+  net::EventLoop loop;
+  net::Network net;
+  zone::SubdomainScheme scheme;
+  authns::AuthServer auth;
+  resolver::SimHierarchy hierarchy;
+  resolver::EngineConfig engine_config;
+  std::vector<std::unique_ptr<resolver::ResolverHost>> hosts;
+};
+
+TEST_F(ScannerFixture, CountsProbesAndSkipsReserved) {
+  Scanner scanner(net, net::IPv4Addr(132, 170, 3, 44), scan_config(1, 5000),
+                  scheme);
+  bool done = false;
+  scanner.start([&] { done = true; });
+  loop.run();
+  EXPECT_TRUE(done);
+  const ScanStats& s = scanner.stats();
+  EXPECT_EQ(s.q1_sent + s.skipped_reserved + s.skipped_overflow, 5000u);
+  // Roughly 13.8% of the space is reserved.
+  EXPECT_GT(s.skipped_reserved, 500u);
+  EXPECT_LT(s.skipped_reserved, 1000u);
+  EXPECT_EQ(s.r2_received, 0u);  // nothing planted
+}
+
+TEST_F(ScannerFixture, CollectsAndMatchesResponses) {
+  resolver::BehaviorProfile honest;
+  honest.answer = resolver::AnswerMode::kRecursive;
+  plant(1, 100, honest);
+  plant(1, 200, honest);
+  resolver::BehaviorProfile refuser;
+  refuser.answer = resolver::AnswerMode::kNone;
+  refuser.rcode = dns::Rcode::kRefused;
+  plant(1, 300, refuser);
+
+  Scanner scanner(net, net::IPv4Addr(132, 170, 3, 44), scan_config(1, 5000),
+                  scheme);
+  scanner.start([] {});
+  loop.run();
+  const ScanStats& s = scanner.stats();
+  EXPECT_EQ(s.r2_received, 3u);
+  EXPECT_EQ(s.r2_matched, 3u);
+  EXPECT_EQ(s.r2_empty_question, 0u);
+  EXPECT_EQ(scanner.responses().size(), 3u);
+  // Two honest resolvers contacted the auth server; the refuser did not.
+  EXPECT_EQ(auth.stats().queries_received, 2u);
+}
+
+TEST_F(ScannerFixture, EmptyQuestionResponsesCountedSeparately) {
+  resolver::BehaviorProfile eq;
+  eq.answer = resolver::AnswerMode::kNone;
+  eq.omit_question = true;
+  eq.rcode = dns::Rcode::kServFail;
+  plant(1, 50, eq);
+  Scanner scanner(net, net::IPv4Addr(132, 170, 3, 44), scan_config(1, 2000),
+                  scheme);
+  scanner.start([] {});
+  loop.run();
+  EXPECT_EQ(scanner.stats().r2_received, 1u);
+  EXPECT_EQ(scanner.stats().r2_empty_question, 1u);
+  EXPECT_EQ(scanner.stats().r2_matched, 0u);
+}
+
+TEST_F(ScannerFixture, SubdomainsOfSilentTargetsAreReused) {
+  // Cluster size 64 but 4000+ probes: without reuse this would rotate ~60
+  // times; with reuse the unanswered names cycle back. Reuse requires the
+  // in-flight window (rate x timeout = 40 names) to fit inside one cluster
+  // (64), the same headroom the paper engineered: 100k pps x 30s = 3M
+  // in-flight vs 5M names per cluster.
+  ScanConfig cfg = scan_config(1, 5000);
+  cfg.rate_pps = 20;
+  Scanner scanner(net, net::IPv4Addr(132, 170, 3, 44), cfg, scheme);
+  int rotations = 0;
+  scanner.set_rotate_callback([&](std::uint32_t c) {
+    ++rotations;
+    auth.load_cluster(c);
+  });
+  scanner.start([] {});
+  loop.run();
+  EXPECT_GT(scanner.clusters().stats().subdomains_reused, 3000u);
+  EXPECT_LT(rotations, 10);
+}
+
+TEST_F(ScannerFixture, DeterministicAcrossRuns) {
+  auto run_once = [this](std::uint64_t seed) {
+    net::EventLoop l2;
+    net::Network n2(l2, 5);
+    authns::AuthServer a2(n2, net::IPv4Addr(45, 76, 18, 21), scheme,
+                          net::SimTime::nanos(0));
+    ScanConfig cfg = scan_config(seed, 3000);
+    Scanner s(n2, net::IPv4Addr(132, 170, 3, 44), cfg, scheme);
+    s.start([] {});
+    l2.run();
+    return s.stats().q1_sent;
+  };
+  EXPECT_EQ(run_once(9), run_once(9));
+  EXPECT_NE(run_once(9), run_once(10));  // different permutation slice
+}
+
+TEST_F(ScannerFixture, ScanDurationMatchesRateArithmetic) {
+  ScanConfig cfg = scan_config(1, 50000);
+  cfg.rate_pps = 10000;
+  Scanner scanner(net, net::IPv4Addr(132, 170, 3, 44), cfg, scheme);
+  scanner.start([] {});
+  loop.run();
+  // ~43k probes at 10k pps ~= 4.3s, plus the 2s drain window.
+  const double dur = scanner.stats().duration().as_seconds();
+  EXPECT_GT(dur, 4.0);
+  EXPECT_LT(dur, 8.0);
+}
+
+}  // namespace
+}  // namespace orp::prober

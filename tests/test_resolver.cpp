@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include "analysis/flow.h"
+#include "authns/auth_server.h"
+#include "dns/builder.h"
+#include "resolver/cache.h"
+#include "resolver/root_tld.h"
+#include "resolver/scripted_resolver.h"
+
+namespace orp::resolver {
+namespace {
+
+// ---- DnsCache -----------------------------------------------------------------
+
+dns::ResourceRecord a_record(const char* name, std::uint32_t ttl) {
+  return dns::ResourceRecord{dns::DnsName::must_parse(name), dns::RRType::kA,
+                             dns::RRClass::kIN, ttl,
+                             dns::ARdata{net::IPv4Addr(1, 2, 3, 4)}};
+}
+
+TEST(DnsCache, HitAfterPut) {
+  DnsCache cache(10);
+  const auto name = dns::DnsName::must_parse("a.example.net");
+  cache.put(name, dns::RRType::kA, {a_record("a.example.net", 60)},
+            net::SimTime::seconds(0));
+  EXPECT_TRUE(cache.get(name, dns::RRType::kA, net::SimTime::seconds(30))
+                  .has_value());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(DnsCache, ExpiresAtTtl) {
+  DnsCache cache(10);
+  const auto name = dns::DnsName::must_parse("a.example.net");
+  cache.put(name, dns::RRType::kA, {a_record("a.example.net", 60)},
+            net::SimTime::seconds(0));
+  EXPECT_FALSE(cache.get(name, dns::RRType::kA, net::SimTime::seconds(60))
+                   .has_value());
+  EXPECT_EQ(cache.stats().expired, 1u);
+}
+
+TEST(DnsCache, MinimumTtlOfSetGoverns) {
+  DnsCache cache(10);
+  const auto name = dns::DnsName::must_parse("a.example.net");
+  cache.put(name, dns::RRType::kA,
+            {a_record("a.example.net", 60), a_record("a.example.net", 10)},
+            net::SimTime::seconds(0));
+  EXPECT_FALSE(cache.get(name, dns::RRType::kA, net::SimTime::seconds(11))
+                   .has_value());
+}
+
+TEST(DnsCache, TypeIsPartOfTheKey) {
+  DnsCache cache(10);
+  const auto name = dns::DnsName::must_parse("a.example.net");
+  cache.put(name, dns::RRType::kA, {a_record("a.example.net", 60)},
+            net::SimTime::seconds(0));
+  EXPECT_FALSE(cache.get(name, dns::RRType::kTXT, net::SimTime::seconds(1))
+                   .has_value());
+}
+
+TEST(DnsCache, CaseInsensitiveKey) {
+  DnsCache cache(10);
+  cache.put(dns::DnsName::must_parse("A.Example.NET"), dns::RRType::kA,
+            {a_record("a.example.net", 60)}, net::SimTime::seconds(0));
+  EXPECT_TRUE(cache
+                  .get(dns::DnsName::must_parse("a.example.net"),
+                       dns::RRType::kA, net::SimTime::seconds(1))
+                  .has_value());
+}
+
+TEST(DnsCache, LruEvictionAtCapacity) {
+  DnsCache cache(2);
+  const auto t = net::SimTime::seconds(0);
+  cache.put(dns::DnsName::must_parse("a.net"), dns::RRType::kA,
+            {a_record("a.net", 300)}, t);
+  cache.put(dns::DnsName::must_parse("b.net"), dns::RRType::kA,
+            {a_record("b.net", 300)}, t);
+  // Touch a so b becomes least-recently-used.
+  (void)cache.get(dns::DnsName::must_parse("a.net"), dns::RRType::kA, t);
+  cache.put(dns::DnsName::must_parse("c.net"), dns::RRType::kA,
+            {a_record("c.net", 300)}, t);
+  EXPECT_TRUE(cache.get(dns::DnsName::must_parse("a.net"), dns::RRType::kA, t)
+                  .has_value());
+  EXPECT_FALSE(cache.get(dns::DnsName::must_parse("b.net"), dns::RRType::kA, t)
+                   .has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(DnsCache, PurgeExpiredSweeps) {
+  DnsCache cache(10);
+  cache.put(dns::DnsName::must_parse("a.net"), dns::RRType::kA,
+            {a_record("a.net", 10)}, net::SimTime::seconds(0));
+  cache.put(dns::DnsName::must_parse("b.net"), dns::RRType::kA,
+            {a_record("b.net", 1000)}, net::SimTime::seconds(0));
+  EXPECT_EQ(cache.purge_expired(net::SimTime::seconds(100)), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DnsCache, ZeroCapacityNeverStores) {
+  DnsCache cache(0);
+  cache.put(dns::DnsName::must_parse("a.net"), dns::RRType::kA,
+            {a_record("a.net", 300)}, net::SimTime::seconds(0));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---- Full resolution over the simulated hierarchy -------------------------------
+
+class ResolutionFixture : public ::testing::Test {
+ protected:
+  ResolutionFixture()
+      : net(loop, 5),
+        scheme(dns::DnsName::must_parse("ucfsealresearch.net"), 1000, 7),
+        auth(net, net::IPv4Addr(45, 76, 18, 21), scheme,
+             net::SimTime::nanos(0)),
+        hierarchy(build_hierarchy(net, scheme.sld(),
+                                  scheme.sld().child("ns1"), auth.address(),
+                                  2)) {
+    net.set_latency({net::SimTime::millis(5), net::SimTime::millis(2)});
+    engine_config.hints = hierarchy.hints;
+  }
+
+  net::EventLoop loop;
+  net::Network net;
+  zone::SubdomainScheme scheme;
+  authns::AuthServer auth;
+  SimHierarchy hierarchy;
+  EngineConfig engine_config;
+};
+
+TEST_F(ResolutionFixture, WalksRootTldAuthAndAnswers) {
+  IterativeEngine engine(net, net::IPv4Addr(8, 8, 8, 8), engine_config, 1);
+  const zone::SubdomainId id{0, 17};
+  std::optional<ResolutionOutcome> result;
+  engine.resolve(scheme.qname(id), dns::RRType::kA,
+                 [&](const ResolutionOutcome& o) { result = o; });
+  loop.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->success);
+  ASSERT_FALSE(result->answers.empty());
+  const auto* a = std::get_if<dns::ARdata>(&result->answers[0].rdata);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->addr, scheme.ground_truth(id));
+  // Exactly one query to each tier: root, TLD, auth.
+  EXPECT_EQ(engine.upstream_queries(), 3u);
+  EXPECT_EQ(hierarchy.net_tld->queries(), 1u);
+  EXPECT_EQ(auth.stats().queries_received, 1u);
+}
+
+TEST_F(ResolutionFixture, SecondResolutionUsesCachedDelegation) {
+  IterativeEngine engine(net, net::IPv4Addr(8, 8, 8, 8), engine_config, 1);
+  int done = 0;
+  engine.resolve(scheme.qname({0, 1}), dns::RRType::kA,
+                 [&](const ResolutionOutcome&) { ++done; });
+  loop.run();
+  const auto after_first = engine.upstream_queries();
+  engine.resolve(scheme.qname({0, 2}), dns::RRType::kA,
+                 [&](const ResolutionOutcome&) { ++done; });
+  loop.run();
+  EXPECT_EQ(done, 2);
+  // The cached ns1 glue lets the second resolution go straight to the auth.
+  EXPECT_EQ(engine.upstream_queries() - after_first, 1u);
+  EXPECT_EQ(hierarchy.net_tld->queries(), 1u);
+}
+
+TEST_F(ResolutionFixture, CachedAnswerShortCircuits) {
+  IterativeEngine engine(net, net::IPv4Addr(8, 8, 8, 8), engine_config, 1);
+  const auto qname = scheme.qname({0, 3});
+  int done = 0;
+  engine.resolve(qname, dns::RRType::kA,
+                 [&](const ResolutionOutcome&) { ++done; });
+  loop.run();
+  const auto queries = engine.upstream_queries();
+  engine.resolve(qname, dns::RRType::kA,
+                 [&](const ResolutionOutcome& o) {
+                   ++done;
+                   EXPECT_TRUE(o.success);
+                 });
+  loop.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(engine.upstream_queries(), queries);  // pure cache hit
+}
+
+TEST_F(ResolutionFixture, NxdomainPropagates) {
+  IterativeEngine engine(net, net::IPv4Addr(8, 8, 8, 8), engine_config, 1);
+  std::optional<ResolutionOutcome> result;
+  engine.resolve(dns::DnsName::must_parse("or099.0000000.ucfsealresearch.net"),
+                 dns::RRType::kA,
+                 [&](const ResolutionOutcome& o) { result = o; });
+  loop.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->success);
+  EXPECT_EQ(result->rcode, dns::Rcode::kNXDomain);
+}
+
+TEST_F(ResolutionFixture, UnreachableServersTimeOutToServFail) {
+  EngineConfig cfg = engine_config;
+  cfg.hints.roots = {net::IPv4Addr(203, 1, 1, 1)};  // nobody home
+  cfg.query_timeout = net::SimTime::millis(50);
+  cfg.max_retries = 1;
+  IterativeEngine engine(net, net::IPv4Addr(8, 8, 8, 8), cfg, 1);
+  std::optional<ResolutionOutcome> result;
+  engine.resolve(scheme.qname({0, 1}), dns::RRType::kA,
+                 [&](const ResolutionOutcome& o) { result = o; });
+  loop.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->success);
+  EXPECT_EQ(result->rcode, dns::Rcode::kServFail);
+}
+
+// ---- ResolverHost behavior profiles ------------------------------------------------
+
+class HostFixture : public ResolutionFixture {
+ protected:
+  /// Probe `host` once and return the decoded R2, if any.
+  std::optional<dns::Message> probe(net::IPv4Addr host_addr,
+                                    const dns::DnsName& qname) {
+    std::optional<dns::Message> response;
+    const net::Endpoint prober{net::IPv4Addr(132, 170, 3, 44), 54321};
+    net.bind(prober, [&](const net::Datagram& d) {
+      const auto decoded = dns::decode(d.payload);
+      if (decoded) response = *decoded;
+    });
+    net.send(net::Datagram{prober, net::Endpoint{host_addr, net::kDnsPort},
+                           dns::encode(dns::make_query(99, qname))});
+    loop.run();
+    net.unbind(prober);
+    return response;
+  }
+
+  BehaviorProfile base_profile(AnswerMode mode) {
+    BehaviorProfile p;
+    p.answer = mode;
+    p.ra = true;
+    return p;
+  }
+};
+
+TEST_F(HostFixture, RecursiveHostReturnsCorrectAnswer) {
+  ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7),
+                    base_profile(AnswerMode::kRecursive), engine_config, 1);
+  const zone::SubdomainId id{0, 9};
+  const auto r2 = probe(host.address(), scheme.qname(id));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_TRUE(r2->header.flags.ra);
+  ASSERT_TRUE(r2->first_a_answer().has_value());
+  EXPECT_EQ(*r2->first_a_answer(), scheme.ground_truth(id));
+}
+
+TEST_F(HostFixture, DeviantFlagsAreStamped) {
+  BehaviorProfile p = base_profile(AnswerMode::kRecursive);
+  p.ra = false;  // answers while claiming no recursion available
+  p.aa = true;   // claims authority it does not have
+  ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7), p, engine_config, 1);
+  const auto r2 = probe(host.address(), scheme.qname({0, 9}));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_FALSE(r2->header.flags.ra);
+  EXPECT_TRUE(r2->header.flags.aa);
+  EXPECT_TRUE(r2->has_answer());
+}
+
+TEST_F(HostFixture, FixedIpManipulatorNeverContactsAuth) {
+  BehaviorProfile p = base_profile(AnswerMode::kFixedIp);
+  p.fixed_answer = net::IPv4Addr(208, 91, 197, 91);
+  ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7), p, engine_config, 1);
+  const auto r2 = probe(host.address(), scheme.qname({0, 9}));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->first_a_answer()->to_string(), "208.91.197.91");
+  // The paper's manipulation discriminator: no Q2 ever reached the auth.
+  EXPECT_EQ(auth.stats().queries_received, 0u);
+}
+
+TEST_F(HostFixture, SilentHostNeverResponds) {
+  BehaviorProfile p = base_profile(AnswerMode::kNone);
+  p.respond = false;
+  ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7), p, engine_config, 1);
+  EXPECT_FALSE(probe(host.address(), scheme.qname({0, 9})).has_value());
+  EXPECT_EQ(host.stats().queries, 1u);
+  EXPECT_EQ(host.stats().responses, 0u);
+}
+
+TEST_F(HostFixture, RefuserSendsRcodeWithoutAnswer) {
+  BehaviorProfile p = base_profile(AnswerMode::kNone);
+  p.rcode = dns::Rcode::kRefused;
+  p.ra = false;
+  ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7), p, engine_config, 1);
+  const auto r2 = probe(host.address(), scheme.qname({0, 9}));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->header.flags.rcode, dns::Rcode::kRefused);
+  EXPECT_FALSE(r2->has_answer());
+}
+
+TEST_F(HostFixture, UrlAnswererReturnsCname) {
+  BehaviorProfile p = base_profile(AnswerMode::kUrl);
+  p.text_answer = "u.dcoin.co";
+  ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7), p, engine_config, 1);
+  const auto r2 = probe(host.address(), scheme.qname({0, 9}));
+  ASSERT_TRUE(r2.has_value());
+  ASSERT_EQ(r2->answers.size(), 1u);
+  EXPECT_EQ(r2->answers[0].type, dns::RRType::kCNAME);
+}
+
+TEST_F(HostFixture, GarbageStringAnswererReturnsTxt) {
+  BehaviorProfile p = base_profile(AnswerMode::kGarbageString);
+  p.text_answer = "wild";
+  ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7), p, engine_config, 1);
+  const auto r2 = probe(host.address(), scheme.qname({0, 9}));
+  ASSERT_TRUE(r2.has_value());
+  ASSERT_EQ(r2->answers.size(), 1u);
+  EXPECT_EQ(r2->answers[0].type, dns::RRType::kTXT);
+}
+
+TEST_F(HostFixture, UndecodableAnswerFailsDecodeButKeepsQuestion) {
+  ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7),
+                    base_profile(AnswerMode::kUndecodable), engine_config, 1);
+  std::vector<std::uint8_t> raw;
+  const net::Endpoint prober{net::IPv4Addr(132, 170, 3, 44), 54321};
+  net.bind(prober, [&](const net::Datagram& d) { raw = d.payload; });
+  net.send(net::Datagram{prober, net::Endpoint{host.address(), net::kDnsPort},
+                         dns::encode(dns::make_query(99, scheme.qname({0, 9})))});
+  loop.run();
+  ASSERT_FALSE(raw.empty());
+  EXPECT_FALSE(dns::decode(raw).has_value());
+  const auto partial = dns::decode_partial(raw);
+  EXPECT_EQ(partial.failed_at, dns::DecodeStage::kAnswer);
+  EXPECT_EQ(partial.message.questions.size(), 1u);
+}
+
+TEST_F(HostFixture, EmptyQuestionResponderOmitsQuestion) {
+  BehaviorProfile p = base_profile(AnswerMode::kNone);
+  p.omit_question = true;
+  p.rcode = dns::Rcode::kServFail;
+  ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7), p, engine_config, 1);
+  const auto r2 = probe(host.address(), scheme.qname({0, 9}));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_TRUE(r2->questions.empty());
+  EXPECT_EQ(r2->header.flags.rcode, dns::Rcode::kServFail);
+}
+
+TEST_F(HostFixture, BackendFanMultipliesAuthQueries) {
+  BehaviorProfile p = base_profile(AnswerMode::kRecursive);
+  p.backend_fan = 5;
+  ResolverHost host(net, net::IPv4Addr(7, 7, 7, 7), p, engine_config, 1);
+  const auto r2 = probe(host.address(), scheme.qname({0, 9}));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_TRUE(r2->has_answer());
+  EXPECT_EQ(auth.stats().queries_received, 5u);
+  EXPECT_EQ(host.stats().responses, 1u);  // still exactly one R2
+}
+
+TEST_F(HostFixture, ForwarderRelaysUpstreamAnswerWithOwnStamp) {
+  ResolverHost upstream(net, net::IPv4Addr(6, 6, 6, 6),
+                        base_profile(AnswerMode::kRecursive), engine_config,
+                        1);
+  BehaviorProfile p = base_profile(AnswerMode::kRecursive);
+  p.forwarder = true;
+  p.upstream = upstream.address();
+  p.aa = true;  // CPE boxes stamp whatever they like
+  ResolverHost fwd(net, net::IPv4Addr(7, 7, 7, 7), p, engine_config, 2);
+  const zone::SubdomainId id{0, 21};
+  const auto r2 = probe(fwd.address(), scheme.qname(id));
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_TRUE(r2->header.flags.aa);
+  ASSERT_TRUE(r2->first_a_answer().has_value());
+  EXPECT_EQ(*r2->first_a_answer(), scheme.ground_truth(id));
+  EXPECT_EQ(fwd.stats().forwarded, 1u);
+  EXPECT_EQ(auth.stats().queries_received, 1u);  // recursion done upstream
+}
+
+}  // namespace
+}  // namespace orp::resolver

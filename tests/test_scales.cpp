@@ -1,0 +1,92 @@
+// Scale-invariance sweep: the pipeline's structural invariants must hold at
+// every sampling granularity, not just the bench default.
+#include <gtest/gtest.h>
+
+#include "core/paper_data.h"
+#include "core/pipeline.h"
+
+namespace orp::core {
+namespace {
+
+class ScaleSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static const ScanOutcome& outcome_for(std::uint64_t scale) {
+    static std::map<std::uint64_t, ScanOutcome> cache;
+    const auto it = cache.find(scale);
+    if (it != cache.end()) return it->second;
+    PipelineConfig cfg;
+    cfg.scale = scale;
+    cfg.seed = 42;
+    return cache.emplace(scale, run_measurement(paper_2018(), cfg))
+        .first->second;
+  }
+};
+
+TEST_P(ScaleSweep, EveryHostAnswersExactlyOnce) {
+  const ScanOutcome& o = outcome_for(GetParam());
+  EXPECT_EQ(o.scan.r2_received, o.spec.hosts.size());
+  EXPECT_EQ(o.scan.r2_matched + o.scan.r2_empty_question, o.scan.r2_received);
+  EXPECT_EQ(o.scan.r2_unmatched, 0u);
+}
+
+TEST_P(ScaleSweep, ProbeCountTracksTheProbeableSpace) {
+  const ScanOutcome& o = outcome_for(GetParam());
+  const double expected = static_cast<double>(paper_2018().q1) /
+                          static_cast<double>(GetParam());
+  EXPECT_NEAR(static_cast<double>(o.scan.q1_sent), expected,
+              expected * 0.01 + 64);
+}
+
+TEST_P(ScaleSweep, AnswerIdentityHolds) {
+  const auto& a = outcome_for(GetParam()).analysis.answers;
+  EXPECT_EQ(a.r2, a.without_answer + a.with_answer());
+  EXPECT_GT(a.correct, 0u);
+  EXPECT_GT(a.incorrect, 0u);
+  EXPECT_GT(a.without_answer, 0u);
+}
+
+TEST_P(ScaleSweep, FlagMarginsSumToAnswerTotals) {
+  const auto& analysis = outcome_for(GetParam()).analysis;
+  const auto& a = analysis.answers;
+  EXPECT_EQ(analysis.ra.bit0.correct + analysis.ra.bit1.correct, a.correct);
+  EXPECT_EQ(analysis.ra.bit0.incorrect + analysis.ra.bit1.incorrect,
+            a.incorrect);
+  EXPECT_EQ(analysis.aa.bit0.without_answer + analysis.aa.bit1.without_answer,
+            a.without_answer);
+}
+
+TEST_P(ScaleSweep, RareBehaviorsStayRepresented) {
+  const auto& analysis = outcome_for(GetParam()).analysis;
+  // keep_nonzero guarantees: the paper's anomalous rcode combinations and
+  // the malicious subpopulation survive any sampling granularity.
+  EXPECT_GT(analysis.rcodes.error_rcode_with_answer(), 0u);
+  EXPECT_GT(analysis.rcodes.noerror_without_answer(), 0u);
+  EXPECT_GE(analysis.malicious.total_r2, 1u);
+  EXPECT_EQ(analysis.malicious.rcode_noerror, analysis.malicious.total_r2);
+}
+
+TEST_P(ScaleSweep, MajorityShapesSurviveSampling) {
+  const auto& analysis = outcome_for(GetParam()).analysis;
+  // Correct answers dominate incorrect (96:4 at full scale). At extreme
+  // granularities the keep_nonzero floors inflate the rare incorrect cells,
+  // so the dominance ratio is only asserted where the sample can carry it.
+  if (analysis.answers.r2 > 300) {
+    EXPECT_GT(analysis.answers.correct, analysis.answers.incorrect * 5);
+  } else {
+    EXPECT_GT(analysis.answers.correct, analysis.answers.incorrect);
+  }
+  // RA=1 carries the overwhelming majority of correct answers.
+  EXPECT_GT(analysis.ra.bit1.correct, analysis.ra.bit0.correct);
+  // Refused dominates the no-answer rcodes.
+  EXPECT_GT(analysis.rcodes.row(dns::Rcode::kRefused).without_answer,
+            analysis.rcodes.row(dns::Rcode::kNXDomain).without_answer);
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, ScaleSweep,
+                         ::testing::Values(8192, 16384, 32768, 65536),
+                         [](const auto& info) {
+                           return "scale" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace orp::core

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "authns/static_auth.h"
+#include "core/usage_study.h"
+#include "dns/builder.h"
+#include "dns/edns.h"
+
+namespace orp {
+namespace {
+
+// ---- StaticAuthServer ---------------------------------------------------------
+
+class StaticAuthFixture : public ::testing::Test {
+ protected:
+  StaticAuthFixture() : net(loop, 3) {
+    dns::SoaRdata soa;
+    soa.mname = dns::DnsName::must_parse("ns1.site0.net");
+    soa.rname = dns::DnsName::must_parse("hostmaster.site0.net");
+    zone::Zone zone(dns::DnsName::must_parse("site0.net"), soa);
+    zone.add(dns::ResourceRecord{dns::DnsName::must_parse("www.site0.net"),
+                                 dns::RRType::kA, dns::RRClass::kIN, 300,
+                                 dns::ARdata{net::IPv4Addr(93, 10, 0, 1)}});
+    server = std::make_unique<authns::StaticAuthServer>(
+        net, net::IPv4Addr(20, 0, 0, 1), std::move(zone));
+    net.bind(client, [this](const net::Datagram& d) {
+      auto decoded = dns::decode(d.payload);
+      ASSERT_TRUE(decoded.has_value());
+      replies.push_back(*std::move(decoded));
+    });
+  }
+
+  void query(const char* qname, dns::RRType type = dns::RRType::kA) {
+    net.send(net::Datagram{
+        client, net::Endpoint{server->address(), net::kDnsPort},
+        dns::encode(dns::make_query(1, dns::DnsName::must_parse(qname), type))});
+    loop.run();
+  }
+
+  net::EventLoop loop;
+  net::Network net;
+  std::unique_ptr<authns::StaticAuthServer> server;
+  net::Endpoint client{net::IPv4Addr(9, 9, 9, 9), 5353};
+  std::vector<dns::Message> replies;
+};
+
+TEST_F(StaticAuthFixture, AnswersInZone) {
+  query("www.site0.net");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(replies[0].header.flags.aa);
+  ASSERT_TRUE(replies[0].first_a_answer().has_value());
+  EXPECT_EQ(replies[0].first_a_answer()->to_string(), "93.10.0.1");
+  EXPECT_EQ(server->stats().answered, 1u);
+}
+
+TEST_F(StaticAuthFixture, NXDomainForUnknownName) {
+  query("missing.site0.net");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].header.flags.rcode, dns::Rcode::kNXDomain);
+  EXPECT_EQ(server->stats().nxdomain, 1u);
+}
+
+TEST_F(StaticAuthFixture, NoDataForWrongType) {
+  query("www.site0.net", dns::RRType::kMX);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].header.flags.rcode, dns::Rcode::kNoError);
+  EXPECT_FALSE(replies[0].has_answer());
+}
+
+TEST_F(StaticAuthFixture, RefusesOutOfZone) {
+  query("www.other.org");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].header.flags.rcode, dns::Rcode::kRefused);
+  EXPECT_EQ(server->stats().refused, 1u);
+}
+
+TEST_F(StaticAuthFixture, EchoesEdns) {
+  dns::Message q =
+      dns::make_query(1, dns::DnsName::must_parse("www.site0.net"));
+  dns::set_edns(q, dns::EdnsInfo{.udp_payload_size = 4096});
+  net.send(net::Datagram{client, net::Endpoint{server->address(), net::kDnsPort},
+                         dns::encode(q)});
+  loop.run();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(dns::extract_edns(replies[0]).has_value());
+}
+
+// ---- Usage study -----------------------------------------------------------------
+
+core::UsageStudyConfig small_config() {
+  core::UsageStudyConfig c;
+  c.popular_domains = 20;
+  c.open_resolvers = 40;
+  c.clients = 80;
+  c.queries_per_client = 5;
+  c.seed = 7;
+  return c;
+}
+
+TEST(UsageStudy, AllQueriesAnsweredAndAccounted) {
+  const auto r = core::run_usage_study(small_config());
+  EXPECT_EQ(r.queries_total, 400u);
+  EXPECT_EQ(r.queries_answered, r.queries_total);
+  EXPECT_LE(r.queries_misdirected, r.queries_answered);
+  EXPECT_EQ(r.resolvers_total, 40u);
+  EXPECT_GE(r.resolvers_malicious, 1u);
+}
+
+TEST(UsageStudy, NoMaliciousMeansNoMisdirection) {
+  auto c = small_config();
+  c.malicious_fraction = 0.0;
+  const auto r = core::run_usage_study(c);
+  EXPECT_EQ(r.resolvers_malicious, 0u);
+  EXPECT_EQ(r.queries_misdirected, 0u);
+  EXPECT_EQ(r.clients_on_malicious, 0u);
+}
+
+TEST(UsageStudy, FullyMaliciousPoolMisdirectsEverything) {
+  auto c = small_config();
+  c.malicious_fraction = 1.0;
+  const auto r = core::run_usage_study(c);
+  EXPECT_EQ(r.resolvers_malicious, r.resolvers_total);
+  EXPECT_EQ(r.queries_misdirected, r.queries_answered);
+  EXPECT_EQ(r.clients_on_malicious, r.clients_total);
+  // Every misdirection resolves to a threat-reported address.
+  std::uint64_t categorized = 0;
+  for (const auto n : r.misdirected_by_category) categorized += n;
+  EXPECT_EQ(categorized, r.queries_misdirected);
+}
+
+TEST(UsageStudy, MisdirectionGrowsWithMaliciousShare) {
+  auto c = small_config();
+  c.clients = 150;
+  c.malicious_fraction = 0.05;
+  const auto low = core::run_usage_study(c);
+  c.malicious_fraction = 0.5;
+  const auto high = core::run_usage_study(c);
+  EXPECT_GT(high.queries_misdirected, low.queries_misdirected);
+}
+
+TEST(UsageStudy, DeterministicForSeed) {
+  const auto a = core::run_usage_study(small_config());
+  const auto b = core::run_usage_study(small_config());
+  EXPECT_EQ(a.queries_misdirected, b.queries_misdirected);
+  EXPECT_EQ(a.clients_on_malicious, b.clients_on_malicious);
+}
+
+TEST(UsageStudy, RenderMentionsKeyMetrics) {
+  const auto r = core::run_usage_study(small_config());
+  const std::string text = core::render_usage_study(r);
+  EXPECT_NE(text.find("queries misdirected"), std::string::npos);
+  EXPECT_NE(text.find("resolver pool"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orp

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/apportion.h"
+#include "util/expected.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace orp::util {
+namespace {
+
+// ---- Rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedZeroReturnsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  Rng a(42);
+  Rng b(42);
+  // Drawing from the parent before forking must not change the child stream.
+  Rng child_a = a.fork(5);
+  (void)b();
+  (void)b();
+  Rng child_b_reference = Rng(42).fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child_a(), child_b_reference());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, Mix64IsStable) {
+  EXPECT_EQ(mix64(0), mix64(0));
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+TEST(Rng, Fnv1aKnownValue) {
+  // FNV-1a 64 of empty string is the offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+TEST(SampleCumulative, RespectsWeights) {
+  Rng rng(5);
+  const std::vector<double> cum{1.0, 1.0, 101.0};  // heavy third bucket
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 1000; ++i) ++counts[sample_cumulative(rng, cum)];
+  EXPECT_GT(counts[2], 900);
+  EXPECT_EQ(counts[1], 0);  // zero-width bucket never drawn
+}
+
+TEST(SampleCumulative, ThrowsOnEmpty) {
+  Rng rng(5);
+  EXPECT_THROW(sample_cumulative(rng, {}), std::invalid_argument);
+}
+
+TEST(ZipfSampler, HeadHeavierThanTail) {
+  Rng rng(17);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[0], 1000);
+}
+
+// ---- apportion --------------------------------------------------------------
+
+TEST(Apportion, ExactTotal) {
+  const std::vector<std::uint64_t> counts{100, 200, 300};
+  const auto out = apportion(counts, 60);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::uint64_t{0}), 60u);
+  EXPECT_EQ(out[0], 10u);
+  EXPECT_EQ(out[1], 20u);
+  EXPECT_EQ(out[2], 30u);
+}
+
+TEST(Apportion, KeepsNonzeroCells) {
+  const std::vector<std::uint64_t> counts{1, 1000000};
+  const auto out = apportion(counts, 100, /*keep_nonzero=*/true);
+  EXPECT_GE(out[0], 1u);
+  EXPECT_EQ(out[0] + out[1], 100u);
+}
+
+TEST(Apportion, DropsTinyCellsWhenNotKeeping) {
+  const std::vector<std::uint64_t> counts{1, 1000000};
+  const auto out = apportion(counts, 100, /*keep_nonzero=*/false);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 100u);
+}
+
+TEST(Apportion, ZeroInputsStayZero) {
+  const auto out = apportion({0, 5, 0, 5}, 10);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[2], 0u);
+  EXPECT_EQ(out[1] + out[3], 10u);
+}
+
+TEST(Apportion, ZeroTargetGivesAllZero) {
+  const auto out = apportion({3, 4}, 0);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 0u);
+}
+
+TEST(Apportion, UpscalesToo) {
+  const auto out = apportion({1, 2, 3}, 600);
+  EXPECT_EQ(out[0], 100u);
+  EXPECT_EQ(out[1], 200u);
+  EXPECT_EQ(out[2], 300u);
+}
+
+TEST(Apportion, OvercommittedFloorsAreTrimmed) {
+  // 5 nonzero cells but target 3: keep_nonzero cannot hold.
+  const auto out = apportion({10, 10, 10, 10, 10}, 3, /*keep_nonzero=*/true);
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::uint64_t{0}), 3u);
+}
+
+// Property sweep: sums always land exactly on the target.
+class ApportionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApportionSweep, SumAlwaysExact) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::uint64_t> counts(1 + rng.bounded(20));
+    std::uint64_t source_total = 0;
+    for (auto& c : counts) {
+      c = rng.bounded(100000);
+      source_total += c;
+    }
+    if (source_total == 0) continue;
+    const std::uint64_t nonzero_cells = static_cast<std::uint64_t>(
+        std::count_if(counts.begin(), counts.end(),
+                      [](std::uint64_t c) { return c > 0; }));
+    const std::uint64_t target = nonzero_cells + rng.bounded(200000);
+    const auto out = apportion(counts, target, /*keep_nonzero=*/true);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::uint64_t{0}),
+              target);
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      if (counts[i] == 0) {
+        EXPECT_EQ(out[i], 0u);
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApportionSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(ScaleCount, RoundsHalfUp) {
+  EXPECT_EQ(scale_count(10, 1, 4), 3u);   // 2.5 -> 3
+  EXPECT_EQ(scale_count(9, 1, 4), 2u);    // 2.25 -> 2
+  EXPECT_EQ(scale_count(0, 1, 4), 0u);
+  EXPECT_THROW(scale_count(1, 1, 0), std::invalid_argument);
+}
+
+TEST(Percent, Basics) {
+  EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+  EXPECT_DOUBLE_EQ(percent(0, 0), 0.0);
+}
+
+// ---- strings ----------------------------------------------------------------
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(3702258432ULL), "3,702,258,432");
+}
+
+TEST(Strings, Fixed) {
+  EXPECT_EQ(fixed(3.879, 3), "3.879");
+  EXPECT_EQ(fixed(1.0, 1), "1.0");
+}
+
+TEST(Strings, HumanDuration) {
+  EXPECT_EQ(human_duration(0), "0s");
+  EXPECT_EQ(human_duration(59), "59s");
+  EXPECT_EQ(human_duration(3600 * 11), "11h 0m");
+  EXPECT_EQ(human_duration(7 * 86400 + 5 * 3600), "7d 5h");
+}
+
+TEST(Strings, SplitJoin) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, "-"), "a-b--c");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcdef");
+}
+
+TEST(Strings, AllDigits) {
+  EXPECT_TRUE(all_digits("0123456789"));
+  EXPECT_FALSE(all_digits(""));
+  EXPECT_FALSE(all_digits("12a"));
+}
+
+TEST(Strings, ZeroPad) {
+  EXPECT_EQ(zero_pad(7, 3), "007");
+  EXPECT_EQ(zero_pad(1234, 3), "1234");
+  EXPECT_EQ(zero_pad(0, 7), "0000000");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("AbC.D"), "abc.d"); }
+
+// ---- TextTable ---------------------------------------------------------------
+
+TEST(TextTable, RendersHeadersAndRows) {
+  TextTable t({"name", "count"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable t({"a"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_NE(t.render().find("3"), std::string::npos);
+}
+
+TEST(TextTable, EmptyRendersEmpty) {
+  TextTable t;
+  EXPECT_TRUE(t.render().empty());
+}
+
+TEST(SectionTitle, WrapsTitle) {
+  const auto s = section_title("Table II");
+  EXPECT_NE(s.find("Table II"), std::string::npos);
+  EXPECT_EQ(s.front(), '=');
+}
+
+// ---- Expected ----------------------------------------------------------------
+
+TEST(Expected, HoldsValueOrError) {
+  Expected<int, std::string> ok(5);
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, 5);
+
+  Expected<int, std::string> err(std::string("boom"));
+  EXPECT_FALSE(err.has_value());
+  EXPECT_EQ(err.error(), "boom");
+}
+
+}  // namespace
+}  // namespace orp::util
