@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rrl.dir/bench_ablation_rrl.cpp.o"
+  "CMakeFiles/bench_ablation_rrl.dir/bench_ablation_rrl.cpp.o.d"
+  "bench_ablation_rrl"
+  "bench_ablation_rrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_unique_names.dir/bench_ablation_unique_names.cpp.o"
+  "CMakeFiles/bench_ablation_unique_names.dir/bench_ablation_unique_names.cpp.o.d"
+  "bench_ablation_unique_names"
+  "bench_ablation_unique_names.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unique_names.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vantage.dir/bench_ablation_vantage.cpp.o"
+  "CMakeFiles/bench_ablation_vantage.dir/bench_ablation_vantage.cpp.o.d"
+  "bench_ablation_vantage"
+  "bench_ablation_vantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_empty_question.dir/bench_empty_question.cpp.o"
+  "CMakeFiles/bench_empty_question.dir/bench_empty_question.cpp.o.d"
+  "bench_empty_question"
+  "bench_empty_question.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_empty_question.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_empty_question.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_flow_capture.dir/bench_fig2_flow_capture.cpp.o"
+  "CMakeFiles/bench_fig2_flow_capture.dir/bench_fig2_flow_capture.cpp.o.d"
+  "bench_fig2_flow_capture"
+  "bench_fig2_flow_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_flow_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_dnssec.dir/bench_future_dnssec.cpp.o"
+  "CMakeFiles/bench_future_dnssec.dir/bench_future_dnssec.cpp.o.d"
+  "bench_future_dnssec"
+  "bench_future_dnssec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_dnssec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table01_exclusions.dir/bench_table01_exclusions.cpp.o"
+  "CMakeFiles/bench_table01_exclusions.dir/bench_table01_exclusions.cpp.o.d"
+  "bench_table01_exclusions"
+  "bench_table01_exclusions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table01_exclusions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

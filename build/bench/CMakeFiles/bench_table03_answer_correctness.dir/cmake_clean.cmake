@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_answer_correctness.dir/bench_table03_answer_correctness.cpp.o"
+  "CMakeFiles/bench_table03_answer_correctness.dir/bench_table03_answer_correctness.cpp.o.d"
+  "bench_table03_answer_correctness"
+  "bench_table03_answer_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_answer_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

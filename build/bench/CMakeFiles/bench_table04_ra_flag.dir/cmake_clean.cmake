@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table04_ra_flag.dir/bench_table04_ra_flag.cpp.o"
+  "CMakeFiles/bench_table04_ra_flag.dir/bench_table04_ra_flag.cpp.o.d"
+  "bench_table04_ra_flag"
+  "bench_table04_ra_flag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_ra_flag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_aa_flag.dir/bench_table05_aa_flag.cpp.o"
+  "CMakeFiles/bench_table05_aa_flag.dir/bench_table05_aa_flag.cpp.o.d"
+  "bench_table05_aa_flag"
+  "bench_table05_aa_flag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_aa_flag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table06_rcode.dir/bench_table06_rcode.cpp.o"
+  "CMakeFiles/bench_table06_rcode.dir/bench_table06_rcode.cpp.o.d"
+  "bench_table06_rcode"
+  "bench_table06_rcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table06_rcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_incorrect_forms.dir/bench_table07_incorrect_forms.cpp.o"
+  "CMakeFiles/bench_table07_incorrect_forms.dir/bench_table07_incorrect_forms.cpp.o.d"
+  "bench_table07_incorrect_forms"
+  "bench_table07_incorrect_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_incorrect_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

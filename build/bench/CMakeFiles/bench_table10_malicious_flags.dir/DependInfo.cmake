@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table10_malicious_flags.cpp" "bench/CMakeFiles/bench_table10_malicious_flags.dir/bench_table10_malicious_flags.cpp.o" "gcc" "bench/CMakeFiles/bench_table10_malicious_flags.dir/bench_table10_malicious_flags.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/orp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/orp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/prober/CMakeFiles/orp_prober.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/orp_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/authns/CMakeFiles/orp_authns.dir/DependInfo.cmake"
+  "/root/repo/build/src/intel/CMakeFiles/orp_intel.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/orp_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/orp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/orp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/orp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_malicious_flags.dir/bench_table10_malicious_flags.cpp.o"
+  "CMakeFiles/bench_table10_malicious_flags.dir/bench_table10_malicious_flags.cpp.o.d"
+  "bench_table10_malicious_flags"
+  "bench_table10_malicious_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_malicious_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

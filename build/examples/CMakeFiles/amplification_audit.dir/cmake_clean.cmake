@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amplification_audit.dir/amplification_audit.cpp.o"
+  "CMakeFiles/amplification_audit.dir/amplification_audit.cpp.o.d"
+  "amplification_audit"
+  "amplification_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amplification_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manipulation_detector.dir/manipulation_detector.cpp.o"
+  "CMakeFiles/manipulation_detector.dir/manipulation_detector.cpp.o.d"
+  "manipulation_detector"
+  "manipulation_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manipulation_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

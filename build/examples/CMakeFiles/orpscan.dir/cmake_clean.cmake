@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orpscan.dir/orpscan.cpp.o"
+  "CMakeFiles/orpscan.dir/orpscan.cpp.o.d"
+  "orpscan"
+  "orpscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orpscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_forensics.dir/resolver_forensics.cpp.o"
+  "CMakeFiles/resolver_forensics.dir/resolver_forensics.cpp.o.d"
+  "resolver_forensics"
+  "resolver_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_impact.dir/usage_impact.cpp.o"
+  "CMakeFiles/usage_impact.dir/usage_impact.cpp.o.d"
+  "usage_impact"
+  "usage_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/answer_analysis.cpp" "src/analysis/CMakeFiles/orp_analysis.dir/answer_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/orp_analysis.dir/answer_analysis.cpp.o.d"
+  "/root/repo/src/analysis/empty_question.cpp" "src/analysis/CMakeFiles/orp_analysis.dir/empty_question.cpp.o" "gcc" "src/analysis/CMakeFiles/orp_analysis.dir/empty_question.cpp.o.d"
+  "/root/repo/src/analysis/export.cpp" "src/analysis/CMakeFiles/orp_analysis.dir/export.cpp.o" "gcc" "src/analysis/CMakeFiles/orp_analysis.dir/export.cpp.o.d"
+  "/root/repo/src/analysis/flow.cpp" "src/analysis/CMakeFiles/orp_analysis.dir/flow.cpp.o" "gcc" "src/analysis/CMakeFiles/orp_analysis.dir/flow.cpp.o.d"
+  "/root/repo/src/analysis/geo_analysis.cpp" "src/analysis/CMakeFiles/orp_analysis.dir/geo_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/orp_analysis.dir/geo_analysis.cpp.o.d"
+  "/root/repo/src/analysis/header_analysis.cpp" "src/analysis/CMakeFiles/orp_analysis.dir/header_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/orp_analysis.dir/header_analysis.cpp.o.d"
+  "/root/repo/src/analysis/incorrect_answers.cpp" "src/analysis/CMakeFiles/orp_analysis.dir/incorrect_answers.cpp.o" "gcc" "src/analysis/CMakeFiles/orp_analysis.dir/incorrect_answers.cpp.o.d"
+  "/root/repo/src/analysis/malicious.cpp" "src/analysis/CMakeFiles/orp_analysis.dir/malicious.cpp.o" "gcc" "src/analysis/CMakeFiles/orp_analysis.dir/malicious.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/orp_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/orp_analysis.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/intel/CMakeFiles/orp_intel.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/orp_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/orp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/orp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/orp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_analysis.dir/answer_analysis.cpp.o"
+  "CMakeFiles/orp_analysis.dir/answer_analysis.cpp.o.d"
+  "CMakeFiles/orp_analysis.dir/empty_question.cpp.o"
+  "CMakeFiles/orp_analysis.dir/empty_question.cpp.o.d"
+  "CMakeFiles/orp_analysis.dir/export.cpp.o"
+  "CMakeFiles/orp_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/orp_analysis.dir/flow.cpp.o"
+  "CMakeFiles/orp_analysis.dir/flow.cpp.o.d"
+  "CMakeFiles/orp_analysis.dir/geo_analysis.cpp.o"
+  "CMakeFiles/orp_analysis.dir/geo_analysis.cpp.o.d"
+  "CMakeFiles/orp_analysis.dir/header_analysis.cpp.o"
+  "CMakeFiles/orp_analysis.dir/header_analysis.cpp.o.d"
+  "CMakeFiles/orp_analysis.dir/incorrect_answers.cpp.o"
+  "CMakeFiles/orp_analysis.dir/incorrect_answers.cpp.o.d"
+  "CMakeFiles/orp_analysis.dir/malicious.cpp.o"
+  "CMakeFiles/orp_analysis.dir/malicious.cpp.o.d"
+  "CMakeFiles/orp_analysis.dir/report.cpp.o"
+  "CMakeFiles/orp_analysis.dir/report.cpp.o.d"
+  "liborp_analysis.a"
+  "liborp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

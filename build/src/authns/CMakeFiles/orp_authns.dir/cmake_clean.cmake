@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_authns.dir/auth_server.cpp.o"
+  "CMakeFiles/orp_authns.dir/auth_server.cpp.o.d"
+  "CMakeFiles/orp_authns.dir/static_auth.cpp.o"
+  "CMakeFiles/orp_authns.dir/static_auth.cpp.o.d"
+  "liborp_authns.a"
+  "liborp_authns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_authns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

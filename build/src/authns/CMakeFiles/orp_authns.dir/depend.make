@@ -1,0 +1,2 @@
+# Empty dependencies file for orp_authns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/contrast.cpp" "src/core/CMakeFiles/orp_core.dir/contrast.cpp.o" "gcc" "src/core/CMakeFiles/orp_core.dir/contrast.cpp.o.d"
+  "/root/repo/src/core/internet_builder.cpp" "src/core/CMakeFiles/orp_core.dir/internet_builder.cpp.o" "gcc" "src/core/CMakeFiles/orp_core.dir/internet_builder.cpp.o.d"
+  "/root/repo/src/core/ipf.cpp" "src/core/CMakeFiles/orp_core.dir/ipf.cpp.o" "gcc" "src/core/CMakeFiles/orp_core.dir/ipf.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/orp_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/orp_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/paper_data.cpp" "src/core/CMakeFiles/orp_core.dir/paper_data.cpp.o" "gcc" "src/core/CMakeFiles/orp_core.dir/paper_data.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/orp_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/orp_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/population.cpp" "src/core/CMakeFiles/orp_core.dir/population.cpp.o" "gcc" "src/core/CMakeFiles/orp_core.dir/population.cpp.o.d"
+  "/root/repo/src/core/reconcile.cpp" "src/core/CMakeFiles/orp_core.dir/reconcile.cpp.o" "gcc" "src/core/CMakeFiles/orp_core.dir/reconcile.cpp.o.d"
+  "/root/repo/src/core/usage_study.cpp" "src/core/CMakeFiles/orp_core.dir/usage_study.cpp.o" "gcc" "src/core/CMakeFiles/orp_core.dir/usage_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/orp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/prober/CMakeFiles/orp_prober.dir/DependInfo.cmake"
+  "/root/repo/build/src/resolver/CMakeFiles/orp_resolver.dir/DependInfo.cmake"
+  "/root/repo/build/src/authns/CMakeFiles/orp_authns.dir/DependInfo.cmake"
+  "/root/repo/build/src/intel/CMakeFiles/orp_intel.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/orp_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/orp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/orp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/orp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

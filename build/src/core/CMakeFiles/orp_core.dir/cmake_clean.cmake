@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_core.dir/contrast.cpp.o"
+  "CMakeFiles/orp_core.dir/contrast.cpp.o.d"
+  "CMakeFiles/orp_core.dir/internet_builder.cpp.o"
+  "CMakeFiles/orp_core.dir/internet_builder.cpp.o.d"
+  "CMakeFiles/orp_core.dir/ipf.cpp.o"
+  "CMakeFiles/orp_core.dir/ipf.cpp.o.d"
+  "CMakeFiles/orp_core.dir/monitor.cpp.o"
+  "CMakeFiles/orp_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/orp_core.dir/paper_data.cpp.o"
+  "CMakeFiles/orp_core.dir/paper_data.cpp.o.d"
+  "CMakeFiles/orp_core.dir/pipeline.cpp.o"
+  "CMakeFiles/orp_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/orp_core.dir/population.cpp.o"
+  "CMakeFiles/orp_core.dir/population.cpp.o.d"
+  "CMakeFiles/orp_core.dir/reconcile.cpp.o"
+  "CMakeFiles/orp_core.dir/reconcile.cpp.o.d"
+  "CMakeFiles/orp_core.dir/usage_study.cpp.o"
+  "CMakeFiles/orp_core.dir/usage_study.cpp.o.d"
+  "liborp_core.a"
+  "liborp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

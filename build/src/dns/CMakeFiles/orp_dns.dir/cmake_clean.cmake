@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_dns.dir/builder.cpp.o"
+  "CMakeFiles/orp_dns.dir/builder.cpp.o.d"
+  "CMakeFiles/orp_dns.dir/codec.cpp.o"
+  "CMakeFiles/orp_dns.dir/codec.cpp.o.d"
+  "CMakeFiles/orp_dns.dir/edns.cpp.o"
+  "CMakeFiles/orp_dns.dir/edns.cpp.o.d"
+  "CMakeFiles/orp_dns.dir/message.cpp.o"
+  "CMakeFiles/orp_dns.dir/message.cpp.o.d"
+  "CMakeFiles/orp_dns.dir/name.cpp.o"
+  "CMakeFiles/orp_dns.dir/name.cpp.o.d"
+  "CMakeFiles/orp_dns.dir/types.cpp.o"
+  "CMakeFiles/orp_dns.dir/types.cpp.o.d"
+  "liborp_dns.a"
+  "liborp_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

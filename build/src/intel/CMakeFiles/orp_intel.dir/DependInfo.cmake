@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/intel/geo_db.cpp" "src/intel/CMakeFiles/orp_intel.dir/geo_db.cpp.o" "gcc" "src/intel/CMakeFiles/orp_intel.dir/geo_db.cpp.o.d"
+  "/root/repo/src/intel/org_db.cpp" "src/intel/CMakeFiles/orp_intel.dir/org_db.cpp.o" "gcc" "src/intel/CMakeFiles/orp_intel.dir/org_db.cpp.o.d"
+  "/root/repo/src/intel/threat_db.cpp" "src/intel/CMakeFiles/orp_intel.dir/threat_db.cpp.o" "gcc" "src/intel/CMakeFiles/orp_intel.dir/threat_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/orp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/orp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_intel.dir/geo_db.cpp.o"
+  "CMakeFiles/orp_intel.dir/geo_db.cpp.o.d"
+  "CMakeFiles/orp_intel.dir/org_db.cpp.o"
+  "CMakeFiles/orp_intel.dir/org_db.cpp.o.d"
+  "CMakeFiles/orp_intel.dir/threat_db.cpp.o"
+  "CMakeFiles/orp_intel.dir/threat_db.cpp.o.d"
+  "liborp_intel.a"
+  "liborp_intel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_intel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

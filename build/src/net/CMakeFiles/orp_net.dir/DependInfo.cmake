@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/capture.cpp" "src/net/CMakeFiles/orp_net.dir/capture.cpp.o" "gcc" "src/net/CMakeFiles/orp_net.dir/capture.cpp.o.d"
+  "/root/repo/src/net/event_loop.cpp" "src/net/CMakeFiles/orp_net.dir/event_loop.cpp.o" "gcc" "src/net/CMakeFiles/orp_net.dir/event_loop.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/orp_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/orp_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/orp_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/orp_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/reserved.cpp" "src/net/CMakeFiles/orp_net.dir/reserved.cpp.o" "gcc" "src/net/CMakeFiles/orp_net.dir/reserved.cpp.o.d"
+  "/root/repo/src/net/sim_time.cpp" "src/net/CMakeFiles/orp_net.dir/sim_time.cpp.o" "gcc" "src/net/CMakeFiles/orp_net.dir/sim_time.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/orp_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/orp_net.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/orp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

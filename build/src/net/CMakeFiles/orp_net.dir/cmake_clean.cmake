@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_net.dir/capture.cpp.o"
+  "CMakeFiles/orp_net.dir/capture.cpp.o.d"
+  "CMakeFiles/orp_net.dir/event_loop.cpp.o"
+  "CMakeFiles/orp_net.dir/event_loop.cpp.o.d"
+  "CMakeFiles/orp_net.dir/ipv4.cpp.o"
+  "CMakeFiles/orp_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/orp_net.dir/pcap.cpp.o"
+  "CMakeFiles/orp_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/orp_net.dir/reserved.cpp.o"
+  "CMakeFiles/orp_net.dir/reserved.cpp.o.d"
+  "CMakeFiles/orp_net.dir/sim_time.cpp.o"
+  "CMakeFiles/orp_net.dir/sim_time.cpp.o.d"
+  "CMakeFiles/orp_net.dir/transport.cpp.o"
+  "CMakeFiles/orp_net.dir/transport.cpp.o.d"
+  "liborp_net.a"
+  "liborp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_prober.dir/permutation.cpp.o"
+  "CMakeFiles/orp_prober.dir/permutation.cpp.o.d"
+  "CMakeFiles/orp_prober.dir/rate_limiter.cpp.o"
+  "CMakeFiles/orp_prober.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/orp_prober.dir/scanner.cpp.o"
+  "CMakeFiles/orp_prober.dir/scanner.cpp.o.d"
+  "liborp_prober.a"
+  "liborp_prober.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_prober.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

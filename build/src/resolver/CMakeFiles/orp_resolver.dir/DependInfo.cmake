@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resolver/behavior.cpp" "src/resolver/CMakeFiles/orp_resolver.dir/behavior.cpp.o" "gcc" "src/resolver/CMakeFiles/orp_resolver.dir/behavior.cpp.o.d"
+  "/root/repo/src/resolver/cache.cpp" "src/resolver/CMakeFiles/orp_resolver.dir/cache.cpp.o" "gcc" "src/resolver/CMakeFiles/orp_resolver.dir/cache.cpp.o.d"
+  "/root/repo/src/resolver/recursive_resolver.cpp" "src/resolver/CMakeFiles/orp_resolver.dir/recursive_resolver.cpp.o" "gcc" "src/resolver/CMakeFiles/orp_resolver.dir/recursive_resolver.cpp.o.d"
+  "/root/repo/src/resolver/root_tld.cpp" "src/resolver/CMakeFiles/orp_resolver.dir/root_tld.cpp.o" "gcc" "src/resolver/CMakeFiles/orp_resolver.dir/root_tld.cpp.o.d"
+  "/root/repo/src/resolver/rrl.cpp" "src/resolver/CMakeFiles/orp_resolver.dir/rrl.cpp.o" "gcc" "src/resolver/CMakeFiles/orp_resolver.dir/rrl.cpp.o.d"
+  "/root/repo/src/resolver/scripted_resolver.cpp" "src/resolver/CMakeFiles/orp_resolver.dir/scripted_resolver.cpp.o" "gcc" "src/resolver/CMakeFiles/orp_resolver.dir/scripted_resolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/authns/CMakeFiles/orp_authns.dir/DependInfo.cmake"
+  "/root/repo/build/src/zone/CMakeFiles/orp_zone.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/orp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/orp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/orp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

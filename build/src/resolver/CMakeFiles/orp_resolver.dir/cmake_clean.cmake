@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_resolver.dir/behavior.cpp.o"
+  "CMakeFiles/orp_resolver.dir/behavior.cpp.o.d"
+  "CMakeFiles/orp_resolver.dir/cache.cpp.o"
+  "CMakeFiles/orp_resolver.dir/cache.cpp.o.d"
+  "CMakeFiles/orp_resolver.dir/recursive_resolver.cpp.o"
+  "CMakeFiles/orp_resolver.dir/recursive_resolver.cpp.o.d"
+  "CMakeFiles/orp_resolver.dir/root_tld.cpp.o"
+  "CMakeFiles/orp_resolver.dir/root_tld.cpp.o.d"
+  "CMakeFiles/orp_resolver.dir/rrl.cpp.o"
+  "CMakeFiles/orp_resolver.dir/rrl.cpp.o.d"
+  "CMakeFiles/orp_resolver.dir/scripted_resolver.cpp.o"
+  "CMakeFiles/orp_resolver.dir/scripted_resolver.cpp.o.d"
+  "liborp_resolver.a"
+  "liborp_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_util.dir/apportion.cpp.o"
+  "CMakeFiles/orp_util.dir/apportion.cpp.o.d"
+  "CMakeFiles/orp_util.dir/rng.cpp.o"
+  "CMakeFiles/orp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/orp_util.dir/strings.cpp.o"
+  "CMakeFiles/orp_util.dir/strings.cpp.o.d"
+  "CMakeFiles/orp_util.dir/table.cpp.o"
+  "CMakeFiles/orp_util.dir/table.cpp.o.d"
+  "liborp_util.a"
+  "liborp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zone/cluster.cpp" "src/zone/CMakeFiles/orp_zone.dir/cluster.cpp.o" "gcc" "src/zone/CMakeFiles/orp_zone.dir/cluster.cpp.o.d"
+  "/root/repo/src/zone/master_file.cpp" "src/zone/CMakeFiles/orp_zone.dir/master_file.cpp.o" "gcc" "src/zone/CMakeFiles/orp_zone.dir/master_file.cpp.o.d"
+  "/root/repo/src/zone/zone.cpp" "src/zone/CMakeFiles/orp_zone.dir/zone.cpp.o" "gcc" "src/zone/CMakeFiles/orp_zone.dir/zone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/orp_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/orp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/orp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orp_zone.dir/cluster.cpp.o"
+  "CMakeFiles/orp_zone.dir/cluster.cpp.o.d"
+  "CMakeFiles/orp_zone.dir/master_file.cpp.o"
+  "CMakeFiles/orp_zone.dir/master_file.cpp.o.d"
+  "CMakeFiles/orp_zone.dir/zone.cpp.o"
+  "CMakeFiles/orp_zone.dir/zone.cpp.o.d"
+  "liborp_zone.a"
+  "liborp_zone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orp_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liborp_zone.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_authns.dir/test_authns.cpp.o"
+  "CMakeFiles/test_authns.dir/test_authns.cpp.o.d"
+  "test_authns"
+  "test_authns.pdb"
+  "test_authns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_authns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edns.dir/test_edns.cpp.o"
+  "CMakeFiles/test_edns.dir/test_edns.cpp.o.d"
+  "test_edns"
+  "test_edns.pdb"
+  "test_edns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intel.dir/test_intel.cpp.o"
+  "CMakeFiles/test_intel.dir/test_intel.cpp.o.d"
+  "test_intel"
+  "test_intel.pdb"
+  "test_intel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

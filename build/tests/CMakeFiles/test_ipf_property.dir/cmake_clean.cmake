@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipf_property.dir/test_ipf_property.cpp.o"
+  "CMakeFiles/test_ipf_property.dir/test_ipf_property.cpp.o.d"
+  "test_ipf_property"
+  "test_ipf_property.pdb"
+  "test_ipf_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipf_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

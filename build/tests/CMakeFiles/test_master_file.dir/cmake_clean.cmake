@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_master_file.dir/test_master_file.cpp.o"
+  "CMakeFiles/test_master_file.dir/test_master_file.cpp.o.d"
+  "test_master_file"
+  "test_master_file.pdb"
+  "test_master_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_master_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prober.dir/test_prober.cpp.o"
+  "CMakeFiles/test_prober.dir/test_prober.cpp.o.d"
+  "test_prober"
+  "test_prober.pdb"
+  "test_prober[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prober.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rrl.dir/test_rrl.cpp.o"
+  "CMakeFiles/test_rrl.dir/test_rrl.cpp.o.d"
+  "test_rrl"
+  "test_rrl.pdb"
+  "test_rrl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

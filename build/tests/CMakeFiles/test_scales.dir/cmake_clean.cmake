@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scales.dir/test_scales.cpp.o"
+  "CMakeFiles/test_scales.dir/test_scales.cpp.o.d"
+  "test_scales"
+  "test_scales.pdb"
+  "test_scales[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scales.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

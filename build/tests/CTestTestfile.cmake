@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_pcap[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_failure[1]_include.cmake")
+include("/root/repo/build/tests/test_dns[1]_include.cmake")
+include("/root/repo/build/tests/test_edns[1]_include.cmake")
+include("/root/repo/build/tests/test_zone[1]_include.cmake")
+include("/root/repo/build/tests/test_master_file[1]_include.cmake")
+include("/root/repo/build/tests/test_authns[1]_include.cmake")
+include("/root/repo/build/tests/test_resolver[1]_include.cmake")
+include("/root/repo/build/tests/test_rrl[1]_include.cmake")
+include("/root/repo/build/tests/test_intel[1]_include.cmake")
+include("/root/repo/build/tests/test_prober[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_export[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_ipf_property[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_scales[1]_include.cmake")
+include("/root/repo/build/tests/test_usage[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor[1]_include.cmake")
