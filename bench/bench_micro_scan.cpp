@@ -2,7 +2,17 @@
 // checks, rate limiting, and the end-to-end event throughput of a scaled
 // campaign. These bound how close to ZMap's "IPv4 in one hour" envelope the
 // simulated prober can get.
+//
+// Besides the google-benchmark suite, the binary runs a threads-axis sweep
+// of the full campaign (threads = 1/2/4/8 at the default 1/1024 scale) and
+// writes BENCH_scan.json so future PRs have a machine-readable perf
+// trajectory to compare against.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
 
 #include "core/paper_data.h"
 #include "core/pipeline.h"
@@ -89,6 +99,90 @@ void BM_FullCampaign2018(benchmark::State& state) {
 }
 BENCHMARK(BM_FullCampaign2018)->Arg(16384)->Arg(8192)->Unit(benchmark::kMillisecond);
 
+/// Sharded campaign at the default scale, threads on the x-axis.
+void BM_FullCampaignThreads(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    core::PipelineConfig cfg;
+    cfg.scale = 8192;
+    cfg.seed = 42;
+    cfg.threads = threads;
+    const core::ScanOutcome o = core::run_measurement(core::paper_2018(), cfg);
+    events += o.events_executed;
+    benchmark::DoNotOptimize(o.capture_digest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullCampaignThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// One timed campaign run; returns (wall seconds, events executed).
+std::pair<double, std::uint64_t> timed_campaign(unsigned threads) {
+  core::PipelineConfig cfg;
+  cfg.scale = 1024;  // the default scale the acceptance target is set at
+  cfg.seed = 42;
+  cfg.threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::ScanOutcome o = core::run_measurement(core::paper_2018(), cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+  return {wall, o.events_executed};
+}
+
+/// The machine-readable perf trajectory: threads -> wall-seconds, events/s.
+/// hardware_concurrency is recorded because the speedup column is only
+/// meaningful relative to the cores the run actually had — on a 1-vCPU
+/// container every thread count serializes and the walls are near-flat.
+void write_bench_scan_json(const char* path) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::string json = "{\n  \"bench\": \"scan_threads\",\n"
+                     "  \"year\": 2018,\n  \"scale\": 1024,\n"
+                     "  \"seed\": 42,\n  \"hardware_concurrency\": " +
+                     std::to_string(cores) + ",\n  \"results\": [\n";
+  double wall_t1 = 0, wall_t4 = 0;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    const auto [wall, events] = timed_campaign(threads);
+    if (threads == 1) wall_t1 = wall;
+    if (threads == 4) wall_t4 = wall;
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "    {\"threads\": %u, \"wall_seconds\": %.3f, "
+                  "\"events\": %llu, \"events_per_sec\": %.0f}%s\n",
+                  threads, wall, static_cast<unsigned long long>(events),
+                  static_cast<double>(events) / wall,
+                  threads == 8 ? "" : ",");
+    json += row;
+    std::printf("threads=%u  wall=%.3fs  events/s=%.0f\n", threads, wall,
+                static_cast<double>(events) / wall);
+  }
+  char tail[128];
+  std::snprintf(tail, sizeof(tail),
+                "  ],\n  \"speedup_t4_vs_t1\": %.2f\n}\n",
+                wall_t1 / wall_t4);
+  json += tail;
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (speedup t4 vs t1: %.2fx)\n", path,
+                wall_t1 / wall_t4);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_bench_scan_json("BENCH_scan.json");
+  return 0;
+}

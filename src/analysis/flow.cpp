@@ -1,6 +1,9 @@
 #include "analysis/flow.h"
 
+#include <algorithm>
 #include <unordered_map>
+
+#include "util/rng.h"
 
 namespace orp::analysis {
 
@@ -90,6 +93,47 @@ std::vector<R2View> classify_all(const std::vector<prober::R2Record>& records,
   views.reserve(records.size());
   for (const auto& rec : records) views.push_back(classify_r2(rec, scheme));
   return views;
+}
+
+std::vector<R2View> merge_views(std::vector<std::vector<R2View>> shards) {
+  std::vector<R2View> merged;
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  merged.reserve(total);
+  for (auto& s : shards)
+    merged.insert(merged.end(), std::make_move_iterator(s.begin()),
+                  std::make_move_iterator(s.end()));
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const R2View& a, const R2View& b) {
+                     return a.resolver.value() < b.resolver.value();
+                   });
+  return merged;
+}
+
+std::uint64_t behavior_digest(const std::vector<R2View>& views) {
+  std::uint64_t digest = 0;
+  for (const R2View& v : views) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto fold = [&h](std::uint64_t x) {
+      h = (h ^ x) * 0x100000001b3ULL;
+    };
+    fold(v.resolver.value());
+    fold(v.header_decoded);
+    fold(v.has_question);
+    fold(v.ra);
+    fold(v.aa);
+    fold(static_cast<std::uint64_t>(v.rcode));
+    fold(static_cast<std::uint64_t>(v.form));
+    fold(v.correct);
+    // A *correct* answer IP is the ground truth of whichever probe name the
+    // scanner happened to allocate — an ordering artifact, excluded. An
+    // incorrect one is the resolver's own rewrite target — behavior, folded.
+    if (v.answer_ip && !v.correct) fold(v.answer_ip->value());
+    fold(util::fnv1a64(v.answer_text));
+    // Wrapping sum: commutative, so the digest ignores view order entirely.
+    digest += util::mix64(h);
+  }
+  return digest;
 }
 
 void FlowGrouper::add_probe(const dns::DnsName& qname, net::IPv4Addr target) {

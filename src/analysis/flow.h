@@ -63,6 +63,21 @@ R2View classify_r2(const prober::R2Record& record,
 std::vector<R2View> classify_all(const std::vector<prober::R2Record>& records,
                                  const zone::SubdomainScheme& scheme);
 
+/// Merge per-shard view sets into one canonically-ordered set: stable sort
+/// by resolver address (each planted host responds at most once, so the key
+/// is unique in practice; ties keep shard-local arrival order). Applied for
+/// every shard count — including 1 — so the merged output is a function of
+/// *which* resolvers responded, never of how the scan was partitioned.
+std::vector<R2View> merge_views(std::vector<std::vector<R2View>> shards);
+
+/// Order-insensitive digest over the behavioral content of a view set. A
+/// resolver's R2 behavior (flags, rcode, answer form/correctness, rewrite
+/// target) is a pure function of its profile and seed; the probe qname, DNS
+/// txn id and arrival time are allocation-order artifacts. The digest folds
+/// only the former, so it is byte-identical across thread counts and is the
+/// pipeline's cross-shard determinism check.
+std::uint64_t behavior_digest(const std::vector<R2View>& views);
+
 /// A grouped measurement flow (Fig. 2): the probe (Q1), the recursive
 /// queries observed at the authoritative server (Q2/R1), and the resolver's
 /// response (R2), all keyed by the probe qname.

@@ -32,6 +32,23 @@ struct AuthStats {
   std::uint64_t edns_queries = 0;       // queries carrying an OPT RR
   std::uint64_t dnssec_do_queries = 0;  // queries with the DO bit set
   std::uint64_t cluster_loads = 0;
+
+  /// Merge another shard's auth-vantage counters. A sharded campaign runs
+  /// one AuthServer instance per shard (each shard's loop is isolated);
+  /// the Q2/R1 totals of the campaign are the sum across instances.
+  AuthStats& operator+=(const AuthStats& o) noexcept {
+    queries_received += o.queries_received;
+    responses_sent += o.responses_sent;
+    answered += o.answered;
+    nxdomain += o.nxdomain;
+    refused += o.refused;
+    formerr += o.formerr;
+    truncated += o.truncated;
+    edns_queries += o.edns_queries;
+    dnssec_do_queries += o.dnssec_do_queries;
+    cluster_loads += o.cluster_loads;
+    return *this;
+  }
 };
 
 class AuthServer {

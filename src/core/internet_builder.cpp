@@ -1,5 +1,7 @@
 #include "core/internet_builder.h"
 
+#include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "net/reserved.h"
@@ -14,19 +16,144 @@ const dns::DnsName& measurement_sld() {
   return sld;
 }
 
+// Infrastructure addresses (mirroring the paper's setup: the authoritative
+// server on a public cloud, the prober in the university network).
+constexpr net::IPv4Addr kAuthAddr(45, 76, 18, 21);     // "Vultr" instance
+constexpr net::IPv4Addr kProberAddr(132, 170, 3, 44);  // campus prober
+
 }  // namespace
 
-SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
-                                     const InternetConfig& config) {
+net::IPv4Addr measurement_auth_address() noexcept { return kAuthAddr; }
+net::IPv4Addr measurement_prober_address() noexcept { return kProberAddr; }
+
+InternetPlan plan_internet(const PopulationSpec& spec,
+                           const InternetConfig& config) {
+  // The one builder RNG, consumed in the exact order the pre-shard
+  // constructor consumed it — this is what keeps shard (0, 1) bit-identical
+  // to the legacy construction.
   util::Rng rng(util::mix64(config.seed ^ 0x17e12e7b01dULL));
-  network_ = std::make_unique<net::Network>(loop_, config.seed);
+
+  InternetPlan plan;
+  plan.scan_params = prober::derive_params(config.scan_seed);
+  const prober::CyclicPermutation perm(plan.scan_params.generator,
+                                       plan.scan_params.start);
+
+  // Endpoints the live builder would have found bound while drawing:
+  // the hierarchy (roots + TLD) and the authoritative server.
+  std::unordered_set<std::uint32_t> infra;
+  for (const net::IPv4Addr a : resolver::hierarchy_addresses(config.root_count))
+    infra.insert(a.value());
+  infra.insert(kAuthAddr.value());
+
+  std::unordered_set<std::uint64_t> used_indices;
+  std::unordered_set<std::uint32_t> used_addrs;
+  struct Drawn {
+    std::uint64_t index;
+    net::IPv4Addr addr;
+  };
+  std::vector<Drawn> drawn;
+  drawn.reserve(spec.hosts.size());
+
+  if (spec.raw_steps < spec.hosts.size() * 4)
+    throw std::invalid_argument(
+        "scan slice too small to host the population");
+  const std::uint64_t slice = spec.raw_steps;
+  for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
+    while (true) {
+      const std::uint64_t i = rng.bounded(slice);
+      if (!used_indices.insert(i).second) continue;
+      const std::uint64_t raw = perm.raw_at(i);
+      if (raw >= (std::uint64_t{1} << 32)) continue;
+      const net::IPv4Addr addr(static_cast<std::uint32_t>(raw));
+      if (net::is_reserved(addr)) continue;
+      if (addr == kProberAddr || addr == kAuthAddr) continue;
+      if (infra.contains(addr.value())) continue;
+      if (!used_addrs.insert(addr.value()).second) continue;
+      drawn.push_back(Drawn{i, addr});
+      break;
+    }
+  }
+
+  // Upstream pool for forwarders (honest recursive, non-forwarding hosts).
+  std::vector<net::IPv4Addr> upstreams;
+  for (std::size_t h = 0; h < spec.hosts.size(); ++h)
+    if (spec.hosts[h].upstream_candidate) upstreams.push_back(drawn[h].addr);
+
+  plan.hosts.reserve(spec.hosts.size());
+  for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
+    const HostSpec& hs = spec.hosts[h];
+    PlannedHost ph;
+    ph.spec_index = h;
+    ph.perm_index = drawn[h].index;
+    ph.addr = drawn[h].addr;
+    ph.profile = hs.profile;
+    if (ph.profile.forwarder) {
+      if (upstreams.empty()) {
+        ph.profile.forwarder = false;  // degenerate tiny population
+      } else {
+        ph.profile.upstream = upstreams[rng.bounded(upstreams.size())];
+        if (ph.profile.upstream == ph.addr && upstreams.size() > 1)
+          ph.profile.upstream = upstreams[(rng.bounded(upstreams.size() - 1))];
+      }
+    }
+    ph.engine_seed = rng.fork(h)();
+    if (!hs.country.empty())
+      ph.geo_asn = 64500 + static_cast<std::uint32_t>(rng.bounded(1000));
+    plan.hosts.push_back(std::move(ph));
+  }
+  return plan;
+}
+
+IntelBundle build_intel(const PopulationSpec& spec, const InternetPlan& plan,
+                        net::IPv4Addr auth_addr) {
+  IntelBundle intel;
+  // Geo registration: malicious resolvers carry their calibrated country.
+  for (const PlannedHost& ph : plan.hosts) {
+    const HostSpec& hs = spec.hosts[ph.spec_index];
+    if (!hs.country.empty())
+      intel.geo.add_range(ph.addr, ph.addr, hs.country, ph.geo_asn,
+                          "AS-" + hs.country);
+  }
+  for (const ThreatEntry& e : spec.threat_entries)
+    intel.threats.add_report(e.addr, e.category, e.source, e.reports);
+  // Fig. 4 flavor: the ransomware-tracker address carries multi-category
+  // community reports, exactly what the paper screenshots from Cymon.
+  if (const auto fig4 = net::IPv4Addr::parse("208.91.197.91");
+      fig4 && intel.threats.is_reported(*fig4)) {
+    intel.threats.add_report(*fig4, intel::ThreatCategory::kPhishing,
+                             "community", 3);
+    intel.threats.add_report(*fig4, intel::ThreatCategory::kBotnet,
+                             "community", 2);
+  }
+  for (const OrgEntry& e : spec.org_entries)
+    intel.orgs.add_range(e.addr, e.addr, e.org);
+  intel.orgs.add_range(auth_addr, auth_addr, "Vultr Holdings");
+  intel.orgs.build();
+  intel.geo.build();
+  return intel;
+}
+
+SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
+                                     const InternetConfig& config)
+    : SimulatedInternet(spec, config, plan_internet(spec, config),
+                        /*shard_id=*/0, /*shard_count=*/1) {}
+
+SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
+                                     const InternetConfig& config,
+                                     const InternetPlan& plan,
+                                     std::uint32_t shard_id,
+                                     std::uint32_t shard_count)
+    : shard_id_(shard_id), shard_count_(shard_count) {
+  if (shard_count == 0 || shard_id >= shard_count)
+    throw std::invalid_argument("bad shard id/count");
+
+  network_ = std::make_unique<net::Network>(
+      loop_, shard_seed(config.seed, shard_id));
   network_->set_latency(config.latency);
   network_->set_loss_rate(config.loss_rate);
 
-  // Infrastructure addresses (mirroring the paper's setup: the authoritative
-  // server on a public cloud, the prober in the university network).
-  auth_addr_ = net::IPv4Addr(45, 76, 18, 21);     // "Vultr" cloud instance
-  prober_addr_ = net::IPv4Addr(132, 170, 3, 44);  // campus prober
+  auth_addr_ = kAuthAddr;
+  prober_addr_ = kProberAddr;
 
   scheme_ = std::make_unique<zone::SubdomainScheme>(
       measurement_sld(), spec.cluster_size, util::mix64(config.seed));
@@ -43,81 +170,40 @@ SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
   resolver::EngineConfig engine_config;
   engine_config.hints = hierarchy_.hints;
 
-  // ---- Plant the population inside the scanned permutation slice ----------
-  const prober::PermutationParams params =
-      prober::derive_params(config.scan_seed);
-  const prober::CyclicPermutation perm(params.generator, params.start);
-
-  std::unordered_set<std::uint64_t> used_indices;
-  std::unordered_set<std::uint32_t> used_addrs;
-  std::vector<net::IPv4Addr> addresses;
-  addresses.reserve(spec.hosts.size());
-
-  if (spec.raw_steps < spec.hosts.size() * 4)
-    throw std::invalid_argument(
-        "scan slice too small to host the population");
-  const std::uint64_t slice = spec.raw_steps;
-  for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
-    net::IPv4Addr addr;
-    while (true) {
-      const std::uint64_t i = rng.bounded(slice);
-      if (!used_indices.insert(i).second) continue;
-      const std::uint64_t raw = perm.raw_at(i);
-      if (raw >= (std::uint64_t{1} << 32)) continue;
-      addr = net::IPv4Addr(static_cast<std::uint32_t>(raw));
-      if (net::is_reserved(addr)) continue;
-      if (addr == prober_addr_ || addr == auth_addr_) continue;
-      if (network_->bound(net::Endpoint{addr, net::kDnsPort})) continue;
-      if (!used_addrs.insert(addr.value()).second) continue;
-      break;
-    }
-    addresses.push_back(addr);
-  }
-
-  // Upstream pool for forwarders (honest recursive, non-forwarding hosts).
-  std::vector<net::IPv4Addr> upstreams;
-  for (std::size_t h = 0; h < spec.hosts.size(); ++h)
-    if (spec.hosts[h].upstream_candidate) upstreams.push_back(addresses[h]);
-
-  hosts_.reserve(spec.hosts.size());
-  for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
-    const HostSpec& hs = spec.hosts[h];
-    resolver::BehaviorProfile profile = hs.profile;
-    if (profile.forwarder) {
-      if (upstreams.empty()) {
-        profile.forwarder = false;  // degenerate tiny population
-      } else {
-        profile.upstream = upstreams[rng.bounded(upstreams.size())];
-        if (profile.upstream == addresses[h] && upstreams.size() > 1)
-          profile.upstream = upstreams[(rng.bounded(upstreams.size() - 1))];
-      }
-    }
+  // ---- Plant this shard's slice of the planned population -----------------
+  const ShardSlice slice = shard_slice(spec.raw_steps, shard_id, shard_count);
+  std::unordered_set<std::uint32_t> planted;
+  hosts_.reserve(shard_count == 1 ? plan.hosts.size()
+                                  : plan.hosts.size() / shard_count + 8);
+  for (const PlannedHost& ph : plan.hosts) {
+    if (shard_count > 1 && !slice.contains(ph.perm_index)) continue;
     hosts_.push_back(std::make_unique<resolver::ResolverHost>(
-        *network_, addresses[h], std::move(profile), engine_config,
-        rng.fork(h)()));
-
-    // Geo registration: malicious resolvers carry their calibrated country.
-    if (!hs.country.empty())
-      geo_.add_range(addresses[h], addresses[h], hs.country,
-                     64500 + static_cast<std::uint32_t>(rng.bounded(1000)),
-                     "AS-" + hs.country);
+        *network_, ph.addr, ph.profile, engine_config, ph.engine_seed));
+    planted.insert(ph.addr.value());
   }
 
-  // ---- Intel databases ------------------------------------------------------
-  for (const ThreatEntry& e : spec.threat_entries)
-    threats_.add_report(e.addr, e.category, e.source, e.reports);
-  // Fig. 4 flavor: the ransomware-tracker address carries multi-category
-  // community reports, exactly what the paper screenshots from Cymon.
-  if (const auto fig4 = net::IPv4Addr::parse("208.91.197.91");
-      fig4 && threats_.is_reported(*fig4)) {
-    threats_.add_report(*fig4, intel::ThreatCategory::kPhishing,
-                        "community", 3);
-    threats_.add_report(*fig4, intel::ThreatCategory::kBotnet, "community", 2);
+  // Replicate forwarder upstreams planted in other shards: a forwarder's
+  // observable behavior must not depend on where its upstream's permutation
+  // index landed. Upstreams are honest recursives whose responses are a
+  // pure function of (profile, seed), so a replica answers exactly as the
+  // home-shard original would. Replicas are never probed here.
+  if (shard_count > 1) {
+    std::unordered_set<std::uint32_t> needed;
+    for (const auto& host : hosts_) {
+      const resolver::BehaviorProfile& p = host->profile();
+      if (p.forwarder && !planted.contains(p.upstream.value()))
+        needed.insert(p.upstream.value());
+    }
+    for (const PlannedHost& ph : plan.hosts) {
+      if (!needed.contains(ph.addr.value())) continue;
+      hosts_.push_back(std::make_unique<resolver::ResolverHost>(
+          *network_, ph.addr, ph.profile, engine_config, ph.engine_seed));
+      needed.erase(ph.addr.value());
+    }
   }
-  for (const OrgEntry& e : spec.org_entries) orgs_.add_range(e.addr, e.addr, e.org);
-  orgs_.add_range(auth_addr_, auth_addr_, "Vultr Holdings");
-  orgs_.build();
-  geo_.build();
+
+  // ---- Intel databases ----------------------------------------------------
+  intel_ = build_intel(spec, plan, auth_addr_);
 }
 
 }  // namespace orp::core

@@ -3,6 +3,19 @@
 // databases, and the calibrated resolver population — planted at addresses
 // drawn from the *scanned slice* of the ZMap permutation so that a 1/scale
 // scan meets exactly the population built for it.
+//
+// Construction is split in two so a campaign can run sharded:
+//
+//   plan_internet()      — every random choice (addresses, forwarder
+//                          upstreams, per-host seeds) made once, globally,
+//                          consuming the builder RNG in the legacy order;
+//   SimulatedInternet    — a *shard instance*: its own EventLoop/Network/
+//                          hierarchy/auth, populated with the planned hosts
+//                          whose permutation index falls in its slice.
+//
+// Because the plan is global, a host's address, profile, and seed are
+// independent of the shard count — shard (0, 1) reproduces the legacy
+// single-loop construction bit for bit.
 #pragma once
 
 #include <memory>
@@ -18,6 +31,7 @@
 #include "prober/permutation.h"
 #include "resolver/root_tld.h"
 #include "resolver/scripted_resolver.h"
+#include "util/rng.h"
 #include "zone/cluster.h"
 
 namespace orp::core {
@@ -32,9 +46,82 @@ struct InternetConfig {
   int root_count = 3;
 };
 
+/// One planted host, fully resolved: every random draw already made.
+struct PlannedHost {
+  std::size_t spec_index = 0;    // into PopulationSpec::hosts
+  std::uint64_t perm_index = 0;  // global permutation index of its address
+  net::IPv4Addr addr;
+  resolver::BehaviorProfile profile;  // forwarder upstream already chosen
+  std::uint64_t engine_seed = 0;
+  std::uint32_t geo_asn = 0;  // 0 = no geo registration (no country)
+};
+
+/// The global planting plan shared by every shard of one campaign.
+struct InternetPlan {
+  prober::PermutationParams scan_params;
+  std::vector<PlannedHost> hosts;
+};
+
+/// Make every random planting decision for the campaign. Consumes the
+/// builder RNG in exactly the order the pre-shard constructor did, so the
+/// plan (and therefore a single-shard run) matches legacy output.
+InternetPlan plan_internet(const PopulationSpec& spec,
+                           const InternetConfig& config);
+
+/// The half-open global-permutation index range owned by one shard:
+/// [shard*total/count, (shard+1)*total/count).
+struct ShardSlice {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t size() const noexcept { return end - begin; }
+  bool contains(std::uint64_t i) const noexcept {
+    return i >= begin && i < end;
+  }
+};
+constexpr ShardSlice shard_slice(std::uint64_t total, std::uint32_t shard,
+                                 std::uint32_t count) noexcept {
+  return ShardSlice{total * shard / count, total * (shard + 1) / count};
+}
+
+/// Per-shard network RNG substream, splitmix-derived from seed x shard_id.
+/// Shard 0 keeps the raw seed so a 1-shard run replays the legacy stream.
+constexpr std::uint64_t shard_seed(std::uint64_t seed,
+                                   std::uint32_t shard_id) noexcept {
+  if (shard_id == 0) return seed;
+  std::uint64_t s = seed * shard_id;
+  return util::splitmix64_next(s);
+}
+
+/// The campaign-global intel databases (threat reports, geolocation,
+/// organization ranges), derived from spec + plan with no RNG.
+struct IntelBundle {
+  intel::ThreatDb threats;
+  intel::GeoDb geo;
+  intel::OrgDb orgs;
+};
+IntelBundle build_intel(const PopulationSpec& spec, const InternetPlan& plan,
+                        net::IPv4Addr auth_addr);
+
+/// The fixed infrastructure addresses of the measurement (paper §III-A):
+/// every shard instance plants them identically.
+net::IPv4Addr measurement_auth_address() noexcept;
+net::IPv4Addr measurement_prober_address() noexcept;
+
 class SimulatedInternet {
  public:
+  /// Legacy single-shard construction: plan + instantiate shard (0, 1).
   SimulatedInternet(const PopulationSpec& spec, const InternetConfig& config);
+
+  /// One shard of a sharded campaign: owns the planned hosts whose
+  /// permutation index falls in shard_slice(spec.raw_steps, shard_id,
+  /// shard_count), plus *replicas* of any forwarder upstreams planted in
+  /// other shards (an upstream's behavior is a pure function of its profile
+  /// and seed, so replicating it preserves every forwarder's observable
+  /// behavior; replicas are never probed here — their permutation index
+  /// belongs to their home shard).
+  SimulatedInternet(const PopulationSpec& spec, const InternetConfig& config,
+                    const InternetPlan& plan, std::uint32_t shard_id,
+                    std::uint32_t shard_count);
 
   SimulatedInternet(const SimulatedInternet&) = delete;
   SimulatedInternet& operator=(const SimulatedInternet&) = delete;
@@ -44,13 +131,17 @@ class SimulatedInternet {
   authns::AuthServer& auth() noexcept { return *auth_; }
   const zone::SubdomainScheme& scheme() const noexcept { return *scheme_; }
 
-  const intel::ThreatDb& threats() const noexcept { return threats_; }
-  const intel::GeoDb& geo() const noexcept { return geo_; }
-  const intel::OrgDb& orgs() const noexcept { return orgs_; }
+  const intel::ThreatDb& threats() const noexcept { return intel_.threats; }
+  const intel::GeoDb& geo() const noexcept { return intel_.geo; }
+  const intel::OrgDb& orgs() const noexcept { return intel_.orgs; }
 
   net::IPv4Addr prober_address() const noexcept { return prober_addr_; }
   net::IPv4Addr auth_address() const noexcept { return auth_addr_; }
 
+  std::uint32_t shard_id() const noexcept { return shard_id_; }
+  std::uint32_t shard_count() const noexcept { return shard_count_; }
+
+  /// Planted hosts this shard owns + upstream replicas (replicas last).
   std::size_t host_count() const noexcept { return hosts_.size(); }
   const std::vector<std::unique_ptr<resolver::ResolverHost>>& hosts()
       const noexcept {
@@ -64,11 +155,11 @@ class SimulatedInternet {
   std::unique_ptr<zone::SubdomainScheme> scheme_;
   std::unique_ptr<authns::AuthServer> auth_;
   std::vector<std::unique_ptr<resolver::ResolverHost>> hosts_;
-  intel::ThreatDb threats_;
-  intel::GeoDb geo_;
-  intel::OrgDb orgs_;
+  IntelBundle intel_;
   net::IPv4Addr prober_addr_;
   net::IPv4Addr auth_addr_;
+  std::uint32_t shard_id_ = 0;
+  std::uint32_t shard_count_ = 1;
 };
 
 }  // namespace orp::core

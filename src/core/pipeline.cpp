@@ -1,6 +1,12 @@
 #include "core/pipeline.h"
 
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include "analysis/flow.h"
+#include "core/shard.h"
 #include "util/rng.h"
 
 namespace orp::core {
@@ -18,44 +24,89 @@ ScanOutcome run_measurement(const PaperYear& year,
   // 1. Calibrated population.
   outcome.spec = build_population(year, config.scale, config.seed);
 
-  // 2. Simulated Internet (planted inside the scan's permutation slice).
+  // 2. The global planting plan: every random choice made once, before any
+  // shard exists, so placement is independent of the shard count.
   InternetConfig net_config;
   net_config.seed = config.seed;
   net_config.scan_seed = util::mix64(config.seed + year.year);
   net_config.loss_rate = config.loss_rate;
-  SimulatedInternet internet(outcome.spec, net_config);
+  const InternetPlan plan = plan_internet(outcome.spec, net_config);
 
-  // 3. The scanner, configured from Table II at this run's scale.
+  // 3. The campaign-level scan parameters (Table II at this run's scale);
+  // each shard derives its permutation slice and rate share from these.
   prober::ScanConfig scan_config;
   scan_config.seed = net_config.scan_seed;
   scan_config.rate_pps = outcome.spec.rate_pps;
   scan_config.raw_steps = outcome.spec.raw_steps;
   scan_config.rotate_pause =
       net::SimTime::seconds(outcome.spec.zone_load_seconds);
-  prober::Scanner scanner(internet.network(), internet.prober_address(),
-                          scan_config, internet.scheme());
-  scanner.set_rotate_callback([&internet](std::uint32_t cluster) {
-    internet.auth().load_cluster(cluster);
-  });
 
-  bool done = false;
-  scanner.start([&done]() { done = true; });
-  internet.loop().run();
-  (void)done;
+  // A shard needs a non-empty slice; more shards than raw steps would only
+  // create idle loops.
+  std::uint32_t shards = config.threads == 0 ? 1 : config.threads;
+  if (shards > outcome.spec.raw_steps)
+    shards = static_cast<std::uint32_t>(outcome.spec.raw_steps);
+  outcome.threads_used = shards;
 
-  // 4. Collect and analyze.
-  outcome.scan = scanner.stats();
-  outcome.auth = internet.auth().stats();
-  outcome.clusters = scanner.clusters().stats();
-  outcome.cluster_loads = internet.auth().stats().cluster_loads;
-  outcome.events_executed = internet.loop().executed();
+  // 4. Run the shards. Each worker touches only its own slot; exceptions
+  // are carried back and rethrown on the calling thread.
+  std::vector<ShardResult> results(shards);
+  const auto run_shard = [&](std::uint32_t shard_id) {
+    ShardContext ctx(outcome.spec, net_config, plan, shard_id, shards,
+                     scan_config);
+    results[shard_id] = ctx.run();
+  };
+  if (shards == 1) {
+    run_shard(0);
+  } else {
+    std::vector<std::exception_ptr> errors(shards);
+    std::vector<std::thread> workers;
+    workers.reserve(shards);
+    for (std::uint32_t i = 0; i < shards; ++i) {
+      workers.emplace_back([&, i]() {
+        try {
+          run_shard(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (const auto& e : errors)
+      if (e) std::rethrow_exception(e);
+  }
+
+  // 5. Deterministic merge, in shard order for the summed counters and in
+  // canonical (resolver-address) order for the views and capture records.
+  outcome.scan = results[0].scan;
+  outcome.auth = results[0].auth;
+  outcome.clusters = results[0].clusters;
+  outcome.events_executed = results[0].events_executed;
+  outcome.capture = std::move(results[0].capture);
+  std::vector<std::vector<analysis::R2View>> view_shards;
+  view_shards.reserve(shards);
+  view_shards.push_back(std::move(results[0].views));
+  for (std::uint32_t i = 1; i < shards; ++i) {
+    outcome.scan += results[i].scan;
+    outcome.auth += results[i].auth;
+    outcome.clusters += results[i].clusters;
+    outcome.events_executed += results[i].events_executed;
+    outcome.capture.merge(std::move(results[i].capture));
+    view_shards.push_back(std::move(results[i].views));
+  }
+  outcome.capture.sort_canonical();
+  outcome.cluster_loads = outcome.auth.cluster_loads;
   outcome.sim_duration_seconds = outcome.scan.duration().as_seconds();
 
-  outcome.views =
-      analysis::classify_all(scanner.responses(), internet.scheme());
+  outcome.views = analysis::merge_views(std::move(view_shards));
+  outcome.capture_digest = analysis::behavior_digest(outcome.views);
+
+  // 6. Analyze against the campaign-global intel databases.
   if (config.analyze) {
-    outcome.analysis = analysis::analyze_scan(
-        outcome.views, internet.threats(), internet.geo(), internet.orgs());
+    const IntelBundle intel =
+        build_intel(outcome.spec, plan, measurement_auth_address());
+    outcome.analysis = analysis::analyze_scan(outcome.views, intel.threats,
+                                              intel.geo, intel.orgs);
   }
   return outcome;
 }

@@ -1,6 +1,11 @@
 // End-to-end measurement pipeline: population -> simulated Internet ->
 // ZMap-style scan -> capture -> behavioral analysis. One call reproduces one
 // of the paper's two measurement campaigns at a chosen scale.
+//
+// The campaign runs as `threads` independent shards (see core/shard.h): one
+// global planting plan, S isolated event loops scanning disjoint slices of
+// the one ZMap permutation, merged deterministically. The merged tables and
+// capture digest are byte-identical for every thread count.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +13,7 @@
 #include "analysis/report.h"
 #include "core/internet_builder.h"
 #include "core/population.h"
+#include "net/capture_store.h"
 #include "prober/scanner.h"
 
 namespace orp::core {
@@ -22,6 +28,10 @@ struct PipelineConfig {
   /// Uniform packet-loss probability injected into the simulated network
   /// (0 = the calibrated default; loss is for robustness experiments).
   double loss_rate = 0.0;
+  /// Shards (worker threads) the scan is split across. Results are merged
+  /// deterministically: for a fixed (year, scale, seed) the analysis tables
+  /// and capture digest are identical for every value.
+  unsigned threads = 1;
 };
 
 struct ScanOutcome {
@@ -30,11 +40,16 @@ struct ScanOutcome {
   prober::ScanStats scan;             // prober-side counters (Q1, R2)
   authns::AuthStats auth;             // authns-side counters (Q2, R1)
   zone::ClusterStats clusters;        // Fig. 3 lifecycle
-  std::uint64_t cluster_loads = 0;    // zone loads at the auth server
-  std::vector<analysis::R2View> views;
+  std::uint64_t cluster_loads = 0;    // zone loads at the auth server(s)
+  std::vector<analysis::R2View> views;  // merged, canonical resolver order
   analysis::ScanAnalysis analysis;
-  std::uint64_t events_executed = 0;
+  net::CaptureStore capture;          // merged prober-vantage capture
+  /// Order-insensitive digest of the views' behavioral content — equal
+  /// across thread counts (the shard-determinism check).
+  std::uint64_t capture_digest = 0;
+  std::uint64_t events_executed = 0;  // summed across shard loops
   double sim_duration_seconds = 0;    // simulated wall-clock of the campaign
+  unsigned threads_used = 1;
 
   /// Scale a paper-published count down to this run's scale for printing
   /// beside measured values.

@@ -1,0 +1,54 @@
+#include "core/shard.h"
+
+namespace orp::core {
+
+namespace {
+
+prober::ScanConfig slice_config(const prober::ScanConfig& campaign,
+                                std::uint64_t total_raw,
+                                std::uint32_t shard_id,
+                                std::uint32_t shard_count) {
+  prober::ScanConfig cfg = campaign;
+  const ShardSlice slice = shard_slice(total_raw, shard_id, shard_count);
+  cfg.first_index = slice.begin;
+  cfg.raw_steps = slice.size();
+  // Splitting the send rate keeps each shard's slice spanning the same
+  // simulated campaign duration as the unsharded scan.
+  cfg.rate_pps = campaign.rate_pps / shard_count;
+  return cfg;
+}
+
+}  // namespace
+
+ShardContext::ShardContext(const PopulationSpec& spec,
+                           const InternetConfig& net_config,
+                           const InternetPlan& plan, std::uint32_t shard_id,
+                           std::uint32_t shard_count,
+                           const prober::ScanConfig& scan_config)
+    : internet_(spec, net_config, plan, shard_id, shard_count),
+      scanner_(internet_.network(), internet_.prober_address(),
+               slice_config(scan_config, spec.raw_steps, shard_id,
+                            shard_count),
+               internet_.scheme()) {
+  capture_.attach(internet_.network(), internet_.prober_address());
+  scanner_.set_rotate_callback([this](std::uint32_t cluster) {
+    internet_.auth().load_cluster(cluster);
+  });
+}
+
+ShardResult ShardContext::run() {
+  scanner_.start({});
+  internet_.loop().run();
+
+  ShardResult result;
+  result.scan = scanner_.stats();
+  result.auth = internet_.auth().stats();
+  result.clusters = scanner_.clusters().stats();
+  result.events_executed = internet_.loop().executed();
+  result.views =
+      analysis::classify_all(scanner_.responses(), internet_.scheme());
+  result.capture = std::move(capture_);
+  return result;
+}
+
+}  // namespace orp::core

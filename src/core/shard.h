@@ -1,0 +1,60 @@
+// One shard of a sharded measurement campaign.
+//
+// A ShardContext owns a complete, isolated simulation stack — its own
+// EventLoop, Network (splitmix substream of the campaign seed), hierarchy,
+// authoritative server, planted population slice, scanner, and prober-side
+// capture tap. Shards share no mutable state, so S of them run on S threads
+// with zero synchronization; the pipeline merges their ShardResults
+// deterministically afterwards.
+//
+// Each shard scans the slice [i*N/S, (i+1)*N/S) of the one global ZMap
+// permutation at rate_pps/S, so every shard's slice spans the same simulated
+// campaign wall-clock as the unsharded scan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/flow.h"
+#include "core/internet_builder.h"
+#include "net/capture_store.h"
+#include "prober/scanner.h"
+
+namespace orp::core {
+
+/// Everything a finished shard hands back to the merge step.
+struct ShardResult {
+  prober::ScanStats scan;
+  authns::AuthStats auth;
+  zone::ClusterStats clusters;
+  std::uint64_t events_executed = 0;
+  std::vector<analysis::R2View> views;
+  net::CaptureStore capture;
+};
+
+class ShardContext {
+ public:
+  /// `scan_config` carries the campaign-level scan parameters (seed, total
+  /// rate and raw_steps, rotate pause); the context derives this shard's
+  /// slice and per-shard rate from them.
+  ShardContext(const PopulationSpec& spec, const InternetConfig& net_config,
+               const InternetPlan& plan, std::uint32_t shard_id,
+               std::uint32_t shard_count,
+               const prober::ScanConfig& scan_config);
+
+  ShardContext(const ShardContext&) = delete;
+  ShardContext& operator=(const ShardContext&) = delete;
+
+  /// Run this shard's event loop to completion and collect its results.
+  ShardResult run();
+
+  SimulatedInternet& internet() noexcept { return internet_; }
+  prober::Scanner& scanner() noexcept { return scanner_; }
+
+ private:
+  SimulatedInternet internet_;
+  prober::Scanner scanner_;
+  net::CaptureStore capture_;
+};
+
+}  // namespace orp::core

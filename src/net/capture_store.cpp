@@ -1,0 +1,87 @@
+#include "net/capture_store.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/rng.h"
+
+namespace orp::net {
+
+namespace {
+
+std::uint64_t packet_hash(const Datagram& d) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  fold(d.src.addr.value());
+  fold(d.src.port);
+  fold(d.dst.addr.value());
+  fold(d.dst.port);
+  for (const std::uint8_t b : d.payload) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void CaptureStore::attach(Network& net, IPv4Addr host) {
+  net.add_tap([this, host](SimTime t, const Datagram& d) {
+    if (d.dst.addr == host)
+      add(t, d);
+    else if (d.src.addr == host)
+      count_only(t, d);
+  });
+}
+
+void CaptureStore::add(SimTime t, const Datagram& d) {
+  records_.push_back(CapturedPacket{t, d.src, d.dst, d.payload});
+  ++packet_count_;
+  absorb_digest(d);
+}
+
+void CaptureStore::count_only(SimTime t, const Datagram& d) {
+  (void)t;
+  ++packet_count_;
+  absorb_digest(d);
+}
+
+void CaptureStore::absorb_digest(const Datagram& d) {
+  // Wrapping sum of mixed per-packet hashes: commutative and associative,
+  // so merge order (and shard layout) cannot change the result.
+  digest_ += util::mix64(packet_hash(d));
+}
+
+void CaptureStore::merge(CaptureStore&& other) {
+  records_.insert(records_.end(),
+                  std::make_move_iterator(other.records_.begin()),
+                  std::make_move_iterator(other.records_.end()));
+  packet_count_ += other.packet_count_;
+  digest_ += other.digest_;
+  other.clear();
+}
+
+void CaptureStore::sort_canonical() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const CapturedPacket& a, const CapturedPacket& b) {
+                     return std::tuple(a.src.addr.value(), a.src.port,
+                                       a.dst.addr.value(), a.dst.port,
+                                       a.payload, a.time) <
+                            std::tuple(b.src.addr.value(), b.src.port,
+                                       b.dst.addr.value(), b.dst.port,
+                                       b.payload, b.time);
+                   });
+}
+
+void CaptureStore::clear() {
+  records_.clear();
+  packet_count_ = 0;
+  digest_ = 0;
+}
+
+}  // namespace orp::net

@@ -1,0 +1,61 @@
+// Merge-friendly packet capture for sharded scans.
+//
+// A sharded campaign runs one event loop per shard, so a single Capture tap
+// cannot observe the whole scan. CaptureStore is the shard-local vantage
+// whose contents *merge*: records concatenate, counts sum, and the digest is
+// an order-insensitive (commutative) hash, so the merged value is identical
+// no matter how the campaign was partitioned or in which order shards land.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/capture.h"
+#include "net/transport.h"
+
+namespace orp::net {
+
+/// Shard-local capture at one vantage host: inbound payloads are retained
+/// (the R2 pcap), outbound packets are counted and digested only (ZMap does
+/// not retain 3.7B Q1 payloads either).
+class CaptureStore {
+ public:
+  /// Install a tap on `net` observing traffic to/from `host`. The store must
+  /// outlive the network.
+  void attach(Network& net, IPv4Addr host);
+
+  /// Record a packet with payload retained.
+  void add(SimTime t, const Datagram& d);
+  /// Record a packet as count + digest only.
+  void count_only(SimTime t, const Datagram& d);
+
+  /// Fold another shard's store into this one (commutative on the digest
+  /// and counts; records concatenate in call order).
+  void merge(CaptureStore&& other);
+
+  /// Deterministic record order: (src, dst, payload, time). Applied after
+  /// merging so the retained pcap is independent of shard count.
+  void sort_canonical();
+
+  const std::vector<CapturedPacket>& records() const noexcept {
+    return records_;
+  }
+  std::uint64_t packet_count() const noexcept { return packet_count_; }
+  std::uint64_t retained_count() const noexcept { return records_.size(); }
+
+  /// Order-insensitive digest over (src, dst, payload) of every observed
+  /// packet — equal for any shard layout that observed the same packet set.
+  std::uint64_t digest() const noexcept { return digest_; }
+
+  void clear();
+
+ private:
+  void absorb_digest(const Datagram& d);
+
+  std::vector<CapturedPacket> records_;
+  std::uint64_t packet_count_ = 0;
+  std::uint64_t digest_ = 0;
+};
+
+}  // namespace orp::net

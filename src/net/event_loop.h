@@ -4,6 +4,11 @@
 // prober pacing) is expressed as events on one queue. Ties in timestamp are
 // broken by insertion sequence so runs are bit-reproducible regardless of
 // std::priority_queue internals.
+//
+// Every piece of state — clock, tie-break sequence counter, executed count —
+// is an instance member (never static), so each shard of a sharded campaign
+// owns a fully isolated loop and S loops can run on S threads untouched by
+// one another. test_net.cpp pins the tie-break ordering.
 #pragma once
 
 #include <cstdint>

@@ -77,6 +77,11 @@ std::optional<net::IPv4Addr> CyclicPermutation::next_address() {
   return std::nullopt;
 }
 
+void CyclicPermutation::seek(std::uint64_t k) {
+  state_ = raw_at(k);
+  steps_ = k;
+}
+
 std::uint64_t CyclicPermutation::raw_at(std::uint64_t k) const {
   const __uint128_t v = static_cast<__uint128_t>(start_) *
                         modpow(generator_, k, kPermutationPrime);

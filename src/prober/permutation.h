@@ -57,6 +57,12 @@ class CyclicPermutation {
   /// Random access: the k-th raw element, x_0 * g^k mod p. O(log k).
   std::uint64_t raw_at(std::uint64_t k) const;
 
+  /// Jump to absolute position `k`: the next call to next_raw() returns
+  /// raw_at(k). O(log k). This is how ZMap shards one permutation across
+  /// threads with zero coordination — shard i seeks to its slice start
+  /// i*N/S and consumes its slice length, covering the same global order.
+  void seek(std::uint64_t k);
+
   std::uint64_t generator() const noexcept { return generator_; }
   std::uint64_t start() const noexcept { return start_; }
   std::uint64_t steps() const noexcept { return steps_; }

@@ -16,6 +16,7 @@ Scanner::Scanner(net::Network& network, net::IPv4Addr prober_addr,
       clusters_(std::move(scheme), config.rotate_pause),
       permutation_(config.seed),
       limiter_(config.rate_pps, config.batch_size * 4) {
+  if (config_.first_index != 0) permutation_.seek(config_.first_index);
   network_.bind(net::Endpoint{addr_, kProberPort},
                 [this](const net::Datagram& d) { on_datagram(d); });
 }

@@ -5,6 +5,7 @@
 // authoritative server's zone rotations stay rare (§III-B).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -28,6 +29,10 @@ struct ScanConfig {
   /// Number of raw permutation elements to consume. The full cycle is
   /// kPermutationPrime - 1; a scaled scan consumes the first (cycle/scale).
   std::uint64_t raw_steps = kPermutationPrime - 1;
+  /// Absolute permutation index at which this scanner starts. A sharded
+  /// campaign gives shard i the slice [i*N/S, (i+1)*N/S) of the one global
+  /// permutation: first_index = i*N/S and raw_steps = the slice length.
+  std::uint64_t first_index = 0;
   net::SimTime response_timeout = net::SimTime::seconds(30.0);
   net::SimTime reap_interval = net::SimTime::seconds(10.0);
   net::SimTime rotate_pause;        // send pause per zone rotation
@@ -58,6 +63,22 @@ struct ScanStats {
   net::SimTime finished;
 
   net::SimTime duration() const noexcept { return finished - started; }
+
+  /// Merge another shard's counters into this one. Counters sum; the time
+  /// window is the union (shards run concurrently over the same campaign).
+  ScanStats& operator+=(const ScanStats& o) noexcept {
+    q1_sent += o.q1_sent;
+    skipped_reserved += o.skipped_reserved;
+    skipped_overflow += o.skipped_overflow;
+    r2_received += o.r2_received;
+    r2_matched += o.r2_matched;
+    r2_empty_question += o.r2_empty_question;
+    r2_unmatched += o.r2_unmatched;
+    timeouts_reaped += o.timeouts_reaped;
+    started = std::min(started, o.started);
+    finished = std::max(finished, o.finished);
+    return *this;
+  }
 };
 
 class Scanner {

@@ -6,6 +6,20 @@
 #include "dns/builder.h"
 
 namespace orp::resolver {
+namespace {
+
+// Addresses chosen to echo the real root/gTLD constellation.
+constexpr net::IPv4Addr kRootAddrs[] = {
+    net::IPv4Addr(198, 41, 0, 4),    // a.root-servers.net
+    net::IPv4Addr(199, 9, 14, 201),  // b.root-servers.net
+    net::IPv4Addr(192, 33, 4, 12),   // c.root-servers.net
+    net::IPv4Addr(199, 7, 91, 13),   // d.root-servers.net
+    net::IPv4Addr(192, 203, 230, 10),
+    net::IPv4Addr(192, 5, 5, 241),
+};
+constexpr net::IPv4Addr kTldAddr(192, 5, 6, 30);  // a.gtld-servers.net
+
+}  // namespace
 
 ReferralServer::ReferralServer(net::Network& network, net::IPv4Addr addr,
                                dns::DnsName apex)
@@ -53,30 +67,28 @@ SimHierarchy build_hierarchy(net::Network& network, const dns::DnsName& sld,
                              const dns::DnsName& auth_ns_name,
                              net::IPv4Addr auth_ns_addr, int root_count) {
   SimHierarchy h;
-  // Addresses chosen to echo the real root/gTLD constellation.
-  const net::IPv4Addr root_addrs[] = {
-      net::IPv4Addr(198, 41, 0, 4),    // a.root-servers.net
-      net::IPv4Addr(199, 9, 14, 201),  // b.root-servers.net
-      net::IPv4Addr(192, 33, 4, 12),   // c.root-servers.net
-      net::IPv4Addr(199, 7, 91, 13),   // d.root-servers.net
-      net::IPv4Addr(192, 203, 230, 10),
-      net::IPv4Addr(192, 5, 5, 241),
-  };
-  const net::IPv4Addr tld_addr(192, 5, 6, 30);  // a.gtld-servers.net
   const dns::DnsName net_zone = dns::DnsName::must_parse("net");
   const dns::DnsName tld_ns = dns::DnsName::must_parse("a.gtld-servers.net");
 
-  const int n = std::min<int>(root_count, std::size(root_addrs));
+  const int n = std::min<int>(root_count, std::size(kRootAddrs));
   for (int i = 0; i < n; ++i) {
-    auto root = std::make_unique<ReferralServer>(network, root_addrs[i],
+    auto root = std::make_unique<ReferralServer>(network, kRootAddrs[i],
                                                  dns::DnsName());
-    root->delegate(DelegationEntry{net_zone, tld_ns, tld_addr});
-    h.hints.roots.push_back(root_addrs[i]);
+    root->delegate(DelegationEntry{net_zone, tld_ns, kTldAddr});
+    h.hints.roots.push_back(kRootAddrs[i]);
     h.roots.push_back(std::move(root));
   }
-  h.net_tld = std::make_unique<ReferralServer>(network, tld_addr, net_zone);
+  h.net_tld = std::make_unique<ReferralServer>(network, kTldAddr, net_zone);
   h.net_tld->delegate(DelegationEntry{sld, auth_ns_name, auth_ns_addr});
   return h;
+}
+
+std::vector<net::IPv4Addr> hierarchy_addresses(int root_count) {
+  std::vector<net::IPv4Addr> addrs;
+  const int n = std::min<int>(root_count, std::size(kRootAddrs));
+  for (int i = 0; i < n; ++i) addrs.push_back(kRootAddrs[i]);
+  addrs.push_back(kTldAddr);
+  return addrs;
 }
 
 }  // namespace orp::resolver

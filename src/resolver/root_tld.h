@@ -66,4 +66,9 @@ SimHierarchy build_hierarchy(net::Network& network, const dns::DnsName& sld,
                              const dns::DnsName& auth_ns_name,
                              net::IPv4Addr auth_ns_addr, int root_count = 3);
 
+/// The addresses build_hierarchy(root_count) will bind (the clamped root set
+/// plus the TLD server). Planting code consults this to avoid drawing a
+/// resolver address on top of the hierarchy without needing a live Network.
+std::vector<net::IPv4Addr> hierarchy_addresses(int root_count = 3);
+
 }  // namespace orp::resolver

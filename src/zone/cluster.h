@@ -65,6 +65,15 @@ struct ClusterStats {
   std::uint64_t subdomains_issued = 0;
   std::uint64_t subdomains_reused = 0;
   net::SimTime load_time_total;
+
+  /// Merge another shard's lifecycle counters (one ClusterManager per shard).
+  ClusterStats& operator+=(const ClusterStats& o) noexcept {
+    clusters_loaded += o.clusters_loaded;
+    subdomains_issued += o.subdomains_issued;
+    subdomains_reused += o.subdomains_reused;
+    load_time_total += o.load_time_total;
+    return *this;
+  }
 };
 
 /// Allocates subdomains to probe targets and manages cluster rotation.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "net/capture.h"
+#include "net/capture_store.h"
 #include "net/event_loop.h"
 #include "net/ipv4.h"
 #include "net/reserved.h"
@@ -200,6 +201,41 @@ TEST(EventLoop, RunUntilStopsAtDeadline) {
   EXPECT_EQ(ran, 2);
 }
 
+// Sharding contract: the tie-break sequence counter is a per-instance
+// member. Interleaving insertions across two loops must not perturb either
+// loop's "ties broken by insertion sequence" order — the property every
+// shard's bit-reproducibility rests on.
+TEST(EventLoop, TieBreakSequenceIsInstanceLocal) {
+  EventLoop a, b;
+  std::vector<int> order_a, order_b;
+  for (int i = 0; i < 8; ++i) {
+    a.schedule_at(SimTime::millis(7), [&order_a, i] { order_a.push_back(i); });
+    b.schedule_at(SimTime::millis(7),
+                  [&order_b, i] { order_b.push_back(100 + i); });
+  }
+  b.run();  // draining one loop first must not affect the other
+  a.run();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order_a[i], i);
+    EXPECT_EQ(order_b[i], 100 + i);
+  }
+  EXPECT_EQ(a.executed(), 8u);
+  EXPECT_EQ(b.executed(), 8u);
+}
+
+TEST(EventLoop, RunUntilIsInstanceLocal) {
+  EventLoop a, b;
+  a.schedule_at(SimTime::seconds(5.0), [] {});
+  b.schedule_at(SimTime::seconds(1.0), [] {});
+  a.run_until(SimTime::seconds(3.0));
+  EXPECT_EQ(a.now(), SimTime::seconds(3.0));
+  EXPECT_EQ(b.now(), SimTime());  // untouched sibling shard clock
+  EXPECT_EQ(a.executed(), 0u);
+  b.run();
+  EXPECT_EQ(b.now(), SimTime::seconds(1.0));
+  EXPECT_EQ(a.pending(), 1u);
+}
+
 // ---- Network --------------------------------------------------------------------
 
 class NetworkTest : public ::testing::Test {
@@ -298,6 +334,71 @@ TEST_F(NetworkTest, CaptureCountOnlyOutbound) {
   loop.run();
   EXPECT_EQ(cap.outbound_count(), 1u);
   EXPECT_TRUE(cap.outbound().empty());
+}
+
+// ---- CaptureStore ----------------------------------------------------------
+
+TEST(CaptureStore, VantageRetainsInboundCountsOutbound) {
+  EventLoop loop;
+  Network net{loop, 7};
+  const Endpoint vantage{IPv4Addr(9, 9, 9, 9), 53};
+  const Endpoint peer{IPv4Addr(8, 8, 8, 8), 53};
+  net.bind(vantage, [](const Datagram&) {});
+  net.bind(peer, [](const Datagram&) {});
+
+  CaptureStore store;
+  store.attach(net, vantage.addr);
+  net.send(Datagram{vantage, peer, {1, 2, 3}});  // outbound: counted only
+  net.send(Datagram{peer, vantage, {4, 5}});     // inbound: retained
+  loop.run();
+
+  EXPECT_EQ(store.packet_count(), 2u);
+  ASSERT_EQ(store.retained_count(), 1u);
+  EXPECT_EQ(store.records()[0].payload, (std::vector<std::uint8_t>{4, 5}));
+  EXPECT_NE(store.digest(), 0u);
+}
+
+TEST(CaptureStore, MergedDigestIsShardOrderInsensitive) {
+  const Datagram p1{{IPv4Addr(1, 0, 0, 1), 100}, {IPv4Addr(2, 0, 0, 2), 53},
+                    {10, 20}};
+  const Datagram p2{{IPv4Addr(3, 0, 0, 3), 100}, {IPv4Addr(4, 0, 0, 4), 53},
+                    {30}};
+  const Datagram p3{{IPv4Addr(5, 0, 0, 5), 100}, {IPv4Addr(6, 0, 0, 6), 53},
+                    {40, 50, 60}};
+
+  // The same packet set partitioned two different ways across "shards".
+  CaptureStore x1, x2, y1, y2;
+  x1.add(SimTime::millis(1), p1);
+  x1.add(SimTime::millis(2), p2);
+  x2.add(SimTime::millis(3), p3);
+  y1.add(SimTime::millis(9), p3);
+  y1.add(SimTime::millis(8), p1);
+  y2.add(SimTime::millis(7), p2);
+
+  x1.merge(std::move(x2));
+  y1.merge(std::move(y2));
+  EXPECT_EQ(x1.digest(), y1.digest());
+  EXPECT_EQ(x1.packet_count(), y1.packet_count());
+
+  // Canonical sort makes the retained record sequences identical too.
+  x1.sort_canonical();
+  y1.sort_canonical();
+  ASSERT_EQ(x1.records().size(), y1.records().size());
+  for (std::size_t i = 0; i < x1.records().size(); ++i) {
+    EXPECT_EQ(x1.records()[i].src, y1.records()[i].src);
+    EXPECT_EQ(x1.records()[i].payload, y1.records()[i].payload);
+  }
+}
+
+TEST(CaptureStore, DigestChangesWithContent) {
+  const Datagram p{{IPv4Addr(1, 0, 0, 1), 100}, {IPv4Addr(2, 0, 0, 2), 53},
+                   {10, 20}};
+  Datagram q = p;
+  q.payload[0] = 11;
+  CaptureStore a, b;
+  a.add(SimTime(), p);
+  b.add(SimTime(), q);
+  EXPECT_NE(a.digest(), b.digest());
 }
 
 }  // namespace

@@ -230,5 +230,97 @@ TEST(Pipeline, SeedChangesAddressesNotAggregates) {
   EXPECT_NE(a.scan.q1_sent, b.scan.q1_sent);
 }
 
+// ---- Sharding ---------------------------------------------------------------
+
+/// Every paper table rendered into one comparable string.
+std::string rendered_tables(const ScanOutcome& o) {
+  std::string s;
+  s += analysis::render_answer_table({{"measured", o.analysis.answers}});
+  s += analysis::render_flag_table({{"measured", o.analysis.ra}}, "RA");
+  s += analysis::render_flag_table({{"measured", o.analysis.aa}}, "AA");
+  s += analysis::render_rcode_table({{"measured", o.analysis.rcodes}});
+  s += analysis::render_incorrect_table({{"measured", o.analysis.incorrect}});
+  s += analysis::render_top10_table(o.analysis.top10);
+  s += analysis::render_malicious_table({{"measured", o.analysis.malicious}});
+  s += analysis::render_malicious_flags_table(
+      {{"measured", o.analysis.malicious}});
+  s += analysis::render_geo_summary(o.analysis.geo);
+  s += analysis::render_empty_question_summary(o.analysis.empty_question);
+  return s;
+}
+
+TEST(PipelineSharding, MergedReportIdenticalForEveryThreadCount) {
+  PipelineConfig base;
+  base.scale = 16384;
+  base.seed = 42;
+  base.threads = 1;
+  const ScanOutcome ref = run_measurement(paper_2018(), base);
+  const std::string ref_tables = rendered_tables(ref);
+  ASSERT_GT(ref.scan.r2_received, 100u);
+  ASSERT_NE(ref.capture_digest, 0u);
+
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    PipelineConfig cfg = base;
+    cfg.threads = threads;
+    const ScanOutcome o = run_measurement(paper_2018(), cfg);
+    EXPECT_EQ(o.threads_used, threads);
+
+    // Scan-side counters partition exactly across shard slices.
+    EXPECT_EQ(o.scan.q1_sent, ref.scan.q1_sent) << threads;
+    EXPECT_EQ(o.scan.skipped_reserved, ref.scan.skipped_reserved) << threads;
+    EXPECT_EQ(o.scan.skipped_overflow, ref.scan.skipped_overflow) << threads;
+    EXPECT_EQ(o.scan.r2_received, ref.scan.r2_received) << threads;
+    EXPECT_EQ(o.scan.r2_matched, ref.scan.r2_matched) << threads;
+    EXPECT_EQ(o.scan.r2_empty_question, ref.scan.r2_empty_question) << threads;
+    EXPECT_EQ(o.scan.r2_unmatched, ref.scan.r2_unmatched) << threads;
+    EXPECT_EQ(o.scan.timeouts_reaped, ref.scan.timeouts_reaped) << threads;
+
+    // Auth-vantage counters: one AuthServer instance per shard, summed
+    // (cluster_loads is deliberately excluded: each instance performs its
+    // own initial load, so it counts S, not 1 — see DESIGN.md §3).
+    EXPECT_EQ(o.auth.queries_received, ref.auth.queries_received) << threads;
+    EXPECT_EQ(o.auth.responses_sent, ref.auth.responses_sent) << threads;
+    EXPECT_EQ(o.auth.answered, ref.auth.answered) << threads;
+    EXPECT_EQ(o.auth.nxdomain, ref.auth.nxdomain) << threads;
+    EXPECT_EQ(o.auth.refused, ref.auth.refused) << threads;
+    EXPECT_EQ(o.auth.edns_queries, ref.auth.edns_queries) << threads;
+    EXPECT_EQ(o.auth.dnssec_do_queries, ref.auth.dnssec_do_queries) << threads;
+
+    // Merged views arrive in canonical order with identical behavior.
+    ASSERT_EQ(o.views.size(), ref.views.size());
+    for (std::size_t i = 0; i < o.views.size(); ++i)
+      EXPECT_EQ(o.views[i].resolver, ref.views[i].resolver) << i;
+    EXPECT_EQ(o.capture_digest, ref.capture_digest) << threads;
+    EXPECT_EQ(o.capture.packet_count(), ref.capture.packet_count()) << threads;
+
+    // The headline requirement: byte-identical rendered tables.
+    EXPECT_EQ(rendered_tables(o), ref_tables) << "threads=" << threads;
+  }
+}
+
+TEST(PipelineSharding, ShardedRunIsDeterministic) {
+  PipelineConfig cfg;
+  cfg.scale = 65536;
+  cfg.seed = 7;
+  cfg.threads = 4;
+  const ScanOutcome a = run_measurement(paper_2018(), cfg);
+  const ScanOutcome b = run_measurement(paper_2018(), cfg);
+  // Same thread count, same seed: identical down to the raw capture digest
+  // (which, unlike capture_digest, folds full payload bytes).
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.capture.digest(), b.capture.digest());
+  EXPECT_EQ(a.capture_digest, b.capture_digest);
+  EXPECT_EQ(a.scan.q1_sent, b.scan.q1_sent);
+}
+
+TEST(PipelineSharding, ThreadCountCappedByRawSteps) {
+  PipelineConfig cfg;
+  cfg.scale = 65536;
+  cfg.seed = 7;
+  cfg.threads = 0;  // normalized up to 1
+  const ScanOutcome o = run_measurement(paper_2018(), cfg);
+  EXPECT_EQ(o.threads_used, 1u);
+}
+
 }  // namespace
 }  // namespace orp::core

@@ -73,6 +73,36 @@ TEST(Permutation, RandomAccessMatchesIteration) {
   }
 }
 
+TEST(Permutation, SeekJumpsToAbsolutePosition) {
+  CyclicPermutation walked(21);
+  for (int i = 0; i < 5000; ++i) walked.next_raw();
+
+  CyclicPermutation seeked(21);
+  seeked.seek(5000);
+  EXPECT_EQ(seeked.steps(), 5000u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(seeked.next_raw(), walked.next_raw());
+}
+
+TEST(Permutation, ShardSlicesTileTheSequence) {
+  // Shards seek to i*N/S and consume their slice; concatenated they must
+  // reproduce the single-scanner walk exactly.
+  const std::uint64_t total = 9973;  // deliberately not divisible by 4
+  CyclicPermutation whole(33);
+  std::vector<std::uint64_t> expected;
+  for (std::uint64_t i = 0; i < total; ++i) expected.push_back(whole.next_raw());
+
+  std::vector<std::uint64_t> tiled;
+  const std::uint32_t shards = 4;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::uint64_t begin = total * s / shards;
+    const std::uint64_t end = total * (s + 1) / shards;
+    CyclicPermutation p(33);
+    p.seek(begin);
+    for (std::uint64_t i = begin; i < end; ++i) tiled.push_back(p.next_raw());
+  }
+  EXPECT_EQ(tiled, expected);
+}
+
 TEST(Permutation, NextAddressSkipsOverflowValues) {
   CyclicPermutation perm(11);
   for (int i = 0; i < 100000; ++i) {
