@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run the DNS wire-path and analysis test suites under AddressSanitizer +
+# UndefinedBehaviorSanitizer.
+#
+# The allocation-light wire path trades materialized copies for borrowed
+# spans (DecodeView) and reused scratch buffers (EncodeBuffer), so lifetime
+# or aliasing mistakes there would corrupt memory rather than fail a value
+# assertion. This preset makes those mistakes loud. Usage:
+#
+#   scripts/sanitize_wire_tests.sh          # configure, build, run
+#   BUILD_DIR=build-asan scripts/sanitize_wire_tests.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+TESTS=(test_dns test_edns test_fuzz test_alloc_budget test_analysis)
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DORP_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TESTS[@]}"
+
+status=0
+for t in "${TESTS[@]}"; do
+  echo "==== $t (asan+ubsan) ===="
+  "$BUILD_DIR/tests/$t" || status=1
+done
+exit $status

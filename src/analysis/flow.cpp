@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "dns/decode_view.h"
 #include "util/rng.h"
 
 namespace orp::analysis {
@@ -24,67 +25,98 @@ R2View classify_r2(const prober::R2Record& record,
   view.resolver = record.resolver;
   view.time = record.time;
 
-  const dns::PartialDecode partial = dns::decode_partial(record.payload);
-  if (partial.failed_at == dns::DecodeStage::kHeader) {
+  // Zero-copy decode: same validation rules and stages as decode_partial
+  // (the differential fuzz suite pins the equivalence), but nothing is
+  // materialized — names and rdata stay offsets into the payload.
+  const dns::DecodeView v = dns::DecodeView::parse(record.payload);
+  if (v.failed_at == dns::DecodeStage::kHeader) {
     view.header_decoded = false;
     return view;
   }
-  const dns::Message& msg = partial.message;
-  view.ra = msg.header.flags.ra;
-  view.aa = msg.header.flags.aa;
-  view.rcode = msg.header.flags.rcode;
-  view.has_question = !msg.questions.empty();
+  view.ra = v.header.flags.ra;
+  view.aa = v.header.flags.aa;
+  view.rcode = v.header.flags.rcode;
+  view.has_question = v.questions_parsed > 0;
 
-  if (view.has_question)
-    view.subdomain = scheme.parse(msg.questions.front().qname);
+  if (view.has_question) view.subdomain = scheme.parse(v.qname);
 
   // Answer-section failure after a clean question: the Table VII N/A class.
-  if (partial.failed_at == dns::DecodeStage::kQuestion) {
+  if (v.failed_at == dns::DecodeStage::kQuestion) {
     view.has_question = false;
     return view;
   }
-  if (partial.failed_at == dns::DecodeStage::kAnswer) {
+  if (v.failed_at == dns::DecodeStage::kAnswer) {
     view.form = AnswerForm::kUndecodable;
     return view;
   }
 
-  if (msg.answers.empty()) {
+  if (v.answers_parsed == 0) {
     view.form = AnswerForm::kNone;
     return view;
   }
 
   // Judge the first answer record, as the paper's single-question probes do.
-  const dns::ResourceRecord& rr = msg.answers.front();
-  if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
-    view.form = AnswerForm::kIp;
-    view.answer_ip = a->addr;
-    if (view.subdomain)
-      view.correct = (a->addr == scheme.ground_truth(*view.subdomain));
-    return view;
-  }
-  if (const auto* n = std::get_if<dns::NameRdata>(&rr.rdata)) {
-    view.form = AnswerForm::kUrl;
-    view.answer_text = n->name.to_string();
-    return view;
-  }
-  if (const auto* t = std::get_if<dns::TxtRdata>(&rr.rdata)) {
-    view.form = AnswerForm::kString;
-    for (const auto& s : t->strings) {
-      if (!view.answer_text.empty()) view.answer_text += " ";
-      view.answer_text += s;
+  const dns::AnswerRecordView& rr = v.first_answer;
+  switch (rr.type) {
+    case dns::RRType::kA: {
+      view.form = AnswerForm::kIp;
+      view.answer_ip = net::IPv4Addr(
+          (static_cast<std::uint32_t>(rr.rdata[0]) << 24) |
+          (static_cast<std::uint32_t>(rr.rdata[1]) << 16) |
+          (static_cast<std::uint32_t>(rr.rdata[2]) << 8) | rr.rdata[3]);
+      if (view.subdomain)
+        view.correct = (*view.answer_ip == scheme.ground_truth(*view.subdomain));
+      return view;
     }
-    return view;
-  }
-  // Anything else (raw bytes, OPT, ...) is a garbage-string answer.
-  view.form = AnswerForm::kString;
-  if (const auto* raw = std::get_if<dns::RawRdata>(&rr.rdata)) {
-    static constexpr char kHex[] = "0123456789abcdef";
-    for (const std::uint8_t b : raw->bytes) {
-      view.answer_text.push_back(kHex[b >> 4]);
-      view.answer_text.push_back(kHex[b & 0xF]);
+    case dns::RRType::kNS:
+    case dns::RRType::kCNAME:
+    case dns::RRType::kPTR: {
+      view.form = AnswerForm::kUrl;
+      view.answer_text = rr.rdata_name.to_string();
+      return view;
+    }
+    case dns::RRType::kTXT: {
+      view.form = AnswerForm::kString;
+      // Space-join the character-strings; size the result first so the
+      // join is a single allocation. A separator lands exactly where the
+      // accumulated text is already non-empty.
+      std::size_t joined = 0;
+      for (std::size_t p = 0; p < rr.rdata.size();) {
+        const std::uint8_t len = rr.rdata[p];
+        if (joined > 0) ++joined;
+        joined += len;
+        p += 1 + static_cast<std::size_t>(len);
+      }
+      view.answer_text.reserve(joined);
+      for (std::size_t p = 0; p < rr.rdata.size();) {
+        const std::uint8_t len = rr.rdata[p];
+        if (!view.answer_text.empty()) view.answer_text += ' ';
+        view.answer_text.append(
+            reinterpret_cast<const char*>(rr.rdata.data() + p + 1), len);
+        p += 1 + static_cast<std::size_t>(len);
+      }
+      return view;
+    }
+    case dns::RRType::kSOA:
+    case dns::RRType::kMX:
+    case dns::RRType::kAAAA: {
+      // Structured but non-text rdata: a string-form answer with no text,
+      // exactly as the Message-based classifier judged these.
+      view.form = AnswerForm::kString;
+      return view;
+    }
+    default: {
+      // Anything else (raw bytes, OPT, ...) is a garbage-string answer.
+      view.form = AnswerForm::kString;
+      static constexpr char kHex[] = "0123456789abcdef";
+      view.answer_text.reserve(rr.rdata.size() * 2);
+      for (const std::uint8_t b : rr.rdata) {
+        view.answer_text.push_back(kHex[b >> 4]);
+        view.answer_text.push_back(kHex[b & 0xF]);
+      }
+      return view;
     }
   }
-  return view;
 }
 
 std::vector<R2View> classify_all(const std::vector<prober::R2Record>& records,
@@ -144,9 +176,9 @@ void FlowGrouper::add_probe(const dns::DnsName& qname, net::IPv4Addr target) {
 
 void FlowGrouper::add_auth_packet(const net::CapturedPacket& pkt,
                                   bool inbound) {
-  const dns::PartialDecode partial = dns::decode_partial(pkt.payload);
-  if (partial.message.questions.empty()) return;
-  const auto key = partial.message.questions.front().qname.canonical_key();
+  const dns::DecodeView v = dns::DecodeView::parse(pkt.payload);
+  if (v.questions_parsed == 0) return;
+  const auto key = v.qname.canonical_key();
   const auto it = flows_.find(key);
   // Auth-side traffic for unknown qnames (background noise) is not a flow.
   if (it == flows_.end()) return;

@@ -18,9 +18,11 @@ dns::SoaRdata make_soa(const dns::DnsName& sld) {
 
 AuthServer::AuthServer(net::Network& network, net::IPv4Addr addr,
                        zone::SubdomainScheme scheme,
-                       net::SimTime zone_load_latency)
+                       net::SimTime zone_load_latency,
+                       dns::EncodeBuffer* codec_scratch)
     : network_(network),
       addr_(addr),
+      codec_scratch_(codec_scratch != nullptr ? *codec_scratch : own_scratch_),
       scheme_(std::move(scheme)),
       apex_zone_(scheme_.sld(), make_soa(scheme_.sld())),
       zone_load_latency_(zone_load_latency) {
@@ -60,8 +62,10 @@ void AuthServer::on_datagram(const net::Datagram& d) {
     err.header.flags.qr = true;
     err.header.flags.rcode = dns::Rcode::kFormErr;
     ++stats_.responses_sent;
-    network_.send(net::Datagram{net::Endpoint{addr_, net::kDnsPort}, d.src,
-                                dns::encode(err)});
+    const auto wire = dns::encode_into(err, codec_scratch_);
+    network_.send(net::Datagram{
+        net::Endpoint{addr_, net::kDnsPort}, d.src,
+        std::vector<std::uint8_t>(wire.begin(), wire.end())});
     return;
   }
   if (const auto edns = dns::extract_edns(*decoded)) {
@@ -76,8 +80,10 @@ void AuthServer::on_datagram(const net::Datagram& d) {
   if (dns::truncate_to_fit(response, dns::response_size_budget(*decoded)))
     ++stats_.truncated;
   ++stats_.responses_sent;
-  network_.send(net::Datagram{net::Endpoint{addr_, net::kDnsPort}, d.src,
-                              dns::encode(response)});
+  const auto wire = dns::encode_into(response, codec_scratch_);
+  network_.send(net::Datagram{
+      net::Endpoint{addr_, net::kDnsPort}, d.src,
+      std::vector<std::uint8_t>(wire.begin(), wire.end())});
 }
 
 dns::Message AuthServer::answer(const dns::Message& query) {

@@ -54,8 +54,11 @@ struct AuthStats {
 class AuthServer {
  public:
   /// The server answers for `scheme.sld()`. `addr` is its public address.
+  /// `codec_scratch`, when given, is a shared single-threaded encode buffer
+  /// (one per shard's SimulatedInternet); the server owns one otherwise.
   AuthServer(net::Network& network, net::IPv4Addr addr,
-             zone::SubdomainScheme scheme, net::SimTime zone_load_latency);
+             zone::SubdomainScheme scheme, net::SimTime zone_load_latency,
+             dns::EncodeBuffer* codec_scratch = nullptr);
 
   net::IPv4Addr address() const noexcept { return addr_; }
   const zone::SubdomainScheme& scheme() const noexcept { return scheme_; }
@@ -85,6 +88,8 @@ class AuthServer {
 
   net::Network& network_;
   net::IPv4Addr addr_;
+  dns::EncodeBuffer own_scratch_;
+  dns::EncodeBuffer& codec_scratch_;
   zone::SubdomainScheme scheme_;
   zone::Zone apex_zone_;
   net::SimTime zone_load_latency_;

@@ -164,7 +164,7 @@ SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
                                          config.root_count);
   auth_ = std::make_unique<authns::AuthServer>(
       *network_, auth_addr_, *scheme_,
-      net::SimTime::seconds(spec.zone_load_seconds));
+      net::SimTime::seconds(spec.zone_load_seconds), &codec_scratch_);
 
   // Engine configuration for honest resolvers: real root hints.
   resolver::EngineConfig engine_config;
@@ -178,7 +178,8 @@ SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
   for (const PlannedHost& ph : plan.hosts) {
     if (shard_count > 1 && !slice.contains(ph.perm_index)) continue;
     hosts_.push_back(std::make_unique<resolver::ResolverHost>(
-        *network_, ph.addr, ph.profile, engine_config, ph.engine_seed));
+        *network_, ph.addr, ph.profile, engine_config, ph.engine_seed,
+        &codec_scratch_));
     planted.insert(ph.addr.value());
   }
 
@@ -197,7 +198,8 @@ SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
     for (const PlannedHost& ph : plan.hosts) {
       if (!needed.contains(ph.addr.value())) continue;
       hosts_.push_back(std::make_unique<resolver::ResolverHost>(
-          *network_, ph.addr, ph.profile, engine_config, ph.engine_seed));
+          *network_, ph.addr, ph.profile, engine_config, ph.engine_seed,
+          &codec_scratch_));
       needed.erase(ph.addr.value());
     }
   }

@@ -141,6 +141,11 @@ class SimulatedInternet {
   std::uint32_t shard_id() const noexcept { return shard_id_; }
   std::uint32_t shard_count() const noexcept { return shard_count_; }
 
+  /// The shard's shared codec scratch. Everything in this instance runs on
+  /// one event loop (one thread), so the auth server, every resolver host,
+  /// and the shard's scanner can encode through a single reusable buffer.
+  dns::EncodeBuffer& codec_scratch() noexcept { return codec_scratch_; }
+
   /// Planted hosts this shard owns + upstream replicas (replicas last).
   std::size_t host_count() const noexcept { return hosts_.size(); }
   const std::vector<std::unique_ptr<resolver::ResolverHost>>& hosts()
@@ -153,6 +158,7 @@ class SimulatedInternet {
   std::unique_ptr<net::Network> network_;
   resolver::SimHierarchy hierarchy_;
   std::unique_ptr<zone::SubdomainScheme> scheme_;
+  dns::EncodeBuffer codec_scratch_;  // before auth_/hosts_: they hold a ref
   std::unique_ptr<authns::AuthServer> auth_;
   std::vector<std::unique_ptr<resolver::ResolverHost>> hosts_;
   IntelBundle intel_;

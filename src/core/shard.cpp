@@ -29,7 +29,7 @@ ShardContext::ShardContext(const PopulationSpec& spec,
       scanner_(internet_.network(), internet_.prober_address(),
                slice_config(scan_config, spec.raw_steps, shard_id,
                             shard_count),
-               internet_.scheme()) {
+               internet_.scheme(), &internet_.codec_scratch()) {
   capture_.attach(internet_.network(), internet_.prober_address());
   scanner_.set_rotate_callback([this](std::uint32_t cluster) {
     internet_.auth().load_cluster(cluster);

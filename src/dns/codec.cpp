@@ -1,17 +1,71 @@
 #include "dns/codec.h"
 
 #include <cstring>
-#include <map>
 #include <string>
+
+#include "dns/wire_scan.h"
 
 namespace orp::dns {
 namespace {
 
+char ascii_lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
 // ---- Writer ---------------------------------------------------------------
+
+/// Upper bound on the uncompressed wire size of `msg` — used to size the
+/// output buffer once, up front (compression only shrinks it).
+std::size_t wire_size_upper_bound(const Message& msg) {
+  const auto rdata_bound = [](const Rdata& rd) -> std::size_t {
+    return std::visit(
+        [](const auto& data) -> std::size_t {
+          using T = std::decay_t<decltype(data)>;
+          if constexpr (std::is_same_v<T, ARdata>) {
+            return 4;
+          } else if constexpr (std::is_same_v<T, NameRdata>) {
+            return data.name.wire_length();
+          } else if constexpr (std::is_same_v<T, SoaRdata>) {
+            return data.mname.wire_length() + data.rname.wire_length() + 20;
+          } else if constexpr (std::is_same_v<T, MxRdata>) {
+            return 2 + data.exchange.wire_length();
+          } else if constexpr (std::is_same_v<T, TxtRdata>) {
+            std::size_t n = 0;
+            for (const auto& s : data.strings)
+              n += 1 + std::min<std::size_t>(s.size(), 255);
+            return n;
+          } else if constexpr (std::is_same_v<T, AAAARdata>) {
+            return 16;
+          } else {
+            return data.bytes.size();
+          }
+        },
+        rd);
+  };
+  std::size_t bound = 12;
+  for (const auto& q : msg.questions) bound += q.qname.wire_length() + 4;
+  const auto section = [&](const std::vector<ResourceRecord>& rrs) {
+    for (const auto& rr : rrs)
+      bound += rr.name.wire_length() + 10 + rdata_bound(rr.rdata);
+  };
+  section(msg.answers);
+  section(msg.authority);
+  section(msg.additional);
+  return bound;
+}
 
 class Writer {
  public:
-  explicit Writer(bool compress) : compress_(compress) {}
+  Writer(EncodeBuffer& buf, bool compress)
+      : bytes_(buf.out), offsets_(buf.name_offsets), compress_(compress) {
+    bytes_.clear();
+    offsets_.clear();
+    // One up-front block instead of 1->2->4 growth on a cold buffer; typical
+    // messages record well under 16 compressible suffixes.
+    if (offsets_.capacity() < 16) offsets_.reserve(16);
+  }
+
+  void reserve(std::size_t n) { bytes_.reserve(n); }
 
   void u8(std::uint8_t v) { bytes_.push_back(v); }
   void u16(std::uint16_t v) {
@@ -33,39 +87,69 @@ class Writer {
 
   std::size_t size() const noexcept { return bytes_.size(); }
 
-  /// Write a (possibly compressed) domain name.
+  /// Write a (possibly compressed) domain name. Compression matches each
+  /// remaining label suffix case-insensitively against names already in the
+  /// output (via the recorded label-start offsets) instead of keeping
+  /// per-suffix key strings: a recorded offset only exists where a lookup
+  /// missed, so recorded suffixes are pairwise distinct and a first-match
+  /// linear scan reproduces the historical map exactly, byte for byte.
   void name(const DnsName& n) {
-    const auto& labels = n.labels();
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      // Key: the remaining suffix starting at label i, lower-cased.
-      std::string key;
-      for (std::size_t j = i; j < labels.size(); ++j) {
-        for (char c : labels[j])
-          key.push_back(
-              (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c);
-        key.push_back('.');
-      }
+    const std::string_view flat = n.flat();
+    std::size_t off = 0;
+    while (off < flat.size()) {
       if (compress_) {
-        if (const auto it = offsets_.find(key); it != offsets_.end()) {
-          u16(static_cast<std::uint16_t>(0xC000 | it->second));
-          return;
+        const std::string_view suffix = flat.substr(off);
+        for (const std::uint16_t candidate : offsets_) {
+          if (suffix_matches(candidate, suffix)) {
+            u16(static_cast<std::uint16_t>(0xC000 | candidate));
+            return;
+          }
         }
         // Compression pointers can only address offsets < 2^14.
-        if (bytes_.size() < (1u << 14)) offsets_.emplace(key, bytes_.size());
+        if (bytes_.size() < (1u << 14))
+          offsets_.push_back(static_cast<std::uint16_t>(bytes_.size()));
       }
-      u8(static_cast<std::uint8_t>(labels[i].size()));
-      raw({reinterpret_cast<const std::uint8_t*>(labels[i].data()),
-           labels[i].size()});
+      // One label: its length octet and bytes are contiguous in `flat`.
+      const auto len = static_cast<std::uint8_t>(flat[off]);
+      raw({reinterpret_cast<const std::uint8_t*>(flat.data() + off),
+           static_cast<std::size_t>(1 + len)});
+      off += 1 + static_cast<std::size_t>(len);
     }
     u8(0);  // root
   }
 
-  std::vector<std::uint8_t> take() { return std::move(bytes_); }
-
  private:
+  /// Does the name written at output offset `pos` equal (ASCII-ci) the flat
+  /// label run `suffix`? Follows compression pointers already present in
+  /// the output — every recorded offset starts a full label, and every
+  /// written name terminates in a root byte or a pointer chain that does.
+  bool suffix_matches(std::size_t pos, std::string_view suffix) const {
+    std::size_t s = 0;
+    std::size_t cursor = pos;
+    while (true) {
+      const std::uint8_t len = bytes_[cursor];
+      if ((len & 0xC0) == 0xC0) {
+        cursor = (static_cast<std::size_t>(len & 0x3F) << 8) |
+                 bytes_[cursor + 1];
+        continue;
+      }
+      if (len == 0) return s == suffix.size();
+      if (s >= suffix.size() ||
+          static_cast<std::uint8_t>(suffix[s]) != len)
+        return false;
+      for (std::size_t b = 0; b < len; ++b) {
+        if (ascii_lower(static_cast<char>(bytes_[cursor + 1 + b])) !=
+            ascii_lower(suffix[s + 1 + b]))
+          return false;
+      }
+      cursor += 1 + static_cast<std::size_t>(len);
+      s += 1 + static_cast<std::size_t>(len);
+    }
+  }
+
+  std::vector<std::uint8_t>& bytes_;
+  std::vector<std::uint16_t>& offsets_;
   bool compress_;
-  std::vector<std::uint8_t> bytes_;
-  std::map<std::string, std::size_t> offsets_;
 };
 
 void write_rdata(Writer& w, const ResourceRecord& rr) {
@@ -114,10 +198,12 @@ void write_record(Writer& w, const ResourceRecord& rr) {
   write_rdata(w, rr);
 }
 
-std::vector<std::uint8_t> encode_impl(const Message& msg,
-                                      const EncodeOptions& opts,
-                                      bool trust_header_counts) {
-  Writer w(opts.compress);
+std::span<const std::uint8_t> encode_impl(const Message& msg,
+                                          EncodeBuffer& buf,
+                                          const EncodeOptions& opts,
+                                          bool trust_header_counts) {
+  Writer w(buf, opts.compress);
+  w.reserve(wire_size_upper_bound(msg));
   w.u16(msg.header.id);
   w.u16(msg.header.flags.pack());
   if (trust_header_counts) {
@@ -139,7 +225,7 @@ std::vector<std::uint8_t> encode_impl(const Message& msg,
   for (const auto& rr : msg.answers) write_record(w, rr);
   for (const auto& rr : msg.authority) write_record(w, rr);
   for (const auto& rr : msg.additional) write_record(w, rr);
-  return w.take();
+  return buf.out;
 }
 
 // ---- Reader ---------------------------------------------------------------
@@ -179,72 +265,23 @@ class Reader {
 
   /// Decode a possibly-compressed name starting at the cursor.
   /// On success the cursor lands after the name's in-place representation.
+  /// Validation (bounds, pointers, label octets, length caps) lives in
+  /// wire::scan_name, shared with DecodeView; the copy pass below runs only
+  /// over an accepted name, into a single pre-sized flat buffer.
   bool name(DnsName& out, DecodeError& err) {
-    std::vector<std::string> labels;
-    std::size_t cursor = pos_;
-    std::size_t in_place_end = 0;  // set at the first pointer jump
-    std::size_t total_len = 1;
-    int jumps = 0;
-    while (true) {
-      if (cursor >= wire_.size()) {
-        err = DecodeError::kTruncatedName;
-        return false;
-      }
-      const std::uint8_t len = wire_[cursor];
-      if ((len & 0xC0) == 0xC0) {
-        if (cursor + 1 >= wire_.size()) {
-          err = DecodeError::kTruncatedName;
-          return false;
-        }
-        const std::size_t target =
-            (static_cast<std::size_t>(len & 0x3F) << 8) | wire_[cursor + 1];
-        if (in_place_end == 0) in_place_end = cursor + 2;
-        // RFC 1035 pointers must point backwards; forward pointers enable
-        // loops and are rejected (also catches self-pointing).
-        if (target >= cursor) {
-          err = DecodeError::kForwardPointer;
-          return false;
-        }
-        if (++jumps > 64) {
-          err = DecodeError::kCompressionLoop;
-          return false;
-        }
-        cursor = target;
-        continue;
-      }
-      if ((len & 0xC0) != 0) {  // 0x40/0x80 label types are unsupported
-        err = DecodeError::kLabelTooLong;
-        return false;
-      }
-      if (len == 0) {
-        if (in_place_end == 0) in_place_end = cursor + 1;
-        break;
-      }
-      if (cursor + 1 + len > wire_.size()) {
-        err = DecodeError::kTruncatedName;
-        return false;
-      }
-      total_len += 1 + len;
-      if (total_len > kMaxNameLength) {
-        err = DecodeError::kNameTooLong;
-        return false;
-      }
-      // Wire labels may carry arbitrary octets, but a NUL inside a label
-      // would make the parsed name lie to every C-string consumer; treat it
-      // as malformed (the DnsName invariant, enforced here rather than by a
-      // throw out of the hot decode path).
-      for (std::size_t b = 0; b < len; ++b) {
-        if (wire_[cursor + 1 + b] == 0) {
-          err = DecodeError::kBadLabel;
-          return false;
-        }
-      }
-      labels.emplace_back(
-          reinterpret_cast<const char*>(wire_.data() + cursor + 1), len);
-      cursor += 1 + static_cast<std::size_t>(len);
+    const wire::NameScan scan = wire::scan_name(wire_, pos_);
+    if (!scan.ok) {
+      err = scan.error;
+      return false;
     }
-    pos_ = in_place_end;
-    out = DnsName(std::move(labels));
+    out = DnsName();
+    out.reserve_flat(static_cast<std::size_t>(scan.name_len) - 1);
+    wire::for_each_label(wire_, pos_,
+                         [&out](const std::uint8_t* data, std::uint8_t len) {
+                           out.append_label(
+                               {reinterpret_cast<const char*>(data), len});
+                         });
+    pos_ = scan.end;
     return true;
   }
 
@@ -478,19 +515,36 @@ PartialDecode decode_partial(std::span<const std::uint8_t> wire) {
   return out;
 }
 
+std::span<const std::uint8_t> encode_into(const Message& msg, EncodeBuffer& buf,
+                                          const EncodeOptions& opts) {
+  return encode_impl(msg, buf, opts, /*trust_header_counts=*/false);
+}
+
+std::span<const std::uint8_t> encode_raw_counts_into(const Message& msg,
+                                                     EncodeBuffer& buf,
+                                                     const EncodeOptions& opts) {
+  return encode_impl(msg, buf, opts, /*trust_header_counts=*/true);
+}
+
 std::vector<std::uint8_t> encode(const Message& msg, const EncodeOptions& opts) {
-  return encode_impl(msg, opts, /*trust_header_counts=*/false);
+  EncodeBuffer buf;
+  encode_impl(msg, buf, opts, /*trust_header_counts=*/false);
+  return std::move(buf.out);
 }
 
 std::vector<std::uint8_t> encode_raw_counts(const Message& msg,
                                             const EncodeOptions& opts) {
-  return encode_impl(msg, opts, /*trust_header_counts=*/true);
+  EncodeBuffer buf;
+  encode_impl(msg, buf, opts, /*trust_header_counts=*/true);
+  return std::move(buf.out);
 }
 
 std::vector<std::uint8_t> encode_name(const DnsName& name) {
-  Writer w(/*compress=*/false);
+  EncodeBuffer buf;
+  Writer w(buf, /*compress=*/false);
+  w.reserve(name.wire_length());
   w.name(name);
-  return w.take();
+  return std::move(buf.out);
 }
 
 }  // namespace orp::dns

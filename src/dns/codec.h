@@ -72,6 +72,26 @@ struct EncodeOptions {
   bool compress = true;
 };
 
+/// Reusable encoder scratch: the output bytes and the compression writer's
+/// table of name offsets (label starts < 2^14 usable as pointer targets).
+/// Owned by a long-lived single-threaded context — one per ShardContext on
+/// the probe path, one per SimulatedInternet for the simulated hosts — so
+/// steady-state encodes reuse capacity and allocate nothing.
+struct EncodeBuffer {
+  std::vector<std::uint8_t> out;
+  std::vector<std::uint16_t> name_offsets;
+};
+
+/// Encode into `buf`, clearing it first; the returned span aliases
+/// `buf.out` and is valid until the next use of `buf`.
+std::span<const std::uint8_t> encode_into(const Message& msg,
+                                          EncodeBuffer& buf,
+                                          const EncodeOptions& opts = {});
+
+/// encode_raw_counts (below), scratch-buffer form.
+std::span<const std::uint8_t> encode_raw_counts_into(
+    const Message& msg, EncodeBuffer& buf, const EncodeOptions& opts = {});
+
 /// Encode a message to wire bytes. Section counts in the emitted header are
 /// taken from the actual section sizes, not `header.qdcount` etc. — except
 /// that deliberately inconsistent counts can be forced via

@@ -1,0 +1,274 @@
+#include "dns/decode_view.h"
+
+#include "dns/wire_scan.h"
+
+namespace orp::dns {
+namespace {
+
+char ascii_lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/// Validate one resource record at `pos`, mirroring read_record in
+/// codec.cpp rule for rule (including error precedence). On success `pos`
+/// lands just past the record; `out`, when non-null, receives the views.
+bool scan_record(std::span<const std::uint8_t> wire, std::size_t& pos,
+                 AnswerRecordView* out, DecodeError& err) {
+  const wire::NameScan owner = wire::scan_name(wire, pos);
+  if (!owner.ok) {
+    err = owner.error;
+    return false;
+  }
+  const NameView owner_view(wire, pos, owner.labels, owner.name_len);
+  pos = owner.end;
+
+  if (pos + 10 > wire.size()) {  // type, class, ttl, rdlength
+    err = DecodeError::kTruncatedRecord;
+    return false;
+  }
+  const auto u16_at = [&wire](std::size_t p) {
+    return static_cast<std::uint16_t>((wire[p] << 8) | wire[p + 1]);
+  };
+  const std::uint16_t type = u16_at(pos);
+  const std::uint16_t rrclass = u16_at(pos + 2);
+  const std::uint32_t ttl =
+      (static_cast<std::uint32_t>(u16_at(pos + 4)) << 16) | u16_at(pos + 6);
+  const std::uint16_t rdlength = u16_at(pos + 8);
+  pos += 10;
+
+  if (rdlength > wire.size() - pos) {
+    err = DecodeError::kBadRdataLength;
+    return false;
+  }
+  const std::size_t rdata_end = pos + rdlength;
+  const std::span<const std::uint8_t> rdata = wire.subspan(pos, rdlength);
+  NameView rdata_name;
+
+  switch (static_cast<RRType>(type)) {
+    case RRType::kA: {
+      if (rdlength != 4) {
+        err = DecodeError::kBadRdataLength;
+        return false;
+      }
+      pos = rdata_end;
+      break;
+    }
+    case RRType::kNS:
+    case RRType::kCNAME:
+    case RRType::kPTR: {
+      const wire::NameScan n = wire::scan_name(wire, pos);
+      if (!n.ok) {
+        err = n.error;
+        return false;
+      }
+      rdata_name = NameView(wire, pos, n.labels, n.name_len);
+      pos = n.end;
+      if (pos != rdata_end) {
+        err = DecodeError::kBadRdataLength;
+        return false;
+      }
+      break;
+    }
+    case RRType::kSOA: {
+      const wire::NameScan mname = wire::scan_name(wire, pos);
+      if (!mname.ok) {
+        err = mname.error;
+        return false;
+      }
+      pos = mname.end;
+      const wire::NameScan rname = wire::scan_name(wire, pos);
+      if (!rname.ok) {
+        err = rname.error;
+        return false;
+      }
+      pos = rname.end;
+      if (pos + 20 > wire.size()) {  // serial..minimum
+        err = DecodeError::kTruncatedRecord;
+        return false;
+      }
+      pos += 20;
+      if (pos != rdata_end) {
+        err = DecodeError::kBadRdataLength;
+        return false;
+      }
+      break;
+    }
+    case RRType::kMX: {
+      if (pos + 2 > wire.size()) {
+        err = DecodeError::kTruncatedRecord;
+        return false;
+      }
+      pos += 2;
+      const wire::NameScan n = wire::scan_name(wire, pos);
+      if (!n.ok) {
+        err = n.error;
+        return false;
+      }
+      pos = n.end;
+      if (pos != rdata_end) {
+        err = DecodeError::kBadRdataLength;
+        return false;
+      }
+      break;
+    }
+    case RRType::kTXT: {
+      while (pos < rdata_end) {
+        const std::uint8_t len = wire[pos];
+        ++pos;
+        if (pos + len > rdata_end) {
+          err = DecodeError::kBadRdataLength;
+          return false;
+        }
+        pos += len;
+      }
+      break;
+    }
+    case RRType::kAAAA: {
+      if (rdlength != 16) {
+        err = DecodeError::kBadRdataLength;
+        return false;
+      }
+      pos = rdata_end;
+      break;
+    }
+    default: {
+      pos = rdata_end;
+      break;
+    }
+  }
+
+  if (out != nullptr) {
+    out->name = owner_view;
+    out->type = static_cast<RRType>(type);
+    out->rrclass = static_cast<RRClass>(rrclass);
+    out->ttl = ttl;
+    out->rdata = rdata;
+    out->rdata_name = rdata_name;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view NameView::label(std::size_t i) const noexcept {
+  std::size_t cursor = start_;
+  while (true) {
+    const std::uint8_t len = wire_[cursor];
+    if ((len & 0xC0) == 0xC0) {
+      cursor = (static_cast<std::size_t>(len & 0x3F) << 8) | wire_[cursor + 1];
+      continue;
+    }
+    if (i == 0)
+      return std::string_view(
+          reinterpret_cast<const char*>(wire_.data() + cursor + 1), len);
+    --i;
+    cursor += 1 + static_cast<std::size_t>(len);
+  }
+}
+
+std::string NameView::to_string() const {
+  if (count_ == 0) return ".";
+  std::string out;
+  out.reserve(static_cast<std::size_t>(name_len_) - 2);  // dots for lengths
+  wire::for_each_label(wire_, start_,
+                       [&out](const std::uint8_t* data, std::uint8_t len) {
+                         if (!out.empty()) out.push_back('.');
+                         out.append(reinterpret_cast<const char*>(data), len);
+                       });
+  return out;
+}
+
+std::string NameView::canonical_key() const {
+  if (count_ == 0) return ".";
+  std::string out;
+  out.reserve(static_cast<std::size_t>(name_len_) - 2);
+  wire::for_each_label(wire_, start_,
+                       [&out](const std::uint8_t* data, std::uint8_t len) {
+                         if (!out.empty()) out.push_back('.');
+                         for (std::size_t i = 0; i < len; ++i)
+                           out.push_back(ascii_lower(
+                               static_cast<char>(data[i])));
+                       });
+  return out;
+}
+
+DnsName NameView::to_name() const {
+  DnsName out;
+  out.reserve_flat(static_cast<std::size_t>(name_len_) - 1);
+  wire::for_each_label(wire_, start_,
+                       [&out](const std::uint8_t* data, std::uint8_t len) {
+                         out.append_label(
+                             {reinterpret_cast<const char*>(data), len});
+                       });
+  return out;
+}
+
+DecodeView DecodeView::parse(std::span<const std::uint8_t> wire) noexcept {
+  DecodeView v;
+  if (wire.size() < 12) {
+    v.failed_at = DecodeStage::kHeader;
+    v.error = DecodeError::kTruncatedHeader;
+    return v;
+  }
+  const auto u16_at = [&wire](std::size_t p) {
+    return static_cast<std::uint16_t>((wire[p] << 8) | wire[p + 1]);
+  };
+  v.header.id = u16_at(0);
+  v.header.flags = Flags::unpack(u16_at(2));
+  v.header.qdcount = u16_at(4);
+  v.header.ancount = u16_at(6);
+  v.header.nscount = u16_at(8);
+  v.header.arcount = u16_at(10);
+  std::size_t pos = 12;
+
+  for (std::uint16_t i = 0; i < v.header.qdcount; ++i) {
+    const wire::NameScan n = wire::scan_name(wire, pos);
+    if (!n.ok) {
+      v.failed_at = DecodeStage::kQuestion;
+      v.error = n.error;
+      return v;
+    }
+    const NameView qname(wire, pos, n.labels, n.name_len);
+    pos = n.end;
+    if (pos + 4 > wire.size()) {
+      v.failed_at = DecodeStage::kQuestion;
+      v.error = DecodeError::kTruncatedQuestion;
+      return v;
+    }
+    if (v.questions_parsed == 0) {
+      v.qname = qname;
+      v.qtype = static_cast<RRType>(u16_at(pos));
+      v.qclass = static_cast<RRClass>(u16_at(pos + 2));
+    }
+    pos += 4;
+    ++v.questions_parsed;
+  }
+
+  DecodeError err{};
+  for (std::uint16_t i = 0; i < v.header.ancount; ++i) {
+    AnswerRecordView* keep = (i == 0) ? &v.first_answer : nullptr;
+    if (!scan_record(wire, pos, keep, err)) {
+      v.failed_at = DecodeStage::kAnswer;
+      v.error = err;
+      return v;
+    }
+    ++v.answers_parsed;
+  }
+  for (std::uint16_t i = 0; i < v.header.nscount; ++i) {
+    if (!scan_record(wire, pos, nullptr, err)) {
+      v.failed_at = DecodeStage::kAuthority;
+      v.error = err;
+      return v;
+    }
+  }
+  for (std::uint16_t i = 0; i < v.header.arcount; ++i) {
+    if (!scan_record(wire, pos, nullptr, err)) {
+      v.failed_at = DecodeStage::kAdditional;
+      v.error = err;
+      return v;
+    }
+  }
+  return v;
+}
+
+}  // namespace orp::dns

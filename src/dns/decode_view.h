@@ -1,0 +1,107 @@
+// Zero-copy DNS decode view (the analysis hot path).
+//
+// `classify_r2` and the scanner's R2 matcher only ever read the header
+// bits, the first question's name, and the first answer record — yet the
+// full decoder materializes every section into vectors of owning structs.
+// DecodeView validates the wire bytes with exactly the same rules as
+// `decode_partial` (same stages, same error precedence) but materializes
+// nothing: names stay as offsets into the payload, rdata stays as a span.
+//
+// Use `DecodeView` when a packet is inspected once and thrown away (per-R2
+// classification, flow matching); keep `decode`/`decode_partial` + Message
+// for anything that outlives the payload buffer — pcap export, to_string
+// forensics, and building responses.
+//
+// Lifetime: a view borrows the wire buffer it was parsed from; it must not
+// outlive those bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "dns/codec.h"
+#include "dns/message.h"
+#include "dns/name.h"
+#include "dns/types.h"
+
+namespace orp::dns {
+
+/// A validated name inside a wire buffer: start offset + precomputed label
+/// count / uncompressed length. Labels are read straight out of the buffer,
+/// following compression pointers (already proven backward and loop-free).
+class NameView {
+ public:
+  NameView() = default;
+  NameView(std::span<const std::uint8_t> wire, std::size_t start,
+           std::uint8_t count, std::uint8_t name_len) noexcept
+      : wire_(wire),
+        start_(static_cast<std::uint32_t>(start)),
+        count_(count),
+        name_len_(name_len) {}
+
+  std::size_t label_count() const noexcept { return count_; }
+  bool is_root() const noexcept { return count_ == 0; }
+
+  /// Uncompressed wire length (root byte included), like DnsName.
+  std::size_t wire_length() const noexcept { return name_len_; }
+
+  /// The i-th label (0 = leftmost). Precondition: i < label_count().
+  std::string_view label(std::size_t i) const noexcept;
+
+  /// Presentation form without trailing dot; "." for the root. Matches
+  /// DnsName::to_string byte for byte.
+  std::string to_string() const;
+
+  /// Lower-cased presentation form — matches DnsName::canonical_key.
+  std::string canonical_key() const;
+
+  /// Materialize an owning DnsName (off the hot path).
+  DnsName to_name() const;
+
+ private:
+  std::span<const std::uint8_t> wire_{};
+  std::uint32_t start_ = 0;
+  std::uint8_t count_ = 0;
+  std::uint8_t name_len_ = 1;
+};
+
+/// The first answer record, by reference into the payload.
+struct AnswerRecordView {
+  NameView name;
+  RRType type = RRType::kA;
+  RRClass rrclass = RRClass::kIN;
+  std::uint32_t ttl = 0;
+  std::span<const std::uint8_t> rdata{};
+
+  /// For NS/CNAME/PTR records: the name the rdata carries.
+  NameView rdata_name;
+};
+
+/// Validating, non-materializing decode. `failed_at` reports where parsing
+/// stopped using the same stages and the same per-record rules as
+/// decode_partial — the differential fuzz suite pins the equivalence.
+struct DecodeView {
+  Header header;  // flags unpacked; counts as claimed by the packet
+  DecodeStage failed_at = DecodeStage::kComplete;
+  std::optional<DecodeError> error;
+
+  /// Questions successfully parsed (== header.qdcount unless failed_at is
+  /// kQuestion or earlier). The first question is retained.
+  std::uint16_t questions_parsed = 0;
+  NameView qname;  // first question's name; meaningful iff questions_parsed
+  RRType qtype = RRType::kA;
+  RRClass qclass = RRClass::kIN;
+
+  /// Answer records successfully validated; the first one is retained.
+  std::uint16_t answers_parsed = 0;
+  AnswerRecordView first_answer;
+
+  bool complete() const noexcept { return failed_at == DecodeStage::kComplete; }
+  bool header_ok() const noexcept { return failed_at != DecodeStage::kHeader; }
+
+  static DecodeView parse(std::span<const std::uint8_t> wire) noexcept;
+};
+
+}  // namespace orp::dns

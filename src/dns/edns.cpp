@@ -56,12 +56,15 @@ std::size_t response_size_budget(const Message& query) {
 }
 
 bool truncate_to_fit(Message& response, std::size_t budget) {
-  if (encode(response).size() <= budget) return false;
+  // One scratch for every trial encode in the drop loop — the repeated
+  // size probes reuse its capacity instead of allocating per iteration.
+  EncodeBuffer scratch;
+  if (encode_into(response, scratch).size() <= budget) return false;
   // Drop data sections largest-first until the message fits; the question
   // (and OPT, when present) stay so the client can retry appropriately.
   const auto edns = extract_edns(response);
   response.header.flags.tc = true;
-  while (encode(response).size() > budget) {
+  while (encode_into(response, scratch).size() > budget) {
     if (!response.additional.empty() &&
         !(response.additional.size() == 1 &&
           response.additional[0].type == RRType::kOPT)) {

@@ -1,10 +1,7 @@
 #include "dns/name.h"
 
-#include <cctype>
 #include <cstdlib>
 #include <stdexcept>
-
-#include "util/strings.h"
 
 namespace orp::dns {
 namespace {
@@ -20,7 +17,11 @@ char ascii_lower(char c) noexcept {
   return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
 }
 
-bool label_equals_ci(std::string_view a, std::string_view b) noexcept {
+// Case-insensitive equality over two flat label runs. Length octets are
+// 0..63 and therefore outside the 'A'..'Z' fold range, so folding every
+// byte — structure octets included — is exact: two runs are equal iff they
+// have the same label structure and ci-equal label bytes.
+bool flat_equals_ci(std::string_view a, std::string_view b) noexcept {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i)
     if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
@@ -29,35 +30,45 @@ bool label_equals_ci(std::string_view a, std::string_view b) noexcept {
 
 }  // namespace
 
-DnsName::DnsName(std::vector<std::string> labels) : labels_(std::move(labels)) {
+bool label_equals_ci(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  return true;
+}
+
+DnsName::DnsName(const std::vector<std::string>& labels) {
   std::size_t wire = 1;
-  for (const auto& l : labels_) {
+  for (const auto& l : labels) {
     if (!valid_label(l)) throw std::invalid_argument("invalid DNS label");
     wire += 1 + l.size();
   }
   if (wire > kMaxNameLength) throw std::invalid_argument("DNS name too long");
+  flat_.reserve(wire - 1);
+  for (const auto& l : labels) {
+    flat_.push_back(static_cast<char>(l.size()));
+    flat_.append(l);
+  }
+  count_ = static_cast<std::uint8_t>(labels.size());
 }
 
 std::optional<DnsName> DnsName::parse(std::string_view text) {
   if (text == "." || text.empty()) return DnsName();
   if (text.back() == '.') text.remove_suffix(1);
-  std::vector<std::string> labels;
-  std::size_t wire = 1;
+  DnsName name;
+  // One length octet per label plus the label bytes: text.size() + 1 exactly
+  // (each dot becomes a length octet, plus the leading one).
+  name.flat_.reserve(text.size() + 1);
   std::size_t start = 0;
   while (start <= text.size()) {
     const std::size_t dot = text.find('.', start);
     const std::string_view label =
         dot == std::string_view::npos ? text.substr(start)
                                       : text.substr(start, dot - start);
-    if (!valid_label(label)) return std::nullopt;
-    wire += 1 + label.size();
-    if (wire > kMaxNameLength) return std::nullopt;
-    labels.emplace_back(label);
+    if (!name.append_label(label)) return std::nullopt;
     if (dot == std::string_view::npos) break;
     start = dot + 1;
   }
-  DnsName name;
-  name.labels_ = std::move(labels);
   return name;
 }
 
@@ -67,56 +78,94 @@ DnsName DnsName::must_parse(std::string_view text) {
   return *std::move(parsed);
 }
 
-std::size_t DnsName::wire_length() const noexcept {
-  std::size_t len = 1;
-  for (const auto& l : labels_) len += 1 + l.size();
-  return len;
+std::string_view DnsName::label(std::size_t i) const noexcept {
+  std::size_t off = 0;
+  while (i-- > 0) off += 1 + static_cast<std::uint8_t>(flat_[off]);
+  const auto len = static_cast<std::uint8_t>(flat_[off]);
+  return std::string_view(flat_).substr(off + 1, len);
 }
 
 std::string DnsName::to_string() const {
-  if (labels_.empty()) return ".";
+  if (count_ == 0) return ".";
   std::string out;
-  for (std::size_t i = 0; i < labels_.size(); ++i) {
-    if (i != 0) out.push_back('.');
-    out += labels_[i];
+  out.reserve(flat_.size() - 1);  // dots replace length octets, minus one
+  std::size_t off = 0;
+  while (off < flat_.size()) {
+    const auto len = static_cast<std::uint8_t>(flat_[off]);
+    if (off != 0) out.push_back('.');
+    out.append(flat_, off + 1, len);
+    off += 1 + len;
   }
   return out;
 }
 
 bool DnsName::equals(const DnsName& other) const noexcept {
-  if (labels_.size() != other.labels_.size()) return false;
-  for (std::size_t i = 0; i < labels_.size(); ++i)
-    if (!label_equals_ci(labels_[i], other.labels_[i])) return false;
-  return true;
+  return flat_equals_ci(flat_, other.flat_);
 }
 
 bool DnsName::is_subdomain_of(const DnsName& ancestor) const noexcept {
-  if (ancestor.labels_.size() > labels_.size()) return false;
-  const std::size_t offset = labels_.size() - ancestor.labels_.size();
-  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i)
-    if (!label_equals_ci(labels_[offset + i], ancestor.labels_[i]))
-      return false;
-  return true;
+  if (ancestor.count_ > count_) return false;
+  std::size_t off = 0;
+  for (std::size_t skip = count_ - ancestor.count_; skip > 0; --skip)
+    off += 1 + static_cast<std::uint8_t>(flat_[off]);
+  return flat_equals_ci(std::string_view(flat_).substr(off), ancestor.flat_);
 }
 
 DnsName DnsName::parent(std::size_t n) const {
   DnsName out;
-  if (n >= labels_.size()) return out;
-  out.labels_.assign(labels_.begin() + static_cast<std::ptrdiff_t>(n),
-                     labels_.end());
+  if (n >= count_) return out;
+  std::size_t off = 0;
+  for (std::size_t skip = n; skip > 0; --skip)
+    off += 1 + static_cast<std::uint8_t>(flat_[off]);
+  out.flat_.assign(flat_, off, std::string::npos);
+  out.count_ = static_cast<std::uint8_t>(count_ - n);
   return out;
 }
 
 DnsName DnsName::child(std::string_view label) const {
-  std::vector<std::string> labels;
-  labels.reserve(labels_.size() + 1);
-  labels.emplace_back(label);
-  labels.insert(labels.end(), labels_.begin(), labels_.end());
-  return DnsName(std::move(labels));
+  return prefixed({label});
+}
+
+DnsName DnsName::prefixed(std::initializer_list<std::string_view> labels) const {
+  std::size_t extra = 0;
+  for (const auto l : labels) {
+    if (!valid_label(l)) throw std::invalid_argument("invalid DNS label");
+    extra += 1 + l.size();
+  }
+  if (flat_.size() + extra + 1 > kMaxNameLength)
+    throw std::invalid_argument("DNS name too long");
+  DnsName out;
+  out.flat_.reserve(flat_.size() + extra);
+  for (const auto l : labels) {
+    out.flat_.push_back(static_cast<char>(l.size()));
+    out.flat_.append(l);
+  }
+  out.flat_.append(flat_);
+  out.count_ = static_cast<std::uint8_t>(count_ + labels.size());
+  return out;
+}
+
+bool DnsName::append_label(std::string_view label) {
+  if (!valid_label(label)) return false;
+  if (flat_.size() + 1 + label.size() + 1 > kMaxNameLength) return false;
+  flat_.push_back(static_cast<char>(label.size()));
+  flat_.append(label);
+  ++count_;
+  return true;
 }
 
 std::string DnsName::canonical_key() const {
-  std::string key = util::to_lower(to_string());
+  if (count_ == 0) return ".";
+  std::string key;
+  key.reserve(flat_.size() - 1);
+  std::size_t off = 0;
+  while (off < flat_.size()) {
+    const auto len = static_cast<std::uint8_t>(flat_[off]);
+    if (off != 0) key.push_back('.');
+    for (std::size_t i = 0; i < len; ++i)
+      key.push_back(ascii_lower(flat_[off + 1 + i]));
+    off += 1 + len;
+  }
   return key;
 }
 

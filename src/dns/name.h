@@ -1,14 +1,24 @@
 // DNS domain names (RFC 1035 §3.1): sequences of labels, case-insensitive,
 // with the 63-octet-per-label and 255-octet-total limits enforced.
+//
+// Storage is one flat buffer holding the uncompressed wire form minus the
+// terminating root byte — `[len][bytes]` per label — plus a label count.
+// A short name ("x.example.net" is 15 wire bytes) lives entirely in the
+// string's SSO buffer: no heap allocation, and equality/suffix checks are
+// single contiguous scans instead of per-label string compares.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace orp::dns {
+
+/// Case-insensitive (ASCII) equality of two label byte ranges.
+bool label_equals_ci(std::string_view a, std::string_view b) noexcept;
 
 class DnsName {
  public:
@@ -17,7 +27,7 @@ class DnsName {
 
   /// Build from pre-validated labels (throws std::invalid_argument on limit
   /// violations — construction is not a hot path).
-  explicit DnsName(std::vector<std::string> labels);
+  explicit DnsName(const std::vector<std::string>& labels);
 
   /// Parse presentation format ("www.example.com", trailing dot optional).
   /// Returns nullopt on empty labels, oversize labels/name, or embedded NUL.
@@ -26,12 +36,18 @@ class DnsName {
   /// Parse, aborting on failure. For literals known to be valid.
   static DnsName must_parse(std::string_view text);
 
-  const std::vector<std::string>& labels() const noexcept { return labels_; }
-  std::size_t label_count() const noexcept { return labels_.size(); }
-  bool is_root() const noexcept { return labels_.empty(); }
+  std::size_t label_count() const noexcept { return count_; }
+  bool is_root() const noexcept { return count_ == 0; }
+
+  /// The i-th label (0 = leftmost / most specific). Precondition: i < count.
+  std::string_view label(std::size_t i) const noexcept;
+
+  /// The flat `[len][bytes]...` label run — exactly the uncompressed wire
+  /// form of the name without the trailing root byte.
+  std::string_view flat() const noexcept { return flat_; }
 
   /// Wire-format length: sum of (1 + len) per label, plus root byte.
-  std::size_t wire_length() const noexcept;
+  std::size_t wire_length() const noexcept { return flat_.size() + 1; }
 
   /// Presentation format without trailing dot; "." for the root.
   std::string to_string() const;
@@ -48,6 +64,19 @@ class DnsName {
   /// New name with `label` prepended.
   DnsName child(std::string_view label) const;
 
+  /// New name with several labels prepended in one allocation:
+  /// prefixed({"a", "b"}) on "c.d" yields "a.b.c.d". Throws
+  /// std::invalid_argument on limit violations, like the label-vector ctor.
+  DnsName prefixed(std::initializer_list<std::string_view> labels) const;
+
+  /// Append one label at the *end* (toward the root): used by the wire
+  /// decoder, which discovers labels left to right. Returns false (leaving
+  /// the name unchanged) on an invalid label or a name-length overflow.
+  bool append_label(std::string_view label);
+
+  /// Capacity hint for decoders that know the final wire length.
+  void reserve_flat(std::size_t bytes) { flat_.reserve(bytes); }
+
   /// Canonical (lower-case) form for use as a map key.
   std::string canonical_key() const;
 
@@ -56,7 +85,8 @@ class DnsName {
   }
 
  private:
-  std::vector<std::string> labels_;
+  std::string flat_;        // [len][bytes] per label, no root byte
+  std::uint8_t count_ = 0;  // number of labels (≤ 127 given the 255 limit)
 };
 
 constexpr std::size_t kMaxLabelLength = 63;

@@ -1,0 +1,121 @@
+// Shared low-level name scanner for the DNS wire decoders.
+//
+// `scan_name` validates a (possibly compressed) name in place — bounds,
+// pointer direction, jump budget, label octets, total length — without
+// materializing anything; it is the single source of truth for name
+// validity, used by both the full decoder (codec.cpp) and the zero-copy
+// DecodeView. `for_each_label` then walks a name scan_name accepted, so it
+// can skip every check.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dns/codec.h"
+#include "dns/name.h"
+
+namespace orp::dns::wire {
+
+struct NameScan {
+  bool ok = false;
+  DecodeError error = DecodeError::kTruncatedName;
+  std::size_t end = 0;        // cursor just past the in-place representation
+  std::uint8_t labels = 0;    // label count (≤ 127 under the 255-octet cap)
+  std::uint8_t name_len = 1;  // uncompressed wire length, root byte included
+};
+
+/// Validate the name starting at `pos`. Mirrors the historical Reader::name
+/// checks bit for bit (error precedence included): truncation, forward /
+/// self pointers, a 64-jump budget, unsupported label types, NUL octets
+/// inside labels, and the 255-octet total.
+inline NameScan scan_name(std::span<const std::uint8_t> wire,
+                          std::size_t pos) noexcept {
+  NameScan out;
+  std::size_t cursor = pos;
+  std::size_t in_place_end = 0;  // set at the first pointer jump
+  std::size_t total_len = 1;
+  std::size_t labels = 0;
+  int jumps = 0;
+  while (true) {
+    if (cursor >= wire.size()) {
+      out.error = DecodeError::kTruncatedName;
+      return out;
+    }
+    const std::uint8_t len = wire[cursor];
+    if ((len & 0xC0) == 0xC0) {
+      if (cursor + 1 >= wire.size()) {
+        out.error = DecodeError::kTruncatedName;
+        return out;
+      }
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3F) << 8) | wire[cursor + 1];
+      if (in_place_end == 0) in_place_end = cursor + 2;
+      // RFC 1035 pointers must point backwards; forward pointers enable
+      // loops and are rejected (also catches self-pointing).
+      if (target >= cursor) {
+        out.error = DecodeError::kForwardPointer;
+        return out;
+      }
+      if (++jumps > 64) {
+        out.error = DecodeError::kCompressionLoop;
+        return out;
+      }
+      cursor = target;
+      continue;
+    }
+    if ((len & 0xC0) != 0) {  // 0x40/0x80 label types are unsupported
+      out.error = DecodeError::kLabelTooLong;
+      return out;
+    }
+    if (len == 0) {
+      if (in_place_end == 0) in_place_end = cursor + 1;
+      break;
+    }
+    if (cursor + 1 + len > wire.size()) {
+      out.error = DecodeError::kTruncatedName;
+      return out;
+    }
+    total_len += 1 + len;
+    if (total_len > kMaxNameLength) {
+      out.error = DecodeError::kNameTooLong;
+      return out;
+    }
+    // Wire labels may carry arbitrary octets, but a NUL inside a label
+    // would make the parsed name lie to every C-string consumer; treat it
+    // as malformed (the DnsName invariant, enforced here rather than by a
+    // throw out of the hot decode path).
+    for (std::size_t b = 0; b < len; ++b) {
+      if (wire[cursor + 1 + b] == 0) {
+        out.error = DecodeError::kBadLabel;
+        return out;
+      }
+    }
+    ++labels;
+    cursor += 1 + static_cast<std::size_t>(len);
+  }
+  out.ok = true;
+  out.end = in_place_end;
+  out.labels = static_cast<std::uint8_t>(labels);
+  out.name_len = static_cast<std::uint8_t>(total_len);
+  return out;
+}
+
+/// Walk the labels of a name `scan_name` already accepted, following
+/// pointers, calling `f(label_bytes, label_len)` left to right.
+template <typename F>
+inline void for_each_label(std::span<const std::uint8_t> wire, std::size_t pos,
+                           F&& f) {
+  std::size_t cursor = pos;
+  while (true) {
+    const std::uint8_t len = wire[cursor];
+    if ((len & 0xC0) == 0xC0) {
+      cursor = (static_cast<std::size_t>(len & 0x3F) << 8) | wire[cursor + 1];
+      continue;
+    }
+    if (len == 0) return;
+    f(wire.data() + cursor + 1, len);
+    cursor += 1 + static_cast<std::size_t>(len);
+  }
+}
+
+}  // namespace orp::dns::wire

@@ -1,6 +1,7 @@
 #include "prober/scanner.h"
 
 #include "dns/builder.h"
+#include "dns/decode_view.h"
 
 namespace orp::prober {
 
@@ -9,10 +10,12 @@ constexpr std::uint16_t kProberPort = 54321;  // fixed source port, ZMap-style
 }
 
 Scanner::Scanner(net::Network& network, net::IPv4Addr prober_addr,
-                 ScanConfig config, zone::SubdomainScheme scheme)
+                 ScanConfig config, zone::SubdomainScheme scheme,
+                 dns::EncodeBuffer* codec_scratch)
     : network_(network),
       addr_(prober_addr),
       config_(config),
+      codec_scratch_(codec_scratch != nullptr ? *codec_scratch : own_scratch_),
       clusters_(std::move(scheme), config.rotate_pause),
       permutation_(config.seed),
       limiter_(config.rate_pps, config.batch_size * 4) {
@@ -91,9 +94,12 @@ void Scanner::send_one_probe(net::IPv4Addr target) {
   outstanding_[qname.canonical_key()] =
       Outstanding{id, network_.loop().now()};
   ++stats_.q1_sent;
+  // Encode through the shared per-shard scratch; only the datagram payload
+  // itself is a fresh allocation.
+  const auto wire = dns::encode_into(query, codec_scratch_);
   network_.send(net::Datagram{net::Endpoint{addr_, kProberPort},
                               net::Endpoint{target, net::kDnsPort},
-                              dns::encode(query)});
+                              std::vector<std::uint8_t>(wire.begin(), wire.end())});
 }
 
 void Scanner::on_datagram(const net::Datagram& d) {
@@ -102,10 +108,13 @@ void Scanner::on_datagram(const net::Datagram& d) {
       R2Record{network_.loop().now(), d.src.addr, d.payload});
 
   // Group the flow by qname (§III-B): the DNS ID field is too narrow at
-  // 100k pps, so the question name is the flow key.
-  const auto decoded = dns::decode(d.payload);
-  if (decoded && !decoded->questions.empty()) {
-    const auto key = decoded->questions.front().qname.canonical_key();
+  // 100k pps, so the question name is the flow key. A DecodeView is a full
+  // validation pass (all four sections, same rules as decode), so
+  // `complete()` matches exactly what decode() used to accept — without
+  // materializing the message.
+  const dns::DecodeView v = dns::DecodeView::parse(d.payload);
+  if (v.complete() && v.questions_parsed > 0) {
+    const auto key = v.qname.canonical_key();
     const auto it = outstanding_.find(key);
     if (it != outstanding_.end()) {
       ++stats_.r2_matched;
@@ -116,7 +125,7 @@ void Scanner::on_datagram(const net::Datagram& d) {
     }
     return;
   }
-  if (decoded && decoded->questions.empty()) {
+  if (v.complete()) {
     // The paper's 494 unmatchable responses: no dns_question to group by.
     ++stats_.r2_empty_question;
     return;

@@ -88,8 +88,12 @@ class Scanner {
   /// pipeline wires this to AuthServer::load_cluster.
   using RotateCallback = std::function<void(std::uint32_t cluster)>;
 
+  /// `codec_scratch`, when given, is the per-shard encode buffer probes are
+  /// built in (shards are single-threaded, so sharing it is race-free); the
+  /// scanner falls back to an owned buffer otherwise.
   Scanner(net::Network& network, net::IPv4Addr prober_addr, ScanConfig config,
-          zone::SubdomainScheme scheme);
+          zone::SubdomainScheme scheme,
+          dns::EncodeBuffer* codec_scratch = nullptr);
 
   void set_rotate_callback(RotateCallback cb) { on_rotate_ = std::move(cb); }
 
@@ -116,6 +120,8 @@ class Scanner {
   net::Network& network_;
   net::IPv4Addr addr_;
   ScanConfig config_;
+  dns::EncodeBuffer own_scratch_;
+  dns::EncodeBuffer& codec_scratch_;
   zone::ClusterManager clusters_;
   CyclicPermutation permutation_;
   RateLimiter limiter_;

@@ -9,9 +9,10 @@ namespace orp::resolver {
 
 ResolverHost::ResolverHost(net::Network& network, net::IPv4Addr addr,
                            BehaviorProfile profile, EngineConfig engine_config,
-                           std::uint64_t seed)
+                           std::uint64_t seed, dns::EncodeBuffer* codec_scratch)
     : network_(network),
       addr_(addr),
+      codec_scratch_(codec_scratch != nullptr ? *codec_scratch : own_scratch_),
       profile_(std::move(profile)),
       engine_config_(std::move(engine_config)),
       seed_(seed),
@@ -181,9 +182,10 @@ void ResolverHost::respond_forwarded(const dns::Message& query,
   dns::Message upstream_q =
       dns::make_query(query.header.id, query.questions.front().qname,
                       query.questions.front().qtype);
-  network_.send(net::Datagram{local,
-                              net::Endpoint{profile_.upstream, net::kDnsPort},
-                              dns::encode(upstream_q)});
+  const auto wire = dns::encode_into(upstream_q, codec_scratch_);
+  network_.send(net::Datagram{
+      local, net::Endpoint{profile_.upstream, net::kDnsPort},
+      std::vector<std::uint8_t>(wire.begin(), wire.end())});
 }
 
 void ResolverHost::emit(dns::Message response, net::Endpoint client,
@@ -211,8 +213,10 @@ void ResolverHost::emit(dns::Message response, net::Endpoint client,
   // Honor the client's advertised UDP budget (512 for classic DNS).
   if (!raw_counts && dns::truncate_to_fit(response, budget))
     ++stats_.truncated;
-  auto payload = raw_counts ? dns::encode_raw_counts(response)
-                            : dns::encode(response);
+  const auto wire = raw_counts
+                        ? dns::encode_raw_counts_into(response, codec_scratch_)
+                        : dns::encode_into(response, codec_scratch_);
+  std::vector<std::uint8_t> payload(wire.begin(), wire.end());
   network_.loop().schedule_in(
       profile_.response_delay,
       [this, client, payload = std::move(payload)]() {

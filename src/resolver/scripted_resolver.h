@@ -24,9 +24,12 @@ class ResolverHost {
  public:
   /// `engine_config` supplies root hints for profiles that genuinely
   /// recurse; it is unused (and the engine never instantiated) otherwise.
+  /// `codec_scratch`, when given, is the shard-shared encode buffer (all
+  /// hosts of one SimulatedInternet run on one event loop); each host owns
+  /// a buffer otherwise.
   ResolverHost(net::Network& network, net::IPv4Addr addr,
                BehaviorProfile profile, EngineConfig engine_config,
-               std::uint64_t seed);
+               std::uint64_t seed, dns::EncodeBuffer* codec_scratch = nullptr);
   ~ResolverHost();
 
   ResolverHost(const ResolverHost&) = delete;
@@ -50,6 +53,8 @@ class ResolverHost {
 
   net::Network& network_;
   net::IPv4Addr addr_;
+  dns::EncodeBuffer own_scratch_;
+  dns::EncodeBuffer& codec_scratch_;
   BehaviorProfile profile_;
   EngineConfig engine_config_;
   std::uint64_t seed_;

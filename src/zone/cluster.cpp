@@ -1,36 +1,63 @@
 #include "zone/cluster.h"
 
 #include <charconv>
+#include <cstdio>
 
 #include "net/reserved.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
 namespace orp::zone {
+namespace {
+
+/// Shared by the DnsName and NameView overloads of parse(): checks the
+/// "or<cluster>.<index>.<sld>" shape and extracts the two numeric labels.
+/// `Name` only needs label_count() / label(i) returning a string_view.
+template <typename Name>
+std::optional<SubdomainId> parse_probe_name(const Name& qname,
+                                            const dns::DnsName& sld) {
+  if (qname.label_count() != sld.label_count() + 2) return std::nullopt;
+  for (std::size_t i = 0; i < sld.label_count(); ++i)
+    if (!dns::label_equals_ci(qname.label(i + 2), sld.label(i)))
+      return std::nullopt;
+  const std::string_view first = qname.label(0);
+  const std::string_view second = qname.label(1);
+  if (first.size() < 3 || first.compare(0, 2, "or") != 0) return std::nullopt;
+  if (!util::all_digits(first.substr(2)) || !util::all_digits(second))
+    return std::nullopt;
+  SubdomainId id;
+  std::from_chars(first.data() + 2, first.data() + first.size(), id.cluster);
+  std::from_chars(second.data(), second.data() + second.size(), id.index);
+  return id;
+}
+
+}  // namespace
 
 SubdomainScheme::SubdomainScheme(dns::DnsName sld, std::uint32_t cluster_size,
                                  std::uint64_t seed)
     : sld_(std::move(sld)), cluster_size_(cluster_size), seed_(seed) {}
 
 dns::DnsName SubdomainScheme::qname(SubdomainId id) const {
-  return sld_.child(util::zero_pad(id.index, 7))
-      .child("or" + util::zero_pad(id.cluster, 3));
+  // Both labels rendered into stack buffers; prefixed() builds the final
+  // name in a single allocation (the old child().child() chain took ~6).
+  char cluster_label[16];
+  char index_label[16];
+  const int cn = std::snprintf(cluster_label, sizeof(cluster_label), "or%03u",
+                               id.cluster);
+  const int in = std::snprintf(index_label, sizeof(index_label), "%07u",
+                               id.index);
+  return sld_.prefixed({std::string_view(cluster_label, cn),
+                        std::string_view(index_label, in)});
 }
 
 std::optional<SubdomainId> SubdomainScheme::parse(
     const dns::DnsName& qname) const {
-  if (!qname.is_subdomain_of(sld_)) return std::nullopt;
-  if (qname.label_count() != sld_.label_count() + 2) return std::nullopt;
-  const std::string& first = qname.labels()[0];
-  const std::string& second = qname.labels()[1];
-  if (first.size() < 3 || first.compare(0, 2, "or") != 0) return std::nullopt;
-  if (!util::all_digits({first.data() + 2, first.size() - 2}) ||
-      !util::all_digits(second))
-    return std::nullopt;
-  SubdomainId id;
-  std::from_chars(first.data() + 2, first.data() + first.size(), id.cluster);
-  std::from_chars(second.data(), second.data() + second.size(), id.index);
-  return id;
+  return parse_probe_name(qname, sld_);
+}
+
+std::optional<SubdomainId> SubdomainScheme::parse(
+    const dns::NameView& qname) const {
+  return parse_probe_name(qname, sld_);
 }
 
 net::IPv4Addr SubdomainScheme::ground_truth(SubdomainId id) const {

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "dns/decode_view.h"
 #include "dns/name.h"
 #include "net/ipv4.h"
 #include "net/sim_time.h"
@@ -48,6 +49,10 @@ class SubdomainScheme {
 
   /// Parse a probe qname back to its id; nullopt if not one of ours.
   std::optional<SubdomainId> parse(const dns::DnsName& qname) const;
+
+  /// Same, reading the qname straight out of a zero-copy DecodeView —
+  /// the analyzer's hot path never materializes a DnsName.
+  std::optional<SubdomainId> parse(const dns::NameView& qname) const;
 
   /// The correct (ground-truth) answer the authoritative server publishes
   /// for this subdomain: a deterministic pseudo-random public IPv4 address.

@@ -111,15 +111,11 @@ std::optional<dns::DnsName> resolve_name(const std::string& text,
                                          const dns::DnsName& origin) {
   if (text == "@") return origin;
   if (!text.empty() && text.back() == '.') return dns::DnsName::parse(text);
-  const auto relative = dns::DnsName::parse(text);
+  auto relative = dns::DnsName::parse(text);
   if (!relative) return std::nullopt;
-  std::vector<std::string> labels = relative->labels();
-  labels.insert(labels.end(), origin.labels().begin(), origin.labels().end());
-  try {
-    return dns::DnsName(std::move(labels));
-  } catch (const std::invalid_argument&) {
-    return std::nullopt;
-  }
+  for (std::size_t i = 0; i < origin.label_count(); ++i)
+    if (!relative->append_label(origin.label(i))) return std::nullopt;
+  return relative;
 }
 
 struct PendingRecord {

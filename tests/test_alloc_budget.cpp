@@ -1,0 +1,201 @@
+// Allocation budgets for the hot wire path.
+//
+// A campaign encodes billions of probes and classifies millions of R2s; the
+// per-packet allocation count is the difference between an L1-resident inner
+// loop and one that lives in the allocator. These tests override the global
+// operator new with a counter and lock the budgets in:
+//
+//   encode_into (warm per-shard scratch)   0 allocations
+//   encode (convenience, fresh buffers)   <= 2 allocations
+//   DecodeView::parse                      0 allocations
+//   classify_r2, A-record answer           0 allocations
+//   classify_r2, TXT/CNAME answer         <= 1 allocation (the answer text)
+//
+// The counter is process-global, so this file must stay its own test binary
+// (orp_test gives every file one).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "analysis/flow.h"
+#include "dns/builder.h"
+#include "dns/codec.h"
+#include "dns/decode_view.h"
+#include "zone/cluster.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_counting{false};
+
+/// Run `f` with counting enabled; returns the number of operator-new calls.
+template <typename F>
+std::uint64_t count_allocs(F&& f) {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+  f();
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace orp {
+namespace {
+
+using namespace orp::dns;
+
+zone::SubdomainScheme probe_scheme() {
+  return zone::SubdomainScheme(DnsName::must_parse("ucfsealresearch.net"),
+                               5'000'000, 7);
+}
+
+Message probe_query(const zone::SubdomainScheme& scheme) {
+  return make_query(0x4242, scheme.qname({3, 1234567}));
+}
+
+Message full_response(const zone::SubdomainScheme& scheme) {
+  Message m = probe_query(scheme);
+  m.header.flags.qr = true;
+  m.header.flags.ra = true;
+  m.answers.push_back(ResourceRecord{m.questions[0].qname, RRType::kA,
+                                     RRClass::kIN, 300,
+                                     ARdata{net::IPv4Addr(93, 184, 216, 34)}});
+  m.authority.push_back(ResourceRecord{
+      DnsName::must_parse("ucfsealresearch.net"), RRType::kNS, RRClass::kIN,
+      172800, NameRdata{DnsName::must_parse("ns1.ucfsealresearch.net")}});
+  m.additional.push_back(ResourceRecord{
+      DnsName::must_parse("ns1.ucfsealresearch.net"), RRType::kA, RRClass::kIN,
+      172800, ARdata{net::IPv4Addr(45, 76, 18, 21)}});
+  return m;
+}
+
+prober::R2Record record_for(const std::vector<std::uint8_t>& wire) {
+  return prober::R2Record{net::SimTime{}, net::IPv4Addr(8, 8, 8, 8), wire};
+}
+
+TEST(AllocBudget, EncodeIntoWarmScratchAllocatesNothing) {
+  const auto scheme = probe_scheme();
+  const Message query = probe_query(scheme);
+  const Message response = full_response(scheme);
+  EncodeBuffer scratch;
+  (void)encode_into(query, scratch);     // warm the scratch once
+  (void)encode_into(response, scratch);
+  const auto n = count_allocs([&] {
+    for (int i = 0; i < 100; ++i) {
+      (void)encode_into(query, scratch);
+      (void)encode_into(response, scratch);
+    }
+  });
+  EXPECT_EQ(n, 0u) << "per-shard scratch must make re-encoding allocation-free";
+}
+
+TEST(AllocBudget, ConvenienceEncodeStaysWithinTwoAllocations) {
+  const auto scheme = probe_scheme();
+  const Message query = probe_query(scheme);
+  std::uint64_t n = 0;
+  std::vector<std::uint8_t> wire;
+  n = count_allocs([&] { wire = encode(query); });
+  // One allocation for the output vector, one for the compression offsets;
+  // both are up-front reserves, so there is no regrowth.
+  EXPECT_LE(n, 2u);
+  EXPECT_FALSE(wire.empty());
+}
+
+TEST(AllocBudget, DecodeViewAllocatesNothing) {
+  const auto scheme = probe_scheme();
+  const auto wire = encode(full_response(scheme));
+  const auto n = count_allocs([&] {
+    for (int i = 0; i < 100; ++i) {
+      const DecodeView v = DecodeView::parse(wire);
+      ASSERT_TRUE(v.complete());
+    }
+  });
+  EXPECT_EQ(n, 0u) << "DecodeView must borrow the wire buffer, not copy it";
+}
+
+TEST(AllocBudget, ClassifyARecordAnswerAllocatesNothing) {
+  const auto scheme = probe_scheme();
+  const auto rec = record_for(encode(full_response(scheme)));
+  (void)analysis::classify_r2(rec, scheme);  // warm up
+  const auto n = count_allocs([&] {
+    for (int i = 0; i < 100; ++i) {
+      const auto view = analysis::classify_r2(rec, scheme);
+      ASSERT_EQ(view.form, analysis::AnswerForm::kIp);
+    }
+  });
+  EXPECT_EQ(n, 0u) << "the common A-record classify path must not allocate";
+}
+
+TEST(AllocBudget, ClassifyTextAnswersAllocateAtMostTheAnswerText) {
+  const auto scheme = probe_scheme();
+
+  Message txt = probe_query(scheme);
+  txt.header.flags.qr = true;
+  txt.answers.push_back(ResourceRecord{
+      txt.questions[0].qname, RRType::kTXT, RRClass::kIN, 60,
+      TxtRdata{{"a deliberately long garbage answer", "second chunk"}}});
+  const auto txt_rec = record_for(encode(txt));
+
+  Message url = probe_query(scheme);
+  url.header.flags.qr = true;
+  url.answers.push_back(ResourceRecord{
+      url.questions[0].qname, RRType::kCNAME, RRClass::kIN, 60,
+      NameRdata{DnsName::must_parse("u.dcoin.co.long-enough-to-heap.example")}});
+  const auto url_rec = record_for(encode(url));
+
+  const auto n_txt =
+      count_allocs([&] { (void)analysis::classify_r2(txt_rec, scheme); });
+  const auto n_url =
+      count_allocs([&] { (void)analysis::classify_r2(url_rec, scheme); });
+  EXPECT_LE(n_txt, 1u) << "TXT join must presize and allocate once";
+  EXPECT_LE(n_url, 1u) << "URL answer must allocate only the rendered name";
+}
+
+TEST(AllocBudget, ClassifyBeatsMaterializingDecodeByTwoX) {
+  // The acceptance bar: the DecodeView classify path allocates at most half
+  // of what the Message-materializing decode alone used to cost it.
+  const auto scheme = probe_scheme();
+  Message txt = probe_query(scheme);
+  txt.header.flags.qr = true;
+  txt.answers.push_back(ResourceRecord{
+      txt.questions[0].qname, RRType::kTXT, RRClass::kIN, 60,
+      TxtRdata{{"a deliberately long garbage answer", "second chunk"}}});
+  const auto rec = record_for(encode(txt));
+
+  const auto n_view =
+      count_allocs([&] { (void)analysis::classify_r2(rec, scheme); });
+  const auto n_materialize =
+      count_allocs([&] { (void)decode_partial(rec.payload); });
+  EXPECT_GE(n_materialize, 2 * std::max<std::uint64_t>(n_view, 1))
+      << "view=" << n_view << " materialize=" << n_materialize;
+}
+
+TEST(AllocBudget, ProbeNameGenerationAndKeyAreSingleAllocations) {
+  const auto scheme = probe_scheme();
+  DnsName name = scheme.qname({3, 1234567});
+  const auto n_gen =
+      count_allocs([&] { (void)scheme.qname(zone::SubdomainId{4, 7}); });
+  const auto n_key = count_allocs([&] { (void)name.canonical_key(); });
+  EXPECT_LE(n_gen, 1u) << "flat-name qname synthesis must build in place";
+  EXPECT_LE(n_key, 1u);
+}
+
+}  // namespace
+}  // namespace orp

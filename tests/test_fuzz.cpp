@@ -5,6 +5,7 @@
 
 #include "dns/builder.h"
 #include "dns/codec.h"
+#include "dns/decode_view.h"
 #include "dns/edns.h"
 #include "net/pcap.h"
 #include "util/rng.h"
@@ -103,6 +104,180 @@ TEST_P(FuzzSweep, RandomMessagesRoundTrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Values(1, 2, 3, 4));
+
+// ---- DecodeView / decode_partial differential ----------------------------
+//
+// classify_r2 runs on DecodeView; the forensics path still materializes via
+// decode_partial. These sweeps pin that, on *any* byte sequence, the two
+// agree on every field the classifier reads: failure stage and error,
+// header bits, question count + first question, answer count + the first
+// answer's type/class/ttl/rdata.
+
+void expect_view_matches_partial(std::span<const std::uint8_t> wire) {
+  const DecodeView v = DecodeView::parse(wire);
+  const PartialDecode p = decode_partial(wire);
+  ASSERT_EQ(static_cast<int>(v.failed_at), static_cast<int>(p.failed_at));
+  ASSERT_EQ(v.error, p.error);
+  if (v.failed_at == DecodeStage::kHeader) return;
+
+  EXPECT_EQ(v.header.id, p.message.header.id);
+  EXPECT_EQ(v.header.flags, p.message.header.flags);
+  EXPECT_EQ(v.header.qdcount, p.message.header.qdcount);
+  EXPECT_EQ(v.header.ancount, p.message.header.ancount);
+  EXPECT_EQ(v.header.nscount, p.message.header.nscount);
+  EXPECT_EQ(v.header.arcount, p.message.header.arcount);
+
+  ASSERT_EQ(v.questions_parsed, p.message.questions.size());
+  if (v.questions_parsed > 0) {
+    const Question& q = p.message.questions.front();
+    EXPECT_EQ(v.qname.to_string(), q.qname.to_string());
+    EXPECT_EQ(v.qname.canonical_key(), q.qname.canonical_key());
+    EXPECT_EQ(v.qname.label_count(), q.qname.label_count());
+    EXPECT_EQ(v.qtype, q.qtype);
+    EXPECT_EQ(v.qclass, q.qclass);
+  }
+
+  ASSERT_EQ(v.answers_parsed, p.message.answers.size());
+  if (v.answers_parsed == 0) return;
+  const ResourceRecord& rr = p.message.answers.front();
+  const AnswerRecordView& av = v.first_answer;
+  EXPECT_EQ(av.name.to_string(), rr.name.to_string());
+  EXPECT_EQ(av.type, rr.type);
+  EXPECT_EQ(av.rrclass, rr.rrclass);
+  EXPECT_EQ(av.ttl, rr.ttl);
+  switch (av.type) {
+    case RRType::kA: {
+      ASSERT_EQ(av.rdata.size(), 4u);
+      const auto addr = net::IPv4Addr(
+          (std::uint32_t{av.rdata[0]} << 24) | (std::uint32_t{av.rdata[1]} << 16) |
+          (std::uint32_t{av.rdata[2]} << 8) | std::uint32_t{av.rdata[3]});
+      EXPECT_EQ(addr, std::get<ARdata>(rr.rdata).addr);
+      break;
+    }
+    case RRType::kNS:
+    case RRType::kCNAME:
+    case RRType::kPTR:
+      EXPECT_EQ(av.rdata_name.to_string(),
+                std::get<NameRdata>(rr.rdata).name.to_string());
+      break;
+    case RRType::kTXT: {
+      // Reconstruct the chunk list from the view's raw rdata span.
+      std::vector<std::string> chunks;
+      for (std::size_t i = 0; i < av.rdata.size();) {
+        const std::size_t len = av.rdata[i++];
+        ASSERT_LE(i + len, av.rdata.size());
+        chunks.emplace_back(reinterpret_cast<const char*>(av.rdata.data() + i),
+                            len);
+        i += len;
+      }
+      EXPECT_EQ(chunks, std::get<TxtRdata>(rr.rdata).strings);
+      break;
+    }
+    case RRType::kAAAA: {
+      ASSERT_EQ(av.rdata.size(), 16u);
+      const auto& addr = std::get<AAAARdata>(rr.rdata).addr;
+      EXPECT_TRUE(std::equal(av.rdata.begin(), av.rdata.end(), addr.begin()));
+      break;
+    }
+    case RRType::kSOA:
+    case RRType::kMX:
+      break;  // classifier reads only the type; decode validated both
+    default: {
+      const auto& raw = std::get<RawRdata>(rr.rdata).bytes;
+      ASSERT_EQ(av.rdata.size(), raw.size());
+      EXPECT_TRUE(std::equal(av.rdata.begin(), av.rdata.end(), raw.begin()));
+    }
+  }
+}
+
+class ViewDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ViewDifferential, AgreesWithPartialOnRandomBytes) {
+  util::Rng rng(GetParam() * 77 + 11);
+  for (int round = 0; round < 5000; ++round) {
+    std::vector<std::uint8_t> bytes(rng.bounded(160));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    expect_view_matches_partial(bytes);
+    if (::testing::Test::HasFatalFailure()) FAIL() << "round " << round;
+  }
+}
+
+TEST_P(ViewDifferential, AgreesWithPartialOnMutatedRealPackets) {
+  util::Rng rng(GetParam() * 77 + 500);
+  Message base = make_query(
+      1234, DnsName::must_parse("or001.0034567.ucfsealresearch.net"));
+  base.header.flags.qr = true;
+  base.answers.push_back(ResourceRecord{base.questions[0].qname, RRType::kA,
+                                        RRClass::kIN, 300,
+                                        ARdata{net::IPv4Addr(1, 2, 3, 4)}});
+  set_edns(base, EdnsInfo{.udp_payload_size = 4096});
+  const auto clean = encode(base);
+  for (int round = 0; round < 5000; ++round) {
+    auto wire = clean;
+    const int flips = 1 + static_cast<int>(rng.bounded(4));
+    for (int f = 0; f < flips; ++f)
+      wire[rng.bounded(wire.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.bounded(255));
+    expect_view_matches_partial(wire);
+    if (::testing::Test::HasFatalFailure()) FAIL() << "round " << round;
+  }
+}
+
+TEST_P(ViewDifferential, AgreesOnEveryAnswerShapeTheClassifierHandles) {
+  const DnsName owner = DnsName::must_parse("Or001.0034567.UCFSealResearch.NET");
+  const std::vector<Rdata> shapes = {
+      ARdata{net::IPv4Addr(93, 184, 216, 34)},
+      NameRdata{DnsName::must_parse("u.dcoin.co")},
+      SoaRdata{DnsName::must_parse("ns1.example.net"),
+               DnsName::must_parse("hostmaster.example.net"), 2018042601},
+      MxRdata{10, DnsName::must_parse("mx.example.net")},
+      TxtRdata{{"wild", "", "OK"}},   // empty mid-chunk: the double-space case
+      AAAARdata{{0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}},
+      RawRdata{10, {0xde, 0xad, 0xbe, 0xef}},
+  };
+  for (const Rdata& rdata : shapes) {
+    for (const bool compress : {true, false}) {
+      Message m = make_query(0x4242, owner);
+      m.header.flags.qr = true;
+      const RRType type =
+          std::holds_alternative<ARdata>(rdata)      ? RRType::kA
+          : std::holds_alternative<NameRdata>(rdata) ? RRType::kCNAME
+          : std::holds_alternative<SoaRdata>(rdata)  ? RRType::kSOA
+          : std::holds_alternative<MxRdata>(rdata)   ? RRType::kMX
+          : std::holds_alternative<TxtRdata>(rdata)  ? RRType::kTXT
+          : std::holds_alternative<AAAARdata>(rdata) ? RRType::kAAAA
+                                                     : static_cast<RRType>(10);
+      m.answers.push_back(ResourceRecord{owner, type, RRClass::kIN, 300, rdata});
+      expect_view_matches_partial(encode(m, {.compress = compress}));
+      if (::testing::Test::HasFatalFailure())
+        FAIL() << "type " << static_cast<int>(type) << " compress " << compress;
+    }
+  }
+}
+
+TEST_P(ViewDifferential, AgreesOnLyingCountsAndTruncatedPrefixes) {
+  // The undecodable-answer shape: header claims an answer the packet lacks.
+  Message lying = make_query(7, DnsName::must_parse("www.example.net"));
+  lying.header.flags.qr = true;
+  lying.header.qdcount = 1;
+  lying.header.ancount = 1;
+  const auto lying_wire = encode_raw_counts(lying);
+  expect_view_matches_partial(lying_wire);
+
+  Message base = make_query(7, DnsName::must_parse("www.example.net"));
+  base.header.flags.qr = true;
+  base.answers.push_back(ResourceRecord{
+      base.questions[0].qname, RRType::kTXT, RRClass::kIN, 60,
+      TxtRdata{{"some moderately long answer payload text"}}});
+  const auto clean = encode(base);
+  for (std::size_t len = 0; len <= clean.size(); ++len) {
+    expect_view_matches_partial(
+        std::span<const std::uint8_t>(clean.data(), len));
+    if (::testing::Test::HasFatalFailure()) FAIL() << "prefix length " << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewDifferential, ::testing::Values(1, 2, 3));
 
 TEST(PcapFuzz, RandomBytesNeverCrashTheReader) {
   util::Rng rng(5);
