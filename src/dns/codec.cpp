@@ -121,14 +121,19 @@ class Writer {
  private:
   /// Does the name written at output offset `pos` equal (ASCII-ci) the flat
   /// label run `suffix`? Follows compression pointers already present in
-  /// the output — every recorded offset starts a full label, and every
-  /// written name terminates in a root byte or a pointer chain that does.
+  /// the output. Offsets recorded for the name currently being written point
+  /// at a label run with no terminator yet (Writer::name records each offset
+  /// before writing its label), so a walk may reach the write frontier; that
+  /// means the candidate is the unfinished current name and must not match —
+  /// the old per-suffix map could never self-match either.
   bool suffix_matches(std::size_t pos, std::string_view suffix) const {
     std::size_t s = 0;
     std::size_t cursor = pos;
     while (true) {
+      if (cursor >= bytes_.size()) return false;  // hit the write frontier
       const std::uint8_t len = bytes_[cursor];
       if ((len & 0xC0) == 0xC0) {
+        if (cursor + 1 >= bytes_.size()) return false;
         cursor = (static_cast<std::size_t>(len & 0x3F) << 8) |
                  bytes_[cursor + 1];
         continue;

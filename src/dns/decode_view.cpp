@@ -158,6 +158,9 @@ std::string_view NameView::label(std::size_t i) const noexcept {
       cursor = (static_cast<std::size_t>(len & 0x3F) << 8) | wire_[cursor + 1];
       continue;
     }
+    // Root byte: `i >= label_count()` violated the documented precondition.
+    // Degrade to an empty label rather than walking past the validated name.
+    if (len == 0) return {};
     if (i == 0)
       return std::string_view(
           reinterpret_cast<const char*>(wire_.data() + cursor + 1), len);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dns/builder.h"
 #include "dns/codec.h"
 #include "dns/message.h"
@@ -189,6 +191,55 @@ TEST(Codec, CompressionShrinksRepeatedNames) {
   const Message m = sample_message();
   EXPECT_LT(encode(m, {.compress = true}).size(),
             encode(m, {.compress = false}).size());
+}
+
+// Regression: while a name is being written, its earlier labels are recorded
+// as compression candidates before the name has a terminator. A name whose
+// remaining suffix matches those earlier labels (a.a.example, b.a.b.a) used
+// to walk the matcher off the write frontier — never match against the
+// unfinished current name, and never emit a self-referential pointer.
+TEST(Codec, SelfSuffixNamesNeverSelfCompress) {
+  for (const char* s : {"a.a", "a.a.example", "example.example.com",
+                        "a.b.a.b", "aa.aa", "x.x.x.x.x"}) {
+    Message m = make_query(0x42, DnsName::must_parse(s));
+    m.header.flags.qr = true;
+    m.answers.push_back(ResourceRecord{m.questions[0].qname, RRType::kA,
+                                       RRClass::kIN, 60,
+                                       ARdata{net::IPv4Addr(1, 2, 3, 4)}});
+    const auto wire = encode(m, {.compress = true});
+    const auto decoded = decode(wire);
+    ASSERT_TRUE(decoded.has_value())
+        << s << ": " << to_string(decoded.error());
+    EXPECT_EQ(decoded->questions[0].qname, m.questions[0].qname) << s;
+    EXPECT_EQ(decoded->answers[0].name, m.answers[0].name) << s;
+  }
+}
+
+TEST(Codec, SelfSuffixNameDeterministicOnWarmBuffer) {
+  // A warm EncodeBuffer holds stale bytes from the previous message past the
+  // current write frontier. Encoding "a.a": the offset recorded for the whole
+  // name (12) matches the remaining suffix "a" exactly, and the matcher's
+  // walk lands on the frontier at offset 14 — where the *previous* message
+  // (query for single-label "x") left a stale root byte. A frontier overrun
+  // reads that 0x00, declares a match, and emits a pointer to the name's own
+  // start — a compression loop every decoder rejects.
+  Message m = make_query(0x42, DnsName::must_parse("a.a"));
+  const auto cold = encode(m, {.compress = true});
+  EncodeBuffer scratch;
+  // Previous message: single-label qname "x" (root byte at offset 14) plus
+  // an answer so the scratch capacity already covers the next encode and is
+  // not reallocated away along with the stale bytes.
+  Message prev = make_query(0x41, DnsName::must_parse("x"));
+  prev.header.flags.qr = true;
+  prev.answers.push_back(ResourceRecord{prev.questions[0].qname, RRType::kA,
+                                        RRClass::kIN, 60,
+                                        ARdata{net::IPv4Addr(1, 2, 3, 4)}});
+  (void)encode_into(prev, scratch, {.compress = true});
+  const auto warm = encode_into(m, scratch, {.compress = true});
+  EXPECT_TRUE(std::equal(cold.begin(), cold.end(), warm.begin(), warm.end()));
+  const auto decoded = decode(warm);
+  ASSERT_TRUE(decoded.has_value()) << to_string(decoded.error());
+  EXPECT_EQ(decoded->questions[0].qname, m.questions[0].qname);
 }
 
 struct RdataCase {

@@ -77,11 +77,22 @@ TEST_P(FuzzSweep, RandomMessagesRoundTrip) {
     m.header.flags = Flags::unpack(static_cast<std::uint16_t>(rng()));
     const int labels = 1 + static_cast<int>(rng.bounded(4));
     std::string name;
+    std::string first_label;
     for (int l = 0; l < labels; ++l) {
       if (l) name += ".";
+      // Sometimes repeat the first label so the name's suffix matches its
+      // own prefix (a.a.example) — exercises the compression writer's
+      // frontier check against self-matching candidates.
+      if (l > 0 && rng.chance(0.25)) {
+        name += first_label;
+        continue;
+      }
       const int len = 1 + static_cast<int>(rng.bounded(12));
+      std::string label;
       for (int c = 0; c < len; ++c)
-        name += static_cast<char>('a' + rng.bounded(26));
+        label += static_cast<char>('a' + rng.bounded(26));
+      if (l == 0) first_label = label;
+      name += label;
     }
     m.questions.push_back(Question{DnsName::must_parse(name), RRType::kA,
                                    RRClass::kIN});
