@@ -163,8 +163,8 @@ BENCHMARK(BM_DecodePartialMalformed);
 void BM_ClassifyR2(benchmark::State& state) {
   const zone::SubdomainScheme scheme(
       dns::DnsName::must_parse("ucfsealresearch.net"), 5'000'000, 7);
-  const prober::R2Record rec{net::SimTime{}, net::IPv4Addr(8, 8, 8, 8),
-                             dns::encode(full_response())};
+  const auto wire = dns::encode(full_response());
+  const prober::R2Record rec{net::SimTime{}, net::IPv4Addr(8, 8, 8, 8), wire};
   for (auto _ : state) {
     const auto view = analysis::classify_r2(rec, scheme);
     benchmark::DoNotOptimize(view.correct);
@@ -279,8 +279,9 @@ void write_bench_codec_json(const char* path) {
   const auto response_wire = dns::encode(response);
   const prober::R2Record rec_a{net::SimTime{}, net::IPv4Addr(8, 8, 8, 8),
                                response_wire};
+  const auto txt_wire = dns::encode(txt_response());
   const prober::R2Record rec_txt{net::SimTime{}, net::IPv4Addr(8, 8, 8, 8),
-                                 dns::encode(txt_response())};
+                                 txt_wire};
   dns::EncodeBuffer scratch;
 
   struct Row {

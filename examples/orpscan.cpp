@@ -196,7 +196,7 @@ int main(int argc, char** argv) {
       pkt.time = rec.time;
       pkt.src = net::Endpoint{rec.resolver, net::kDnsPort};
       pkt.dst = net::Endpoint{internet.prober_address(), 54321};
-      pkt.payload = rec.payload;
+      pkt.payload.assign(rec.payload.begin(), rec.payload.end());
       packets.push_back(std::move(pkt));
     }
     if (!net::write_pcap_file(opts.pcap_path, packets)) {

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Run the simulation-core test suites under AddressSanitizer +
+# UndefinedBehaviorSanitizer, and the sharded-pipeline suite under
+# ThreadSanitizer.
+#
+# The zero-allocation core trades owned buffers for shared ones: pooled
+# PayloadRef slabs are refcounted across in-flight events, taps, and the
+# receiving handler; CaptureStore and R2Store records are {offset,len} /
+# span views into append-only arenas; InlineAction relocates closures inside
+# a fixed buffer during heap sifts. A lifetime or aliasing mistake in any of
+# those would corrupt memory rather than fail a value assertion, and a
+# missed happens-before edge between shard loops would corrupt the merge —
+# this preset makes both loud. Usage:
+#
+#   scripts/sanitize_net_tests.sh          # configure, build, run both
+#   BUILD_DIR=build-asan TSAN_BUILD_DIR=build-tsan scripts/sanitize_net_tests.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
+TESTS=(test_net test_prober test_pipeline test_alloc_budget)
+
+status=0
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DORP_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TESTS[@]}"
+
+for t in "${TESTS[@]}"; do
+  echo "==== $t (asan+ubsan) ===="
+  "$BUILD_DIR/tests/$t" || status=1
+done
+
+# TSan is incompatible with ASan, so the cross-thread check (S shard loops
+# running concurrently, merged on the coordinator) needs its own tree.
+cmake -B "$TSAN_BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DORP_SANITIZE=thread
+cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)" --target test_pipeline
+
+echo "==== test_pipeline PipelineSharding.* (tsan) ===="
+"$TSAN_BUILD_DIR/tests/test_pipeline" --gtest_filter='PipelineSharding.*' ||
+  status=1
+
+exit $status

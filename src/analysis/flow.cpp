@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "dns/decode_view.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace orp::analysis {
@@ -119,7 +120,7 @@ R2View classify_r2(const prober::R2Record& record,
   }
 }
 
-std::vector<R2View> classify_all(const std::vector<prober::R2Record>& records,
+std::vector<R2View> classify_all(const prober::R2Store& records,
                                  const zone::SubdomainScheme& scheme) {
   std::vector<R2View> views;
   views.reserve(records.size());
@@ -145,41 +146,43 @@ std::vector<R2View> merge_views(std::vector<std::vector<R2View>> shards) {
 std::uint64_t behavior_digest(const std::vector<R2View>& views) {
   std::uint64_t digest = 0;
   for (const R2View& v : views) {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    const auto fold = [&h](std::uint64_t x) {
-      h = (h ^ x) * 0x100000001b3ULL;
-    };
-    fold(v.resolver.value());
-    fold(v.header_decoded);
-    fold(v.has_question);
-    fold(v.ra);
-    fold(v.aa);
-    fold(static_cast<std::uint64_t>(v.rcode));
-    fold(static_cast<std::uint64_t>(v.form));
-    fold(v.correct);
+    util::Fnv1a h;
+    h.word(v.resolver.value())
+        .word(v.header_decoded)
+        .word(v.has_question)
+        .word(v.ra)
+        .word(v.aa)
+        .word(static_cast<std::uint64_t>(v.rcode))
+        .word(static_cast<std::uint64_t>(v.form))
+        .word(v.correct);
     // A *correct* answer IP is the ground truth of whichever probe name the
     // scanner happened to allocate — an ordering artifact, excluded. An
     // incorrect one is the resolver's own rewrite target — behavior, folded.
-    if (v.answer_ip && !v.correct) fold(v.answer_ip->value());
-    fold(util::fnv1a64(v.answer_text));
+    if (v.answer_ip && !v.correct) h.word(v.answer_ip->value());
+    h.word(util::fnv1a64(v.answer_text));
     // Wrapping sum: commutative, so the digest ignores view order entirely.
-    digest += util::mix64(h);
+    digest += util::mix64(h.value());
   }
   return digest;
 }
 
 void FlowGrouper::add_probe(const dns::DnsName& qname, net::IPv4Addr target) {
-  Flow& flow = flows_[qname.canonical_key()];
-  flow.qname_key = qname.canonical_key();
+  char key_buf[dns::kMaxNameLength];
+  const std::string_view key = qname.canonical_key_into(key_buf);
+  auto it = flows_.find(key);
+  if (it == flows_.end())
+    it = flows_.emplace(std::string(key), Flow{}).first;
+  Flow& flow = it->second;
+  if (flow.qname_key.empty()) flow.qname_key = it->first;
   flow.probed_target = target;
 }
 
-void FlowGrouper::add_auth_packet(const net::CapturedPacket& pkt,
+void FlowGrouper::add_auth_packet(std::span<const std::uint8_t> payload,
                                   bool inbound) {
-  const dns::DecodeView v = dns::DecodeView::parse(pkt.payload);
+  const dns::DecodeView v = dns::DecodeView::parse(payload);
   if (v.questions_parsed == 0) return;
-  const auto key = v.qname.canonical_key();
-  const auto it = flows_.find(key);
+  char key_buf[dns::kMaxNameLength];
+  const auto it = flows_.find(v.qname.canonical_key_into(key_buf));
   // Auth-side traffic for unknown qnames (background noise) is not a flow.
   if (it == flows_.end()) return;
   if (inbound)
@@ -189,7 +192,8 @@ void FlowGrouper::add_auth_packet(const net::CapturedPacket& pkt,
 }
 
 void FlowGrouper::add_r2(const R2View& view, const dns::DnsName& qname) {
-  const auto it = flows_.find(qname.canonical_key());
+  char key_buf[dns::kMaxNameLength];
+  const auto it = flows_.find(qname.canonical_key_into(key_buf));
   if (it == flows_.end()) return;
   it->second.has_r2 = true;
   it->second.r2 = view;

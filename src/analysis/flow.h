@@ -9,12 +9,15 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dns/codec.h"
 #include "net/capture.h"
 #include "prober/scanner.h"
+#include "util/strings.h"
 #include "zone/cluster.h"
 
 namespace orp::analysis {
@@ -60,7 +63,7 @@ R2View classify_r2(const prober::R2Record& record,
                    const zone::SubdomainScheme& scheme);
 
 /// Classify a whole scan's worth.
-std::vector<R2View> classify_all(const std::vector<prober::R2Record>& records,
+std::vector<R2View> classify_all(const prober::R2Store& records,
                                  const zone::SubdomainScheme& scheme);
 
 /// Merge per-shard view sets into one canonically-ordered set: stable sort
@@ -95,17 +98,24 @@ struct Flow {
 /// statistical tables only need the R2 views.
 class FlowGrouper {
  public:
+  /// Heterogeneous map: lookups take a string_view key built in a stack
+  /// buffer, so grouping a packet allocates nothing unless it opens a flow.
+  using FlowMap = std::unordered_map<std::string, Flow,
+                                     util::TransparentStringHash,
+                                     std::equal_to<>>;
+
   explicit FlowGrouper(const zone::SubdomainScheme& scheme)
       : scheme_(scheme) {}
 
   void add_probe(const dns::DnsName& qname, net::IPv4Addr target);
-  /// Feed one authns-side captured packet (inbound = Q2, outbound = R1).
-  void add_auth_packet(const net::CapturedPacket& pkt, bool inbound);
+  /// Feed one authns-side packet payload (inbound = Q2, outbound = R1).
+  void add_auth_packet(std::span<const std::uint8_t> payload, bool inbound);
+  void add_auth_packet(const net::CapturedPacket& pkt, bool inbound) {
+    add_auth_packet(std::span<const std::uint8_t>(pkt.payload), inbound);
+  }
   void add_r2(const R2View& view, const dns::DnsName& qname);
 
-  const std::unordered_map<std::string, Flow>& flows() const noexcept {
-    return flows_;
-  }
+  const FlowMap& flows() const noexcept { return flows_; }
 
   /// Flows where the resolver answered without ever contacting the
   /// authoritative server — the paper's manipulation discriminator (§IV-C2):
@@ -115,7 +125,7 @@ class FlowGrouper {
 
  private:
   const zone::SubdomainScheme& scheme_;
-  std::unordered_map<std::string, Flow> flows_;
+  FlowMap flows_;
 };
 
 }  // namespace orp::analysis

@@ -63,9 +63,7 @@ void AuthServer::on_datagram(const net::Datagram& d) {
     err.header.flags.rcode = dns::Rcode::kFormErr;
     ++stats_.responses_sent;
     const auto wire = dns::encode_into(err, codec_scratch_);
-    network_.send(net::Datagram{
-        net::Endpoint{addr_, net::kDnsPort}, d.src,
-        std::vector<std::uint8_t>(wire.begin(), wire.end())});
+    network_.send(net::Endpoint{addr_, net::kDnsPort}, d.src, wire);
     return;
   }
   if (const auto edns = dns::extract_edns(*decoded)) {
@@ -81,9 +79,7 @@ void AuthServer::on_datagram(const net::Datagram& d) {
     ++stats_.truncated;
   ++stats_.responses_sent;
   const auto wire = dns::encode_into(response, codec_scratch_);
-  network_.send(net::Datagram{
-      net::Endpoint{addr_, net::kDnsPort}, d.src,
-      std::vector<std::uint8_t>(wire.begin(), wire.end())});
+  network_.send(net::Endpoint{addr_, net::kDnsPort}, d.src, wire);
 }
 
 dns::Message AuthServer::answer(const dns::Message& query) {

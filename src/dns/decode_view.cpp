@@ -195,6 +195,22 @@ std::string NameView::canonical_key() const {
   return out;
 }
 
+std::string_view NameView::canonical_key_into(std::span<char> buf) const
+    noexcept {
+  if (count_ == 0) {
+    buf[0] = '.';
+    return {buf.data(), 1};
+  }
+  std::size_t n = 0;
+  wire::for_each_label(wire_, start_,
+                       [&buf, &n](const std::uint8_t* data, std::uint8_t len) {
+                         if (n > 0) buf[n++] = '.';
+                         for (std::size_t i = 0; i < len; ++i)
+                           buf[n++] = ascii_lower(static_cast<char>(data[i]));
+                       });
+  return {buf.data(), n};
+}
+
 DnsName NameView::to_name() const {
   DnsName out;
   out.reserve_flat(static_cast<std::size_t>(name_len_) - 1);

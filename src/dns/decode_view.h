@@ -57,6 +57,10 @@ class NameView {
   /// Lower-cased presentation form — matches DnsName::canonical_key.
   std::string canonical_key() const;
 
+  /// canonical_key() written into caller storage (allocation-free lookups).
+  /// `buf` must hold kMaxNameLength bytes; returns the written prefix.
+  std::string_view canonical_key_into(std::span<char> buf) const noexcept;
+
   /// Materialize an owning DnsName (off the hot path).
   DnsName to_name() const;
 

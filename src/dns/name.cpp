@@ -169,4 +169,22 @@ std::string DnsName::canonical_key() const {
   return key;
 }
 
+std::string_view DnsName::canonical_key_into(std::span<char> buf) const
+    noexcept {
+  if (count_ == 0) {
+    buf[0] = '.';
+    return {buf.data(), 1};
+  }
+  std::size_t n = 0;
+  std::size_t off = 0;
+  while (off < flat_.size()) {
+    const auto len = static_cast<std::uint8_t>(flat_[off]);
+    if (off != 0) buf[n++] = '.';
+    for (std::size_t i = 0; i < len; ++i)
+      buf[n++] = ascii_lower(flat_[off + 1 + i]);
+    off += 1 + len;
+  }
+  return {buf.data(), n};
+}
+
 }  // namespace orp::dns

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -79,6 +80,11 @@ class DnsName {
 
   /// Canonical (lower-case) form for use as a map key.
   std::string canonical_key() const;
+
+  /// canonical_key() written into caller storage (allocation-free lookups
+  /// against heterogeneous maps). `buf` must hold kMaxNameLength bytes;
+  /// returns the written prefix.
+  std::string_view canonical_key_into(std::span<char> buf) const noexcept;
 
   friend bool operator==(const DnsName& a, const DnsName& b) noexcept {
     return a.equals(b);

@@ -1,0 +1,33 @@
+#include "net/buffer_pool.h"
+
+namespace orp::net {
+
+BufferPool::~BufferPool() {
+  // References can legally outlive the pool (e.g. events still queued in a
+  // loop that is destroyed after its Network). Orphan any live slab: mark it
+  // heap-owned and release vector ownership, so the last PayloadRef deletes
+  // it instead of calling back into a destroyed free list.
+  for (auto& slab : slabs_) {
+    if (slab->refs > 0) {
+      slab->owner = nullptr;
+      slab.release();
+    }
+  }
+}
+
+PayloadRef BufferPool::acquire(std::span<const std::uint8_t> bytes) {
+  PayloadSlab* s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    slabs_.push_back(std::make_unique<PayloadSlab>());
+    s = slabs_.back().get();
+    s->owner = this;
+  }
+  s->bytes.assign(bytes.begin(), bytes.end());
+  s->refs = 1;
+  return PayloadRef(s);
+}
+
+}  // namespace orp::net

@@ -1,0 +1,137 @@
+// Shard-local recycled payload buffers.
+//
+// A campaign pushes millions of datagrams through Network::send, and before
+// this pool every hop — the in-flight event, each tap, the receiving handler —
+// held its own std::vector copy of the payload. A PayloadRef is a ref-counted
+// handle to one PayloadSlab; the sender's bytes are written once and shared by
+// everyone on the path. When the last reference drops, a pooled slab returns
+// to its BufferPool's free list with its vector capacity intact, so the
+// steady-state send path stops touching the allocator entirely.
+//
+// Threading: shards are single-threaded by construction (one event loop per
+// shard, pool owned by the shard's Network), so the refcount is a plain
+// integer. A PayloadRef must never cross shards; merged artifacts
+// (CaptureStore arenas, R2Store chunks) copy bytes out instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace orp::net {
+
+class BufferPool;
+
+/// One payload buffer plus its intrusive refcount. `owner == nullptr` marks a
+/// standalone heap slab (from the vector-adopting PayloadRef constructors);
+/// it is deleted at the last release instead of recycled.
+struct PayloadSlab {
+  std::vector<std::uint8_t> bytes;
+  std::uint32_t refs = 0;
+  BufferPool* owner = nullptr;
+};
+
+/// Shared immutable view of a payload. Copy = refcount bump; the bytes
+/// themselves are never duplicated. Implicitly constructible from a vector or
+/// initializer list so one-shot senders (tests, examples, client hosts) can
+/// keep writing `Datagram{src, dst, dns::encode(q)}` — the vector is adopted,
+/// not copied.
+class PayloadRef {
+ public:
+  PayloadRef() noexcept = default;
+
+  PayloadRef(std::vector<std::uint8_t> bytes)  // NOLINT: implicit by design
+      : slab_(new PayloadSlab{std::move(bytes), 1, nullptr}) {}
+
+  PayloadRef(std::initializer_list<std::uint8_t> bytes)  // NOLINT
+      : PayloadRef(std::vector<std::uint8_t>(bytes)) {}
+
+  PayloadRef(const PayloadRef& o) noexcept : slab_(o.slab_) {
+    if (slab_) ++slab_->refs;
+  }
+  PayloadRef(PayloadRef&& o) noexcept : slab_(std::exchange(o.slab_, nullptr)) {}
+  PayloadRef& operator=(const PayloadRef& o) noexcept {
+    if (this != &o) {
+      release();
+      slab_ = o.slab_;
+      if (slab_) ++slab_->refs;
+    }
+    return *this;
+  }
+  PayloadRef& operator=(PayloadRef&& o) noexcept {
+    if (this != &o) {
+      release();
+      slab_ = std::exchange(o.slab_, nullptr);
+    }
+    return *this;
+  }
+  ~PayloadRef() { release(); }
+
+  const std::uint8_t* data() const noexcept {
+    return slab_ ? slab_->bytes.data() : nullptr;
+  }
+  std::size_t size() const noexcept { return slab_ ? slab_->bytes.size() : 0; }
+  bool empty() const noexcept { return size() == 0; }
+  const std::uint8_t* begin() const noexcept { return data(); }
+  const std::uint8_t* end() const noexcept { return data() + size(); }
+  std::uint8_t operator[](std::size_t i) const noexcept { return data()[i]; }
+
+  std::span<const std::uint8_t> span() const noexcept {
+    return {data(), size()};
+  }
+  operator std::span<const std::uint8_t>() const noexcept {  // NOLINT
+    return span();
+  }
+
+  std::vector<std::uint8_t> to_vector() const {
+    return {begin(), end()};
+  }
+
+ private:
+  friend class BufferPool;
+  explicit PayloadRef(PayloadSlab* slab) noexcept : slab_(slab) {}
+  void release() noexcept;
+
+  PayloadSlab* slab_ = nullptr;
+};
+
+/// Free-list of PayloadSlabs. acquire() copies the caller's bytes into a
+/// recycled slab (no allocation once the slab's capacity has warmed up and the
+/// free list covers the in-flight high-water mark).
+class BufferPool {
+ public:
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  PayloadRef acquire(std::span<const std::uint8_t> bytes);
+
+  /// Total slabs ever created (bounded by the in-flight high-water mark).
+  std::size_t slab_count() const noexcept { return slabs_.size(); }
+  std::size_t free_count() const noexcept { return free_.size(); }
+
+ private:
+  friend class PayloadRef;
+  void recycle(PayloadSlab* s) { free_.push_back(s); }
+
+  std::vector<std::unique_ptr<PayloadSlab>> slabs_;
+  std::vector<PayloadSlab*> free_;
+};
+
+inline void PayloadRef::release() noexcept {
+  if (!slab_) return;
+  if (--slab_->refs == 0) {
+    if (slab_->owner != nullptr)
+      slab_->owner->recycle(slab_);
+    else
+      delete slab_;
+  }
+  slab_ = nullptr;
+}
+
+}  // namespace orp::net

@@ -9,11 +9,11 @@ void Capture::attach(Network& net) {
 void Capture::observe(SimTime t, const Datagram& d) {
   if (d.dst.addr == host_) {
     ++inbound_count_;
-    inbound_.push_back({t, d.src, d.dst, d.payload});
+    inbound_.push_back({t, d.src, d.dst, d.payload.to_vector()});
   } else if (d.src.addr == host_) {
     ++outbound_count_;
     if (!count_only_outbound_)
-      outbound_.push_back({t, d.src, d.dst, d.payload});
+      outbound_.push_back({t, d.src, d.dst, d.payload.to_vector()});
   }
 }
 

@@ -1,8 +1,10 @@
 #include "net/capture_store.h"
 
 #include <algorithm>
+#include <compare>
 #include <tuple>
 
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace orp::net {
@@ -10,22 +12,13 @@ namespace orp::net {
 namespace {
 
 std::uint64_t packet_hash(const Datagram& d) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto fold = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xff;
-      h *= 0x100000001b3ULL;
-    }
-  };
-  fold(d.src.addr.value());
-  fold(d.src.port);
-  fold(d.dst.addr.value());
-  fold(d.dst.port);
-  for (const std::uint8_t b : d.payload) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  return util::Fnv1a()
+      .word_bytes(d.src.addr.value())
+      .word_bytes(d.src.port)
+      .word_bytes(d.dst.addr.value())
+      .word_bytes(d.dst.port)
+      .bytes(d.payload)
+      .value();
 }
 
 }  // namespace
@@ -40,7 +33,9 @@ void CaptureStore::attach(Network& net, IPv4Addr host) {
 }
 
 void CaptureStore::add(SimTime t, const Datagram& d) {
-  records_.push_back(CapturedPacket{t, d.src, d.dst, d.payload});
+  records_.push_back(CaptureRecord{t, d.src, d.dst, arena_.size(),
+                                   static_cast<std::uint32_t>(d.payload.size())});
+  arena_.insert(arena_.end(), d.payload.begin(), d.payload.end());
   ++packet_count_;
   absorb_digest(d);
 }
@@ -51,6 +46,11 @@ void CaptureStore::count_only(SimTime t, const Datagram& d) {
   absorb_digest(d);
 }
 
+void CaptureStore::reserve(std::size_t records, std::size_t arena_bytes) {
+  records_.reserve(records);
+  arena_.reserve(arena_bytes);
+}
+
 void CaptureStore::absorb_digest(const Datagram& d) {
   // Wrapping sum of mixed per-packet hashes: commutative and associative,
   // so merge order (and shard layout) cannot change the result.
@@ -58,28 +58,38 @@ void CaptureStore::absorb_digest(const Datagram& d) {
 }
 
 void CaptureStore::merge(CaptureStore&& other) {
-  records_.insert(records_.end(),
-                  std::make_move_iterator(other.records_.begin()),
-                  std::make_move_iterator(other.records_.end()));
+  const std::uint64_t base = arena_.size();
+  arena_.insert(arena_.end(), other.arena_.begin(), other.arena_.end());
+  records_.reserve(records_.size() + other.records_.size());
+  for (const CaptureRecord& r : other.records_)
+    records_.push_back(
+        CaptureRecord{r.time, r.src, r.dst, r.offset + base, r.len});
   packet_count_ += other.packet_count_;
   digest_ += other.digest_;
   other.clear();
 }
 
 void CaptureStore::sort_canonical() {
-  std::stable_sort(records_.begin(), records_.end(),
-                   [](const CapturedPacket& a, const CapturedPacket& b) {
-                     return std::tuple(a.src.addr.value(), a.src.port,
-                                       a.dst.addr.value(), a.dst.port,
-                                       a.payload, a.time) <
-                            std::tuple(b.src.addr.value(), b.src.port,
-                                       b.dst.addr.value(), b.dst.port,
-                                       b.payload, b.time);
-                   });
+  std::stable_sort(
+      records_.begin(), records_.end(),
+      [this](const CaptureRecord& a, const CaptureRecord& b) {
+        const auto ka = std::tuple(a.src.addr.value(), a.src.port,
+                                   a.dst.addr.value(), a.dst.port);
+        const auto kb = std::tuple(b.src.addr.value(), b.src.port,
+                                   b.dst.addr.value(), b.dst.port);
+        if (ka != kb) return ka < kb;
+        const auto pa = payload(a);
+        const auto pb = payload(b);
+        const auto c = std::lexicographical_compare_three_way(
+            pa.begin(), pa.end(), pb.begin(), pb.end());
+        if (c != 0) return c < 0;
+        return a.time < b.time;
+      });
 }
 
 void CaptureStore::clear() {
   records_.clear();
+  arena_.clear();
   packet_count_ = 0;
   digest_ = 0;
 }

@@ -5,16 +5,32 @@
 // whose contents *merge*: records concatenate, counts sum, and the digest is
 // an order-insensitive (commutative) hash, so the merged value is identical
 // no matter how the campaign was partitioned or in which order shards land.
+//
+// Retained payloads live in one append-only byte arena per store; a record is
+// {time, src, dst, offset, len}. That keeps the shard's whole R2 pcap in a
+// single growing allocation instead of one vector per packet, and merging is
+// an arena concatenation plus an offset shift.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
-#include "net/capture.h"
+#include "net/sim_time.h"
 #include "net/transport.h"
 
 namespace orp::net {
+
+/// One retained packet; the payload bytes live in the owning store's arena
+/// and are read back through CaptureStore::payload().
+struct CaptureRecord {
+  SimTime time;
+  Endpoint src;
+  Endpoint dst;
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;
+};
 
 /// Shard-local capture at one vantage host: inbound payloads are retained
 /// (the R2 pcap), outbound packets are counted and digested only (ZMap does
@@ -30,19 +46,32 @@ class CaptureStore {
   /// Record a packet as count + digest only.
   void count_only(SimTime t, const Datagram& d);
 
+  /// Pre-size the record list and byte arena (e.g. to pin a steady-state
+  /// allocation budget in tests).
+  void reserve(std::size_t records, std::size_t arena_bytes);
+
   /// Fold another shard's store into this one (commutative on the digest
-  /// and counts; records concatenate in call order).
+  /// and counts; records concatenate in call order, arenas concatenate and
+  /// the moved-in offsets shift).
   void merge(CaptureStore&& other);
 
   /// Deterministic record order: (src, dst, payload, time). Applied after
   /// merging so the retained pcap is independent of shard count.
   void sort_canonical();
 
-  const std::vector<CapturedPacket>& records() const noexcept {
+  const std::vector<CaptureRecord>& records() const noexcept {
     return records_;
   }
+  std::span<const std::uint8_t> payload(const CaptureRecord& r) const noexcept {
+    return {arena_.data() + r.offset, r.len};
+  }
+  std::span<const std::uint8_t> payload(std::size_t i) const noexcept {
+    return payload(records_[i]);
+  }
+
   std::uint64_t packet_count() const noexcept { return packet_count_; }
   std::uint64_t retained_count() const noexcept { return records_.size(); }
+  std::size_t arena_bytes() const noexcept { return arena_.size(); }
 
   /// Order-insensitive digest over (src, dst, payload) of every observed
   /// packet — equal for any shard layout that observed the same packet set.
@@ -53,7 +82,8 @@ class CaptureStore {
  private:
   void absorb_digest(const Datagram& d);
 
-  std::vector<CapturedPacket> records_;
+  std::vector<CaptureRecord> records_;
+  std::vector<std::uint8_t> arena_;
   std::uint64_t packet_count_ = 0;
   std::uint64_t digest_ = 0;
 };

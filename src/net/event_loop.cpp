@@ -6,15 +6,50 @@ namespace orp::net {
 
 void EventLoop::schedule_at(SimTime at, Action action) {
   if (at < now_) at = now_;  // no scheduling into the past
-  queue_.push(Event{at, next_seq_++, std::move(action)});
+  heap_.push_back(Event{at, next_seq_++, std::move(action)});
+  sift_up(heap_.size() - 1);
+}
+
+void EventLoop::sift_up(std::size_t i) noexcept {
+  Event item = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(item, heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(item);
+}
+
+void EventLoop::sift_down(std::size_t i) noexcept {
+  const std::size_t n = heap_.size();
+  Event item = std::move(heap_[i]);
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], item)) break;
+    heap_[i] = std::move(heap_[child]);
+    i = child;
+  }
+  heap_[i] = std::move(item);
+}
+
+EventLoop::Event EventLoop::pop_top() noexcept {
+  Event top = std::move(heap_.front());
+  Event last = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = std::move(last);
+    sift_down(0);
+  }
+  return top;
 }
 
 std::uint64_t EventLoop::run() {
   std::uint64_t count = 0;
-  while (!queue_.empty()) {
-    // Move the event out before popping; the action may schedule more events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!heap_.empty()) {
+    Event ev = pop_top();
     now_ = ev.at;
     ev.action();
     ++count;
@@ -25,9 +60,8 @@ std::uint64_t EventLoop::run() {
 
 std::uint64_t EventLoop::run_until(SimTime deadline) {
   std::uint64_t count = 0;
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (!heap_.empty() && heap_.front().at <= deadline) {
+    Event ev = pop_top();
     now_ = ev.at;
     ev.action();
     ++count;

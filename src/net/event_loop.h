@@ -3,7 +3,15 @@
 // All simulated activity (packet delivery, resolver timeouts, zone loads,
 // prober pacing) is expressed as events on one queue. Ties in timestamp are
 // broken by insertion sequence so runs are bit-reproducible regardless of
-// std::priority_queue internals.
+// heap internals.
+//
+// Two allocation properties are load-bearing for campaign throughput:
+//   * Action is a fixed-budget inline callable, not std::function — storing a
+//     delivery closure never touches the heap, and a capture that outgrows
+//     the budget is a compile error rather than a silent allocation.
+//   * The queue is an explicit binary heap over a std::vector, so the top
+//     event is moved out legally (std::priority_queue::top() is const and
+//     forced a const_cast) and the backing storage stays warm across events.
 //
 // Every piece of state — clock, tie-break sequence counter, executed count —
 // is an instance member (never static), so each shard of a sharded campaign
@@ -11,18 +19,104 @@
 // one another. test_net.cpp pins the tie-break ordering.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "net/sim_time.h"
 
 namespace orp::net {
 
+/// Move-only callable with a fixed inline buffer and no heap fallback. The
+/// budget covers every closure the simulation schedules (delivery events
+/// carry a Datagram: two endpoints plus a pooled payload handle); anything
+/// larger fails to compile, which is the point — a bigger capture belongs in
+/// shared state, not in the per-event hot path.
+class InlineAction {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineAction() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineAction> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineAction(F&& f) {  // NOLINT: implicit, mirrors std::function
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "event closure exceeds the inline budget; capture less");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "event closure is over-aligned for the inline buffer");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "event closures must be nothrow-movable (heap sift moves)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    ops_ = &kOpsFor<Fn>;
+  }
+
+  InlineAction(InlineAction&& o) noexcept { take(o); }
+  InlineAction& operator=(InlineAction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      take(o);
+    }
+    return *this;
+  }
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+  ~InlineAction() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static void invoke_fn(void* s) {
+    (*static_cast<Fn*>(s))();
+  }
+  template <typename Fn>
+  static void relocate_fn(void* dst, void* src) noexcept {
+    ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+    static_cast<Fn*>(src)->~Fn();
+  }
+  template <typename Fn>
+  static void destroy_fn(void* s) noexcept {
+    static_cast<Fn*>(s)->~Fn();
+  }
+
+  template <typename Fn>
+  static constexpr Ops kOpsFor{&invoke_fn<Fn>, &relocate_fn<Fn>,
+                               &destroy_fn<Fn>};
+
+  void take(InlineAction& o) noexcept {
+    if (o.ops_ != nullptr) {
+      o.ops_->relocate(storage_, o.storage_);
+      ops_ = std::exchange(o.ops_, nullptr);
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
 class EventLoop {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   SimTime now() const noexcept { return now_; }
 
@@ -37,11 +131,12 @@ class EventLoop {
   /// Run until the queue drains. Returns the number of events executed.
   std::uint64_t run();
 
-  /// Run until the queue drains or simulated time would pass `deadline`.
+  /// Run until the queue drains or simulated time would pass `deadline`
+  /// (an event exactly at the deadline still executes).
   std::uint64_t run_until(SimTime deadline);
 
-  bool empty() const noexcept { return queue_.empty(); }
-  std::size_t pending() const noexcept { return queue_.size(); }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t pending() const noexcept { return heap_.size(); }
   std::uint64_t executed() const noexcept { return executed_; }
 
  private:
@@ -50,17 +145,22 @@ class EventLoop {
     std::uint64_t seq;
     Action action;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+
+  static bool earlier(const Event& a, const Event& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i) noexcept;
+  void sift_down(std::size_t i) noexcept;
+  /// Remove and return the minimum event. The caller owns the action, so it
+  /// may legally schedule more events (growing the heap) while running.
+  Event pop_top() noexcept;
 
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> heap_;  // min-heap on (at, seq)
 };
 
 }  // namespace orp::net

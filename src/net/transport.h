@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "net/buffer_pool.h"
 #include "net/event_loop.h"
 #include "net/ipv4.h"
 #include "util/rng.h"
@@ -32,7 +34,10 @@ struct Endpoint {
 struct Datagram {
   Endpoint src;
   Endpoint dst;
-  std::vector<std::uint8_t> payload;
+  /// Shared immutable payload: the in-flight event, every tap, and the
+  /// receiving handler all see the same bytes, copied exactly once (by the
+  /// sender, into a pooled or adopted buffer).
+  PayloadRef payload;
 };
 
 /// Latency model: base propagation delay plus uniform jitter.
@@ -64,6 +69,14 @@ class Network {
   /// silently dropped — exactly how probing a non-resolver address behaves.
   void send(Datagram d);
 
+  /// Hot-path send: copy `payload` into a recycled pool buffer (allocation-
+  /// free once warm) instead of making the caller materialize a vector. This
+  /// is the path every steady-state sender (scanner probes, resolver and
+  /// auth-server responses encoded into per-shard scratch) goes through.
+  void send(Endpoint src, Endpoint dst, std::span<const std::uint8_t> payload) {
+    send(Datagram{src, dst, pool_.acquire(payload)});
+  }
+
   /// Install a tap observing every datagram accepted into the network
   /// (before loss is applied), stamped with the send time.
   void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
@@ -74,6 +87,7 @@ class Network {
   std::uint64_t dropped_unbound() const noexcept { return dropped_unbound_; }
 
   EventLoop& loop() noexcept { return loop_; }
+  BufferPool& pool() noexcept { return pool_; }
 
  private:
   struct EndpointHash {
@@ -86,6 +100,7 @@ class Network {
   SimTime sample_latency();
 
   EventLoop& loop_;
+  BufferPool pool_;
   util::Rng rng_;
   LatencyModel latency_{};
   double loss_rate_ = 0.0;

@@ -1,0 +1,88 @@
+// Arena-backed storage for collected R2 responses.
+//
+// A shard's scanner used to keep one heap vector per response; at paper scale
+// that is millions of small allocations held until analysis. R2Store copies
+// each payload once into fixed-size chunks and hands out spans. Chunks are
+// never reallocated or moved once created, so a stored span stays valid for
+// the life of the store (moving the store as a whole is fine — the chunk
+// memory does not move with it). Records keep shard-local arrival order;
+// analysis iterates the store exactly like the vector it replaced.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/sim_time.h"
+
+namespace orp::prober {
+
+/// One collected R2, as captured at the prober (raw bytes; the analysis
+/// layer re-decodes, because decode *failure* is itself a measured behavior).
+/// `payload` borrows from the owning R2Store's arena — or from any
+/// caller-owned buffer when a record is built directly in tests.
+struct R2Record {
+  net::SimTime time;
+  net::IPv4Addr resolver;
+  std::span<const std::uint8_t> payload;
+};
+
+class R2Store {
+ public:
+  R2Store() = default;
+  R2Store(R2Store&&) noexcept = default;
+  R2Store& operator=(R2Store&&) noexcept = default;
+  R2Store(const R2Store&) = delete;
+  R2Store& operator=(const R2Store&) = delete;
+
+  void add(net::SimTime t, net::IPv4Addr resolver,
+           std::span<const std::uint8_t> payload) {
+    const std::span<std::uint8_t> dst = alloc(payload.size());
+    std::copy(payload.begin(), payload.end(), dst.begin());
+    records_.push_back(R2Record{t, resolver, dst});
+  }
+
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  const R2Record& operator[](std::size_t i) const noexcept {
+    return records_[i];
+  }
+  auto begin() const noexcept { return records_.begin(); }
+  auto end() const noexcept { return records_.end(); }
+
+  std::size_t arena_bytes() const noexcept {
+    return chunks_.empty() ? 0 : (chunks_.size() - 1) * kChunkBytes + used_;
+  }
+
+  void clear() {
+    records_.clear();
+    chunks_.clear();
+    used_ = 0;
+    cap_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  std::span<std::uint8_t> alloc(std::size_t n) {
+    if (used_ + n > cap_) {
+      cap_ = n > kChunkBytes ? n : kChunkBytes;
+      chunks_.push_back(std::make_unique<std::uint8_t[]>(cap_));
+      used_ = 0;
+    }
+    std::uint8_t* p = chunks_.back().get() + used_;
+    used_ += n;
+    return {p, n};
+  }
+
+  std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+  std::size_t used_ = 0;
+  std::size_t cap_ = 0;
+  std::vector<R2Record> records_;
+};
+
+}  // namespace orp::prober

@@ -94,18 +94,16 @@ void Scanner::send_one_probe(net::IPv4Addr target) {
   outstanding_[qname.canonical_key()] =
       Outstanding{id, network_.loop().now()};
   ++stats_.q1_sent;
-  // Encode through the shared per-shard scratch; only the datagram payload
-  // itself is a fresh allocation.
+  // Encode through the shared per-shard scratch and send through the pooled
+  // path: on a warm pool the probe's whole wire trip is allocation-free.
   const auto wire = dns::encode_into(query, codec_scratch_);
-  network_.send(net::Datagram{net::Endpoint{addr_, kProberPort},
-                              net::Endpoint{target, net::kDnsPort},
-                              std::vector<std::uint8_t>(wire.begin(), wire.end())});
+  network_.send(net::Endpoint{addr_, kProberPort},
+                net::Endpoint{target, net::kDnsPort}, wire);
 }
 
 void Scanner::on_datagram(const net::Datagram& d) {
   ++stats_.r2_received;
-  responses_.push_back(
-      R2Record{network_.loop().now(), d.src.addr, d.payload});
+  responses_.add(network_.loop().now(), d.src.addr, d.payload);
 
   // Group the flow by qname (§III-B): the DNS ID field is too narrow at
   // 100k pps, so the question name is the flow key. A DecodeView is a full
@@ -114,8 +112,8 @@ void Scanner::on_datagram(const net::Datagram& d) {
   // materializing the message.
   const dns::DecodeView v = dns::DecodeView::parse(d.payload);
   if (v.complete() && v.questions_parsed > 0) {
-    const auto key = v.qname.canonical_key();
-    const auto it = outstanding_.find(key);
+    char key_buf[dns::kMaxNameLength];
+    const auto it = outstanding_.find(v.qname.canonical_key_into(key_buf));
     if (it != outstanding_.end()) {
       ++stats_.r2_matched;
       clusters_.retire_answered(it->second.id);

@@ -17,7 +17,9 @@
 #include "net/reserved.h"
 #include "net/transport.h"
 #include "prober/permutation.h"
+#include "prober/r2_store.h"
 #include "prober/rate_limiter.h"
+#include "util/strings.h"
 #include "zone/cluster.h"
 
 namespace orp::prober {
@@ -40,14 +42,6 @@ struct ScanConfig {
   /// §III-B subdomain reuse. Disabling it burns a fresh name per probe —
   /// the ~800-zone-load regime the paper engineered away (ablation knob).
   bool subdomain_reuse = true;
-};
-
-/// One collected R2, as captured at the prober (raw bytes; the analysis
-/// layer re-decodes, because decode *failure* is itself a measured behavior).
-struct R2Record {
-  net::SimTime time;
-  net::IPv4Addr resolver;
-  std::vector<std::uint8_t> payload;
 };
 
 struct ScanStats {
@@ -101,14 +95,12 @@ class Scanner {
   void start(DoneCallback done);
 
   const ScanStats& stats() const noexcept { return stats_; }
-  const std::vector<R2Record>& responses() const noexcept {
-    return responses_;
-  }
+  const R2Store& responses() const noexcept { return responses_; }
   const zone::ClusterManager& clusters() const noexcept { return clusters_; }
   net::IPv4Addr address() const noexcept { return addr_; }
 
   /// Release response storage once analysis has consumed it.
-  std::vector<R2Record> take_responses() { return std::move(responses_); }
+  R2Store take_responses() { return std::move(responses_); }
 
  private:
   void send_batch();
@@ -132,14 +124,18 @@ class Scanner {
     zone::SubdomainId id;
     net::SimTime sent;
   };
-  std::unordered_map<std::string, Outstanding> outstanding_;  // qname key
+  // qname key; heterogeneous hash so R2 lookups probe with a stack-buffer
+  // string_view instead of allocating a key per response.
+  std::unordered_map<std::string, Outstanding, util::TransparentStringHash,
+                     std::equal_to<>>
+      outstanding_;
 
   std::uint64_t raw_consumed_ = 0;
   std::uint16_t next_txn_ = 1;
   bool sending_done_ = false;
   bool finished_ = false;
   ScanStats stats_;
-  std::vector<R2Record> responses_;
+  R2Store responses_;
 };
 
 }  // namespace orp::prober

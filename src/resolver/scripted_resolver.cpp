@@ -183,9 +183,7 @@ void ResolverHost::respond_forwarded(const dns::Message& query,
       dns::make_query(query.header.id, query.questions.front().qname,
                       query.questions.front().qtype);
   const auto wire = dns::encode_into(upstream_q, codec_scratch_);
-  network_.send(net::Datagram{
-      local, net::Endpoint{profile_.upstream, net::kDnsPort},
-      std::vector<std::uint8_t>(wire.begin(), wire.end())});
+  network_.send(local, net::Endpoint{profile_.upstream, net::kDnsPort}, wire);
 }
 
 void ResolverHost::emit(dns::Message response, net::Endpoint client,
@@ -216,12 +214,14 @@ void ResolverHost::emit(dns::Message response, net::Endpoint client,
   const auto wire = raw_counts
                         ? dns::encode_raw_counts_into(response, codec_scratch_)
                         : dns::encode_into(response, codec_scratch_);
-  std::vector<std::uint8_t> payload(wire.begin(), wire.end());
+  // Acquire the pooled buffer now (while the scratch bytes are live) and let
+  // the delayed event carry only the ref — no payload copy at fire time.
+  net::PayloadRef payload = network_.pool().acquire(wire);
   network_.loop().schedule_in(
       profile_.response_delay,
-      [this, client, payload = std::move(payload)]() {
+      [this, client, payload = std::move(payload)]() mutable {
         network_.send(net::Datagram{net::Endpoint{addr_, net::kDnsPort},
-                                    client, payload});
+                                    client, std::move(payload)});
       });
 }
 

@@ -1,0 +1,57 @@
+// One FNV-1a, three folding styles.
+//
+// The project digests bytes in three places that historically each hand-rolled
+// the same constants: capture_store's packet hash (64-bit fields folded as
+// little-endian bytes, then raw payload bytes), flow's behavior digest (whole
+// 64-bit words in a single xor-multiply step), and rng's fnv1a64 over label
+// strings. Fnv1a is the single accumulator behind all of them; the distinct
+// folding styles are kept as distinct methods because they produce *different*
+// (and separately pinned) digests — do not "unify" word() and word_bytes().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace orp::util {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+class Fnv1a {
+ public:
+  /// Fold one byte (the canonical FNV-1a step).
+  constexpr Fnv1a& byte(std::uint8_t b) noexcept {
+    h_ = (h_ ^ b) * kFnv1aPrime;
+    return *this;
+  }
+
+  constexpr Fnv1a& bytes(std::span<const std::uint8_t> s) noexcept {
+    for (const std::uint8_t b : s) byte(b);
+    return *this;
+  }
+
+  constexpr Fnv1a& bytes(std::string_view s) noexcept {
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+    return *this;
+  }
+
+  /// Fold a 64-bit value as its 8 little-endian bytes (packet-hash style).
+  constexpr Fnv1a& word_bytes(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) byte((v >> (8 * i)) & 0xff);
+    return *this;
+  }
+
+  /// Fold a whole 64-bit value in one xor-multiply (behavior-digest style).
+  constexpr Fnv1a& word(std::uint64_t v) noexcept {
+    h_ = (h_ ^ v) * kFnv1aPrime;
+    return *this;
+  }
+
+  constexpr std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnv1aOffsetBasis;
+};
+
+}  // namespace orp::util

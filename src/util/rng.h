@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/hash.h"
+
 namespace orp::util {
 
 /// splitmix64: used to expand a single 64-bit seed into a well-distributed
@@ -109,12 +111,7 @@ class Rng {
 
 /// Stable 64-bit FNV-1a hash of a string (for deriving seeds from labels).
 constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  return Fnv1a().bytes(s).value();
 }
 
 /// Draw an index from a discrete distribution given cumulative weights.

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,5 +36,15 @@ bool all_digits(std::string_view s);
 
 /// Zero-padded decimal rendering of `n` to exactly `width` digits.
 std::string zero_pad(std::uint64_t n, int width);
+
+/// Hash enabling heterogeneous (string_view) lookup in unordered maps keyed
+/// by std::string, so hot-path lookups need not materialize a key. Pair with
+/// std::equal_to<> as the key-equality functor.
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 }  // namespace orp::util

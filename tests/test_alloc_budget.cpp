@@ -23,6 +23,9 @@
 #include "dns/builder.h"
 #include "dns/codec.h"
 #include "dns/decode_view.h"
+#include "net/capture_store.h"
+#include "net/event_loop.h"
+#include "net/transport.h"
 #include "zone/cluster.h"
 
 namespace {
@@ -86,6 +89,8 @@ Message full_response(const zone::SubdomainScheme& scheme) {
   return m;
 }
 
+// R2Record::payload borrows the caller's wire buffer, so every call site
+// must keep `wire` alive for as long as the record is used.
 prober::R2Record record_for(const std::vector<std::uint8_t>& wire) {
   return prober::R2Record{net::SimTime{}, net::IPv4Addr(8, 8, 8, 8), wire};
 }
@@ -132,7 +137,8 @@ TEST(AllocBudget, DecodeViewAllocatesNothing) {
 
 TEST(AllocBudget, ClassifyARecordAnswerAllocatesNothing) {
   const auto scheme = probe_scheme();
-  const auto rec = record_for(encode(full_response(scheme)));
+  const auto wire = encode(full_response(scheme));
+  const auto rec = record_for(wire);
   (void)analysis::classify_r2(rec, scheme);  // warm up
   const auto n = count_allocs([&] {
     for (int i = 0; i < 100; ++i) {
@@ -151,14 +157,16 @@ TEST(AllocBudget, ClassifyTextAnswersAllocateAtMostTheAnswerText) {
   txt.answers.push_back(ResourceRecord{
       txt.questions[0].qname, RRType::kTXT, RRClass::kIN, 60,
       TxtRdata{{"a deliberately long garbage answer", "second chunk"}}});
-  const auto txt_rec = record_for(encode(txt));
+  const auto txt_wire = encode(txt);
+  const auto txt_rec = record_for(txt_wire);
 
   Message url = probe_query(scheme);
   url.header.flags.qr = true;
   url.answers.push_back(ResourceRecord{
       url.questions[0].qname, RRType::kCNAME, RRClass::kIN, 60,
       NameRdata{DnsName::must_parse("u.dcoin.co.long-enough-to-heap.example")}});
-  const auto url_rec = record_for(encode(url));
+  const auto url_wire = encode(url);
+  const auto url_rec = record_for(url_wire);
 
   const auto n_txt =
       count_allocs([&] { (void)analysis::classify_r2(txt_rec, scheme); });
@@ -177,7 +185,8 @@ TEST(AllocBudget, ClassifyBeatsMaterializingDecodeByTwoX) {
   txt.answers.push_back(ResourceRecord{
       txt.questions[0].qname, RRType::kTXT, RRClass::kIN, 60,
       TxtRdata{{"a deliberately long garbage answer", "second chunk"}}});
-  const auto rec = record_for(encode(txt));
+  const auto wire = encode(txt);
+  const auto rec = record_for(wire);
 
   const auto n_view =
       count_allocs([&] { (void)analysis::classify_r2(rec, scheme); });
@@ -185,6 +194,58 @@ TEST(AllocBudget, ClassifyBeatsMaterializingDecodeByTwoX) {
       count_allocs([&] { (void)decode_partial(rec.payload); });
   EXPECT_GE(n_materialize, 2 * std::max<std::uint64_t>(n_view, 1))
       << "view=" << n_view << " materialize=" << n_materialize;
+}
+
+// The tentpole budget: once the payload pool, event heap, and capture arena
+// are warm, a full send→schedule→deliver→tap→capture round trip touches the
+// allocator exactly zero times per packet.
+TEST(AllocBudget, SteadyStateSendDeliverCaptureIsAllocationFree) {
+  const auto scheme = probe_scheme();
+  const auto wire = encode(probe_query(scheme));
+
+  net::EventLoop loop;
+  net::Network net{loop, 1};
+  const net::Endpoint prober{net::IPv4Addr(1, 1, 1, 1), 54321};
+  const net::Endpoint resolver{net::IPv4Addr(2, 2, 2, 2), net::kDnsPort};
+  std::uint64_t handled = 0;
+  net.bind(resolver, [&handled](const net::Datagram&) { ++handled; });
+  net::CaptureStore store;
+  store.attach(net, resolver.addr);  // every packet inbound -> retained
+
+  constexpr int kBatch = 256;
+  store.reserve(2 * kBatch, 2 * kBatch * wire.size());
+  // Warm everything the steady state reuses: pool slabs and free list up to
+  // the in-flight high-water mark, the event heap's backing vector, and the
+  // capture arena reserved above.
+  for (int i = 0; i < kBatch; ++i) net.send(prober, resolver, wire);
+  loop.run();
+
+  const auto n = count_allocs([&] {
+    for (int i = 0; i < kBatch; ++i) net.send(prober, resolver, wire);
+    loop.run();
+  });
+  EXPECT_EQ(n, 0u) << "warm-pool send->deliver->capture must not allocate";
+  EXPECT_EQ(handled, 2u * kBatch);
+  EXPECT_EQ(store.packet_count(), 2u * kBatch);
+  EXPECT_EQ(net.pool().slab_count(), static_cast<std::size_t>(kBatch));
+}
+
+// Heterogeneous map keys: grouping an auth-side packet into an existing flow
+// probes the map with a stack-buffer canonical key, never a heap string.
+TEST(AllocBudget, FlowGrouperAuthPacketLookupIsAllocationFree) {
+  const auto scheme = probe_scheme();
+  analysis::FlowGrouper grouper(scheme);
+  grouper.add_probe(scheme.qname({3, 1234567}), net::IPv4Addr(5, 5, 5, 5));
+  const auto wire = encode(probe_query(scheme));  // same qname as the probe
+  grouper.add_auth_packet(wire, true);  // warm
+  const auto n = count_allocs([&] {
+    for (int i = 0; i < 100; ++i) {
+      grouper.add_auth_packet(wire, true);
+      grouper.add_auth_packet(wire, false);
+    }
+  });
+  EXPECT_EQ(n, 0u) << "flow lookups must not materialize key strings";
+  EXPECT_EQ(grouper.flows().size(), 1u);
 }
 
 TEST(AllocBudget, ProbeNameGenerationAndKeyAreSingleAllocations) {

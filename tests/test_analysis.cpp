@@ -12,14 +12,23 @@ const zone::SubdomainScheme& scheme() {
   return s;
 }
 
-prober::R2Record record_from(const dns::Message& msg,
-                             net::IPv4Addr resolver = net::IPv4Addr(9, 9, 9,
-                                                                    9),
-                             bool raw_counts = false) {
+// R2Record::payload borrows its bytes, so the test helper bundles the wire
+// buffer with the record; converting to R2Record keeps the span valid for as
+// long as the OwnedR2 lives (the full expression, for temporaries).
+struct OwnedR2 {
+  std::vector<std::uint8_t> wire;
   prober::R2Record rec;
-  rec.resolver = resolver;
-  rec.payload = raw_counts ? dns::encode_raw_counts(msg) : dns::encode(msg);
-  return rec;
+  operator const prober::R2Record&() const { return rec; }  // NOLINT
+};
+
+OwnedR2 record_from(const dns::Message& msg,
+                    net::IPv4Addr resolver = net::IPv4Addr(9, 9, 9, 9),
+                    bool raw_counts = false) {
+  OwnedR2 o;
+  o.rec.resolver = resolver;
+  o.wire = raw_counts ? dns::encode_raw_counts(msg) : dns::encode(msg);
+  o.rec.payload = o.wire;
+  return o;
 }
 
 dns::Message base_response(zone::SubdomainId id) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "net/buffer_pool.h"
 #include "net/capture.h"
 #include "net/capture_store.h"
 #include "net/event_loop.h"
@@ -201,6 +204,47 @@ TEST(EventLoop, RunUntilStopsAtDeadline) {
   EXPECT_EQ(ran, 2);
 }
 
+TEST(EventLoop, RunUntilExecutesEventExactlyAtDeadline) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule_at(SimTime::seconds(2.0), [&] { ++ran; });  // == deadline
+  loop.schedule_at(SimTime::seconds(2.0) + SimTime::nanos(1), [&] { ++ran; });
+  const auto executed = loop.run_until(SimTime::seconds(2.0));
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.now(), SimTime::seconds(2.0));
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+// Heap-order stress for the explicit binary heap: interleaved timestamps with
+// heavy ties must come out sorted by (time, insertion sequence) — including
+// ties created *while running*, which land after existing same-time events.
+TEST(EventLoop, HeapOrdersInterleavedSchedulesByTimeThenSequence) {
+  EventLoop loop;
+  std::vector<std::pair<int, int>> order;  // (millis, tag)
+  const int times[] = {5, 3, 5, 1, 3, 5, 2, 1, 4, 2};
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(SimTime::millis(times[i]),
+                     [&order, t = times[i], i] { order.push_back({t, i}); });
+  }
+  // A running action scheduling at its own timestamp runs after every event
+  // already queued for that time (fresh sequence number).
+  loop.schedule_at(SimTime::millis(3), [&] {
+    loop.schedule_at(SimTime::millis(3), [&] { order.push_back({3, 99}); });
+  });
+  loop.run();
+  ASSERT_EQ(order.size(), 11u);
+  std::vector<std::pair<int, int>> expected = order;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  EXPECT_EQ(order, expected);
+  // Within each timestamp, tags ascend in insertion order.
+  for (std::size_t i = 1; i < order.size(); ++i)
+    if (order[i - 1].first == order[i].first)
+      EXPECT_LT(order[i - 1].second, order[i].second);
+  EXPECT_EQ(order.back(), (std::pair<int, int>{5, 5}));
+}
+
 // Sharding contract: the tie-break sequence counter is a per-instance
 // member. Interleaving insertions across two loops must not perturb either
 // loop's "ties broken by insertion sequence" order — the property every
@@ -248,7 +292,7 @@ class NetworkTest : public ::testing::Test {
 
 TEST_F(NetworkTest, DeliversToBoundEndpoint) {
   std::vector<std::uint8_t> received;
-  net.bind(b, [&](const Datagram& d) { received = d.payload; });
+  net.bind(b, [&](const Datagram& d) { received = d.payload.to_vector(); });
   net.send(Datagram{a, b, {1, 2, 3}});
   loop.run();
   EXPECT_EQ(received, (std::vector<std::uint8_t>{1, 2, 3}));
@@ -296,6 +340,55 @@ TEST_F(NetworkTest, TapsSeeEveryAcceptedPacket) {
   net.send(Datagram{a, b, {2}});
   loop.run();
   EXPECT_EQ(taps, 2);
+}
+
+// Taps model the capture vantage on the sender's wire, so they observe every
+// accepted packet *before* the loss coin-flip — a lossy link must not thin
+// out the capture.
+TEST_F(NetworkTest, TapsObservePacketsBeforeLoss) {
+  net.set_loss_rate(1.0);
+  net.bind(b, [](const Datagram&) { FAIL() << "loss=1.0 must drop all"; });
+  int tapped = 0;
+  net.add_tap([&](SimTime, const Datagram& d) {
+    ++tapped;
+    EXPECT_EQ(d.payload.size(), 1u);
+  });
+  for (int i = 0; i < 20; ++i) net.send(Datagram{a, b, {7}});
+  loop.run();
+  EXPECT_EQ(tapped, 20);
+  EXPECT_EQ(net.dropped_loss(), 20u);
+  EXPECT_EQ(net.delivered(), 0u);
+}
+
+// The payload pool recycles slabs through the send→deliver cycle: sequential
+// sends reuse one buffer instead of growing the pool.
+TEST_F(NetworkTest, PayloadPoolRecyclesAcrossSequentialSends) {
+  net.bind(b, [](const Datagram&) {});
+  const std::vector<std::uint8_t> wire{1, 2, 3, 4};
+  for (int i = 0; i < 100; ++i) {
+    net.send(a, b, wire);
+    loop.run();  // drain: the in-flight ref releases back to the free list
+  }
+  EXPECT_EQ(net.delivered(), 100u);
+  EXPECT_EQ(net.pool().slab_count(), 1u);
+  EXPECT_EQ(net.pool().free_count(), 1u);
+}
+
+// Taps (and the capture store behind them) may retain a reference past the
+// datagram's lifetime; the bytes must stay valid until the last ref drops.
+TEST_F(NetworkTest, PayloadRefKeepsBytesAliveAfterDelivery) {
+  PayloadRef kept;
+  net.add_tap([&](SimTime, const Datagram& d) { kept = d.payload; });
+  net.bind(b, [](const Datagram&) {});
+  const std::vector<std::uint8_t> wire{9, 8, 7};
+  net.send(a, b, wire);
+  loop.run();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0], 9);
+  // The slab is still checked out, so a new send gets a second slab.
+  net.send(a, b, wire);
+  loop.run();
+  EXPECT_EQ(net.pool().slab_count(), 2u);
 }
 
 TEST_F(NetworkTest, RebindReplacesHandler) {
@@ -354,7 +447,9 @@ TEST(CaptureStore, VantageRetainsInboundCountsOutbound) {
 
   EXPECT_EQ(store.packet_count(), 2u);
   ASSERT_EQ(store.retained_count(), 1u);
-  EXPECT_EQ(store.records()[0].payload, (std::vector<std::uint8_t>{4, 5}));
+  const auto payload = store.payload(0);
+  EXPECT_EQ(std::vector<std::uint8_t>(payload.begin(), payload.end()),
+            (std::vector<std::uint8_t>{4, 5}));
   EXPECT_NE(store.digest(), 0u);
 }
 
@@ -386,15 +481,19 @@ TEST(CaptureStore, MergedDigestIsShardOrderInsensitive) {
   ASSERT_EQ(x1.records().size(), y1.records().size());
   for (std::size_t i = 0; i < x1.records().size(); ++i) {
     EXPECT_EQ(x1.records()[i].src, y1.records()[i].src);
-    EXPECT_EQ(x1.records()[i].payload, y1.records()[i].payload);
+    const auto px = x1.payload(i);
+    const auto py = y1.payload(i);
+    EXPECT_TRUE(std::equal(px.begin(), px.end(), py.begin(), py.end()));
   }
 }
 
 TEST(CaptureStore, DigestChangesWithContent) {
+  // Payloads are shared immutable buffers now, so the one-byte variant is a
+  // second datagram rather than an in-place edit.
   const Datagram p{{IPv4Addr(1, 0, 0, 1), 100}, {IPv4Addr(2, 0, 0, 2), 53},
                    {10, 20}};
-  Datagram q = p;
-  q.payload[0] = 11;
+  const Datagram q{{IPv4Addr(1, 0, 0, 1), 100}, {IPv4Addr(2, 0, 0, 2), 53},
+                   {11, 20}};
   CaptureStore a, b;
   a.add(SimTime(), p);
   b.add(SimTime(), q);

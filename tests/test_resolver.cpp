@@ -313,7 +313,7 @@ TEST_F(HostFixture, UndecodableAnswerFailsDecodeButKeepsQuestion) {
                     base_profile(AnswerMode::kUndecodable), engine_config, 1);
   std::vector<std::uint8_t> raw;
   const net::Endpoint prober{net::IPv4Addr(132, 170, 3, 44), 54321};
-  net.bind(prober, [&](const net::Datagram& d) { raw = d.payload; });
+  net.bind(prober, [&](const net::Datagram& d) { raw = d.payload.to_vector(); });
   net.send(net::Datagram{prober, net::Endpoint{host.address(), net::kDnsPort},
                          dns::encode(dns::make_query(99, scheme.qname({0, 9})))});
   loop.run();
