@@ -27,6 +27,7 @@
 #include "net/capture_store.h"
 #include "net/event_loop.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "prober/r2_store.h"
 #include "util/hash.h"
 #include "util/rng.h"
@@ -246,6 +247,30 @@ void BM_SendDeliverTapCapture(benchmark::State& state) {
 }
 BENCHMARK(BM_SendDeliverTapCapture);
 
+/// The same full path with the metrics registry attached to the loop — the
+/// per-event cost of the observability layer (acceptance: < 5% overhead).
+void BM_SendDeliverTapCaptureMetrics(benchmark::State& state) {
+  const auto wire = probe_wire();
+  net::EventLoop loop;
+  obs::Metrics metrics(obs::builtin().schema);
+  loop.set_metrics(&metrics);
+  net::Network net{loop, 1};
+  const net::Endpoint prober{net::IPv4Addr(1, 1, 1, 1), 54321};
+  const net::Endpoint resolver{net::IPv4Addr(2, 2, 2, 2), net::kDnsPort};
+  std::uint64_t handled = 0;
+  net.bind(resolver, [&handled](const net::Datagram&) { ++handled; });
+  net::CaptureStore store;
+  store.attach(net, resolver.addr);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) net.send(prober, resolver, wire);
+    loop.run();
+  }
+  benchmark::DoNotOptimize(handled);
+  benchmark::DoNotOptimize(store.packet_count());
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SendDeliverTapCaptureMetrics);
+
 // ---- before/after alloc+latency table ------------------------------------
 
 struct PacketCost {
@@ -364,6 +389,38 @@ void write_bench_net_json(const char* path) {
     rows.push_back({"send_deliver_tap_capture_retain", before, after});
   }
 
+  // The observability tax on the same full path: identical work, but the
+  // loop records into an attached Metrics instance (per-event counter bump,
+  // time-in-queue histogram observe, queue-peak gauge on schedule).
+  PacketCost plain, instrumented;
+  {
+    net::EventLoop loop;
+    net::Network net{loop, 1};
+    std::uint64_t handled = 0;
+    net.bind(resolver, [&handled](const net::Datagram&) { ++handled; });
+    net::CaptureStore store;
+    store.attach(net, resolver.addr);
+    store.reserve(kBatch, kBatch * wire.size());
+    plain = measure(kIters, kBatch, [&] {
+      store.clear();
+      for (int i = 0; i < kBatch; ++i) net.send(prober, resolver, wire);
+      loop.run();
+    });
+    obs::Metrics metrics(obs::builtin().schema);
+    loop.set_metrics(&metrics);
+    instrumented = measure(kIters, kBatch, [&] {
+      store.clear();
+      for (int i = 0; i < kBatch; ++i) net.send(prober, resolver, wire);
+      loop.run();
+    });
+  }
+  const double metrics_overhead_pct =
+      (instrumented.ns - plain.ns) / plain.ns * 100.0;
+  std::printf("%-26s plain  %8.1f ns %6.2f allocs | metrics %7.1f ns "
+              "%6.2f allocs (%.1f%% overhead)\n",
+              "metrics_on_full_path", plain.ns, plain.allocs, instrumented.ns,
+              instrumented.allocs, metrics_overhead_pct);
+
   std::string json =
       "{\n  \"bench\": \"net_alloc\",\n  \"iters\": " + std::to_string(kIters) +
       ",\n  \"batch\": " + std::to_string(kBatch) +
@@ -388,7 +445,14 @@ void write_bench_net_json(const char* path) {
                 r.op, r.before.ns, r.before.allocs, r.after.ns,
                 r.after.allocs);
   }
-  json += "  ]\n}\n";
+  char obs_line[256];
+  std::snprintf(obs_line, sizeof(obs_line),
+                "  ],\n  \"metrics_on_full_path\": {\"plain_ns\": %.1f, "
+                "\"instrumented_ns\": %.1f, \"instrumented_allocs\": %.2f, "
+                "\"overhead_pct\": %.1f}\n}\n",
+                plain.ns, instrumented.ns, instrumented.allocs,
+                metrics_overhead_pct);
+  json += obs_line;
   if (std::FILE* f = std::fopen(path, "w")) {
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);

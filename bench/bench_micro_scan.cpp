@@ -9,7 +9,9 @@
 // trajectory to compare against.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -125,11 +127,18 @@ BENCHMARK(BM_FullCampaignThreads)
     ->UseRealTime();
 
 /// One timed campaign run; returns (wall seconds, events executed).
-std::pair<double, std::uint64_t> timed_campaign(unsigned threads) {
+/// `instrumented` turns the full observability layer on (metrics + 1/64 flow
+/// tracing) — the delta against the plain run is the instrumentation tax.
+std::pair<double, std::uint64_t> timed_campaign(unsigned threads,
+                                                bool instrumented = false) {
   core::PipelineConfig cfg;
   cfg.scale = 1024;  // the default scale the acceptance target is set at
   cfg.seed = 42;
   cfg.threads = threads;
+  if (instrumented) {
+    cfg.obs.metrics = true;
+    cfg.obs.trace_sample_every = 64;
+  }
   const auto t0 = std::chrono::steady_clock::now();
   const core::ScanOutcome o = core::run_measurement(core::paper_2018(), cfg);
   const auto t1 = std::chrono::steady_clock::now();
@@ -163,10 +172,32 @@ void write_bench_scan_json(const char* path) {
     std::printf("threads=%u  wall=%.3fs  events/s=%.0f\n", threads, wall,
                 static_cast<double>(events) / wall);
   }
-  char tail[128];
+  // The instrumentation tax: the same campaign with the observability layer
+  // fully on (metrics + 1/64 flow tracing), single-shard so the comparison
+  // is not muddied by scheduling noise. Best-of-3 on both sides — single
+  // runs on a shared container swing by 10%+, which would drown the signal.
+  // Acceptance: well under 5%.
+  double best_plain = wall_t1, wall_obs = 1e9;
+  std::uint64_t events_obs = 0;
+  for (int i = 0; i < 3; ++i) {
+    best_plain = std::min(best_plain, timed_campaign(1).first);
+    const auto [wall, events] = timed_campaign(1, /*instrumented=*/true);
+    if (wall < wall_obs) {
+      wall_obs = wall;
+      events_obs = events;
+    }
+  }
+  const double overhead_pct = (wall_obs - best_plain) / best_plain * 100.0;
+  std::printf("threads=1 (obs on)  wall=%.3fs  events/s=%.0f  "
+              "overhead=%.1f%%\n",
+              wall_obs, static_cast<double>(events_obs) / wall_obs,
+              overhead_pct);
+  char tail[256];
   std::snprintf(tail, sizeof(tail),
-                "  ],\n  \"speedup_t4_vs_t1\": %.2f\n}\n",
-                wall_t1 / wall_t4);
+                "  ],\n  \"speedup_t4_vs_t1\": %.2f,\n"
+                "  \"instrumented\": {\"threads\": 1, \"wall_seconds\": %.3f, "
+                "\"overhead_pct\": %.1f}\n}\n",
+                wall_t1 / wall_t4, wall_obs, overhead_pct);
   json += tail;
   if (std::FILE* f = std::fopen(path, "w")) {
     std::fwrite(json.data(), 1, json.size(), f);

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The one-command pre-merge gate: tier-1 build + full ctest suite, then both
+# sanitizer presets (wire path under asan+ubsan, net/pipeline under asan).
+#
+#   scripts/check_all.sh                 # everything (tier-1 + sanitizers)
+#   ORP_SKIP_SANITIZE=1 scripts/check_all.sh   # tier-1 only (fast loop)
+#
+# Build trees: build/ for tier-1, build-sanitize/ for the sanitizer presets
+# (both scripts share it — same flags, one configure).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+echo "==== tier-1: configure + build ===="
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+echo "==== tier-1: ctest ===="
+ctest --test-dir "$BUILD_DIR" --output-on-failure
+
+if [[ "${ORP_SKIP_SANITIZE:-0}" != "1" ]]; then
+  echo "==== sanitize: wire path ===="
+  scripts/sanitize_wire_tests.sh
+  echo "==== sanitize: net + pipeline ===="
+  scripts/sanitize_net_tests.sh
+fi
+
+echo "==== check_all: OK ===="

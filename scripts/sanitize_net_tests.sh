@@ -19,7 +19,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-sanitize}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
-TESTS=(test_net test_prober test_pipeline test_alloc_budget)
+TESTS=(test_net test_prober test_pipeline test_alloc_budget test_obs)
 
 status=0
 
@@ -33,15 +33,19 @@ for t in "${TESTS[@]}"; do
   "$BUILD_DIR/tests/$t" || status=1
 done
 
-# TSan is incompatible with ASan, so the cross-thread check (S shard loops
-# running concurrently, merged on the coordinator) needs its own tree.
+# TSan is incompatible with ASan, so the cross-thread checks (S shard loops
+# running concurrently, merged on the coordinator; obs beacons published by
+# shards while the progress reporter thread reads them) need their own tree.
 cmake -B "$TSAN_BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DORP_SANITIZE=thread
-cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)" --target test_pipeline
+cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)" --target test_pipeline test_obs
 
 echo "==== test_pipeline PipelineSharding.* (tsan) ===="
 "$TSAN_BUILD_DIR/tests/test_pipeline" --gtest_filter='PipelineSharding.*' ||
   status=1
+
+echo "==== test_obs ObsPipeline.* (tsan) ===="
+"$TSAN_BUILD_DIR/tests/test_obs" --gtest_filter='ObsPipeline.*' || status=1
 
 exit $status

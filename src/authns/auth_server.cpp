@@ -2,6 +2,7 @@
 
 #include "dns/builder.h"
 #include "dns/edns.h"
+#include "util/hash.h"
 
 namespace orp::authns {
 namespace {
@@ -70,6 +71,23 @@ void AuthServer::on_datagram(const net::Datagram& d) {
     ++stats_.edns_queries;
     if (edns->do_bit) ++stats_.dnssec_do_queries;
   }
+  // Sampled-flow tracing: the Q2 span point. One hash-set probe per query;
+  // only flows the scanner marked at Q1 are recorded.
+  std::uint64_t traced_flow = 0;
+  bool traced = false;
+  if (tracer_ != nullptr && !decoded->questions.empty()) {
+    char key_buf[dns::kMaxNameLength];
+    const std::uint64_t flow =
+        util::Fnv1a{}
+            .bytes(decoded->questions.front().qname.canonical_key_into(key_buf))
+            .value();
+    if (tracer_->marked(flow)) {
+      traced_flow = flow;
+      traced = true;
+      tracer_->record(flow, obs::SpanPoint::kQ2Auth, network_.loop().now(),
+                      d.src.addr.value());
+    }
+  }
   dns::Message response = answer(*decoded);
   // EDNS negotiation (RFC 6891): echo an OPT advertising our own buffer,
   // and truncate to the client's budget — 512 bytes for classic DNS.
@@ -80,6 +98,9 @@ void AuthServer::on_datagram(const net::Datagram& d) {
   ++stats_.responses_sent;
   const auto wire = dns::encode_into(response, codec_scratch_);
   network_.send(net::Endpoint{addr_, net::kDnsPort}, d.src, wire);
+  if (traced)
+    tracer_->record(traced_flow, obs::SpanPoint::kR1Sent,
+                    network_.loop().now(), d.src.addr.value());
 }
 
 dns::Message AuthServer::answer(const dns::Message& query) {

@@ -16,6 +16,7 @@
 
 #include "dns/codec.h"
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "zone/cluster.h"
 #include "zone/zone.h"
 
@@ -64,6 +65,10 @@ class AuthServer {
   const zone::SubdomainScheme& scheme() const noexcept { return scheme_; }
   const AuthStats& stats() const noexcept { return stats_; }
 
+  /// Attach the shard's flow tracer (may be null). This vantage contributes
+  /// the Q2/R1 span points — the tcpdump side of Fig. 2.
+  void set_obs(obs::FlowTracer* tracer) noexcept { tracer_ = tracer; }
+
   /// Replace the loaded cluster (one zone file resident at a time, as in the
   /// paper). The load pauses answering for `zone_load_latency` of simulated
   /// time: queries arriving mid-load get SERVFAIL, which is what a BIND
@@ -97,6 +102,7 @@ class AuthServer {
   net::SimTime load_time_total_;
   std::uint32_t loaded_cluster_ = 0;
   AuthStats stats_;
+  obs::FlowTracer* tracer_ = nullptr;
 };
 
 }  // namespace orp::authns

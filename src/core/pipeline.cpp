@@ -1,6 +1,11 @@
 #include "core/pipeline.h"
 
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <exception>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -50,10 +55,47 @@ ScanOutcome run_measurement(const PaperYear& year,
 
   // 4. Run the shards. Each worker touches only its own slot; exceptions
   // are carried back and rethrown on the calling thread.
+  //
+  // Live progress, when enabled, runs entirely outside the simulation:
+  // shards publish into cache-line-private beacons with relaxed stores, and
+  // a real-time reporter thread polls them on a wall-clock interval. Nothing
+  // about the event streams, RNG draws, or merge order changes — progress
+  // output is the one part of the pipeline keyed to real time, and it is
+  // write-only (stderr).
+  std::unique_ptr<obs::CampaignProgress> progress;
+  if (config.obs.progress_interval_s > 0)
+    progress = std::make_unique<obs::CampaignProgress>(shards);
+
+  std::mutex reporter_mutex;
+  std::condition_variable reporter_cv;
+  bool reporter_stop = false;
+  std::thread reporter;
+  const auto campaign_start = std::chrono::steady_clock::now();
+  const auto elapsed_s = [campaign_start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         campaign_start)
+        .count();
+  };
+  if (progress != nullptr) {
+    reporter = std::thread([&]() {
+      const auto interval =
+          std::chrono::duration<double>(config.obs.progress_interval_s);
+      std::unique_lock<std::mutex> lock(reporter_mutex);
+      while (!reporter_cv.wait_for(lock, interval,
+                                   [&]() { return reporter_stop; })) {
+        const std::string line = obs::CampaignProgress::render(
+            progress->snapshot(), outcome.spec.raw_steps, elapsed_s());
+        std::fprintf(stderr, "%s\n", line.c_str());
+      }
+    });
+  }
+
   std::vector<ShardResult> results(shards);
   const auto run_shard = [&](std::uint32_t shard_id) {
     ShardContext ctx(outcome.spec, net_config, plan, shard_id, shards,
-                     scan_config);
+                     scan_config, config.obs,
+                     progress != nullptr ? &progress->shard(shard_id)
+                                         : nullptr);
     results[shard_id] = ctx.run();
   };
   if (shards == 1) {
@@ -75,6 +117,18 @@ ScanOutcome run_measurement(const PaperYear& year,
     for (const auto& e : errors)
       if (e) std::rethrow_exception(e);
   }
+  if (reporter.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(reporter_mutex);
+      reporter_stop = true;
+    }
+    reporter_cv.notify_all();
+    reporter.join();
+    // A closing line so short campaigns leave a trace of the final state.
+    const std::string line = obs::CampaignProgress::render(
+        progress->snapshot(), outcome.spec.raw_steps, elapsed_s());
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 
   // 5. Deterministic merge, in shard order for the summed counters and in
   // canonical (resolver-address) order for the views and capture records.
@@ -83,6 +137,8 @@ ScanOutcome run_measurement(const PaperYear& year,
   outcome.clusters = results[0].clusters;
   outcome.events_executed = results[0].events_executed;
   outcome.capture = std::move(results[0].capture);
+  outcome.metrics = std::move(results[0].metrics);
+  outcome.traces = std::move(results[0].traces);
   std::vector<std::vector<analysis::R2View>> view_shards;
   view_shards.reserve(shards);
   view_shards.push_back(std::move(results[0].views));
@@ -92,9 +148,12 @@ ScanOutcome run_measurement(const PaperYear& year,
     outcome.clusters += results[i].clusters;
     outcome.events_executed += results[i].events_executed;
     outcome.capture.merge(std::move(results[i].capture));
+    outcome.metrics += results[i].metrics;
+    outcome.traces.merge(std::move(results[i].traces));
     view_shards.push_back(std::move(results[i].views));
   }
   outcome.capture.sort_canonical();
+  outcome.traces.sort_canonical();
   outcome.cluster_loads = outcome.auth.cluster_loads;
   outcome.sim_duration_seconds = outcome.scan.duration().as_seconds();
 

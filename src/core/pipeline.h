@@ -14,6 +14,7 @@
 #include "core/internet_builder.h"
 #include "core/population.h"
 #include "net/capture_store.h"
+#include "obs/obs.h"
 #include "prober/scanner.h"
 
 namespace orp::core {
@@ -32,6 +33,10 @@ struct PipelineConfig {
   /// deterministically: for a fixed (year, scale, seed) the analysis tables
   /// and capture digest are identical for every value.
   unsigned threads = 1;
+  /// Observability: metrics registry, flow tracing, live progress. All off
+  /// by default; enabling any of them changes no simulated behavior — the
+  /// tables and digests stay byte-identical (instrumentation is passive).
+  obs::ObsConfig obs;
 };
 
 struct ScanOutcome {
@@ -50,6 +55,9 @@ struct ScanOutcome {
   std::uint64_t events_executed = 0;  // summed across shard loops
   double sim_duration_seconds = 0;    // simulated wall-clock of the campaign
   unsigned threads_used = 1;
+  /// Merged observability output (inert/empty unless enabled in the config).
+  obs::Metrics metrics;
+  obs::FlowTracer traces;  // canonically sorted after merge
 
   /// Scale a paper-published count down to this run's scale for printing
   /// beside measured values.

@@ -24,16 +24,36 @@ ShardContext::ShardContext(const PopulationSpec& spec,
                            const InternetConfig& net_config,
                            const InternetPlan& plan, std::uint32_t shard_id,
                            std::uint32_t shard_count,
-                           const prober::ScanConfig& scan_config)
+                           const prober::ScanConfig& scan_config,
+                           const obs::ObsConfig& obs_config,
+                           obs::ShardBeacon* beacon)
     : internet_(spec, net_config, plan, shard_id, shard_count),
       scanner_(internet_.network(), internet_.prober_address(),
                slice_config(scan_config, spec.raw_steps, shard_id,
                             shard_count),
-               internet_.scheme(), &internet_.codec_scratch()) {
+               internet_.scheme(), &internet_.codec_scratch()),
+      obs_(obs_config) {
   capture_.attach(internet_.network(), internet_.prober_address());
   scanner_.set_rotate_callback([this](std::uint32_t cluster) {
     internet_.auth().load_cluster(cluster);
   });
+
+  obs_.beacon = beacon;
+  if (obs_.metrics.enabled()) internet_.loop().set_metrics(&obs_.metrics);
+  if (beacon != nullptr) internet_.loop().set_progress_beacon(&beacon->events);
+  obs::FlowTracer* tracer = obs_.tracer.enabled() ? &obs_.tracer : nullptr;
+  if (tracer != nullptr) {
+    // Pin the trace arena's allocation budget up front: this shard samples
+    // at most slice/sample_every flows, each contributing <= 4 span points
+    // (Q1 reuse can add more; the vector doubles gracefully if so).
+    const std::uint64_t slice =
+        shard_slice(spec.raw_steps, shard_id, shard_count).size();
+    const std::size_t flows =
+        static_cast<std::size_t>(slice / obs_.tracer.sample_every() + 1);
+    tracer->reserve(flows, flows * 4);
+  }
+  scanner_.set_obs(tracer, beacon);
+  internet_.auth().set_obs(tracer);
 }
 
 ShardResult ShardContext::run() {
@@ -48,7 +68,73 @@ ShardResult ShardContext::run() {
   result.views =
       analysis::classify_all(scanner_.responses(), internet_.scheme());
   result.capture = std::move(capture_);
+  if (obs_.metrics.enabled()) collect_metrics();
+  result.metrics = std::move(obs_.metrics);
+  result.traces = std::move(obs_.tracer);
   return result;
+}
+
+void ShardContext::collect_metrics() {
+  const obs::Builtin& b = obs::builtin();
+  obs::Metrics& m = obs_.metrics;
+
+  const net::Network& net = internet_.network();
+  m.add(b.net_sent, net.sent());
+  m.add(b.net_delivered, net.delivered());
+  m.add(b.net_dropped_loss, net.dropped_loss());
+  m.add(b.net_dropped_unbound, net.dropped_unbound());
+
+  const net::BufferPool& pool = internet_.network().pool();
+  m.set_max(b.pool_slabs, pool.slab_count());
+  m.set_max(b.pool_slabs_free, pool.free_count());
+  m.add(b.pool_recycled, pool.recycled_count());
+
+  m.add(b.capture_packets, capture_.packet_count());
+  m.add(b.capture_retained, capture_.retained_count());
+  m.add(b.capture_arena_bytes, capture_.arena_bytes());
+
+  const prober::ScanStats& s = scanner_.stats();
+  m.add(b.scan_q1_sent, s.q1_sent);
+  m.add(b.scan_r2_received, s.r2_received);
+  m.add(b.scan_r2_matched, s.r2_matched);
+  m.add(b.scan_r2_empty_question, s.r2_empty_question);
+  m.add(b.scan_r2_unmatched, s.r2_unmatched);
+  m.add(b.scan_timeouts_reaped, s.timeouts_reaped);
+  m.add(b.scan_skipped_reserved, s.skipped_reserved);
+  m.add(b.scan_skipped_overflow, s.skipped_overflow);
+  m.set_max(b.scan_outstanding_peak, scanner_.peak_outstanding());
+  m.add(b.rate_tokens_granted, scanner_.limiter().granted());
+  m.add(b.rate_deferred, scanner_.limiter().deferred());
+
+  for (const auto& host : internet_.hosts()) {
+    const resolver::HostStats& hs = host->stats();
+    m.add(b.resolver_queries, hs.queries);
+    m.add(b.resolver_responses, hs.responses);
+    m.add(b.resolver_recursions, hs.recursions);
+    m.add(b.resolver_forwarded, hs.forwarded);
+    m.add(b.resolver_truncated, hs.truncated);
+    m.add(b.resolver_rrl_dropped, hs.rrl_dropped);
+    m.add(b.resolver_rrl_slipped, hs.rrl_slipped);
+    if (const resolver::IterativeEngine* eng = host->engine()) {
+      m.add(b.resolver_cache_bypass, eng->cache_bypasses());
+      m.add(b.resolver_upstream_queries, eng->upstream_queries());
+    }
+  }
+
+  const authns::AuthStats& a = internet_.auth().stats();
+  m.add(b.auth_q2_received, a.queries_received);
+  m.add(b.auth_r1_sent, a.responses_sent);
+  m.add(b.auth_answered, a.answered);
+  m.add(b.auth_nxdomain, a.nxdomain);
+  m.add(b.auth_refused, a.refused);
+  m.add(b.auth_formerr, a.formerr);
+  m.add(b.auth_truncated, a.truncated);
+  m.add(b.auth_edns_queries, a.edns_queries);
+  m.add(b.auth_dnssec_do_queries, a.dnssec_do_queries);
+  m.add(b.auth_cluster_loads, a.cluster_loads);
+
+  m.add(b.trace_flows_sampled, obs_.tracer.flow_count());
+  m.add(b.trace_records, obs_.tracer.records().size());
 }
 
 }  // namespace orp::core

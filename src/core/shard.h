@@ -18,6 +18,7 @@
 #include "analysis/flow.h"
 #include "core/internet_builder.h"
 #include "net/capture_store.h"
+#include "obs/obs.h"
 #include "prober/scanner.h"
 
 namespace orp::core {
@@ -30,6 +31,8 @@ struct ShardResult {
   std::uint64_t events_executed = 0;
   std::vector<analysis::R2View> views;
   net::CaptureStore capture;
+  obs::Metrics metrics;     // inert unless the campaign enabled metrics
+  obs::FlowTracer traces;   // empty unless the campaign enabled tracing
 };
 
 class ShardContext {
@@ -37,10 +40,16 @@ class ShardContext {
   /// `scan_config` carries the campaign-level scan parameters (seed, total
   /// rate and raw_steps, rotate pause); the context derives this shard's
   /// slice and per-shard rate from them.
+  /// `obs_config` selects which instruments this shard carries (all off by
+  /// default — instrumentation must be opt-in and must not perturb the event
+  /// stream); `beacon`, when given, is the campaign-owned progress slot this
+  /// shard publishes into.
   ShardContext(const PopulationSpec& spec, const InternetConfig& net_config,
                const InternetPlan& plan, std::uint32_t shard_id,
                std::uint32_t shard_count,
-               const prober::ScanConfig& scan_config);
+               const prober::ScanConfig& scan_config,
+               const obs::ObsConfig& obs_config = {},
+               obs::ShardBeacon* beacon = nullptr);
 
   ShardContext(const ShardContext&) = delete;
   ShardContext& operator=(const ShardContext&) = delete;
@@ -52,9 +61,15 @@ class ShardContext {
   prober::Scanner& scanner() noexcept { return scanner_; }
 
  private:
+  /// End-of-run sweep: fold the stack's passive counters (network totals,
+  /// pool occupancy, capture arena, scan/auth/resolver stats) into the
+  /// shard's Metrics instance through the builtin handles.
+  void collect_metrics();
+
   SimulatedInternet internet_;
   prober::Scanner scanner_;
   net::CaptureStore capture_;
+  obs::ShardObs obs_;
 };
 
 }  // namespace orp::core

@@ -1,6 +1,19 @@
 #include "net/buffer_pool.h"
 
+#include <atomic>
+
 namespace orp::net {
+
+namespace {
+// Process-wide because the orphaning pool is mid-destruction when the count
+// becomes interesting; relaxed is enough for a monotonically-read telemetry
+// counter.
+std::atomic<std::uint64_t> g_orphaned_slabs{0};
+}  // namespace
+
+std::uint64_t BufferPool::orphaned_total() noexcept {
+  return g_orphaned_slabs.load(std::memory_order_relaxed);
+}
 
 BufferPool::~BufferPool() {
   // References can legally outlive the pool (e.g. events still queued in a
@@ -11,6 +24,7 @@ BufferPool::~BufferPool() {
     if (slab->refs > 0) {
       slab->owner = nullptr;
       slab.release();
+      g_orphaned_slabs.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }

@@ -114,13 +114,27 @@ class BufferPool {
   /// Total slabs ever created (bounded by the in-flight high-water mark).
   std::size_t slab_count() const noexcept { return slabs_.size(); }
   std::size_t free_count() const noexcept { return free_.size(); }
+  /// Slabs currently referenced somewhere on the packet path.
+  std::size_t in_flight_count() const noexcept {
+    return slabs_.size() - free_.size();
+  }
+  /// Total recycle events (last reference dropped, slab back on the list).
+  std::uint64_t recycled_count() const noexcept { return recycled_; }
+  /// Process-wide count of slabs orphaned by pool destruction while still
+  /// referenced (see ~BufferPool) — a standing observatory watches this for
+  /// teardown-ordering leaks.
+  static std::uint64_t orphaned_total() noexcept;
 
  private:
   friend class PayloadRef;
-  void recycle(PayloadSlab* s) { free_.push_back(s); }
+  void recycle(PayloadSlab* s) {
+    free_.push_back(s);
+    ++recycled_;
+  }
 
   std::vector<std::unique_ptr<PayloadSlab>> slabs_;
   std::vector<PayloadSlab*> free_;
+  std::uint64_t recycled_ = 0;
 };
 
 inline void PayloadRef::release() noexcept {

@@ -14,6 +14,8 @@ void Capture::observe(SimTime t, const Datagram& d) {
     ++outbound_count_;
     if (!count_only_outbound_)
       outbound_.push_back({t, d.src, d.dst, d.payload.to_vector()});
+    else
+      ++count_only_outbound_count_;
   }
 }
 
@@ -22,6 +24,7 @@ void Capture::clear() {
   outbound_.clear();
   inbound_count_ = 0;
   outbound_count_ = 0;
+  count_only_outbound_count_ = 0;
 }
 
 }  // namespace orp::net

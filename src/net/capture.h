@@ -34,6 +34,13 @@ class Capture {
 
   /// When set, packets *sent by* host_ are counted but payloads not stored.
   void set_count_only_outbound(bool v) noexcept { count_only_outbound_ = v; }
+  bool count_only_outbound() const noexcept { return count_only_outbound_; }
+  /// Outbound packets seen while in count-only mode (payload dropped) — the
+  /// ZMap-style "sends logged, not retained" figure, surfaced read-only for
+  /// the metrics layer.
+  std::uint64_t count_only_outbound_count() const noexcept {
+    return count_only_outbound_count_;
+  }
 
   const std::vector<CapturedPacket>& inbound() const noexcept {
     return inbound_;
@@ -55,6 +62,7 @@ class Capture {
   std::vector<CapturedPacket> outbound_;
   std::uint64_t inbound_count_ = 0;
   std::uint64_t outbound_count_ = 0;
+  std::uint64_t count_only_outbound_count_ = 0;
 };
 
 }  // namespace orp::net

@@ -6,8 +6,9 @@ namespace orp::net {
 
 void EventLoop::schedule_at(SimTime at, Action action) {
   if (at < now_) at = now_;  // no scheduling into the past
-  heap_.push_back(Event{at, next_seq_++, std::move(action)});
+  heap_.push_back(Event{at, next_seq_++, now_, std::move(action)});
   sift_up(heap_.size() - 1);
+  if (metrics_ != nullptr) metrics_->set_max(queue_peak_h_, heap_.size());
 }
 
 void EventLoop::sift_up(std::size_t i) noexcept {
@@ -51,9 +52,11 @@ std::uint64_t EventLoop::run() {
   while (!heap_.empty()) {
     Event ev = pop_top();
     now_ = ev.at;
+    if (metrics_ != nullptr) note_executed(ev);
     ev.action();
     ++count;
     ++executed_;
+    note_progress();
   }
   return count;
 }
@@ -63,9 +66,11 @@ std::uint64_t EventLoop::run_until(SimTime deadline) {
   while (!heap_.empty() && heap_.front().at <= deadline) {
     Event ev = pop_top();
     now_ = ev.at;
+    if (metrics_ != nullptr) note_executed(ev);
     ev.action();
     ++count;
     ++executed_;
+    note_progress();
   }
   if (now_ < deadline) now_ = deadline;
   return count;

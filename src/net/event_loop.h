@@ -19,6 +19,7 @@
 // one another. test_net.cpp pins the tie-break ordering.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "net/sim_time.h"
+#include "obs/metrics.h"
 
 namespace orp::net {
 
@@ -139,10 +141,33 @@ class EventLoop {
   std::size_t pending() const noexcept { return heap_.size(); }
   std::uint64_t executed() const noexcept { return executed_; }
 
+  /// Attach an obs::Metrics instance: the loop then counts events run,
+  /// tracks the peak queue depth, and records a time-in-queue histogram.
+  /// Purely passive — it consumes no RNG, schedules nothing, and allocates
+  /// nothing, so an instrumented run is event-for-event identical to an
+  /// uninstrumented one. Handles are cached here so the per-event path never
+  /// re-resolves obs::builtin().
+  void set_metrics(obs::Metrics* m) noexcept {
+    metrics_ = m;
+    if (m != nullptr) {
+      const obs::Builtin& b = obs::builtin();
+      events_run_h_ = b.loop_events_run;
+      queue_peak_h_ = b.loop_queue_peak;
+      time_in_queue_h_ = b.loop_time_in_queue_us;
+    }
+  }
+
+  /// Publish `executed_` into `beacon` (relaxed) every 256 events — the
+  /// shard-side half of the live campaign progress reporter.
+  void set_progress_beacon(std::atomic<std::uint64_t>* beacon) noexcept {
+    progress_ = beacon;
+  }
+
  private:
   struct Event {
     SimTime at;
     std::uint64_t seq;
+    SimTime enq;  // when schedule_at ran (time-in-queue telemetry)
     Action action;
   };
 
@@ -157,10 +182,27 @@ class EventLoop {
   /// may legally schedule more events (growing the heap) while running.
   Event pop_top() noexcept;
 
+  /// Telemetry for one executed event; called only when metrics_ is set.
+  void note_executed(const Event& ev) noexcept {
+    metrics_->add(events_run_h_);
+    metrics_->observe(time_in_queue_h_,
+                      static_cast<std::uint64_t>(
+                          (ev.at - ev.enq).as_nanos() / 1'000));
+  }
+  void note_progress() noexcept {
+    if (progress_ != nullptr && (executed_ & 0xFF) == 0)
+      progress_->store(executed_, std::memory_order_relaxed);
+  }
+
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::vector<Event> heap_;  // min-heap on (at, seq)
+  obs::Metrics* metrics_ = nullptr;
+  std::atomic<std::uint64_t>* progress_ = nullptr;
+  obs::CounterHandle events_run_h_;
+  obs::GaugeHandle queue_peak_h_;
+  obs::HistogramHandle time_in_queue_h_;
 };
 
 }  // namespace orp::net

@@ -1,0 +1,144 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace orp::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_ipv4(std::string& out, std::uint32_t addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xff,
+                (addr >> 16) & 0xff, (addr >> 8) & 0xff, addr & 0xff);
+  out += buf;
+}
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+bool skip(const MetricDef& d, bool invariant_only) {
+  return invariant_only && d.invariance != Invariance::kThreadInvariant;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Metrics& m, bool invariant_only) {
+  std::string out;
+  if (!m.enabled()) return out;
+  const Schema& s = *m.schema();
+  const auto values = m.raw();
+  for (const MetricDef& d : s.defs()) {
+    if (skip(d, invariant_only)) continue;
+    out += "# HELP " + d.name + " " + d.help + "\n";
+    out += "# TYPE " + d.name + " " + kind_name(d.kind) + "\n";
+    if (d.kind != MetricKind::kHistogram) {
+      out += d.name + " ";
+      append_u64(out, values[d.first_slot]);
+      out += "\n";
+      continue;
+    }
+    const auto edges = s.edges(d);
+    std::uint64_t cumulative = 0;
+    for (std::uint32_t i = 0; i < d.edge_count; ++i) {
+      cumulative += values[d.first_slot + i];
+      out += d.name + "_bucket{le=\"";
+      append_u64(out, edges[i]);
+      out += "\"} ";
+      append_u64(out, cumulative);
+      out += "\n";
+    }
+    cumulative += values[d.first_slot + d.edge_count];
+    out += d.name + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, cumulative);
+    out += "\n" + d.name + "_sum ";
+    append_u64(out, values[d.first_slot + d.edge_count + 1]);
+    out += "\n" + d.name + "_count ";
+    append_u64(out, cumulative);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string to_jsonl(const Metrics& m, bool invariant_only) {
+  std::string out;
+  if (!m.enabled()) return out;
+  const Schema& s = *m.schema();
+  const auto values = m.raw();
+  for (const MetricDef& d : s.defs()) {
+    if (skip(d, invariant_only)) continue;
+    out += "{\"name\":\"" + d.name + "\",\"kind\":\"" + kind_name(d.kind) +
+           "\"";
+    if (d.kind != MetricKind::kHistogram) {
+      out += ",\"value\":";
+      append_u64(out, values[d.first_slot]);
+    } else {
+      const auto edges = s.edges(d);
+      out += ",\"buckets\":[";
+      for (std::uint32_t i = 0; i <= d.edge_count; ++i) {
+        if (i > 0) out += ",";
+        out += "{\"le\":";
+        if (i < d.edge_count)
+          append_u64(out, edges[i]);
+        else
+          out += "\"+Inf\"";
+        out += ",\"n\":";
+        append_u64(out, values[d.first_slot + i]);
+        out += "}";
+      }
+      out += "],\"sum\":";
+      append_u64(out, values[d.first_slot + d.edge_count + 1]);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string traces_to_jsonl(const FlowTracer& t) {
+  std::string out;
+  for (const TraceRecord& r : t.records()) {
+    char head[64];
+    std::snprintf(head, sizeof(head), "{\"flow\":\"%016" PRIx64 "\"", r.flow);
+    out += head;
+    if (r.perm_index != TraceRecord::kNoIndex) {
+      out += ",\"perm_index\":";
+      append_u64(out, r.perm_index);
+    }
+    out += ",\"point\":\"";
+    out += span_point_name(r.point);
+    out += "\",\"t_ns\":";
+    char t_buf[24];
+    std::snprintf(t_buf, sizeof(t_buf), "%" PRId64, r.time_ns);
+    out += t_buf;
+    out += ",\"peer\":\"";
+    append_ipv4(out, r.peer);
+    out += "\"}\n";
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(content.data(), 1, content.size(), f) ==
+                     content.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+}  // namespace orp::obs

@@ -1,0 +1,29 @@
+// Snapshot exporters for the observability subsystem.
+//
+// Two formats, both text, both deterministic (metrics render in schema
+// registration order; traces render in canonical sort order):
+//
+//   * Prometheus exposition text — what a standing observatory scrapes.
+//   * JSON lines — one object per metric / span record, for offline tooling.
+//
+// `invariant_only` filters to metrics tagged kThreadInvariant, the subset
+// whose merged snapshot is byte-identical for every shard count — the form
+// the determinism tests compare, mirroring PipelineSharding's rendered-table
+// comparison.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace orp::obs {
+
+std::string to_prometheus(const Metrics& m, bool invariant_only = false);
+std::string to_jsonl(const Metrics& m, bool invariant_only = false);
+std::string traces_to_jsonl(const FlowTracer& t);
+
+/// Write `content` to `path`; returns false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace orp::obs

@@ -1,0 +1,39 @@
+// The per-campaign observability surface: configuration plus the per-shard
+// instrument bundle the pipeline threads through the stack.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+
+namespace orp::obs {
+
+struct ObsConfig {
+  /// Record metrics (per-shard, merged deterministically into the outcome).
+  bool metrics = false;
+  /// Trace one flow in N by global permutation index; 0 disables tracing.
+  std::uint64_t trace_sample_every = 0;
+  /// Print a live progress line to stderr every interval of *real* seconds
+  /// while shards run; 0 disables the reporter.
+  double progress_interval_s = 0;
+
+  bool any() const noexcept {
+    return metrics || trace_sample_every > 0 || progress_interval_s > 0;
+  }
+};
+
+/// Everything one shard records into. Owned by the shard (single-threaded,
+/// lock-free); moved into the ShardResult and merged by the pipeline.
+struct ShardObs {
+  Metrics metrics;
+  FlowTracer tracer;
+  ShardBeacon* beacon = nullptr;  // owned by the campaign, optional
+
+  explicit ShardObs(const ObsConfig& cfg)
+      : metrics(cfg.metrics ? Metrics(builtin().schema) : Metrics()),
+        tracer(cfg.trace_sample_every) {}
+};
+
+}  // namespace orp::obs

@@ -1,0 +1,25 @@
+#include "obs/progress.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace orp::obs {
+
+std::string CampaignProgress::render(const Snapshot& s,
+                                     std::uint64_t probes_expected,
+                                     double elapsed_seconds) {
+  const double pct =
+      probes_expected == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(s.probes_sent) /
+                static_cast<double>(probes_expected);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "[obs] t=%6.1fs scan %5.1f%% | %" PRIu64 " probes %" PRIu64
+                " responses | %.1f Mevents | %u/%u shards done",
+                elapsed_seconds, pct, s.probes_sent, s.responses,
+                static_cast<double>(s.events) / 1e6, s.shards_done, s.shards);
+  return std::string(buf);
+}
+
+}  // namespace orp::obs

@@ -1,0 +1,19 @@
+#include "obs/trace.h"
+
+namespace orp::obs {
+
+const char* span_point_name(SpanPoint p) noexcept {
+  switch (p) {
+    case SpanPoint::kQ1Sent:
+      return "Q1";
+    case SpanPoint::kQ2Auth:
+      return "Q2";
+    case SpanPoint::kR1Sent:
+      return "R1";
+    case SpanPoint::kR2Received:
+      return "R2";
+  }
+  return "?";
+}
+
+}  // namespace orp::obs

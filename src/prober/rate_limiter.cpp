@@ -28,6 +28,7 @@ bool RateLimiter::try_acquire(std::uint64_t n, net::SimTime now,
     granted_ += n;
     return true;
   }
+  ++deferred_;
   const double deficit = need - tokens_;
   // Clamp the wait to a representable step: a sub-nanosecond deficit would
   // otherwise round to "ready now" and livelock the caller's retry loop.

@@ -24,6 +24,9 @@ class RateLimiter {
 
   double rate() const noexcept { return rate_pps_; }
   std::uint64_t granted() const noexcept { return granted_; }
+  /// Requests that found the bucket empty and had to reschedule — the
+  /// token-wait pressure signal of the observability layer.
+  std::uint64_t deferred() const noexcept { return deferred_; }
 
  private:
   void refill(net::SimTime now);
@@ -33,6 +36,7 @@ class RateLimiter {
   double tokens_;
   net::SimTime last_refill_;
   std::uint64_t granted_ = 0;
+  std::uint64_t deferred_ = 0;
 };
 
 }  // namespace orp::prober

@@ -2,6 +2,7 @@
 
 #include "dns/builder.h"
 #include "dns/decode_view.h"
+#include "util/hash.h"
 
 namespace orp::prober {
 
@@ -70,6 +71,9 @@ void Scanner::send_batch() {
     }
   }
 
+  if (beacon_ != nullptr)
+    beacon_->probes_sent.store(stats_.q1_sent, std::memory_order_relaxed);
+
   if (raw_consumed_ >= config_.raw_steps) {
     sending_done_ = true;
     // Final drain: one response window after the last probe, then sweep.
@@ -93,7 +97,20 @@ void Scanner::send_one_probe(net::IPv4Addr target) {
   if (next_txn_ == 0) next_txn_ = 1;
   outstanding_[qname.canonical_key()] =
       Outstanding{id, network_.loop().now()};
+  peak_outstanding_ =
+      std::max<std::uint64_t>(peak_outstanding_, outstanding_.size());
   ++stats_.q1_sent;
+  if (tracer_ != nullptr) {
+    // The probe's global permutation index — a property of the campaign
+    // plan, not the shard layout, so sampling is shard-count-invariant.
+    const std::uint64_t index = config_.first_index + raw_consumed_ - 1;
+    if (tracer_->sample(index)) {
+      char key_buf[dns::kMaxNameLength];
+      const std::uint64_t flow =
+          util::Fnv1a{}.bytes(qname.canonical_key_into(key_buf)).value();
+      tracer_->begin_flow(flow, index, network_.loop().now(), target.value());
+    }
+  }
   // Encode through the shared per-shard scratch and send through the pooled
   // path: on a warm pool the probe's whole wire trip is allocation-free.
   const auto wire = dns::encode_into(query, codec_scratch_);
@@ -103,6 +120,8 @@ void Scanner::send_one_probe(net::IPv4Addr target) {
 
 void Scanner::on_datagram(const net::Datagram& d) {
   ++stats_.r2_received;
+  if (beacon_ != nullptr)
+    beacon_->responses.store(stats_.r2_received, std::memory_order_relaxed);
   responses_.add(network_.loop().now(), d.src.addr, d.payload);
 
   // Group the flow by qname (§III-B): the DNS ID field is too narrow at
@@ -113,9 +132,16 @@ void Scanner::on_datagram(const net::Datagram& d) {
   const dns::DecodeView v = dns::DecodeView::parse(d.payload);
   if (v.complete() && v.questions_parsed > 0) {
     char key_buf[dns::kMaxNameLength];
-    const auto it = outstanding_.find(v.qname.canonical_key_into(key_buf));
+    const std::string_view key = v.qname.canonical_key_into(key_buf);
+    const auto it = outstanding_.find(key);
     if (it != outstanding_.end()) {
       ++stats_.r2_matched;
+      if (tracer_ != nullptr) {
+        const std::uint64_t flow = util::Fnv1a{}.bytes(key).value();
+        if (tracer_->marked(flow))
+          tracer_->record(flow, obs::SpanPoint::kR2Received,
+                          network_.loop().now(), d.src.addr.value());
+      }
       clusters_.retire_answered(it->second.id);
       outstanding_.erase(it);
     } else {
@@ -155,6 +181,11 @@ void Scanner::maybe_finish() {
   finished_ = true;
   stats_.finished = network_.loop().now();
   network_.unbind(net::Endpoint{addr_, kProberPort});
+  if (beacon_ != nullptr) {
+    beacon_->probes_sent.store(stats_.q1_sent, std::memory_order_relaxed);
+    beacon_->responses.store(stats_.r2_received, std::memory_order_relaxed);
+    beacon_->done.store(1, std::memory_order_relaxed);
+  }
   if (done_) done_();
 }
 

@@ -16,6 +16,8 @@
 #include "net/capture.h"
 #include "net/reserved.h"
 #include "net/transport.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "prober/permutation.h"
 #include "prober/r2_store.h"
 #include "prober/rate_limiter.h"
@@ -94,9 +96,22 @@ class Scanner {
   /// Begin scanning; `done` fires after the last probe's response window.
   void start(DoneCallback done);
 
+  /// Attach observability sinks (either may be null). The tracer samples
+  /// flows by *global* permutation index, so every shard layout traces the
+  /// same flows; the beacon is a relaxed-atomic progress mirror polled by a
+  /// real-time reporter thread. Neither touches simulated time or RNG state.
+  void set_obs(obs::FlowTracer* tracer, obs::ShardBeacon* beacon) noexcept {
+    tracer_ = tracer;
+    beacon_ = beacon;
+  }
+
   const ScanStats& stats() const noexcept { return stats_; }
   const R2Store& responses() const noexcept { return responses_; }
   const zone::ClusterManager& clusters() const noexcept { return clusters_; }
+  const RateLimiter& limiter() const noexcept { return limiter_; }
+  /// High-water mark of the outstanding-probe table (Table II's in-flight
+  /// window, surfaced for the metrics layer).
+  std::uint64_t peak_outstanding() const noexcept { return peak_outstanding_; }
   net::IPv4Addr address() const noexcept { return addr_; }
 
   /// Release response storage once analysis has consumed it.
@@ -136,6 +151,9 @@ class Scanner {
   bool finished_ = false;
   ScanStats stats_;
   R2Store responses_;
+  obs::FlowTracer* tracer_ = nullptr;
+  obs::ShardBeacon* beacon_ = nullptr;
+  std::uint64_t peak_outstanding_ = 0;
 };
 
 }  // namespace orp::prober

@@ -46,6 +46,7 @@ void IterativeEngine::resolve(const dns::DnsName& qname, dns::RRType qtype,
 
   // Final-answer cache.
   if (auto cached = cache_.get(qname, qtype, now)) {
+    ++cache_hits_;
     ResolutionOutcome outcome;
     outcome.success = true;
     outcome.rcode = dns::Rcode::kNoError;
@@ -53,6 +54,7 @@ void IterativeEngine::resolve(const dns::DnsName& qname, dns::RRType qtype,
     res->done(outcome);
     return;
   }
+  ++cache_bypasses_;
 
   // Deepest cached delegation wins; fall back to the root hints.
   for (std::size_t up = 0; up <= qname.label_count(); ++up) {

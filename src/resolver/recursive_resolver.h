@@ -64,6 +64,12 @@ class IterativeEngine {
   DnsCache& cache() noexcept { return cache_; }
   std::uint64_t upstream_queries() const noexcept { return upstream_queries_; }
   std::uint64_t truncated_seen() const noexcept { return truncated_seen_; }
+  /// Resolutions answered straight from the final-answer cache.
+  std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  /// Resolutions that missed the final-answer cache and went to the network
+  /// — for probe qnames this *confirms* the §III-B design goal that every
+  /// unique subdomain bypasses resolver caches.
+  std::uint64_t cache_bypasses() const noexcept { return cache_bypasses_; }
 
  private:
   struct Resolution;
@@ -82,6 +88,8 @@ class IterativeEngine {
   std::uint16_t next_port_ = 20000;
   std::uint64_t upstream_queries_ = 0;
   std::uint64_t truncated_seen_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_bypasses_ = 0;
 };
 
 }  // namespace orp::resolver

@@ -38,6 +38,9 @@ class ResolverHost {
   net::IPv4Addr address() const noexcept { return addr_; }
   const BehaviorProfile& profile() const noexcept { return profile_; }
   const HostStats& stats() const noexcept { return stats_; }
+  /// The host's iterative engine, or null if this profile never recursed
+  /// (the engine is instantiated lazily on first genuine recursion).
+  const IterativeEngine* engine() const noexcept { return engine_.get(); }
 
  private:
   void on_query(const net::Datagram& d);

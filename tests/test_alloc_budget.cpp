@@ -26,6 +26,8 @@
 #include "net/capture_store.h"
 #include "net/event_loop.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "zone/cluster.h"
 
 namespace {
@@ -228,6 +230,61 @@ TEST(AllocBudget, SteadyStateSendDeliverCaptureIsAllocationFree) {
   EXPECT_EQ(handled, 2u * kBatch);
   EXPECT_EQ(store.packet_count(), 2u * kBatch);
   EXPECT_EQ(net.pool().slab_count(), static_cast<std::size_t>(kBatch));
+}
+
+// The same round trip with the observability layer attached: per-event
+// metric updates are slot-array increments against a pre-registered schema,
+// so instrumentation must not move the zero-allocation budget at all.
+TEST(AllocBudget, InstrumentedSteadyStatePathIsStillAllocationFree) {
+  const auto scheme = probe_scheme();
+  const auto wire = encode(probe_query(scheme));
+
+  net::EventLoop loop;
+  obs::Metrics metrics(obs::builtin().schema);
+  loop.set_metrics(&metrics);
+  net::Network net{loop, 1};
+  const net::Endpoint prober{net::IPv4Addr(1, 1, 1, 1), 54321};
+  const net::Endpoint resolver{net::IPv4Addr(2, 2, 2, 2), net::kDnsPort};
+  std::uint64_t handled = 0;
+  net.bind(resolver, [&handled](const net::Datagram&) { ++handled; });
+  net::CaptureStore store;
+  store.attach(net, resolver.addr);
+
+  constexpr int kBatch = 256;
+  store.reserve(2 * kBatch, 2 * kBatch * wire.size());
+  for (int i = 0; i < kBatch; ++i) net.send(prober, resolver, wire);
+  loop.run();
+
+  const auto n = count_allocs([&] {
+    for (int i = 0; i < kBatch; ++i) net.send(prober, resolver, wire);
+    loop.run();
+  });
+  EXPECT_EQ(n, 0u) << "metric increments must never touch the allocator";
+  const obs::Builtin& b = obs::builtin();
+  EXPECT_EQ(metrics.counter(b.loop_events_run), 2u * kBatch);
+  EXPECT_GE(metrics.gauge(b.loop_queue_peak), static_cast<std::uint64_t>(kBatch));
+  EXPECT_EQ(metrics.histogram_count(b.loop_time_in_queue_us), 2u * kBatch);
+}
+
+// The tracer's per-packet fast path (the membership probe every downstream
+// vantage runs, plus appending a span record into the reserved arena) must
+// also stay off the allocator; only marking a *new* sampled flow may pay the
+// hash-set node.
+TEST(AllocBudget, TracerRecordPathIsAllocationFree) {
+  obs::FlowTracer tracer(/*sample_every=*/1);
+  tracer.reserve(/*flows=*/16, /*records=*/1024);
+  tracer.begin_flow(0x1234, 0, net::SimTime::seconds(1), 0x01020304);
+
+  const auto n = count_allocs([&] {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(tracer.marked(0x1234));
+      ASSERT_FALSE(tracer.marked(0x9999));
+      tracer.record(0x1234, obs::SpanPoint::kQ2Auth,
+                    net::SimTime::seconds(2), 0x05060708);
+    }
+  });
+  EXPECT_EQ(n, 0u) << "marked() + record() into a reserved arena must be free";
+  EXPECT_EQ(tracer.records().size(), 201u);
 }
 
 // Heterogeneous map keys: grouping an auth-side packet into an existing flow
