@@ -146,11 +146,43 @@ std::pair<double, std::uint64_t> timed_campaign(unsigned threads,
   return {wall, o.events_executed};
 }
 
+/// Write `json` to `path`; false (and a message on stderr) on any emit
+/// error, so CI can gate on the artifact actually landing.
+bool emit_json(const char* path, const std::string& json) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_micro_scan: cannot open %s for write\n", path);
+    return false;
+  }
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed)
+    std::fprintf(stderr, "bench_micro_scan: short write to %s\n", path);
+  return ok && closed;
+}
+
+/// CI smoke mode (--quick): one single-shard campaign, minimal JSON, no
+/// google-benchmark sweep. Exists so the pre-merge gate exercises the whole
+/// bench path (campaign + JSON emit) in seconds.
+bool write_bench_scan_quick_json(const char* path) {
+  const auto [wall, events] = timed_campaign(1);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\n  \"bench\": \"scan_threads_quick\",\n  \"threads\": 1,\n"
+                "  \"wall_seconds\": %.3f,\n  \"events\": %llu,\n"
+                "  \"events_per_sec\": %.0f\n}\n",
+                wall, static_cast<unsigned long long>(events),
+                static_cast<double>(events) / wall);
+  std::printf("quick: threads=1  wall=%.3fs  events/s=%.0f\n", wall,
+              static_cast<double>(events) / wall);
+  return emit_json(path, buf);
+}
+
 /// The machine-readable perf trajectory: threads -> wall-seconds, events/s.
 /// hardware_concurrency is recorded because the speedup column is only
 /// meaningful relative to the cores the run actually had — on a 1-vCPU
 /// container every thread count serializes and the walls are near-flat.
-void write_bench_scan_json(const char* path) {
+bool write_bench_scan_json(const char* path) {
   const unsigned cores = std::thread::hardware_concurrency();
   std::string json = "{\n  \"bench\": \"scan_threads\",\n"
                      "  \"year\": 2018,\n  \"scale\": 1024,\n"
@@ -199,21 +231,31 @@ void write_bench_scan_json(const char* path) {
                 "\"overhead_pct\": %.1f}\n}\n",
                 wall_t1 / wall_t4, wall_obs, overhead_pct);
   json += tail;
-  if (std::FILE* f = std::fopen(path, "w")) {
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
-    std::printf("wrote %s (speedup t4 vs t1: %.2fx)\n", path,
-                wall_t1 / wall_t4);
-  }
+  if (!emit_json(path, json)) return false;
+  std::printf("wrote %s (speedup t4 vs t1: %.2fx)\n", path,
+              wall_t1 / wall_t4);
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip our own flag before benchmark::Initialize sees the argv —
+  // ReportUnrecognizedArguments treats anything it doesn't know as fatal.
+  bool quick = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick")
+      quick = true;
+    else
+      argv[kept++] = argv[i];
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+  if (quick) return write_bench_scan_quick_json("BENCH_scan.quick.json") ? 0 : 1;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  write_bench_scan_json("BENCH_scan.json");
-  return 0;
+  return write_bench_scan_json("BENCH_scan.json") ? 0 : 1;
 }

@@ -19,6 +19,13 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 echo "==== tier-1: ctest ===="
 ctest --test-dir "$BUILD_DIR" --output-on-failure
 
+echo "==== tier-1: bench smoke ===="
+# One single-shard campaign through the bench binary's JSON-emit path —
+# fails the gate if the campaign or the artifact write breaks. Seconds, not
+# the full threads sweep.
+"$BUILD_DIR/bench/bench_micro_scan" --quick
+rm -f BENCH_scan.quick.json
+
 if [[ "${ORP_SKIP_SANITIZE:-0}" != "1" ]]; then
   echo "==== sanitize: wire path ===="
   scripts/sanitize_wire_tests.sh

@@ -10,7 +10,9 @@
 # a fixed buffer during heap sifts. A lifetime or aliasing mistake in any of
 # those would corrupt memory rather than fail a value assertion, and a
 # missed happens-before edge between shard loops would corrupt the merge —
-# this preset makes both loud. Usage:
+# this preset makes both loud. The batched dispatch path (EventLoop batch
+# drain, Network DatagramBatch pools, endpoint batch handlers, RRL
+# check_batch) rides along via test_net / test_pipeline / test_rrl. Usage:
 #
 #   scripts/sanitize_net_tests.sh          # configure, build, run both
 #   BUILD_DIR=build-asan TSAN_BUILD_DIR=build-tsan scripts/sanitize_net_tests.sh
@@ -19,7 +21,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-sanitize}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
-TESTS=(test_net test_prober test_pipeline test_alloc_budget test_obs)
+TESTS=(test_net test_prober test_pipeline test_alloc_budget test_obs test_rrl)
 
 status=0
 

@@ -89,6 +89,9 @@ class AuthServer {
 
  private:
   void on_datagram(const net::Datagram& d);
+  /// Grouped-delivery entry point: span-order per-query processing,
+  /// equivalent to one on_datagram call per item.
+  void on_batch(const net::DatagramBatch& b);
   dns::Message answer(const dns::Message& query);
 
   net::Network& network_;

@@ -151,6 +151,8 @@ SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
       loop_, shard_seed(config.seed, shard_id));
   network_->set_latency(config.latency);
   network_->set_loss_rate(config.loss_rate);
+  loop_.set_batch_cap(config.loop_batch_cap);
+  network_->set_delivery_group_cap(config.delivery_group_cap);
 
   auth_addr_ = kAuthAddr;
   prober_addr_ = kProberAddr;

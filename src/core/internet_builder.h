@@ -44,6 +44,11 @@ struct InternetConfig {
   net::LatencyModel latency;
   double loss_rate = 0.0;
   int root_count = 3;
+  /// Batch-dispatch knobs, forwarded to EventLoop::set_batch_cap and
+  /// Network::set_delivery_group_cap (0 = unbounded). Any value yields a
+  /// bit-identical simulation — the determinism suite sweeps them.
+  std::size_t loop_batch_cap = 0;
+  std::size_t delivery_group_cap = 0;
 };
 
 /// One planted host, fully resolved: every random draw already made.

@@ -35,6 +35,8 @@ ScanOutcome run_measurement(const PaperYear& year,
   net_config.seed = config.seed;
   net_config.scan_seed = util::mix64(config.seed + year.year);
   net_config.loss_rate = config.loss_rate;
+  net_config.loop_batch_cap = config.loop_batch_cap;
+  net_config.delivery_group_cap = config.delivery_group_cap;
   const InternetPlan plan = plan_internet(outcome.spec, net_config);
 
   // 3. The campaign-level scan parameters (Table II at this run's scale);

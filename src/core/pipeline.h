@@ -33,6 +33,12 @@ struct PipelineConfig {
   /// deterministically: for a fixed (year, scale, seed) the analysis tables
   /// and capture digest are identical for every value.
   unsigned threads = 1;
+  /// Batch-dispatch caps (0 = unbounded): how many same-deadline events one
+  /// loop drain may run, and how many packets one grouped delivery may
+  /// carry. Purely mechanical knobs — every value produces byte-identical
+  /// tables and digests (the determinism suite sweeps them).
+  std::size_t loop_batch_cap = 0;
+  std::size_t delivery_group_cap = 0;
   /// Observability: metrics registry, flow tracing, live progress. All off
   /// by default; enabling any of them changes no simulated behavior — the
   /// tables and digests stay byte-identical (instrumentation is passive).

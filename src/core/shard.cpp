@@ -38,18 +38,34 @@ ShardContext::ShardContext(const PopulationSpec& spec,
     internet_.auth().load_cluster(cluster);
   });
 
+  // Pin steady-state storage from the campaign plan: the hosts planted in
+  // this shard's permutation slice bound how many R2 responses the scanner
+  // and capture vantage can retain, so the record vectors and payload arena
+  // never reallocate mid-scan. (The outstanding-probe map is deliberately
+  // *not* pre-sized: its bucket evolution feeds the reap sweep's release
+  // order and through it the capture digest — see DESIGN.md.)
+  const ShardSlice slice = shard_slice(spec.raw_steps, shard_id, shard_count);
+  std::size_t planted = 0;
+  for (const PlannedHost& h : plan.hosts)
+    if (slice.contains(h.perm_index)) ++planted;
+  // Responders answer roughly once each; x2 covers retries/truncation
+  // retransmits, and ~256 wire bytes covers a typical R2.
+  capture_.reserve(planted * 2, planted * 256);
+  scanner_.reserve_responses(planted * 2);
+
   obs_.beacon = beacon;
-  if (obs_.metrics.enabled()) internet_.loop().set_metrics(&obs_.metrics);
+  if (obs_.metrics.enabled()) {
+    internet_.loop().set_metrics(&obs_.metrics);
+    internet_.network().set_metrics(&obs_.metrics);
+  }
   if (beacon != nullptr) internet_.loop().set_progress_beacon(&beacon->events);
   obs::FlowTracer* tracer = obs_.tracer.enabled() ? &obs_.tracer : nullptr;
   if (tracer != nullptr) {
     // Pin the trace arena's allocation budget up front: this shard samples
     // at most slice/sample_every flows, each contributing <= 4 span points
     // (Q1 reuse can add more; the vector doubles gracefully if so).
-    const std::uint64_t slice =
-        shard_slice(spec.raw_steps, shard_id, shard_count).size();
     const std::size_t flows =
-        static_cast<std::size_t>(slice / obs_.tracer.sample_every() + 1);
+        static_cast<std::size_t>(slice.size() / obs_.tracer.sample_every() + 1);
     tracer->reserve(flows, flows * 4);
   }
   scanner_.set_obs(tracer, beacon);
@@ -83,6 +99,7 @@ void ShardContext::collect_metrics() {
   m.add(b.net_delivered, net.delivered());
   m.add(b.net_dropped_loss, net.dropped_loss());
   m.add(b.net_dropped_unbound, net.dropped_unbound());
+  m.add(b.net_batch_fallback_singles, net.batch_fallback_singles());
 
   const net::BufferPool& pool = internet_.network().pool();
   m.set_max(b.pool_slabs, pool.slab_count());

@@ -37,14 +37,21 @@ struct CaptureRecord {
 /// not retain 3.7B Q1 payloads either).
 class CaptureStore {
  public:
-  /// Install a tap on `net` observing traffic to/from `host`. The store must
-  /// outlive the network.
+  /// Install a tap pair on `net` observing traffic to/from `host`: the
+  /// single half covers per-packet sends, the batch half digests a whole
+  /// send_batch() span in one call. The store must outlive the network.
   void attach(Network& net, IPv4Addr host);
 
   /// Record a packet with payload retained.
   void add(SimTime t, const Datagram& d);
   /// Record a packet as count + digest only.
   void count_only(SimTime t, const Datagram& d);
+  /// Batch-tap body: classify a send_batch() span against `host` (inbound
+  /// retained, outbound count + digest). Consecutive packets from one
+  /// sender share a cached digest prefix over (src addr, src port), so the
+  /// scanner's whole probe batch re-hashes only destination and payload.
+  void observe_batch(SimTime t, std::span<const PacketView> pkts,
+                     IPv4Addr host);
 
   /// Pre-size the record list and byte arena (e.g. to pin a steady-state
   /// allocation budget in tests).

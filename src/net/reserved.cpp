@@ -47,6 +47,23 @@ static_assert(kBlocksSum == 592708865ULL);
 // reserved addresses is one less than the sum of block sizes.
 constexpr std::uint64_t kUniqueReserved = kBlocksSum - 1;
 
+constexpr std::array<std::uint8_t, 256> make_first_octet_class() {
+  std::array<std::uint8_t, 256> t{};  // kOctetClear
+  for (const auto& b : kBlocks) {
+    const std::uint32_t first = b.prefix.first() >> 24;
+    const std::uint32_t last = b.prefix.last() >> 24;
+    for (std::uint32_t o = first; o <= last; ++o) {
+      const bool whole = b.prefix.first() <= (o << 24) &&
+                         b.prefix.last() >= ((o << 24) | 0xFFFFFFu);
+      if (whole)
+        t[o] = kOctetReserved;
+      else if (t[o] == kOctetClear)
+        t[o] = kOctetPartial;
+    }
+  }
+  return t;
+}
+
 }  // namespace
 
 std::span<const ReservedBlock> reserved_blocks() noexcept { return kBlocks; }
@@ -60,7 +77,9 @@ std::uint64_t probeable_address_count() noexcept {
   return (std::uint64_t{1} << 32) - kUniqueReserved;
 }
 
-bool is_reserved(IPv4Addr a) noexcept {
+const std::array<std::uint8_t, 256> kFirstOctetClass = make_first_octet_class();
+
+bool is_reserved_slow(IPv4Addr a) noexcept {
   for (const auto& b : kBlocks)
     if (b.prefix.contains(a)) return true;
   return false;

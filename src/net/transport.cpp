@@ -5,7 +5,17 @@
 namespace orp::net {
 
 void Network::bind(Endpoint ep, Handler handler) {
-  handlers_[ep] = std::move(handler);
+  Binding& b = handlers_[ep];
+  b.single = std::move(handler);
+  b.batch = nullptr;
+  note_bound(ep);
+}
+
+void Network::bind_batch(Endpoint ep, Handler single, BatchHandler batch) {
+  Binding& b = handlers_[ep];
+  b.single = std::move(single);
+  b.batch = std::move(batch);
+  note_bound(ep);
 }
 
 void Network::unbind(Endpoint ep) { handlers_.erase(ep); }
@@ -24,13 +34,12 @@ SimTime Network::sample_latency() {
 
 void Network::send(Datagram d) {
   ++sent_;
-  for (const auto& tap : taps_) tap(loop_.now(), d);
+  for (const auto& tap : taps_) tap.single(loop_.now(), d);
   if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) {
     ++dropped_loss_;
     return;
   }
-  const auto it = handlers_.find(d.dst);
-  if (it == handlers_.end()) {
+  if (!maybe_bound(d.dst) || !handlers_.contains(d.dst)) {
     ++dropped_unbound_;
     return;
   }
@@ -47,9 +56,114 @@ void Network::send(Datagram d) {
     ++delivered_;
     // Copy before invoking: a handler may unbind itself (one-shot ephemeral
     // ports do), which would otherwise destroy the function mid-call.
-    const Handler handler = live->second;
+    const Handler handler = live->second.single;
     handler(d);
   });
+}
+
+void Network::send_batch(std::span<const PacketView> pkts) {
+  if (pkts.empty()) return;
+  const SimTime now = loop_.now();
+  sent_ += pkts.size();
+  // Batch-aware taps observe the whole span in one call; taps without a
+  // batch half see each packet as a Datagram, which requires materializing
+  // a pool buffer per item (only legacy single-tap users pay this).
+  bool singles_only_taps = false;
+  for (const auto& tap : taps_) {
+    if (tap.batch)
+      tap.batch(now, pkts);
+    else
+      singles_only_taps = true;
+  }
+  if (singles_only_taps) {
+    for (const PacketView& p : pkts) {
+      const Datagram d{p.src, p.dst, pool_.acquire(p.payload)};
+      for (const auto& tap : taps_)
+        if (!tap.batch) tap.single(now, d);
+    }
+  }
+  // Per-packet draws in span order, exactly as send() would have made them:
+  // loss first, then (bound packets only) latency. Consecutive survivors
+  // sharing (dst, deliver time) accumulate into one grouped delivery; the
+  // group is scheduled when it closes, which is where the *first* member's
+  // per-packet event would have gone — nothing else schedules in between,
+  // so every relative event order is preserved.
+  DatagramBatch* open = nullptr;
+  for (const PacketView& p : pkts) {
+    if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) {
+      ++dropped_loss_;
+      continue;
+    }
+    if (!maybe_bound(p.dst) || !handlers_.contains(p.dst)) {
+      ++dropped_unbound_;
+      continue;
+    }
+    const SimTime deliver_at = now + sample_latency();
+    if (open != nullptr &&
+        (open->dst != p.dst || open->at != deliver_at ||
+         (group_cap_ != 0 && open->size() >= group_cap_))) {
+      schedule_group(open);
+      open = nullptr;
+    }
+    if (open == nullptr) {
+      open = acquire_group();
+      open->at = deliver_at;
+      open->dst = p.dst;
+    }
+    open->srcs.push_back(p.src);
+    open->payloads.push_back(pool_.acquire(p.payload));
+  }
+  if (open != nullptr) schedule_group(open);
+}
+
+DatagramBatch* Network::acquire_group() {
+  if (group_free_.empty()) {
+    group_store_.push_back(std::make_unique<DatagramBatch>());
+    return group_store_.back().get();
+  }
+  DatagramBatch* b = group_free_.back();
+  group_free_.pop_back();
+  return b;
+}
+
+void Network::schedule_group(DatagramBatch* b) {
+  loop_.schedule_at(b->at, [this, b]() { deliver_group(b); });
+}
+
+void Network::deliver_group(DatagramBatch* b) {
+  const std::size_t n = b->size();
+  if (metrics_ != nullptr) metrics_->observe(delivery_batch_h_, n);
+  const auto it = handlers_.find(b->dst);
+  if (it == handlers_.end()) {
+    dropped_unbound_ += n;
+  } else if (it->second.batch) {
+    delivered_ += n;
+    // Copy before invoking, same discipline as the single path.
+    const BatchHandler handler = it->second.batch;
+    handler(*b);
+  } else {
+    // Single-packet fallback: re-check the binding before each item — a
+    // handler may unbind itself mid-group (one-shot ephemeral ports do),
+    // and the per-packet path would have re-checked per delivery event.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto live = handlers_.find(b->dst);
+      if (live == handlers_.end()) {
+        ++dropped_unbound_;
+        continue;
+      }
+      ++delivered_;
+      ++batch_fallback_singles_;
+      const Handler handler = live->second.single;
+      handler(Datagram{b->srcs[i], b->dst, b->payloads[i]});
+    }
+  }
+  release_group(b);
+}
+
+void Network::release_group(DatagramBatch* b) {
+  b->srcs.clear();
+  b->payloads.clear();  // drops the refs, recycling slabs into the pool
+  group_free_.push_back(b);
 }
 
 }  // namespace orp::net

@@ -5,8 +5,28 @@
 // model and loss rate. Taps can observe every accepted datagram — this is
 // how the prober-side and authns-side captures of Fig. 2 are implemented
 // (the paper used modified ZMap output and tcpdump respectively).
+//
+// Two dispatch shapes share one semantics:
+//
+//   * send(): one datagram, one delivery event, per-packet tap calls. The
+//     reference path — everything below is defined as equivalent to it.
+//   * send_batch(): a span of PacketViews accepted in order. Batch-aware
+//     taps observe the whole span in one call; per-item RNG draws (loss,
+//     then latency for bound packets) happen in exactly the order send()
+//     would have made them; consecutive packets sharing (dst, deliver time)
+//     group into one struct-of-arrays DatagramBatch and are delivered to
+//     the destination host in a single call. Because grouped packets were
+//     scheduled consecutively (their delivery events would have carried
+//     consecutive tie-break seqs), no other event can order between them —
+//     grouping is invisible to the simulation's event order.
+//
+// An endpoint that registered only a single-packet handler still works under
+// batched delivery: the group falls back to per-item dispatch, re-checking
+// the binding before each item exactly as the per-packet path does (one-shot
+// ephemeral ports unbind themselves mid-flight).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -17,6 +37,7 @@
 #include "net/buffer_pool.h"
 #include "net/event_loop.h"
 #include "net/ipv4.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace orp::net {
@@ -40,6 +61,29 @@ struct Datagram {
   PayloadRef payload;
 };
 
+/// One not-yet-accepted packet in a send_batch() span: borrowed payload
+/// bytes (still in the sender's scratch), no pool buffer yet. The network
+/// copies into a pooled buffer only for packets that are actually going to
+/// be delivered — unbound destinations (the overwhelming majority of probes
+/// in an internet-scale scan) never touch the pool.
+struct PacketView {
+  Endpoint src;
+  Endpoint dst;
+  std::span<const std::uint8_t> payload;
+};
+
+/// A group of in-flight datagrams sharing one destination endpoint and one
+/// delivery time, laid out struct-of-arrays. Delivered to the destination
+/// host in a single call; item i is (srcs[i], dst, payloads[i]).
+struct DatagramBatch {
+  SimTime at;    // delivery time (one event for the whole group)
+  Endpoint dst;  // common destination
+  std::vector<Endpoint> srcs;
+  std::vector<PayloadRef> payloads;
+
+  std::size_t size() const noexcept { return srcs.size(); }
+};
+
 /// Latency model: base propagation delay plus uniform jitter.
 struct LatencyModel {
   SimTime base = SimTime::millis(20);
@@ -49,7 +93,9 @@ struct LatencyModel {
 class Network {
  public:
   using Handler = std::function<void(const Datagram&)>;
+  using BatchHandler = std::function<void(const DatagramBatch&)>;
   using Tap = std::function<void(SimTime, const Datagram&)>;
+  using BatchTap = std::function<void(SimTime, std::span<const PacketView>)>;
 
   explicit Network(EventLoop& loop, std::uint64_t seed = 1)
       : loop_(loop), rng_(seed) {}
@@ -60,8 +106,13 @@ class Network {
   void set_latency(LatencyModel m) noexcept { latency_ = m; }
   void set_loss_rate(double p) noexcept { loss_rate_ = p; }
 
-  /// Bind a handler to an endpoint. Rebinding replaces the previous handler.
+  /// Bind a handler to an endpoint. Rebinding replaces the previous handler
+  /// (and clears any batch entry point from an earlier bind_batch).
   void bind(Endpoint ep, Handler handler);
+  /// Bind both entry points: grouped deliveries go to `batch` in one call,
+  /// everything else (and batch fallback, never for this binding) to
+  /// `single`. Both must be callable.
+  void bind_batch(Endpoint ep, Handler single, BatchHandler batch);
   void unbind(Endpoint ep);
   bool bound(Endpoint ep) const;
 
@@ -77,19 +128,62 @@ class Network {
     send(Datagram{src, dst, pool_.acquire(payload)});
   }
 
+  /// Accept a span of packets in order, equivalent to calling send() on
+  /// each. Differences are purely mechanical: batch taps see the span in
+  /// one call, pool buffers are acquired only for bound destinations, and
+  /// consecutive packets with equal (dst, deliver time) share one grouped
+  /// delivery event. RNG draw order (per-packet loss, then latency for
+  /// bound packets) is identical to the per-packet path, so a batched
+  /// sender produces a bit-identical simulation.
+  void send_batch(std::span<const PacketView> pkts);
+
   /// Install a tap observing every datagram accepted into the network
-  /// (before loss is applied), stamped with the send time.
-  void add_tap(Tap tap) { taps_.push_back(std::move(tap)); }
+  /// (before loss is applied), stamped with the send time. A tap installed
+  /// without a batch half sees batched sends item by item (each packet
+  /// materialized into a pool buffer first — fine for tests and benches,
+  /// but the campaign vantage registers both halves).
+  void add_tap(Tap tap) { taps_.push_back(TapEntry{std::move(tap), nullptr}); }
+  void add_tap(Tap single, BatchTap batch) {
+    taps_.push_back(TapEntry{std::move(single), std::move(batch)});
+  }
+
+  /// Cap on how many packets one grouped delivery may carry (0 =
+  /// unbounded). Any value yields the same delivery order and times; the
+  /// knob exists so the determinism suite can sweep caps.
+  void set_delivery_group_cap(std::size_t cap) noexcept { group_cap_ = cap; }
+  std::size_t delivery_group_cap() const noexcept { return group_cap_; }
+
+  /// Attach an obs::Metrics instance: grouped deliveries then record a
+  /// batch-size histogram. Passive — no RNG, no scheduling, no allocation.
+  void set_metrics(obs::Metrics* m) noexcept {
+    metrics_ = m;
+    if (m != nullptr)
+      delivery_batch_h_ = obs::builtin().net_delivery_batch_size;
+  }
 
   std::uint64_t sent() const noexcept { return sent_; }
   std::uint64_t delivered() const noexcept { return delivered_; }
   std::uint64_t dropped_loss() const noexcept { return dropped_loss_; }
   std::uint64_t dropped_unbound() const noexcept { return dropped_unbound_; }
+  /// Datagrams that arrived inside a grouped delivery but were dispatched
+  /// through the single-packet fallback (no batch entry point bound).
+  std::uint64_t batch_fallback_singles() const noexcept {
+    return batch_fallback_singles_;
+  }
 
   EventLoop& loop() noexcept { return loop_; }
   BufferPool& pool() noexcept { return pool_; }
 
  private:
+  struct Binding {
+    Handler single;
+    BatchHandler batch;  // empty unless bind_batch registered one
+  };
+  struct TapEntry {
+    Tap single;
+    BatchTap batch;  // empty taps observe batched sends per item
+  };
+
   struct EndpointHash {
     std::size_t operator()(const Endpoint& e) const noexcept {
       return std::hash<std::uint64_t>{}(
@@ -99,17 +193,50 @@ class Network {
 
   SimTime sample_latency();
 
+  // One-sided Bloom-style filter over bound endpoints. In an internet-scale
+  // scan the overwhelming majority of probes go to addresses nothing is
+  // bound at; a set bit is only a *hint* (hash collisions, stale bits after
+  // unbind), so a hit falls through to the real handlers_ lookup — but a
+  // clear bit proves the endpoint was never bound and skips the hash-map
+  // probe entirely. 2^18 bits = 32 KiB, resident in L1/L2 on the hot path.
+  static constexpr std::size_t kFilterWords = std::size_t{1} << 12;
+  static constexpr std::uint64_t filter_hash(Endpoint e) noexcept {
+    return util::mix64((std::uint64_t{e.addr.value()} << 16) | e.port) >> 46;
+  }
+  void note_bound(Endpoint e) noexcept {
+    const std::uint64_t h = filter_hash(e);
+    bound_filter_[h >> 6] |= std::uint64_t{1} << (h & 63);
+  }
+  bool maybe_bound(Endpoint e) const noexcept {
+    const std::uint64_t h = filter_hash(e);
+    return (bound_filter_[h >> 6] >> (h & 63)) & 1;
+  }
+
+  DatagramBatch* acquire_group();
+  void schedule_group(DatagramBatch* b);
+  void deliver_group(DatagramBatch* b);
+  void release_group(DatagramBatch* b);
+
   EventLoop& loop_;
   BufferPool pool_;
   util::Rng rng_;
   LatencyModel latency_{};
   double loss_rate_ = 0.0;
-  std::unordered_map<Endpoint, Handler, EndpointHash> handlers_;
-  std::vector<Tap> taps_;
+  std::unordered_map<Endpoint, Binding, EndpointHash> handlers_;
+  std::array<std::uint64_t, kFilterWords> bound_filter_{};
+  std::vector<TapEntry> taps_;
+  std::size_t group_cap_ = 0;  // 0 = unbounded
+  // Grouped-delivery records recycle through a free list: the vectors keep
+  // their capacity, so the steady-state batch path never allocates.
+  std::vector<std::unique_ptr<DatagramBatch>> group_store_;
+  std::vector<DatagramBatch*> group_free_;
+  obs::Metrics* metrics_ = nullptr;
+  obs::HistogramHandle delivery_batch_h_;
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_loss_ = 0;
   std::uint64_t dropped_unbound_ = 0;
+  std::uint64_t batch_fallback_singles_ = 0;
 };
 
 }  // namespace orp::net

@@ -105,6 +105,18 @@ const Builtin& builtin() {
         "microseconds between scheduling an event and running it", kQueueUs,
         I::kThreadVariant);
 
+    // Batch-size buckets shared by the loop's same-deadline runs and the
+    // network's grouped deliveries: powers of two up to the scanner's
+    // 64-probe send batches, with headroom for unbounded caps. Batch
+    // *structure* depends on how the campaign was sharded, so both are
+    // thread-variant (the per-event totals they decompose stay invariant).
+    static constexpr std::uint64_t kBatchSizes[] = {1, 2, 4, 8, 16, 32, 64,
+                                                    128, 256};
+    b.loop_batch_size = s.histogram(
+        "orp_loop_batch_size",
+        "same-deadline events drained per batched dispatch", kBatchSizes,
+        I::kThreadVariant);
+
     b.net_sent = s.counter("orp_net_sent",
                            "datagrams accepted into the simulated network",
                            I::kThreadVariant);
@@ -119,6 +131,14 @@ const Builtin& builtin() {
         s.counter("orp_net_dropped_unbound",
                   "datagrams to unbound endpoints (non-resolver targets)",
                   I::kThreadVariant);
+    b.net_delivery_batch_size = s.histogram(
+        "orp_net_delivery_batch_size",
+        "datagrams per grouped DatagramBatch delivery", kBatchSizes,
+        I::kThreadVariant);
+    b.net_batch_fallback_singles = s.counter(
+        "orp_net_batch_fallback_singles",
+        "batched datagrams delivered via the single-packet fallback",
+        I::kThreadVariant);
     b.pool_slabs = s.gauge("orp_pool_slabs",
                            "payload slabs created (in-flight high-water mark)",
                            MergeOp::kSum, I::kThreadVariant);

@@ -182,12 +182,19 @@ struct Builtin {
   CounterHandle loop_events_run;
   GaugeHandle loop_queue_peak;
   HistogramHandle loop_time_in_queue_us;
+  /// Same-deadline run length per batched dispatch (events per fire_batch).
+  HistogramHandle loop_batch_size;
 
   // net::Network + net::BufferPool
   CounterHandle net_sent;
   CounterHandle net_delivered;
   CounterHandle net_dropped_loss;
   CounterHandle net_dropped_unbound;
+  /// Datagrams per grouped DatagramBatch delivery.
+  HistogramHandle net_delivery_batch_size;
+  /// Datagrams delivered through the single-packet fallback because the
+  /// bound endpoint registered no batch entry point.
+  CounterHandle net_batch_fallback_singles;
   GaugeHandle pool_slabs;
   GaugeHandle pool_slabs_free;
   CounterHandle pool_recycled;

@@ -58,6 +58,10 @@ class R2Store {
     return chunks_.empty() ? 0 : (chunks_.size() - 1) * kChunkBytes + used_;
   }
 
+  /// Pre-size the record list (payload chunks are fixed-size and allocate
+  /// on demand; only the record vector benefits from a campaign-level hint).
+  void reserve(std::size_t records) { records_.reserve(records); }
+
   void clear() {
     records_.clear();
     chunks_.clear();

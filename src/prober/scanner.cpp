@@ -1,13 +1,59 @@
 #include "prober/scanner.h"
 
+#include <charconv>
+#include <cstring>
+
 #include "dns/builder.h"
 #include "dns/decode_view.h"
 #include "util/hash.h"
+#include "util/strings.h"
 
 namespace orp::prober {
 
 namespace {
 constexpr std::uint16_t kProberPort = 54321;  // fixed source port, ZMap-style
+
+// Wire offsets inside the probe template: 12-byte header, then the question
+// name as [5]"or###" [7]"#######" [sld labels] [0]. Verified against the
+// actual encode in the constructor before the patch path is enabled.
+constexpr std::size_t kClusterDigitsOff = 12 + 1 + 2;  // after [5] 'o' 'r'
+constexpr std::size_t kIndexDigitsOff = 12 + 1 + 5 + 1;
+
+/// Zero-padded decimal, widening past `min_width` when the value needs it —
+/// exactly snprintf("%0*u")'s behavior, which the zone scheme renders with.
+char* write_decimal(char* p, std::uint32_t v, int min_width) {
+  char tmp[10];
+  int n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (int pad = min_width - n; pad > 0; --pad) *p++ = '0';
+  while (n > 0) *p++ = tmp[--n];
+  return p;
+}
+
+/// Fixed-width in-place digit patch (precondition: v fits in `width`).
+void patch_digits(std::uint8_t* p, std::uint32_t v, int width) {
+  for (int i = width - 1; i >= 0; --i) {
+    p[i] = static_cast<std::uint8_t>('0' + v % 10);
+    v /= 10;
+  }
+}
+
+}  // namespace
+
+std::string_view QnameRenderer::render(std::uint64_t key,
+                                       std::span<char> buf) const noexcept {
+  char* p = buf.data();
+  *p++ = 'o';
+  *p++ = 'r';
+  p = write_decimal(p, static_cast<std::uint32_t>(key >> 32), 3);
+  *p++ = '.';
+  p = write_decimal(p, static_cast<std::uint32_t>(key), 7);
+  std::memcpy(p, suffix.data(), suffix.size());
+  p += suffix.size();
+  return {buf.data(), static_cast<std::size_t>(p - buf.data())};
 }
 
 Scanner::Scanner(net::Network& network, net::IPv4Addr prober_addr,
@@ -19,10 +65,38 @@ Scanner::Scanner(net::Network& network, net::IPv4Addr prober_addr,
       codec_scratch_(codec_scratch != nullptr ? *codec_scratch : own_scratch_),
       clusters_(std::move(scheme), config.rotate_pause),
       permutation_(config.seed),
-      limiter_(config.rate_pps, config.batch_size * 4) {
+      limiter_(config.rate_pps, config.batch_size * 4),
+      outstanding_(0, QnameKeyHash{&renderer_}, std::equal_to<std::uint64_t>{},
+                   PoolAllocator<std::pair<const std::uint64_t, Outstanding>>{
+                       &node_pool_}) {
   if (config_.first_index != 0) permutation_.seek(config_.first_index);
-  network_.bind(net::Endpoint{addr_, kProberPort},
-                [this](const net::Datagram& d) { on_datagram(d); });
+  network_.bind_batch(
+      net::Endpoint{addr_, kProberPort},
+      [this](const net::Datagram& d) { on_datagram(d); },
+      [this](const net::DatagramBatch& b) { on_batch(b); });
+
+  // Build the probe template and the canonical-key renderer from the id
+  // (0, 0) probe; every other probe differs only in txn and digit runs.
+  const zone::SubdomainId id0{0, 0};
+  const dns::DnsName qn0 = clusters_.scheme().qname(id0);
+  const dns::Message q0 = dns::make_query(0, qn0, config_.qtype);
+  const auto wire0 = dns::encode_into(q0, codec_scratch_);
+  template_.assign(wire0.begin(), wire0.end());
+
+  const std::string canon0 = qn0.canonical_key();
+  constexpr std::string_view kHead = "or000.0000000";
+  const bool canon_ok =
+      canon0.size() >= kHead.size() &&
+      std::string_view(canon0).substr(0, kHead.size()) == kHead;
+  renderer_.suffix = canon_ok ? canon0.substr(kHead.size()) : canon0;
+  template_ok_ = canon_ok && template_.size() > kIndexDigitsOff + 7 &&
+                 template_[12] == 5 && template_[12 + 1 + 5] == 7;
+
+  pending_off_.reserve(config_.batch_size);
+  pending_len_.reserve(config_.batch_size);
+  pending_dst_.reserve(config_.batch_size);
+  pending_views_.reserve(config_.batch_size);
+  pending_bytes_.reserve(config_.batch_size * template_.size());
 }
 
 void Scanner::start(DoneCallback done) {
@@ -44,8 +118,12 @@ void Scanner::send_batch() {
   }
 
   // The limiter paces *packets on the wire*; excluded addresses cost a
-  // permutation step but no send budget (as in ZMap).
+  // permutation step but no send budget (as in ZMap). Probes stage into the
+  // pending arena and leave as one bulk hand-off below — nothing in this
+  // loop draws network RNG or schedules, so deferring the hand-off keeps
+  // every draw and every event seq exactly where per-probe sends put them.
   bool rotated = false;
+  std::uint32_t rotated_to = 0;
   for (std::uint64_t sent = 0;
        sent < config_.batch_size && raw_consumed_ < config_.raw_steps;) {
     ++raw_consumed_;
@@ -66,10 +144,12 @@ void Scanner::send_batch() {
       // A zone rotation started at the auth server; stop the batch so the
       // send pause covers the reload window.
       rotated = true;
-      if (on_rotate_) on_rotate_(clusters_.current_cluster());
+      rotated_to = clusters_.current_cluster();
       break;
     }
   }
+  flush_pending();
+  if (rotated && on_rotate_) on_rotate_(rotated_to);
 
   if (beacon_ != nullptr)
     beacon_->probes_sent.store(stats_.q1_sent, std::memory_order_relaxed);
@@ -92,11 +172,9 @@ void Scanner::send_batch() {
 
 void Scanner::send_one_probe(net::IPv4Addr target) {
   const zone::SubdomainId id = clusters_.acquire();
-  const dns::DnsName qname = clusters_.scheme().qname(id);
-  dns::Message query = dns::make_query(next_txn_++, qname, config_.qtype);
+  const std::uint16_t txn = next_txn_++;
   if (next_txn_ == 0) next_txn_ = 1;
-  outstanding_[qname.canonical_key()] =
-      Outstanding{id, network_.loop().now()};
+  outstanding_.emplace(pack(id), Outstanding{id, network_.loop().now()});
   peak_outstanding_ =
       std::max<std::uint64_t>(peak_outstanding_, outstanding_.size());
   ++stats_.q1_sent;
@@ -105,17 +183,84 @@ void Scanner::send_one_probe(net::IPv4Addr target) {
     // plan, not the shard layout, so sampling is shard-count-invariant.
     const std::uint64_t index = config_.first_index + raw_consumed_ - 1;
     if (tracer_->sample(index)) {
-      char key_buf[dns::kMaxNameLength];
+      char key_buf[dns::kMaxNameLength + 32];
       const std::uint64_t flow =
-          util::Fnv1a{}.bytes(qname.canonical_key_into(key_buf)).value();
+          util::Fnv1a{}.bytes(renderer_.render(pack(id), key_buf)).value();
       tracer_->begin_flow(flow, index, network_.loop().now(), target.value());
     }
   }
-  // Encode through the shared per-shard scratch and send through the pooled
-  // path: on a warm pool the probe's whole wire trip is allocation-free.
-  const auto wire = dns::encode_into(query, codec_scratch_);
-  network_.send(net::Endpoint{addr_, kProberPort},
-                net::Endpoint{target, net::kDnsPort}, wire);
+  // Stage the wire bytes. Common ids patch the pre-encoded template in
+  // place (txn + two fixed-width digit runs); wider ids take the full
+  // make_query/encode path, byte-identical to what the template patch
+  // produces inside its widths.
+  const std::size_t off = pending_bytes_.size();
+  if (template_ok_ && id.cluster < 1000 && id.index < 10'000'000) {
+    pending_bytes_.insert(pending_bytes_.end(), template_.begin(),
+                          template_.end());
+    std::uint8_t* w = pending_bytes_.data() + off;
+    w[0] = static_cast<std::uint8_t>(txn >> 8);
+    w[1] = static_cast<std::uint8_t>(txn & 0xff);
+    patch_digits(w + kClusterDigitsOff, id.cluster, 3);
+    patch_digits(w + kIndexDigitsOff, id.index, 7);
+    pending_len_.push_back(static_cast<std::uint32_t>(template_.size()));
+  } else {
+    const dns::DnsName qname = clusters_.scheme().qname(id);
+    const dns::Message query = dns::make_query(txn, qname, config_.qtype);
+    const auto wire = dns::encode_into(query, codec_scratch_);
+    pending_bytes_.insert(pending_bytes_.end(), wire.begin(), wire.end());
+    pending_len_.push_back(static_cast<std::uint32_t>(wire.size()));
+  }
+  pending_off_.push_back(static_cast<std::uint32_t>(off));
+  pending_dst_.push_back(target);
+}
+
+void Scanner::flush_pending() {
+  if (pending_dst_.empty()) return;
+  pending_views_.clear();
+  const std::uint8_t* base = pending_bytes_.data();
+  const net::Endpoint src{addr_, kProberPort};
+  for (std::size_t i = 0; i < pending_dst_.size(); ++i)
+    pending_views_.push_back(net::PacketView{
+        src, net::Endpoint{pending_dst_[i], net::kDnsPort},
+        {base + pending_off_[i], pending_len_[i]}});
+  network_.send_batch(pending_views_);
+  pending_bytes_.clear();
+  pending_off_.clear();
+  pending_len_.clear();
+  pending_dst_.clear();
+}
+
+void Scanner::on_batch(const net::DatagramBatch& b) {
+  for (std::size_t i = 0; i < b.size(); ++i)
+    on_datagram(net::Datagram{b.srcs[i], b.dst, b.payloads[i]});
+}
+
+bool Scanner::match_key(std::string_view key, std::uint64_t& packed) const {
+  if (key.size() < 4 || key[0] != 'o' || key[1] != 'r') return false;
+  const std::size_t dot = key.find('.', 2);
+  if (dot == std::string_view::npos || dot == 2) return false;
+  const std::string_view suffix = renderer_.suffix;
+  if (key.size() < dot + 2 + suffix.size()) return false;
+  if (key.substr(key.size() - suffix.size()) != suffix) return false;
+  const std::string_view cluster_str = key.substr(2, dot - 2);
+  const std::string_view index_str =
+      key.substr(dot + 1, key.size() - suffix.size() - (dot + 1));
+  if (index_str.empty() || !util::all_digits(cluster_str) ||
+      !util::all_digits(index_str))
+    return false;
+  std::uint32_t cluster = 0;
+  std::uint32_t index = 0;
+  const auto cr = std::from_chars(
+      cluster_str.data(), cluster_str.data() + cluster_str.size(), cluster);
+  const auto ir = std::from_chars(
+      index_str.data(), index_str.data() + index_str.size(), index);
+  if (cr.ec != std::errc{} || ir.ec != std::errc{}) return false;
+  packed = pack(zone::SubdomainId{cluster, index});
+  // Strict: the send path inserts exactly the canonical render of each id,
+  // so anything that does not round-trip (wrong zero padding, overlong
+  // digits) cannot be in the map — same verdict string equality gave.
+  char buf[dns::kMaxNameLength + 32];
+  return renderer_.render(packed, buf) == key;
 }
 
 void Scanner::on_datagram(const net::Datagram& d) {
@@ -133,7 +278,9 @@ void Scanner::on_datagram(const net::Datagram& d) {
   if (v.complete() && v.questions_parsed > 0) {
     char key_buf[dns::kMaxNameLength];
     const std::string_view key = v.qname.canonical_key_into(key_buf);
-    const auto it = outstanding_.find(key);
+    std::uint64_t packed = 0;
+    const auto it = match_key(key, packed) ? outstanding_.find(packed)
+                                           : outstanding_.end();
     if (it != outstanding_.end()) {
       ++stats_.r2_matched;
       if (tracer_ != nullptr) {

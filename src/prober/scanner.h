@@ -6,9 +6,14 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <new>
+#include <span>
+#include <utility>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -21,10 +26,125 @@
 #include "prober/permutation.h"
 #include "prober/r2_store.h"
 #include "prober/rate_limiter.h"
-#include "util/strings.h"
 #include "zone/cluster.h"
 
 namespace orp::prober {
+
+/// Renders the canonical key ("or012.0034567.<sld>", lowercased, no
+/// trailing dot) of a packed SubdomainId into caller storage, byte-for-byte
+/// identical to `scheme.qname(id).canonical_key()` — without constructing
+/// the DnsName. The scanner's outstanding-probe map hashes through this, so
+/// a 64-bit id key reproduces the exact hash sequence (and therefore bucket
+/// layout and iteration order) of the string-keyed map it replaced.
+struct QnameRenderer {
+  std::string suffix;  // canonical bytes after the two numeric labels
+  std::string_view render(std::uint64_t key, std::span<char> buf) const noexcept;
+};
+
+struct QnameKeyHash;
+
+}  // namespace orp::prober
+
+#ifdef __GLIBCXX__
+namespace std {
+/// Tell libstdc++ the qname hasher is *not* cheap (it renders ~26 canonical
+/// bytes and murmurs them), so the hashtable caches each node's hash code
+/// and erase/rehash skip the re-render. Cached codes change node size only —
+/// hash values, bucket counts, and therefore iteration order are untouched,
+/// which the reap sweep's digest-visible release order depends on.
+template <>
+struct __is_fast_hash<orp::prober::QnameKeyHash> : false_type {};
+}  // namespace std
+#endif
+
+namespace orp::prober {
+
+/// Intrusive same-size freelist for hash-map nodes. The outstanding-probe
+/// map churns one node per probe (3.7B insert/erase pairs at paper scale);
+/// recycling nodes through this pool removes that malloc/free traffic. Freed
+/// nodes store the next-pointer in their own bytes, so the pool itself never
+/// allocates. Node *addresses* do not feed libstdc++'s bucket placement or
+/// iteration order, so pooling is invisible to the reap sweep's release
+/// order (which the capture digest depends on).
+class NodePool {
+ public:
+  NodePool() = default;
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+  ~NodePool() {
+    while (head_ != nullptr) {
+      void* next = *static_cast<void**>(head_);
+      ::operator delete(head_);
+      head_ = next;
+    }
+  }
+
+  void* take(std::size_t bytes) {
+    if (bytes == size_ && head_ != nullptr) {
+      void* p = head_;
+      head_ = *static_cast<void**>(p);
+      return p;
+    }
+    if (size_ == 0 && bytes >= sizeof(void*)) size_ = bytes;
+    return ::operator new(bytes);
+  }
+
+  void give(void* p, std::size_t bytes) noexcept {
+    if (bytes != size_) {
+      ::operator delete(p);
+      return;
+    }
+    *static_cast<void**>(p) = head_;
+    head_ = p;
+  }
+
+ private:
+  void* head_ = nullptr;     // singly linked through the freed nodes
+  std::size_t size_ = 0;     // locked to the first pooled allocation size
+};
+
+/// Minimal allocator routing single-element (node) allocations through a
+/// NodePool; array allocations (the map's bucket tables) stay on operator
+/// new. Equality compares the pool pointer, as containers require.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  NodePool* pool = nullptr;
+
+  PoolAllocator() = default;
+  explicit PoolAllocator(NodePool* p) noexcept : pool(p) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& o) noexcept : pool(o.pool) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 1 && pool != nullptr)
+      return static_cast<T*>(pool->take(sizeof(T)));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1 && pool != nullptr)
+      pool->give(p, sizeof(T));
+    else
+      ::operator delete(p);
+  }
+
+  template <typename U>
+  friend bool operator==(const PoolAllocator& a,
+                         const PoolAllocator<U>& b) noexcept {
+    return a.pool == b.pool;
+  }
+};
+
+/// std::hash<std::string_view> over the rendered canonical key: the same
+/// value util::TransparentStringHash produced for the string-keyed map.
+struct QnameKeyHash {
+  const QnameRenderer* renderer = nullptr;
+  std::size_t operator()(std::uint64_t key) const noexcept {
+    char buf[dns::kMaxNameLength + 32];
+    return std::hash<std::string_view>{}(renderer->render(key, buf));
+  }
+};
 
 struct ScanConfig {
   std::uint64_t seed = 2018;
@@ -117,12 +237,32 @@ class Scanner {
   /// Release response storage once analysis has consumed it.
   R2Store take_responses() { return std::move(responses_); }
 
+  /// Pre-size the R2 record list from a campaign-plan estimate of how many
+  /// responders this shard will hear from.
+  void reserve_responses(std::size_t n) { responses_.reserve(n); }
+
  private:
   void send_batch();
   void send_one_probe(net::IPv4Addr target);
+  void flush_pending();
   void on_datagram(const net::Datagram& d);
+  void on_batch(const net::DatagramBatch& b);
+  /// Strict probe-key recognition: parse `key` (a response's canonical
+  /// qname) into a packed SubdomainId and require that re-rendering it
+  /// reproduces `key` exactly. Accepts precisely the set of keys the send
+  /// path can have inserted — the same strings the old string-keyed map
+  /// matched by equality.
+  bool match_key(std::string_view key, std::uint64_t& packed) const;
   void reap(bool final_sweep);
   void maybe_finish();
+
+  static constexpr std::uint64_t pack(zone::SubdomainId id) noexcept {
+    return (std::uint64_t{id.cluster} << 32) | id.index;
+  }
+  static constexpr zone::SubdomainId unpack(std::uint64_t key) noexcept {
+    return zone::SubdomainId{static_cast<std::uint32_t>(key >> 32),
+                             static_cast<std::uint32_t>(key)};
+  }
 
   net::Network& network_;
   net::IPv4Addr addr_;
@@ -139,11 +279,36 @@ class Scanner {
     zone::SubdomainId id;
     net::SimTime sent;
   };
-  // qname key; heterogeneous hash so R2 lookups probe with a stack-buffer
-  // string_view instead of allocating a key per response.
-  std::unordered_map<std::string, Outstanding, util::TransparentStringHash,
-                     std::equal_to<>>
+  // Packed-id key hashed through the canonical-key renderer. Constructed
+  // with bucket_count 0 + the stateful hasher, which libstdc++ lays out
+  // exactly like the default-constructed string map — so replacing the
+  // string keys changes no bucket evolution, no rehash point, and no
+  // iteration order (the reap sweep's release order feeds subdomain reuse
+  // and through it the Q1 qname stream and capture digest).
+  // Declared before the map: destruction runs in reverse, so the map's
+  // nodes return to the pool before the pool frees them.
+  NodePool node_pool_;
+  QnameRenderer renderer_;
+  std::unordered_map<std::uint64_t, Outstanding, QnameKeyHash,
+                     std::equal_to<std::uint64_t>,
+                     PoolAllocator<std::pair<const std::uint64_t, Outstanding>>>
       outstanding_;
+
+  // Pre-encoded probe template (txn 0, subdomain or000.0000000): per probe
+  // only the transaction id and the two fixed-width digit runs are patched.
+  // Ids outside the template's widths (cluster >= 1000, index >= 10^7) take
+  // the full make_query/encode path instead.
+  std::vector<std::uint8_t> template_;
+  bool template_ok_ = false;
+
+  // Batched-send staging: probe wire bytes accumulate here (offsets, not
+  // pointers — the arena reallocates as it grows) and leave as one
+  // Network::send_batch call per send event.
+  std::vector<std::uint8_t> pending_bytes_;
+  std::vector<std::uint32_t> pending_off_;
+  std::vector<std::uint32_t> pending_len_;
+  std::vector<net::IPv4Addr> pending_dst_;
+  std::vector<net::PacketView> pending_views_;
 
   std::uint64_t raw_consumed_ = 0;
   std::uint16_t next_txn_ = 1;

@@ -17,8 +17,10 @@ ResolverHost::ResolverHost(net::Network& network, net::IPv4Addr addr,
       engine_config_(std::move(engine_config)),
       seed_(seed),
       rrl_(profile_.rrl) {
-  network_.bind(net::Endpoint{addr_, net::kDnsPort},
-                [this](const net::Datagram& d) { on_query(d); });
+  network_.bind_batch(
+      net::Endpoint{addr_, net::kDnsPort},
+      [this](const net::Datagram& d) { on_query(d); },
+      [this](const net::DatagramBatch& b) { on_query_batch(b); });
 }
 
 ResolverHost::~ResolverHost() {
@@ -32,6 +34,15 @@ void ResolverHost::stamp(dns::Message& response) const {
   if (profile_.omit_question) {
     response.questions.clear();
   }
+}
+
+void ResolverHost::on_query_batch(const net::DatagramBatch& b) {
+  // Queries in one grouped delivery are processed in span order, each
+  // through the same path a per-packet delivery takes (the host never
+  // unbinds port 53 mid-flight, so skipping the per-item re-bind check the
+  // fallback path performs changes nothing observable).
+  for (std::size_t i = 0; i < b.size(); ++i)
+    on_query(net::Datagram{b.srcs[i], b.dst, b.payloads[i]});
 }
 
 void ResolverHost::on_query(const net::Datagram& d) {

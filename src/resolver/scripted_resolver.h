@@ -44,6 +44,9 @@ class ResolverHost {
 
  private:
   void on_query(const net::Datagram& d);
+  /// Grouped-delivery entry point: span-order per-query processing,
+  /// equivalent to one on_query call per item.
+  void on_query_batch(const net::DatagramBatch& b);
   void respond_chaos(const dns::Message& query, net::Endpoint client);
   void respond_fabricated(const dns::Message& query, net::Endpoint client);
   void respond_recursive(const dns::Message& query, net::Endpoint client);

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <span>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "net/buffer_pool.h"
 #include "net/capture.h"
@@ -136,6 +141,33 @@ INSTANTIATE_TEST_SUITE_P(
                       ReservedCase{"240.0.0.1", "223.255.255.254"},
                       ReservedCase{"255.255.255.255", "8.8.8.8"}));
 
+TEST(Reserved, OctetTableMatchesBlockScan) {
+  // The first-octet fast path must agree with the full Table I block scan
+  // everywhere. Sweep the 32-bit space with a coprime stride (plus each
+  // block's edges) so every first octet and every partial block is hit.
+  const auto slow = [](IPv4Addr a) {
+    for (const auto& b : reserved_blocks())
+      if (b.prefix.contains(a)) return true;
+    return false;
+  };
+  for (std::uint64_t v = 0; v < (std::uint64_t{1} << 32); v += 65537) {
+    const IPv4Addr a(static_cast<std::uint32_t>(v));
+    ASSERT_EQ(is_reserved(a), slow(a)) << a.to_string();
+  }
+  for (const auto& b : reserved_blocks()) {
+    EXPECT_TRUE(is_reserved(IPv4Addr(b.prefix.first())));
+    EXPECT_TRUE(is_reserved(IPv4Addr(b.prefix.last())));
+    if (b.prefix.first() != 0) {
+      EXPECT_EQ(is_reserved(IPv4Addr(b.prefix.first() - 1)),
+                slow(IPv4Addr(b.prefix.first() - 1)));
+    }
+    if (b.prefix.last() != 0xFFFFFFFFu) {
+      EXPECT_EQ(is_reserved(IPv4Addr(b.prefix.last() + 1)),
+                slow(IPv4Addr(b.prefix.last() + 1)));
+    }
+  }
+}
+
 // ---- SimTime -------------------------------------------------------------------
 
 TEST(SimTime, ArithmeticAndConversions) {
@@ -239,9 +271,11 @@ TEST(EventLoop, HeapOrdersInterleavedSchedulesByTimeThenSequence) {
                    [](const auto& a, const auto& b) { return a.first < b.first; });
   EXPECT_EQ(order, expected);
   // Within each timestamp, tags ascend in insertion order.
-  for (std::size_t i = 1; i < order.size(); ++i)
-    if (order[i - 1].first == order[i].first)
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i - 1].first == order[i].first) {
       EXPECT_LT(order[i - 1].second, order[i].second);
+    }
+  }
   EXPECT_EQ(order.back(), (std::pair<int, int>{5, 5}));
 }
 
@@ -400,6 +434,158 @@ TEST_F(NetworkTest, RebindReplacesHandler) {
   loop.run();
   EXPECT_EQ(first, 0);
   EXPECT_EQ(second, 1);
+}
+
+// ---- Batched dispatch ------------------------------------------------------
+
+// send_batch() is *defined* as equivalent to per-packet send(): same RNG
+// draw order, same delivery times, same arrival order — under loss and
+// jitter. Two networks with identical seeds, one per mode, must agree.
+TEST(NetworkBatch, SendBatchBitIdenticalToPerPacketSends) {
+  const auto run = [](bool batched) {
+    EventLoop loop;
+    Network net(loop, 12345);
+    net.set_latency({SimTime::millis(5), SimTime::millis(7)});
+    net.set_loss_rate(0.3);
+    const Endpoint src{IPv4Addr(1, 1, 1, 1), 9000};
+    const Endpoint dst{IPv4Addr(2, 2, 2, 2), 53};
+    std::vector<std::pair<std::int64_t, int>> arrivals;
+    net.bind(dst, [&](const Datagram& d) {
+      arrivals.emplace_back(loop.now().as_nanos(), d.payload[0]);
+    });
+    std::vector<std::vector<std::uint8_t>> payloads;
+    for (int i = 0; i < 64; ++i)
+      payloads.push_back({static_cast<std::uint8_t>(i)});
+    if (batched) {
+      std::vector<PacketView> pkts;
+      for (const auto& p : payloads) pkts.push_back({src, dst, p});
+      net.send_batch(pkts);
+    } else {
+      for (const auto& p : payloads) net.send(src, dst, p);
+    }
+    loop.run();
+    return std::tuple(arrivals, net.delivered(), net.dropped_loss());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// Grouping never reorders against other events: a grouped delivery carries
+// the tie-break seq of its *first* member, so a timer scheduled before the
+// batch fires before it and one scheduled after fires after it, at the
+// same simulated instant.
+TEST_F(NetworkTest, BatchedSendPreservesTieBreakAcrossBoundaries) {
+  net.set_latency({SimTime::millis(10), SimTime()});  // deterministic time
+  std::vector<std::string> order;
+  net.bind_batch(
+      b,
+      [&](const Datagram& d) {
+        order.push_back("single:" + std::to_string(d.payload[0]));
+      },
+      [&](const DatagramBatch& g) {
+        for (std::size_t i = 0; i < g.size(); ++i)
+          order.push_back("batch:" + std::to_string(g.payloads[i][0]));
+      });
+  loop.schedule_at(SimTime::millis(10), [&] { order.push_back("before"); });
+  const std::vector<std::uint8_t> p1{1};
+  const std::vector<std::uint8_t> p2{2};
+  const PacketView pkts[] = {{a, b, p1}, {a, b, p2}};
+  net.send_batch(pkts);
+  loop.schedule_at(SimTime::millis(10), [&] { order.push_back("after"); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"before", "batch:1", "batch:2",
+                                             "after"}));
+}
+
+// An endpoint bound with plain bind() still receives grouped traffic, item
+// by item, counted as fallback singles.
+TEST_F(NetworkTest, BatchFallsBackToSingleHandlerPerItem) {
+  net.set_latency({SimTime::millis(10), SimTime()});
+  std::vector<int> seen;
+  net.bind(b, [&](const Datagram& d) { seen.push_back(d.payload[0]); });
+  const std::vector<std::uint8_t> p1{1};
+  const std::vector<std::uint8_t> p2{2};
+  const std::vector<std::uint8_t> p3{3};
+  const PacketView pkts[] = {{a, b, p1}, {a, b, p2}, {a, b, p3}};
+  net.send_batch(pkts);
+  loop.run();
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(net.delivered(), 3u);
+  EXPECT_EQ(net.batch_fallback_singles(), 3u);
+}
+
+// A handler that unbinds itself mid-group drops the rest of the group,
+// exactly as the per-packet path would (each item re-checks the binding).
+TEST_F(NetworkTest, FallbackRechecksBindingBetweenItems) {
+  net.set_latency({SimTime::millis(10), SimTime()});
+  int got = 0;
+  net.bind(b, [&](const Datagram&) {
+    ++got;
+    net.unbind(b);
+  });
+  const std::vector<std::uint8_t> p{7};
+  const PacketView pkts[] = {{a, b, p}, {a, b, p}, {a, b, p}};
+  net.send_batch(pkts);
+  loop.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(net.delivered(), 1u);
+  EXPECT_EQ(net.dropped_unbound(), 2u);
+}
+
+// The group cap splits one logical burst into several delivery events
+// without changing arrival order or times.
+TEST_F(NetworkTest, GroupCapSplitsDeliveriesInvisibly) {
+  net.set_latency({SimTime::millis(10), SimTime()});
+  net.set_delivery_group_cap(2);
+  std::vector<std::size_t> sizes;
+  std::vector<int> order;
+  net.bind_batch(
+      b, [](const Datagram&) {},
+      [&](const DatagramBatch& g) {
+        sizes.push_back(g.size());
+        for (std::size_t i = 0; i < g.size(); ++i)
+          order.push_back(g.payloads[i][0]);
+      });
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int i = 0; i < 5; ++i)
+    payloads.push_back({static_cast<std::uint8_t>(i)});
+  std::vector<PacketView> pkts;
+  for (const auto& p : payloads) pkts.push_back({a, b, p});
+  net.send_batch(pkts);
+  loop.run();
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{2, 2, 1}));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(net.delivered(), 5u);
+}
+
+// Unbound destinations in a batch never touch the payload pool — the
+// dominant case of an internet-scale scan (most probes hit nothing).
+TEST_F(NetworkTest, BatchSkipsPoolForUnboundDestinations) {
+  const std::vector<std::uint8_t> p{1, 2, 3};
+  std::vector<PacketView> pkts;
+  for (int i = 0; i < 32; ++i) pkts.push_back({a, b, p});  // b unbound
+  net.send_batch(pkts);
+  loop.run();
+  EXPECT_EQ(net.dropped_unbound(), 32u);
+  EXPECT_EQ(net.pool().slab_count(), 0u);
+  EXPECT_EQ(net.sent(), 32u);
+}
+
+// Batch-aware taps see the whole span once; the per-packet digest a
+// single tap accumulates over the same traffic must match.
+TEST_F(NetworkTest, BatchTapObservesWholeSpan) {
+  std::size_t span_items = 0;
+  int span_calls = 0;
+  net.add_tap([](SimTime, const Datagram&) {},
+              [&](SimTime, std::span<const PacketView> s) {
+                ++span_calls;
+                span_items += s.size();
+              });
+  const std::vector<std::uint8_t> p{9};
+  const PacketView pkts[] = {{a, b, p}, {a, b, p}};
+  net.send_batch(pkts);
+  loop.run();
+  EXPECT_EQ(span_calls, 1);
+  EXPECT_EQ(span_items, 2u);
 }
 
 // ---- Capture ---------------------------------------------------------------------

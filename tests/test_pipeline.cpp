@@ -298,6 +298,49 @@ TEST(PipelineSharding, MergedReportIdenticalForEveryThreadCount) {
   }
 }
 
+TEST(PipelineSharding, BatchCapsAreBehaviorInvisible) {
+  // The batched-dispatch caps (event-loop drain size, grouped-delivery
+  // size) are purely mechanical: every value must reproduce the reference
+  // run bit-for-bit — raw capture digest (full payload bytes), behavioral
+  // digest, and rendered tables — at every thread count.
+  PipelineConfig base;
+  base.scale = 16384;
+  base.seed = 42;
+  base.threads = 1;
+  const ScanOutcome ref = run_measurement(paper_2018(), base);
+  const std::string ref_tables = rendered_tables(ref);
+  ASSERT_GT(ref.scan.r2_received, 100u);
+  ASSERT_NE(ref.capture_digest, 0u);
+
+  for (const unsigned threads : {1u, 4u}) {
+    // The raw capture digest folds shard-merge order, which legitimately
+    // varies with the shard count — so each thread count gets its own
+    // raw-digest reference (default caps), while the canonical digest and
+    // rendered tables must match the threads=1 reference everywhere.
+    PipelineConfig thr = base;
+    thr.threads = threads;
+    const std::uint64_t raw_ref = run_measurement(paper_2018(), thr).capture.digest();
+    for (const std::size_t cap :
+         {std::size_t{1}, std::size_t{8}, std::size_t{64}, std::size_t{0}}) {
+      PipelineConfig cfg = base;
+      cfg.threads = threads;
+      cfg.loop_batch_cap = cap;
+      cfg.delivery_group_cap = cap;
+      const ScanOutcome o = run_measurement(paper_2018(), cfg);
+      EXPECT_EQ(o.scan.q1_sent, ref.scan.q1_sent)
+          << "threads=" << threads << " cap=" << cap;
+      EXPECT_EQ(o.scan.r2_received, ref.scan.r2_received)
+          << "threads=" << threads << " cap=" << cap;
+      EXPECT_EQ(o.capture.digest(), raw_ref)
+          << "threads=" << threads << " cap=" << cap;
+      EXPECT_EQ(o.capture_digest, ref.capture_digest)
+          << "threads=" << threads << " cap=" << cap;
+      EXPECT_EQ(rendered_tables(o), ref_tables)
+          << "threads=" << threads << " cap=" << cap;
+    }
+  }
+}
+
 TEST(PipelineSharding, ShardedRunIsDeterministic) {
   PipelineConfig cfg;
   cfg.scale = 65536;

@@ -224,6 +224,55 @@ class ScannerFixture : public ::testing::Test {
   std::vector<std::unique_ptr<resolver::ResolverHost>> hosts;
 };
 
+// The scanner's patched-template fast path must emit wire bytes identical
+// to the full make_query/encode path for every probe, and the canonical-key
+// renderer must reproduce DnsName::canonical_key() exactly — including at
+// the template's width boundaries (cluster 999 -> 1000, index overflow),
+// where snprintf("%03u") grows naturally.
+TEST_F(ScannerFixture, RenderedKeyMatchesCanonicalAcrossWidthBoundary) {
+  const std::string canon0 = scheme.qname(zone::SubdomainId{0, 0}).canonical_key();
+  QnameRenderer renderer;
+  renderer.suffix = canon0.substr(13);  // past "or000.0000000"
+  const zone::SubdomainId ids[] = {
+      {0, 0},      {12, 34567},     {999, 0},  {999, 9999999},
+      {1000, 0},   {1000, 9999999}, {1500, 7}, {999, 10000000},
+  };
+  for (const zone::SubdomainId id : ids) {
+    char buf[dns::kMaxNameLength + 32];
+    const std::uint64_t packed = (std::uint64_t{id.cluster} << 32) | id.index;
+    EXPECT_EQ(renderer.render(packed, buf), scheme.qname(id).canonical_key())
+        << id.cluster << "/" << id.index;
+  }
+}
+
+TEST_F(ScannerFixture, ProbeWireMatchesFullEncodePath) {
+  resolver::BehaviorProfile honest;
+  honest.answer = resolver::AnswerMode::kRecursive;
+  plant(1, 100, honest);
+
+  // Tap every accepted probe and re-encode it from its own decoded form:
+  // the template patch must be byte-invisible.
+  std::size_t probes_checked = 0;
+  net.add_tap([&](net::SimTime, const net::Datagram& d) {
+    if (d.src.addr != net::IPv4Addr(132, 170, 3, 44)) return;
+    const auto decoded = dns::decode(d.payload);
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->questions.size(), 1u);
+    const dns::Message rebuilt = dns::make_query(decoded->header.id,
+                                                 decoded->questions[0].qname,
+                                                 decoded->questions[0].qtype);
+    EXPECT_EQ(d.payload.to_vector(), dns::encode(rebuilt));
+    ++probes_checked;
+  });
+
+  Scanner scanner(net, net::IPv4Addr(132, 170, 3, 44), scan_config(1, 2000),
+                  scheme);
+  scanner.start([] {});
+  loop.run();
+  EXPECT_EQ(probes_checked, scanner.stats().q1_sent);
+  EXPECT_GT(probes_checked, 1000u);
+}
+
 TEST_F(ScannerFixture, CountsProbesAndSkipsReserved) {
   Scanner scanner(net, net::IPv4Addr(132, 170, 3, 44), scan_config(1, 5000),
                   scheme);
