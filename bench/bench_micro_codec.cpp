@@ -2,12 +2,13 @@
 // both the prober (3.7B encodes per campaign) and the analysis re-decode.
 //
 // Besides the google-benchmark suite, the binary measures ns/op and
-// allocations/op for the three hot wire operations — encode, decode,
-// classify — on both the materializing/cold-buffer path ("before": fresh
-// buffers per encode, decode_partial into a Message, Message-walking
-// classifier) and the allocation-light path ("after": per-shard
-// EncodeBuffer scratch, zero-copy DecodeView, view-walking classifier), and
-// writes BENCH_codec.json so the delta is machine-readable.
+// allocations/op for the hot wire operations — encode, decode, classify,
+// and template stamping — on both the full path ("before": fresh buffers
+// per encode, decode_partial into a Message, Message-walking classifier,
+// build+encode per packet) and the fast path ("after": per-shard
+// EncodeBuffer scratch, zero-copy DecodeView, view-walking classifier,
+// WireTemplate::stamp), and writes BENCH_codec.json so the delta is
+// machine-readable.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -22,6 +23,8 @@
 #include "dns/builder.h"
 #include "dns/codec.h"
 #include "dns/decode_view.h"
+#include "dns/edns.h"
+#include "dns/wire_template.h"
 #include "zone/cluster.h"
 
 // ---- allocation counter ---------------------------------------------------
@@ -173,6 +176,26 @@ void BM_ClassifyR2(benchmark::State& state) {
 }
 BENCHMARK(BM_ClassifyR2);
 
+void BM_StampProbeQuery(benchmark::State& state) {
+  const zone::SubdomainScheme scheme(
+      dns::DnsName::must_parse("ucfsealresearch.net"), 5'000'000, 7);
+  dns::EncodeBuffer scratch;
+  const dns::WireTemplate tpl = dns::WireTemplate::derive(
+      [&](const dns::StampVars& v) {
+        return dns::make_query(v.txn, scheme.qname({v.cluster, v.index}));
+      },
+      scratch);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    const dns::StampVars v{static_cast<std::uint16_t>(i), i % 1000,
+                           i % 5'000'000, 0, 0};
+    benchmark::DoNotOptimize(tpl.stamp(v, scratch).back());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StampProbeQuery);
+
 void BM_QnameRoundTrip(benchmark::State& state) {
   const zone::SubdomainScheme scheme(
       dns::DnsName::must_parse("ucfsealresearch.net"), 5'000'000, 7);
@@ -284,11 +307,41 @@ void write_bench_codec_json(const char* path) {
                                  txt_wire};
   dns::EncodeBuffer scratch;
 
+  // The wire templates this PR's producers stamp from: the scanner's probe
+  // query, and the auth server's A answer to a Q2 (RD=0 + EDNS) query.
+  // "Before" is the warm full path those call sites previously ran — build
+  // the message (qname render included) and encode into warm scratch.
+  const auto probe_factory = [&scheme](const dns::StampVars& v) {
+    return dns::make_query(v.txn, scheme.qname({v.cluster, v.index}));
+  };
+  const auto q2_factory = [&scheme](const dns::StampVars& v) {
+    dns::Message q =
+        dns::make_query(v.txn, scheme.qname({v.cluster, v.index}));
+    q.header.flags.rd = false;
+    dns::set_edns(q, dns::EdnsInfo{.udp_payload_size = 4096});
+    return q;
+  };
+  const auto answer_factory = [&](const dns::StampVars& v) {
+    dns::Message r = dns::make_a_response(q2_factory(v), net::IPv4Addr{v.addr},
+                                          v.ttl, /*ra=*/false, /*aa=*/true);
+    dns::set_edns(r, dns::EdnsInfo{.udp_payload_size = 4096});
+    return r;
+  };
+  const dns::WireTemplate probe_tpl =
+      dns::WireTemplate::derive(probe_factory, scratch);
+  const dns::WireTemplate answer_tpl =
+      dns::WireTemplate::derive(answer_factory, scratch);
+  const auto vars_at = [](std::uint32_t i) {
+    return dns::StampVars{static_cast<std::uint16_t>(i), i % 1000,
+                          i % 5'000'000, 300, 0xC0A80000u + i};
+  };
+
   struct Row {
     const char* op;
     OpCost before, after;
   };
   std::uint8_t sink = 0;
+  std::uint32_t seq_a = 0, seq_b = 0, seq_c = 0, seq_d = 0;
   const Row rows[] = {
       {"encode_probe_query",
        measure(kIters, [&] { sink ^= dns::encode(query).back(); }),
@@ -314,6 +367,26 @@ void write_bench_codec_json(const char* path) {
                [&] { sink ^= classify_r2_materialized(rec_a, scheme).correct; }),
        measure(kIters,
                [&] { sink ^= analysis::classify_r2(rec_a, scheme).correct; })},
+      {"stamp_probe_query",
+       measure(kIters,
+               [&] {
+                 sink ^=
+                     dns::encode_into(probe_factory(vars_at(seq_a++)), scratch)
+                         .back();
+               }),
+       measure(kIters,
+               [&] { sink ^= probe_tpl.stamp(vars_at(seq_b++), scratch).back(); })},
+      {"stamp_full_response",
+       measure(kIters,
+               [&] {
+                 sink ^=
+                     dns::encode_into(answer_factory(vars_at(seq_c++)), scratch)
+                         .back();
+               }),
+       measure(kIters,
+               [&] {
+                 sink ^= answer_tpl.stamp(vars_at(seq_d++), scratch).back();
+               })},
       {"classify_r2_txt_answer",
        measure(kIters,
                [&] {

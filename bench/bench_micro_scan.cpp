@@ -183,14 +183,28 @@ bool write_bench_scan_quick_json(const char* path) {
 /// meaningful relative to the cores the run actually had — on a 1-vCPU
 /// container every thread count serializes and the walls are near-flat.
 bool write_bench_scan_json(const char* path) {
+  // Best-of-N per thread count: on a shared container a single wall-clock
+  // sample swings by 10%+ with neighbor load, which is larger than most of
+  // the deltas this file exists to record. The minimum of N runs estimates
+  // the unloaded cost; N is recorded so readers know what the numbers are.
+  constexpr int kRuns = 5;
   const unsigned cores = std::thread::hardware_concurrency();
   std::string json = "{\n  \"bench\": \"scan_threads\",\n"
                      "  \"year\": 2018,\n  \"scale\": 1024,\n"
-                     "  \"seed\": 42,\n  \"hardware_concurrency\": " +
+                     "  \"seed\": 42,\n  \"runs_per_point\": " +
+                     std::to_string(kRuns) +
+                     ",\n  \"wall_seconds_is\": \"best_of_runs\","
+                     "\n  \"hardware_concurrency\": " +
                      std::to_string(cores) + ",\n  \"results\": [\n";
   double wall_t1 = 0, wall_t4 = 0;
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
-    const auto [wall, events] = timed_campaign(threads);
+    double wall = 1e9;
+    std::uint64_t events = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      const auto [w, e] = timed_campaign(threads);
+      wall = std::min(wall, w);
+      events = e;  // deterministic for a fixed thread count
+    }
     if (threads == 1) wall_t1 = wall;
     if (threads == 4) wall_t4 = wall;
     char row[256];
@@ -201,8 +215,8 @@ bool write_bench_scan_json(const char* path) {
                   static_cast<double>(events) / wall,
                   threads == 8 ? "" : ",");
     json += row;
-    std::printf("threads=%u  wall=%.3fs  events/s=%.0f\n", threads, wall,
-                static_cast<double>(events) / wall);
+    std::printf("threads=%u  best-of-%d wall=%.3fs  events/s=%.0f\n", threads,
+                kRuns, wall, static_cast<double>(events) / wall);
   }
   // The instrumentation tax: the same campaign with the observability layer
   // fully on (metrics + 1/64 flow tracing), single-shard so the comparison

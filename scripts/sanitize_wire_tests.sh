@@ -13,7 +13,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-sanitize}"
-TESTS=(test_dns test_edns test_fuzz test_alloc_budget test_analysis)
+TESTS=(test_dns test_edns test_fuzz test_wire_template test_alloc_budget test_analysis)
 
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

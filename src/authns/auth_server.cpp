@@ -20,7 +20,7 @@ dns::SoaRdata make_soa(const dns::DnsName& sld) {
 AuthServer::AuthServer(net::Network& network, net::IPv4Addr addr,
                        zone::SubdomainScheme scheme,
                        net::SimTime zone_load_latency,
-                       dns::EncodeBuffer* codec_scratch)
+                       dns::EncodeBuffer* codec_scratch, bool wire_templates)
     : network_(network),
       addr_(addr),
       codec_scratch_(codec_scratch != nullptr ? *codec_scratch : own_scratch_),
@@ -37,6 +37,45 @@ AuthServer::AuthServer(net::Network& network, net::IPv4Addr addr,
       net::Endpoint{addr_, net::kDnsPort},
       [this](const net::Datagram& d) { on_datagram(d); },
       [this](const net::DatagramBatch& b) { on_batch(b); });
+  if (wire_templates) {
+    // The dominant Q2 shape: an iterative (RD=0) A query for a probe
+    // subdomain carrying the engines' default EDNS OPT (4096, DO=0).
+    // DNSSEC validators (DO=1), "TCP" retries (65535), and every other
+    // variant differ in wire bytes and fall through to the full path, so
+    // the edns/do counters stay exact.
+    const auto probe_query = [this](const dns::StampVars& v) {
+      dns::Message q = dns::make_query(
+          v.txn, scheme_.qname({v.cluster, v.index}), dns::RRType::kA);
+      q.header.flags.rd = false;
+      dns::set_edns(q, dns::EdnsInfo{.udp_payload_size = 4096});
+      return q;
+    };
+    // Responses echo our own OPT, exactly as the slow path negotiates.
+    query_tpl_ = dns::WireTemplate::derive(probe_query, codec_scratch_);
+    answer_tpl_ = dns::WireTemplate::derive(
+        [&](const dns::StampVars& v) {
+          dns::Message r = dns::make_a_response(
+              probe_query(v), net::IPv4Addr{v.addr}, v.ttl, /*ra=*/false,
+              /*aa=*/true);
+          dns::set_edns(r, dns::EdnsInfo{.udp_payload_size = 4096});
+          return r;
+        },
+        codec_scratch_);
+    nx_tpl_ = dns::WireTemplate::derive(
+        [&](const dns::StampVars& v) {
+          dns::Message r = dns::make_error_response(
+              probe_query(v), dns::Rcode::kNXDomain, /*ra=*/false);
+          r.header.flags.aa = true;
+          dns::set_edns(r, dns::EdnsInfo{.udp_payload_size = 4096});
+          return r;
+        },
+        codec_scratch_);
+    // All three must have derived, and both responses must fit the classic
+    // 512-byte budget so truncate_to_fit on the slow path is a no-op for
+    // these shapes (the fast path skips it).
+    templates_ok_ = query_tpl_.ok() && answer_tpl_.ok() && nx_tpl_.ok() &&
+                    answer_tpl_.size() <= 512 && nx_tpl_.size() <= 512;
+  }
   load_cluster(0, /*initial=*/true);
 }
 
@@ -62,6 +101,35 @@ void AuthServer::on_batch(const net::DatagramBatch& b) {
 
 void AuthServer::on_datagram(const net::Datagram& d) {
   ++stats_.queries_received;
+  // Probe fast path: a wire-exact in-width A query for the loaded scheme is
+  // answered by stamping a pre-encoded response — no decode, no encode.
+  // Gated off while a tracer needs the Q2/R1 span points or a zone reload
+  // is in flight (those queries take the full path and its SERVFAIL).
+  dns::StampVars v;
+  if (templates_ok_ && tracer_ == nullptr &&
+      network_.loop().now() >= load_busy_until_ &&
+      query_tpl_.match(d.payload, v)) {
+    ++stats_.edns_queries;  // the matched shape always carries EDNS, DO=0
+    const zone::SubdomainId id{v.cluster, v.index};
+    const bool resident =
+        id.cluster == loaded_cluster_ ||
+        (loaded_cluster_ > 0 && id.cluster == loaded_cluster_ - 1);
+    std::span<const std::uint8_t> wire;
+    if (resident && id.index < scheme_.cluster_size()) {
+      ++stats_.answered;
+      v.ttl = 300;
+      v.addr = scheme_.ground_truth(id).value();
+      wire = answer_tpl_.stamp(v, codec_scratch_);
+    } else {
+      ++stats_.nxdomain;
+      wire = nx_tpl_.stamp(v, codec_scratch_);
+    }
+    ++stats_.template_stamped;
+    ++stats_.responses_sent;
+    network_.send(net::Endpoint{addr_, net::kDnsPort}, d.src, wire);
+    return;
+  }
+  ++stats_.template_fallback;
   const auto decoded = dns::decode(d.payload);
   if (!decoded) {
     // RFC 1035: unintelligible query -> FORMERR with whatever id we can read.

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "dns/codec.h"
+#include "dns/wire_template.h"
 #include "net/transport.h"
 #include "obs/trace.h"
 #include "zone/cluster.h"
@@ -33,6 +34,8 @@ struct AuthStats {
   std::uint64_t edns_queries = 0;       // queries carrying an OPT RR
   std::uint64_t dnssec_do_queries = 0;  // queries with the DO bit set
   std::uint64_t cluster_loads = 0;
+  std::uint64_t template_stamped = 0;   // responses stamped from a template
+  std::uint64_t template_fallback = 0;  // queries through the full path
 
   /// Merge another shard's auth-vantage counters. A sharded campaign runs
   /// one AuthServer instance per shard (each shard's loop is isolated);
@@ -48,6 +51,8 @@ struct AuthStats {
     edns_queries += o.edns_queries;
     dnssec_do_queries += o.dnssec_do_queries;
     cluster_loads += o.cluster_loads;
+    template_stamped += o.template_stamped;
+    template_fallback += o.template_fallback;
     return *this;
   }
 };
@@ -57,9 +62,14 @@ class AuthServer {
   /// The server answers for `scheme.sld()`. `addr` is its public address.
   /// `codec_scratch`, when given, is a shared single-threaded encode buffer
   /// (one per shard's SimulatedInternet); the server owns one otherwise.
+  /// `wire_templates` enables the template fast path (recognize a probe
+  /// query and stamp its answer without a decode/encode round); either
+  /// setting yields bit-identical responses and identical stats, minus the
+  /// template_* counters themselves.
   AuthServer(net::Network& network, net::IPv4Addr addr,
              zone::SubdomainScheme scheme, net::SimTime zone_load_latency,
-             dns::EncodeBuffer* codec_scratch = nullptr);
+             dns::EncodeBuffer* codec_scratch = nullptr,
+             bool wire_templates = true);
 
   net::IPv4Addr address() const noexcept { return addr_; }
   const zone::SubdomainScheme& scheme() const noexcept { return scheme_; }
@@ -106,6 +116,16 @@ class AuthServer {
   std::uint32_t loaded_cluster_ = 0;
   AuthStats stats_;
   obs::FlowTracer* tracer_ = nullptr;
+
+  // Probe fast path: recognize an in-width A query for the scheme via
+  // query_tpl_.match(), stamp the answer (or NXDOMAIN) from a pre-encoded
+  // template. Engaged only when no tracer is attached and the server is
+  // not mid-reload; everything else (EDNS, apex, out-of-zone, FORMERR)
+  // can't match the template and takes the full path.
+  dns::WireTemplate query_tpl_;
+  dns::WireTemplate answer_tpl_;
+  dns::WireTemplate nx_tpl_;
+  bool templates_ok_ = false;
 };
 
 }  // namespace orp::authns

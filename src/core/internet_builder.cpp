@@ -1,6 +1,8 @@
 #include "core/internet_builder.h"
 
+#include <map>
 #include <stdexcept>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -166,11 +168,41 @@ SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
                                          config.root_count);
   auth_ = std::make_unique<authns::AuthServer>(
       *network_, auth_addr_, *scheme_,
-      net::SimTime::seconds(spec.zone_load_seconds), &codec_scratch_);
+      net::SimTime::seconds(spec.zone_load_seconds), &codec_scratch_,
+      config.wire_templates);
 
   // Engine configuration for honest resolvers: real root hints.
   resolver::EngineConfig engine_config;
   engine_config.hints = hierarchy_.hints;
+
+  // Response templates are a pure function of the profile's shaping fields
+  // (everything that reaches the response bytes), so hosts sharing a shape
+  // share one derived set. Profiles the fast path can't serve get null.
+  using ShapeKey = std::tuple<int, bool, bool, int, bool, std::uint32_t,
+                              std::string>;
+  std::map<ShapeKey, const resolver::ResponseTemplates*> tpl_cache;
+  const auto templates_for = [&](const resolver::BehaviorProfile& p)
+      -> const resolver::ResponseTemplates* {
+    if (!config.wire_templates || !p.respond || p.forwarder ||
+        p.answer == resolver::AnswerMode::kRecursive)
+      return nullptr;
+    const ShapeKey key{static_cast<int>(p.answer), p.ra, p.aa,
+                       static_cast<int>(p.rcode), p.omit_question,
+                       p.fixed_answer.value(), p.text_answer};
+    auto it = tpl_cache.find(key);
+    if (it == tpl_cache.end()) {
+      response_templates_.push_back(
+          std::make_unique<resolver::ResponseTemplates>(
+              resolver::build_response_templates(
+                  p,
+                  [this](std::uint32_t c, std::uint32_t i) {
+                    return scheme_->qname({c, i});
+                  },
+                  codec_scratch_)));
+      it = tpl_cache.emplace(key, response_templates_.back().get()).first;
+    }
+    return it->second;
+  };
 
   // ---- Plant this shard's slice of the planned population -----------------
   const ShardSlice slice = shard_slice(spec.raw_steps, shard_id, shard_count);
@@ -181,7 +213,7 @@ SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
     if (shard_count > 1 && !slice.contains(ph.perm_index)) continue;
     hosts_.push_back(std::make_unique<resolver::ResolverHost>(
         *network_, ph.addr, ph.profile, engine_config, ph.engine_seed,
-        &codec_scratch_));
+        &codec_scratch_, templates_for(ph.profile)));
     planted.insert(ph.addr.value());
   }
 
@@ -201,7 +233,7 @@ SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
       if (!needed.contains(ph.addr.value())) continue;
       hosts_.push_back(std::make_unique<resolver::ResolverHost>(
           *network_, ph.addr, ph.profile, engine_config, ph.engine_seed,
-          &codec_scratch_));
+          &codec_scratch_, templates_for(ph.profile)));
       needed.erase(ph.addr.value());
     }
   }

@@ -49,6 +49,12 @@ struct InternetConfig {
   /// bit-identical simulation — the determinism suite sweeps them.
   std::size_t loop_batch_cap = 0;
   std::size_t delivery_group_cap = 0;
+  /// Pre-encoded wire templates for the auth server and the fabricating
+  /// resolver hosts (stamp instead of decode/build/encode per probe).
+  /// Either setting yields a bit-identical simulation — templates are
+  /// differentially verified against the full encoder at derive time — and
+  /// the determinism suite sweeps this knob too.
+  bool wire_templates = true;
 };
 
 /// One planted host, fully resolved: every random draw already made.
@@ -158,6 +164,12 @@ class SimulatedInternet {
     return hosts_;
   }
 
+  /// Distinct response-template sets derived for this shard's population
+  /// (one per fabricating-profile shaping key, shared across its hosts).
+  std::size_t response_template_count() const noexcept {
+    return response_templates_.size();
+  }
+
  private:
   net::EventLoop loop_;
   std::unique_ptr<net::Network> network_;
@@ -165,6 +177,9 @@ class SimulatedInternet {
   std::unique_ptr<zone::SubdomainScheme> scheme_;
   dns::EncodeBuffer codec_scratch_;  // before auth_/hosts_: they hold a ref
   std::unique_ptr<authns::AuthServer> auth_;
+  // Shared per-profile-shape template sets; before hosts_ (hosts hold
+  // non-owning pointers into these).
+  std::vector<std::unique_ptr<resolver::ResponseTemplates>> response_templates_;
   std::vector<std::unique_ptr<resolver::ResolverHost>> hosts_;
   IntelBundle intel_;
   net::IPv4Addr prober_addr_;

@@ -37,6 +37,7 @@ ScanOutcome run_measurement(const PaperYear& year,
   net_config.loss_rate = config.loss_rate;
   net_config.loop_batch_cap = config.loop_batch_cap;
   net_config.delivery_group_cap = config.delivery_group_cap;
+  net_config.wire_templates = config.wire_templates;
   const InternetPlan plan = plan_internet(outcome.spec, net_config);
 
   // 3. The campaign-level scan parameters (Table II at this run's scale);
@@ -47,6 +48,7 @@ ScanOutcome run_measurement(const PaperYear& year,
   scan_config.raw_steps = outcome.spec.raw_steps;
   scan_config.rotate_pause =
       net::SimTime::seconds(outcome.spec.zone_load_seconds);
+  scan_config.wire_templates = config.wire_templates;
 
   // A shard needs a non-empty slice; more shards than raw steps would only
   // create idle loops.

@@ -39,6 +39,11 @@ struct PipelineConfig {
   /// tables and digests (the determinism suite sweeps them).
   std::size_t loop_batch_cap = 0;
   std::size_t delivery_group_cap = 0;
+  /// Stamp hot-path packets (probe queries, auth answers, fabricated
+  /// responses) from pre-encoded, differentially verified wire templates.
+  /// Either setting produces byte-identical tables and digests — the
+  /// determinism suite sweeps this knob alongside the batch caps.
+  bool wire_templates = true;
   /// Observability: metrics registry, flow tracing, live progress. All off
   /// by default; enabling any of them changes no simulated behavior — the
   /// tables and digests stay byte-identical (instrumentation is passive).

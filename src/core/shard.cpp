@@ -120,6 +120,8 @@ void ShardContext::collect_metrics() {
   m.add(b.scan_skipped_reserved, s.skipped_reserved);
   m.add(b.scan_skipped_overflow, s.skipped_overflow);
   m.set_max(b.scan_outstanding_peak, scanner_.peak_outstanding());
+  m.add(b.scan_template_stamped, s.template_stamped);
+  m.add(b.scan_template_fallback, s.template_fallback);
   m.add(b.rate_tokens_granted, scanner_.limiter().granted());
   m.add(b.rate_deferred, scanner_.limiter().deferred());
 
@@ -132,6 +134,8 @@ void ShardContext::collect_metrics() {
     m.add(b.resolver_truncated, hs.truncated);
     m.add(b.resolver_rrl_dropped, hs.rrl_dropped);
     m.add(b.resolver_rrl_slipped, hs.rrl_slipped);
+    m.add(b.resolver_template_stamped, hs.template_stamped);
+    m.add(b.resolver_template_fallback, hs.template_fallback);
     if (const resolver::IterativeEngine* eng = host->engine()) {
       m.add(b.resolver_cache_bypass, eng->cache_bypasses());
       m.add(b.resolver_upstream_queries, eng->upstream_queries());
@@ -149,6 +153,8 @@ void ShardContext::collect_metrics() {
   m.add(b.auth_edns_queries, a.edns_queries);
   m.add(b.auth_dnssec_do_queries, a.dnssec_do_queries);
   m.add(b.auth_cluster_loads, a.cluster_loads);
+  m.add(b.auth_template_stamped, a.template_stamped);
+  m.add(b.auth_template_fallback, a.template_fallback);
 
   m.add(b.trace_flows_sampled, obs_.tracer.flow_count());
   m.add(b.trace_records, obs_.tracer.records().size());

@@ -21,6 +21,88 @@ std::uint64_t packet_hash(const Datagram& d) {
       .value();
 }
 
+// The batch digest below computes the same per-packet FNV-1a value as
+// packet_hash, restructured from a latency problem into a throughput one:
+//
+//  * word_bytes() of a 32-bit address (or 16-bit port) folds 4 (or 6)
+//    trailing zero bytes; folding a zero is h = (h ^ 0) * p = h * p, so a
+//    run of k zeros collapses to one multiply by p^k.
+//  * FNV's per-byte step is a serial xor-multiply chain (~3-cycle multiply
+//    latency each), but distinct packets' chains are independent — running
+//    four packets' chains interleaved keeps the multiplier port busy
+//    instead of waiting out each packet's dependency chain.
+//
+// Both transformations are exact: every packet's folded value is
+// bit-identical to packet_hash, and the digest is a wrapping sum, so lane
+// completion order cannot change it.
+constexpr std::uint64_t fnv_pow(int n) noexcept {
+  std::uint64_t r = 1;
+  while (n-- > 0) r *= util::kFnv1aPrime;
+  return r;
+}
+constexpr std::uint64_t kP = util::kFnv1aPrime;
+constexpr std::uint64_t kP4 = fnv_pow(4);  // the 4 zero bytes above an addr
+constexpr std::uint64_t kP6 = fnv_pow(6);  // the 6 zero bytes above a port
+
+/// FNV state resumed after the (src addr, src port) prefix, with the
+/// destination and payload still to fold.
+struct DigestLane {
+  std::uint64_t h = 0;
+  std::uint32_t dst_addr = 0;
+  std::uint16_t dst_port = 0;
+  const std::uint8_t* payload = nullptr;
+  std::size_t len = 0;
+};
+
+/// Fold one lane's destination fields (zero runs collapsed).
+std::uint64_t fold_dst(std::uint64_t h, std::uint32_t addr,
+                       std::uint16_t port) noexcept {
+  h = (h ^ (addr & 0xff)) * kP;
+  h = (h ^ ((addr >> 8) & 0xff)) * kP;
+  h = (h ^ ((addr >> 16) & 0xff)) * kP;
+  h = (h ^ (addr >> 24)) * kP;
+  h *= kP4;
+  h = (h ^ (port & 0xff)) * kP;
+  h = (h ^ (port >> 8)) * kP;
+  h *= kP6;
+  return h;
+}
+
+std::uint64_t lane_value(const DigestLane& l) noexcept {
+  std::uint64_t h = fold_dst(l.h, l.dst_addr, l.dst_port);
+  for (std::size_t i = 0; i < l.len; ++i) h = (h ^ l.payload[i]) * kP;
+  return util::mix64(h);
+}
+
+/// Digest contribution of `count` (≤4) pending lanes. Four equal-length
+/// payloads (every templated probe of a batch) run interleaved; anything
+/// else falls back to per-lane chains.
+std::uint64_t drain_lanes(const DigestLane* l, int count) noexcept {
+  if (count == 4 && l[0].len == l[1].len && l[1].len == l[2].len &&
+      l[2].len == l[3].len) {
+    std::uint64_t h0 = fold_dst(l[0].h, l[0].dst_addr, l[0].dst_port);
+    std::uint64_t h1 = fold_dst(l[1].h, l[1].dst_addr, l[1].dst_port);
+    std::uint64_t h2 = fold_dst(l[2].h, l[2].dst_addr, l[2].dst_port);
+    std::uint64_t h3 = fold_dst(l[3].h, l[3].dst_addr, l[3].dst_port);
+    const std::uint8_t* p0 = l[0].payload;
+    const std::uint8_t* p1 = l[1].payload;
+    const std::uint8_t* p2 = l[2].payload;
+    const std::uint8_t* p3 = l[3].payload;
+    const std::size_t n = l[0].len;
+    for (std::size_t i = 0; i < n; ++i) {
+      h0 = (h0 ^ p0[i]) * kP;
+      h1 = (h1 ^ p1[i]) * kP;
+      h2 = (h2 ^ p2[i]) * kP;
+      h3 = (h3 ^ p3[i]) * kP;
+    }
+    return util::mix64(h0) + util::mix64(h1) + util::mix64(h2) +
+           util::mix64(h3);
+  }
+  std::uint64_t sum = 0;
+  for (int i = 0; i < count; ++i) sum += lane_value(l[i]);
+  return sum;
+}
+
 }  // namespace
 
 void CaptureStore::attach(Network& net, IPv4Addr host) {
@@ -44,6 +126,8 @@ void CaptureStore::observe_batch(SimTime t, std::span<const PacketView> pkts,
   util::Fnv1a prefix;
   Endpoint prefix_src{};
   bool have_prefix = false;
+  DigestLane lanes[4];
+  int pending = 0;
   for (const PacketView& p : pkts) {
     if (!have_prefix || prefix_src != p.src) {
       prefix = util::Fnv1a()
@@ -61,12 +145,15 @@ void CaptureStore::observe_batch(SimTime t, std::span<const PacketView> pkts,
       continue;  // not this vantage's traffic
     }
     ++packet_count_;
-    digest_ += util::mix64(util::Fnv1a(prefix)
-                               .word_bytes(p.dst.addr.value())
-                               .word_bytes(p.dst.port)
-                               .bytes(p.payload)
-                               .value());
+    lanes[pending++] =
+        DigestLane{prefix.value(), p.dst.addr.value(), p.dst.port,
+                   p.payload.data(), p.payload.size()};
+    if (pending == 4) {
+      digest_ += drain_lanes(lanes, 4);
+      pending = 0;
+    }
   }
+  digest_ += drain_lanes(lanes, pending);
 }
 
 void CaptureStore::add(SimTime t, const Datagram& d) {

@@ -178,6 +178,12 @@ const Builtin& builtin() {
         s.gauge("orp_scan_outstanding_peak",
                 "peak probes awaiting response in one shard", MergeOp::kMax,
                 I::kThreadVariant);
+    b.scan_template_stamped =
+        s.counter("orp_scan_template_stamped",
+                  "probes stamped from the pre-encoded wire template");
+    b.scan_template_fallback =
+        s.counter("orp_scan_template_fallback",
+                  "probes built through the full encoder");
     b.rate_tokens_granted =
         s.counter("orp_rate_tokens_granted",
                   "send tokens granted by the pacing bucket",
@@ -210,6 +216,12 @@ const Builtin& builtin() {
         s.counter("orp_resolver_upstream_queries",
                   "upstream queries issued by resolver engines",
                   I::kThreadVariant);
+    b.resolver_template_stamped =
+        s.counter("orp_resolver_template_stamped",
+                  "resolver responses stamped from a shared wire template");
+    b.resolver_template_fallback =
+        s.counter("orp_resolver_template_fallback",
+                  "resolver queries through the full decode/encode path");
 
     b.auth_q2_received =
         s.counter("orp_auth_q2_received", "queries at the auth vantage (Q2)");
@@ -231,6 +243,12 @@ const Builtin& builtin() {
         s.counter("orp_auth_cluster_loads",
                   "zone cluster loads (counts per shard instance)",
                   I::kThreadVariant);
+    b.auth_template_stamped =
+        s.counter("orp_auth_template_stamped",
+                  "auth responses stamped from a wire template");
+    b.auth_template_fallback =
+        s.counter("orp_auth_template_fallback",
+                  "auth queries through the full decode/encode path");
 
     // The *set of sampled permutation indices* is shard-count-invariant (the
     // sampler keys on the global index — pinned by ObsPipeline), but these

@@ -214,6 +214,8 @@ struct Builtin {
   CounterHandle scan_skipped_reserved;
   CounterHandle scan_skipped_overflow;
   GaugeHandle scan_outstanding_peak;
+  CounterHandle scan_template_stamped;
+  CounterHandle scan_template_fallback;
   CounterHandle rate_tokens_granted;
   CounterHandle rate_deferred;
 
@@ -227,6 +229,8 @@ struct Builtin {
   CounterHandle resolver_rrl_slipped;
   CounterHandle resolver_cache_bypass;
   CounterHandle resolver_upstream_queries;
+  CounterHandle resolver_template_stamped;
+  CounterHandle resolver_template_fallback;
 
   // authns::AuthServer (Q2/R1 vantage)
   CounterHandle auth_q2_received;
@@ -239,6 +243,8 @@ struct Builtin {
   CounterHandle auth_edns_queries;
   CounterHandle auth_dnssec_do_queries;
   CounterHandle auth_cluster_loads;
+  CounterHandle auth_template_stamped;
+  CounterHandle auth_template_fallback;
 
   // obs::FlowTracer
   CounterHandle trace_flows_sampled;

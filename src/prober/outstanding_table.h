@@ -1,0 +1,263 @@
+// The scanner's outstanding-probe table.
+//
+// Functionally this is an unordered map from packed SubdomainId to send
+// time — but its *iteration order* is load-bearing: the reap sweep releases
+// timed-out subdomains in iteration order, released ids feed the reuse pool
+// LIFO, and reused ids become future probe qnames. Iteration order is
+// therefore wire-visible, and the capture digest pins it. The previous
+// implementation was std::unordered_map with pooled nodes; this table
+// replays that container's exact bucket evolution and node placement —
+// same hash values (QnameRenderer::hash == std::hash<string_view> of the
+// canonical qname), same bucket counts (libstdc++'s _Prime_rehash_policy,
+// used directly), same insert-at-bucket-front list splicing, same rehash
+// re-bucketing order — so every iteration order it produces is
+// byte-identical to the map it replaces. What changes is the cost model:
+//
+//   * nodes live in one contiguous 32-byte-slot slab addressed by u32
+//     index (vs. 48-byte pool nodes behind an allocator), with the reap
+//     sweep's fields (next, sent) in the first half-line;
+//   * each node stores its bucket index, making erase O(1) pointer surgery
+//     (std::unordered_map re-derives the bucket — a 64-bit division — and
+//     walks the bucket chain to find the predecessor);
+//   * hash→bucket uses a division-free multiply (Lemire's fastmod),
+//     replacing the hashtable's per-operation `hash % prime` divide.
+//
+// On non-libstdc++ builds the growth schedule falls back to doubling
+// through a fixed prime table: still deterministic run-to-run, but not
+// bit-compatible with libstdc++ goldens (neither is std::hash there).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>  // _Prime_rehash_policy on libstdc++
+#include <vector>
+
+#include "net/sim_time.h"
+
+namespace orp::prober {
+
+/// n % d without the divide: Lemire's 128-bit fastmod, exact for every
+/// 64-bit n and every d the bucket table can take. The magic constant is
+/// ceil(2^128 / d); n % d = floor(((M * n) mod 2^128) * d / 2^128).
+struct FastMod {
+  unsigned __int128 magic = 0;
+  std::uint64_t d = 1;
+
+  void set(std::uint64_t divisor) noexcept {
+    d = divisor;
+    magic = ~static_cast<unsigned __int128>(0) / divisor + 1;
+  }
+  std::uint64_t mod(std::uint64_t n) const noexcept {
+    const unsigned __int128 low = magic * n;
+    const auto lo = static_cast<std::uint64_t>(low);
+    const auto hi = static_cast<std::uint64_t>(low >> 64);
+    const unsigned __int128 top =
+        static_cast<unsigned __int128>(hi) * d +
+        ((static_cast<unsigned __int128>(lo) * d) >> 64);
+    return static_cast<std::uint64_t>(top >> 64);
+  }
+};
+
+/// Hasher contract: a callable with `std::uint64_t operator()(key)` whose
+/// values match what the replaced std::unordered_map hashed with (the
+/// scanner passes QnameRenderer::hash through a thin functor).
+template <typename Hasher>
+class OutstandingTable {
+ public:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  explicit OutstandingTable(Hasher hasher) : hasher_(hasher) {
+#ifdef __GLIBCXX__
+    // Exactly the bucket count std::unordered_map(/*bucket_count=*/0, ...)
+    // starts from, from the same policy object.
+    bucket_count_ = policy_._M_next_bkt(0);
+#else
+    bucket_count_ = 1;
+#endif
+    if (bucket_count_ == 0) bucket_count_ = 1;
+    fastmod_.set(bucket_count_);
+    bucket_first_.assign(bucket_count_, kNil);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t bucket_count() const noexcept { return bucket_count_; }
+
+  /// Insert (key, sent); no-op if the key is already present (matching
+  /// unordered_map::emplace on a duplicate).
+  void emplace(std::uint64_t key, net::SimTime sent) {
+    const std::uint64_t h = hasher_(key);
+    std::uint32_t b = static_cast<std::uint32_t>(fastmod_.mod(h));
+    for (std::uint32_t n = bucket_first_[b];
+         n != kNil && nodes_[n].bkt == b; n = nodes_[n].next)
+      if (nodes_[n].key == key) return;
+    if (need_rehash()) {
+      rehash_grow();
+      b = static_cast<std::uint32_t>(fastmod_.mod(h));
+    }
+    const std::uint32_t idx = alloc_node();
+    Node& nd = nodes_[idx];
+    nd.key = key;
+    nd.sent = sent;
+    nd.bkt = b;
+    link_bucket_front(idx, b);
+    ++size_;
+  }
+
+  /// Handle of `key`'s node, or kNil.
+  std::uint32_t find(std::uint64_t key) const noexcept {
+    const std::uint64_t h = hasher_(key);
+    const auto b = static_cast<std::uint32_t>(fastmod_.mod(h));
+    for (std::uint32_t n = bucket_first_[b];
+         n != kNil && nodes_[n].bkt == b; n = nodes_[n].next)
+      if (nodes_[n].key == key) return n;
+    return kNil;
+  }
+
+  /// Iteration in the pinned (bucket-list) order.
+  std::uint32_t first() const noexcept { return head_; }
+  std::uint32_t next(std::uint32_t i) const noexcept { return nodes_[i].next; }
+
+  /// Hint for sweeps: the list order is hash-random over the slab, so each
+  /// step is a dependent load — pulling the node after next while the
+  /// current one is processed hides most of that latency.
+  void prefetch(std::uint32_t i) const noexcept {
+    __builtin_prefetch(&nodes_[i]);
+  }
+
+  std::uint64_t key_at(std::uint32_t i) const noexcept { return nodes_[i].key; }
+  net::SimTime sent_at(std::uint32_t i) const noexcept {
+    return nodes_[i].sent;
+  }
+
+  /// Erase the node behind handle `i`; returns the next handle in
+  /// iteration order (so the reap sweep is erase-while-iterating, exactly
+  /// like `it = map.erase(it)`).
+  std::uint32_t erase_at(std::uint32_t i) noexcept {
+    Node& nd = nodes_[i];
+    const std::uint32_t nx = nd.next;
+    const std::uint32_t pv = nd.prev;
+    const std::uint32_t b = nd.bkt;
+    if (bucket_first_[b] == i)
+      bucket_first_[b] = (nx != kNil && nodes_[nx].bkt == b) ? nx : kNil;
+    if (pv != kNil)
+      nodes_[pv].next = nx;
+    else
+      head_ = nx;
+    if (nx != kNil) nodes_[nx].prev = pv;
+    nd.next = free_;
+    free_ = i;
+    --size_;
+    return nx;
+  }
+
+ private:
+  struct Node {
+    std::uint32_t next = kNil;  // with `sent` in the first 16 bytes: the
+    std::uint32_t bkt = 0;      // reap sweep touches one half-line per node
+    net::SimTime sent;
+    std::uint64_t key = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t pad_ = 0;
+  };
+  static_assert(sizeof(Node) == 32);
+
+  std::uint32_t alloc_node() {
+    if (free_ != kNil) {
+      const std::uint32_t idx = free_;
+      free_ = nodes_[idx].next;
+      return idx;
+    }
+    nodes_.emplace_back();
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+
+  /// Splice `idx` in front of bucket `b`'s chain segment — the position
+  /// _Hashtable::_M_insert_bucket_begin gives a new node: before the
+  /// bucket's current first node, or at the global list head for a bucket
+  /// that was empty.
+  void link_bucket_front(std::uint32_t idx, std::uint32_t b) noexcept {
+    const std::uint32_t at =
+        bucket_first_[b] != kNil ? bucket_first_[b] : head_;
+    Node& nd = nodes_[idx];
+    nd.next = at;
+    if (at != kNil) {
+      nd.prev = nodes_[at].prev;
+      nodes_[at].prev = idx;
+    } else {
+      nd.prev = tail_if_empty_bucket_append();
+    }
+    if (nd.prev != kNil)
+      nodes_[nd.prev].next = idx;
+    else
+      head_ = idx;
+    bucket_first_[b] = idx;
+  }
+
+  /// A new node for an empty bucket goes to the global list *head* (like
+  /// _Hashtable), so when `at == kNil` the list must have been empty and
+  /// the predecessor is nil. Kept as a function to document the invariant.
+  std::uint32_t tail_if_empty_bucket_append() const noexcept { return kNil; }
+
+  bool need_rehash() {
+#ifdef __GLIBCXX__
+    const auto r = policy_._M_need_rehash(bucket_count_, size_, 1);
+    pending_bucket_count_ = r.second;
+    return r.first;
+#else
+    pending_bucket_count_ = next_fallback_bucket_count();
+    return size_ + 1 > bucket_count_;
+#endif
+  }
+
+#ifndef __GLIBCXX__
+  std::size_t next_fallback_bucket_count() const {
+    static constexpr std::size_t kPrimes[] = {
+        13,        29,        59,        127,        257,       541,
+        1109,      2357,      5087,      10273,      20753,     42043,
+        85229,     172933,    351061,    712697,     1447153,   2938679,
+        5967347,   12117689,  24607243,  49969847,   101473717, 206062531,
+        418438203, 849749479, 1725587117};
+    for (const std::size_t p : kPrimes)
+      if (p > bucket_count_ * 2) return p;
+    return bucket_count_ * 2 + 1;
+  }
+#endif
+
+  /// Grow to the policy-chosen bucket count, re-bucketing every node in
+  /// iteration order with the same bucket-front splice — the order
+  /// _Hashtable::_M_rehash leaves behind.
+  void rehash_grow() {
+    rehash_scratch_.clear();
+    for (std::uint32_t n = head_; n != kNil; n = nodes_[n].next)
+      rehash_scratch_.push_back(n);
+    bucket_count_ = pending_bucket_count_;
+    fastmod_.set(bucket_count_);
+    bucket_first_.assign(bucket_count_, kNil);
+    head_ = kNil;
+    for (const std::uint32_t idx : rehash_scratch_) {
+      const std::uint64_t h = hasher_(nodes_[idx].key);
+      const auto b = static_cast<std::uint32_t>(fastmod_.mod(h));
+      nodes_[idx].bkt = b;
+      nodes_[idx].prev = kNil;
+      nodes_[idx].next = kNil;
+      link_bucket_front(idx, b);
+    }
+  }
+
+  Hasher hasher_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> bucket_first_;
+  std::vector<std::uint32_t> rehash_scratch_;
+  std::uint32_t head_ = kNil;
+  std::uint32_t free_ = kNil;
+  std::size_t size_ = 0;
+  std::size_t bucket_count_ = 1;
+  std::size_t pending_bucket_count_ = 0;
+  FastMod fastmod_;
+#ifdef __GLIBCXX__
+  std::__detail::_Prime_rehash_policy policy_;
+#endif
+};
+
+}  // namespace orp::prober

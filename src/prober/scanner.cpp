@@ -13,12 +13,6 @@ namespace orp::prober {
 namespace {
 constexpr std::uint16_t kProberPort = 54321;  // fixed source port, ZMap-style
 
-// Wire offsets inside the probe template: 12-byte header, then the question
-// name as [5]"or###" [7]"#######" [sld labels] [0]. Verified against the
-// actual encode in the constructor before the patch path is enabled.
-constexpr std::size_t kClusterDigitsOff = 12 + 1 + 2;  // after [5] 'o' 'r'
-constexpr std::size_t kIndexDigitsOff = 12 + 1 + 5 + 1;
-
 /// Zero-padded decimal, widening past `min_width` when the value needs it —
 /// exactly snprintf("%0*u")'s behavior, which the zone scheme renders with.
 char* write_decimal(char* p, std::uint32_t v, int min_width) {
@@ -41,6 +35,23 @@ void patch_digits(std::uint8_t* p, std::uint32_t v, int width) {
   }
 }
 
+// MurmurHash64A pieces, matching libstdc++'s std::_Hash_bytes on LP64 (the
+// function behind std::hash<string_view>). Replicated from the public
+// MurmurHash64A algorithm; prepare_hash_plan() differentially verifies the
+// replica against std::hash and disables the fast path on any mismatch, so
+// a different stdlib degrades to the render-and-hash path, never to wrong
+// bucket placement.
+constexpr std::uint64_t kMurmurMul = 0xc6a4a7935bd1e995ULL;
+constexpr std::uint64_t kMurmurSeed = 0xc70f6907ULL;
+
+std::uint64_t shift_mix(std::uint64_t v) noexcept { return v ^ (v >> 47); }
+
+std::uint64_t load64(const unsigned char* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
 }  // namespace
 
 std::string_view QnameRenderer::render(std::uint64_t key,
@@ -56,6 +67,65 @@ std::string_view QnameRenderer::render(std::uint64_t key,
   return {buf.data(), static_cast<std::size_t>(p - buf.data())};
 }
 
+std::size_t QnameRenderer::hash_slow(std::uint64_t key) const noexcept {
+  char buf[dns::kMaxNameLength + 32];
+  return std::hash<std::string_view>{}(render(key, buf));
+}
+
+std::size_t QnameRenderer::hash(std::uint64_t key) const noexcept {
+  const auto cluster = static_cast<std::uint32_t>(key >> 32);
+  const auto index = static_cast<std::uint32_t>(key);
+  if (!hash_fast_ok_ || cluster >= 1000 || index >= 10'000'000)
+    return hash_slow(key);
+  // Canonical bytes 0..15 are "or###.#######" + suffix[0..2]: patch the two
+  // digit runs into the prototype and run the first two Murmur chunks for
+  // real; everything after byte 16 is id-invariant and folds as constants.
+  unsigned char buf[16];
+  std::memcpy(buf, hash_proto_, 16);
+  patch_digits(buf + 2, cluster, 3);
+  patch_digits(buf + 6, index, 7);
+  std::uint64_t h = hash_h0_;
+  h = (h ^ (shift_mix(load64(buf) * kMurmurMul) * kMurmurMul)) * kMurmurMul;
+  h = (h ^ (shift_mix(load64(buf + 8) * kMurmurMul) * kMurmurMul)) * kMurmurMul;
+  for (const std::uint64_t fold : hash_folds_) h = (h ^ fold) * kMurmurMul;
+  if (hash_has_tail_) h = (h ^ hash_tail_) * kMurmurMul;
+  return shift_mix(shift_mix(h) * kMurmurMul);
+}
+
+void QnameRenderer::prepare_hash_plan() {
+  hash_fast_ok_ = false;
+  hash_folds_.clear();
+  const std::size_t len = 13 + suffix.size();  // "or###.#######" + suffix
+  if (suffix.size() < 3 || len > dns::kMaxNameLength + 32) return;
+  char canon[dns::kMaxNameLength + 32];
+  const std::string_view c0 = render(0, canon);
+  if (c0.size() != len) return;
+  std::memcpy(hash_proto_, c0.data(), 16);
+  hash_h0_ = kMurmurSeed ^ (len * kMurmurMul);
+  const auto* bytes = reinterpret_cast<const unsigned char*>(c0.data());
+  std::size_t off = 16;
+  for (; off + 8 <= len; off += 8)
+    hash_folds_.push_back(shift_mix(load64(bytes + off) * kMurmurMul) *
+                          kMurmurMul);
+  hash_has_tail_ = off < len;
+  hash_tail_ = 0;
+  for (std::size_t i = len; i > off; --i)
+    hash_tail_ = (hash_tail_ << 8) + bytes[i - 1];
+  // Differential check: the fast path must reproduce std::hash exactly for
+  // ids across both digit widths, or the bucket layout (and through reap
+  // order, the capture digest) would silently change.
+  hash_fast_ok_ = true;
+  constexpr std::uint64_t kProbeIds[] = {
+      0, 1, (1ULL << 32) | 1, (999ULL << 32) | 9'999'999,
+      (123ULL << 32) | 4'567'890};
+  for (const std::uint64_t id : kProbeIds) {
+    if (hash(id) != hash_slow(id)) {
+      hash_fast_ok_ = false;
+      return;
+    }
+  }
+}
+
 Scanner::Scanner(net::Network& network, net::IPv4Addr prober_addr,
                  ScanConfig config, zone::SubdomainScheme scheme,
                  dns::EncodeBuffer* codec_scratch)
@@ -66,37 +136,39 @@ Scanner::Scanner(net::Network& network, net::IPv4Addr prober_addr,
       clusters_(std::move(scheme), config.rotate_pause),
       permutation_(config.seed),
       limiter_(config.rate_pps, config.batch_size * 4),
-      outstanding_(0, QnameKeyHash{&renderer_}, std::equal_to<std::uint64_t>{},
-                   PoolAllocator<std::pair<const std::uint64_t, Outstanding>>{
-                       &node_pool_}) {
+      outstanding_(QnameKeyHash{&renderer_}) {
   if (config_.first_index != 0) permutation_.seek(config_.first_index);
   network_.bind_batch(
       net::Endpoint{addr_, kProberPort},
       [this](const net::Datagram& d) { on_datagram(d); },
       [this](const net::DatagramBatch& b) { on_batch(b); });
 
-  // Build the probe template and the canonical-key renderer from the id
-  // (0, 0) probe; every other probe differs only in txn and digit runs.
-  const zone::SubdomainId id0{0, 0};
-  const dns::DnsName qn0 = clusters_.scheme().qname(id0);
-  const dns::Message q0 = dns::make_query(0, qn0, config_.qtype);
-  const auto wire0 = dns::encode_into(q0, codec_scratch_);
-  template_.assign(wire0.begin(), wire0.end());
+  // Learn the probe template (verified byte-identical to the encoder by
+  // derive itself) and the canonical-key renderer from the id (0, 0) probe.
+  if (config_.wire_templates) {
+    probe_tpl_ = dns::WireTemplate::derive(
+        [this](const dns::StampVars& v) {
+          return dns::make_query(
+              v.txn, clusters_.scheme().qname({v.cluster, v.index}),
+              config_.qtype);
+        },
+        codec_scratch_);
+  }
 
-  const std::string canon0 = qn0.canonical_key();
+  const std::string canon0 = clusters_.scheme().qname({0, 0}).canonical_key();
   constexpr std::string_view kHead = "or000.0000000";
   const bool canon_ok =
       canon0.size() >= kHead.size() &&
       std::string_view(canon0).substr(0, kHead.size()) == kHead;
   renderer_.suffix = canon_ok ? canon0.substr(kHead.size()) : canon0;
-  template_ok_ = canon_ok && template_.size() > kIndexDigitsOff + 7 &&
-                 template_[12] == 5 && template_[12 + 1 + 5] == 7;
+  if (canon_ok) renderer_.prepare_hash_plan();
 
   pending_off_.reserve(config_.batch_size);
   pending_len_.reserve(config_.batch_size);
   pending_dst_.reserve(config_.batch_size);
   pending_views_.reserve(config_.batch_size);
-  pending_bytes_.reserve(config_.batch_size * template_.size());
+  pending_bytes_.reserve(config_.batch_size *
+                         std::max<std::size_t>(probe_tpl_.size(), 64));
 }
 
 void Scanner::start(DoneCallback done) {
@@ -174,7 +246,7 @@ void Scanner::send_one_probe(net::IPv4Addr target) {
   const zone::SubdomainId id = clusters_.acquire();
   const std::uint16_t txn = next_txn_++;
   if (next_txn_ == 0) next_txn_ = 1;
-  outstanding_.emplace(pack(id), Outstanding{id, network_.loop().now()});
+  outstanding_.emplace(pack(id), network_.loop().now());
   peak_outstanding_ =
       std::max<std::uint64_t>(peak_outstanding_, outstanding_.size());
   ++stats_.q1_sent;
@@ -189,26 +261,22 @@ void Scanner::send_one_probe(net::IPv4Addr target) {
       tracer_->begin_flow(flow, index, network_.loop().now(), target.value());
     }
   }
-  // Stage the wire bytes. Common ids patch the pre-encoded template in
-  // place (txn + two fixed-width digit runs); wider ids take the full
-  // make_query/encode path, byte-identical to what the template patch
-  // produces inside its widths.
+  // Stage the wire bytes. Common ids stamp the pre-encoded template (txn +
+  // two fixed-width digit runs); wider ids take the full make_query/encode
+  // path, byte-identical to what the stamp produces inside its widths.
   const std::size_t off = pending_bytes_.size();
-  if (template_ok_ && id.cluster < 1000 && id.index < 10'000'000) {
-    pending_bytes_.insert(pending_bytes_.end(), template_.begin(),
-                          template_.end());
-    std::uint8_t* w = pending_bytes_.data() + off;
-    w[0] = static_cast<std::uint8_t>(txn >> 8);
-    w[1] = static_cast<std::uint8_t>(txn & 0xff);
-    patch_digits(w + kClusterDigitsOff, id.cluster, 3);
-    patch_digits(w + kIndexDigitsOff, id.index, 7);
-    pending_len_.push_back(static_cast<std::uint32_t>(template_.size()));
+  const dns::StampVars vars{txn, id.cluster, id.index, 0, 0};
+  if (probe_tpl_.covers(vars)) {
+    probe_tpl_.stamp_append(vars, pending_bytes_);
+    pending_len_.push_back(static_cast<std::uint32_t>(probe_tpl_.size()));
+    ++stats_.template_stamped;
   } else {
     const dns::DnsName qname = clusters_.scheme().qname(id);
     const dns::Message query = dns::make_query(txn, qname, config_.qtype);
     const auto wire = dns::encode_into(query, codec_scratch_);
     pending_bytes_.insert(pending_bytes_.end(), wire.begin(), wire.end());
     pending_len_.push_back(static_cast<std::uint32_t>(wire.size()));
+    ++stats_.template_fallback;
   }
   pending_off_.push_back(static_cast<std::uint32_t>(off));
   pending_dst_.push_back(target);
@@ -279,9 +347,10 @@ void Scanner::on_datagram(const net::Datagram& d) {
     char key_buf[dns::kMaxNameLength];
     const std::string_view key = v.qname.canonical_key_into(key_buf);
     std::uint64_t packed = 0;
-    const auto it = match_key(key, packed) ? outstanding_.find(packed)
-                                           : outstanding_.end();
-    if (it != outstanding_.end()) {
+    constexpr std::uint32_t kNil = OutstandingTable<QnameKeyHash>::kNil;
+    const std::uint32_t node =
+        match_key(key, packed) ? outstanding_.find(packed) : kNil;
+    if (node != kNil) {
       ++stats_.r2_matched;
       if (tracer_ != nullptr) {
         const std::uint64_t flow = util::Fnv1a{}.bytes(key).value();
@@ -289,8 +358,8 @@ void Scanner::on_datagram(const net::Datagram& d) {
           tracer_->record(flow, obs::SpanPoint::kR2Received,
                           network_.loop().now(), d.src.addr.value());
       }
-      clusters_.retire_answered(it->second.id);
-      outstanding_.erase(it);
+      clusters_.retire_answered(unpack(packed));
+      outstanding_.erase_at(node);
     } else {
       ++stats_.r2_unmatched;
     }
@@ -307,14 +376,17 @@ void Scanner::on_datagram(const net::Datagram& d) {
 
 void Scanner::reap(bool final_sweep) {
   const net::SimTime now = network_.loop().now();
-  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-    if (final_sweep || now - it->second.sent >= config_.response_timeout) {
+  constexpr std::uint32_t kNil = OutstandingTable<QnameKeyHash>::kNil;
+  for (std::uint32_t it = outstanding_.first(); it != kNil;) {
+    const std::uint32_t ahead = outstanding_.next(it);
+    if (ahead != kNil) outstanding_.prefetch(ahead);
+    if (final_sweep || now - outstanding_.sent_at(it) >= config_.response_timeout) {
       if (config_.subdomain_reuse)
-        clusters_.release_unanswered(it->second.id);
-      it = outstanding_.erase(it);
+        clusters_.release_unanswered(unpack(outstanding_.key_at(it)));
+      it = outstanding_.erase_at(it);
       ++stats_.timeouts_reaped;
     } else {
-      ++it;
+      it = outstanding_.next(it);
     }
   }
   if (!sending_done_) {

@@ -9,20 +9,20 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <new>
 #include <span>
 #include <utility>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "dns/codec.h"
+#include "dns/wire_template.h"
 #include "net/capture.h"
 #include "net/reserved.h"
 #include "net/transport.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "prober/outstanding_table.h"
 #include "prober/permutation.h"
 #include "prober/r2_store.h"
 #include "prober/rate_limiter.h"
@@ -39,101 +39,29 @@ namespace orp::prober {
 struct QnameRenderer {
   std::string suffix;  // canonical bytes after the two numeric labels
   std::string_view render(std::uint64_t key, std::span<char> buf) const noexcept;
-};
 
-struct QnameKeyHash;
+  /// The exact value std::hash<string_view> gives for render(key) — the
+  /// bucket-placement hash of the outstanding-probe map. For in-width ids
+  /// the value is produced without rendering: only the first 16 canonical
+  /// bytes vary per id (two digit runs patched into `hash_proto_`), so the
+  /// remaining 8-byte chunks and the tail are folded as precomputed
+  /// constants and the per-key cost is two full chunk mixes. The plan is
+  /// differentially verified against std::hash at prepare time; any
+  /// mismatch (exotic stdlib, short suffix) falls back to render-and-hash.
+  std::size_t hash(std::uint64_t key) const noexcept;
 
-}  // namespace orp::prober
-
-#ifdef __GLIBCXX__
-namespace std {
-/// Tell libstdc++ the qname hasher is *not* cheap (it renders ~26 canonical
-/// bytes and murmurs them), so the hashtable caches each node's hash code
-/// and erase/rehash skip the re-render. Cached codes change node size only —
-/// hash values, bucket counts, and therefore iteration order are untouched,
-/// which the reap sweep's digest-visible release order depends on.
-template <>
-struct __is_fast_hash<orp::prober::QnameKeyHash> : false_type {};
-}  // namespace std
-#endif
-
-namespace orp::prober {
-
-/// Intrusive same-size freelist for hash-map nodes. The outstanding-probe
-/// map churns one node per probe (3.7B insert/erase pairs at paper scale);
-/// recycling nodes through this pool removes that malloc/free traffic. Freed
-/// nodes store the next-pointer in their own bytes, so the pool itself never
-/// allocates. Node *addresses* do not feed libstdc++'s bucket placement or
-/// iteration order, so pooling is invisible to the reap sweep's release
-/// order (which the capture digest depends on).
-class NodePool {
- public:
-  NodePool() = default;
-  NodePool(const NodePool&) = delete;
-  NodePool& operator=(const NodePool&) = delete;
-  ~NodePool() {
-    while (head_ != nullptr) {
-      void* next = *static_cast<void**>(head_);
-      ::operator delete(head_);
-      head_ = next;
-    }
-  }
-
-  void* take(std::size_t bytes) {
-    if (bytes == size_ && head_ != nullptr) {
-      void* p = head_;
-      head_ = *static_cast<void**>(p);
-      return p;
-    }
-    if (size_ == 0 && bytes >= sizeof(void*)) size_ = bytes;
-    return ::operator new(bytes);
-  }
-
-  void give(void* p, std::size_t bytes) noexcept {
-    if (bytes != size_) {
-      ::operator delete(p);
-      return;
-    }
-    *static_cast<void**>(p) = head_;
-    head_ = p;
-  }
+  /// Build + verify the fast-hash plan; call after `suffix` is set.
+  void prepare_hash_plan();
 
  private:
-  void* head_ = nullptr;     // singly linked through the freed nodes
-  std::size_t size_ = 0;     // locked to the first pooled allocation size
-};
+  std::size_t hash_slow(std::uint64_t key) const noexcept;
 
-/// Minimal allocator routing single-element (node) allocations through a
-/// NodePool; array allocations (the map's bucket tables) stay on operator
-/// new. Equality compares the pool pointer, as containers require.
-template <typename T>
-struct PoolAllocator {
-  using value_type = T;
-
-  NodePool* pool = nullptr;
-
-  PoolAllocator() = default;
-  explicit PoolAllocator(NodePool* p) noexcept : pool(p) {}
-  template <typename U>
-  PoolAllocator(const PoolAllocator<U>& o) noexcept : pool(o.pool) {}
-
-  T* allocate(std::size_t n) {
-    if (n == 1 && pool != nullptr)
-      return static_cast<T*>(pool->take(sizeof(T)));
-    return static_cast<T*>(::operator new(n * sizeof(T)));
-  }
-  void deallocate(T* p, std::size_t n) noexcept {
-    if (n == 1 && pool != nullptr)
-      pool->give(p, sizeof(T));
-    else
-      ::operator delete(p);
-  }
-
-  template <typename U>
-  friend bool operator==(const PoolAllocator& a,
-                         const PoolAllocator<U>& b) noexcept {
-    return a.pool == b.pool;
-  }
+  unsigned char hash_proto_[16] = {};       // canonical bytes 0..15 of id 0
+  std::vector<std::uint64_t> hash_folds_;   // chunks 16.. pre-mixed
+  std::uint64_t hash_tail_ = 0;             // packed trailing len%8 bytes
+  std::uint64_t hash_h0_ = 0;               // seed ^ (len * m)
+  bool hash_has_tail_ = false;
+  bool hash_fast_ok_ = false;
 };
 
 /// std::hash<std::string_view> over the rendered canonical key: the same
@@ -141,8 +69,7 @@ struct PoolAllocator {
 struct QnameKeyHash {
   const QnameRenderer* renderer = nullptr;
   std::size_t operator()(std::uint64_t key) const noexcept {
-    char buf[dns::kMaxNameLength + 32];
-    return std::hash<std::string_view>{}(renderer->render(key, buf));
+    return renderer->hash(key);
   }
 };
 
@@ -164,6 +91,11 @@ struct ScanConfig {
   /// §III-B subdomain reuse. Disabling it burns a fresh name per probe —
   /// the ~800-zone-load regime the paper engineered away (ablation knob).
   bool subdomain_reuse = true;
+  /// Stamp probes from a pre-encoded dns::WireTemplate instead of running
+  /// the full encoder per probe. Either setting yields bit-identical wire
+  /// bytes (the template is differentially verified against the encoder);
+  /// the determinism suite sweeps this knob.
+  bool wire_templates = true;
 };
 
 struct ScanStats {
@@ -175,6 +107,8 @@ struct ScanStats {
   std::uint64_t r2_empty_question = 0;  // §IV-B4 population
   std::uint64_t r2_unmatched = 0;       // question present but not ours
   std::uint64_t timeouts_reaped = 0;
+  std::uint64_t template_stamped = 0;   // probes emitted via WireTemplate
+  std::uint64_t template_fallback = 0;  // probes through the full encoder
   net::SimTime started;
   net::SimTime finished;
 
@@ -191,6 +125,8 @@ struct ScanStats {
     r2_empty_question += o.r2_empty_question;
     r2_unmatched += o.r2_unmatched;
     timeouts_reaped += o.timeouts_reaped;
+    template_stamped += o.template_stamped;
+    template_fallback += o.template_fallback;
     started = std::min(started, o.started);
     finished = std::max(finished, o.finished);
     return *this;
@@ -275,31 +211,19 @@ class Scanner {
   RotateCallback on_rotate_;
   DoneCallback done_;
 
-  struct Outstanding {
-    zone::SubdomainId id;
-    net::SimTime sent;
-  };
-  // Packed-id key hashed through the canonical-key renderer. Constructed
-  // with bucket_count 0 + the stateful hasher, which libstdc++ lays out
-  // exactly like the default-constructed string map — so replacing the
-  // string keys changes no bucket evolution, no rehash point, and no
-  // iteration order (the reap sweep's release order feeds subdomain reuse
-  // and through it the Q1 qname stream and capture digest).
-  // Declared before the map: destruction runs in reverse, so the map's
-  // nodes return to the pool before the pool frees them.
-  NodePool node_pool_;
+  // Packed-id keys hashed through the canonical-key renderer, stored in the
+  // slab-backed replica of libstdc++'s hashtable (see outstanding_table.h):
+  // same hash values, same bucket evolution, same iteration order as the
+  // std::unordered_map it replaced — the reap sweep's release order feeds
+  // subdomain reuse and through it the Q1 qname stream and capture digest.
   QnameRenderer renderer_;
-  std::unordered_map<std::uint64_t, Outstanding, QnameKeyHash,
-                     std::equal_to<std::uint64_t>,
-                     PoolAllocator<std::pair<const std::uint64_t, Outstanding>>>
-      outstanding_;
+  OutstandingTable<QnameKeyHash> outstanding_;
 
-  // Pre-encoded probe template (txn 0, subdomain or000.0000000): per probe
-  // only the transaction id and the two fixed-width digit runs are patched.
-  // Ids outside the template's widths (cluster >= 1000, index >= 10^7) take
-  // the full make_query/encode path instead.
-  std::vector<std::uint8_t> template_;
-  bool template_ok_ = false;
+  // Pre-encoded probe template: per probe only the transaction id and the
+  // two fixed-width digit runs are patched. Ids outside the template's
+  // widths (cluster >= 1000, index >= 10^7) take the full
+  // make_query/encode path instead, producing identical bytes.
+  dns::WireTemplate probe_tpl_;
 
   // Batched-send staging: probe wire bytes accumulate here (offsets, not
   // pointers — the arena reallocates as it grows) and leave as one

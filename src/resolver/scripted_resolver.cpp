@@ -7,16 +7,115 @@
 
 namespace orp::resolver {
 
+void stamp_profile(const BehaviorProfile& profile, dns::Message& response) {
+  response.header.flags.ra = profile.ra;
+  response.header.flags.aa = profile.aa;
+  response.header.flags.rcode = profile.rcode;
+  if (profile.omit_question) {
+    response.questions.clear();
+  }
+}
+
+dns::Message build_fabricated_response(const BehaviorProfile& profile,
+                                       const dns::Message& query,
+                                       bool& raw_counts) {
+  dns::Message response = dns::make_response(query);
+  const dns::DnsName& qname = query.questions.front().qname;
+  raw_counts = false;
+
+  switch (profile.answer) {
+    case AnswerMode::kNone:
+      break;
+    case AnswerMode::kFixedIp:
+      response.answers.push_back(
+          dns::ResourceRecord{qname, dns::RRType::kA, dns::RRClass::kIN, 3600,
+                              dns::ARdata{profile.fixed_answer}});
+      break;
+    case AnswerMode::kUrl: {
+      // A CNAME whose target is the "URL" the wild resolvers returned
+      // (e.g. u.dcoin.co) instead of a resolved address.
+      const auto target = dns::DnsName::parse(profile.text_answer);
+      response.answers.push_back(dns::ResourceRecord{
+          qname, dns::RRType::kCNAME, dns::RRClass::kIN, 3600,
+          dns::NameRdata{target.value_or(dns::DnsName::must_parse("invalid"))}});
+      break;
+    }
+    case AnswerMode::kGarbageString:
+      response.answers.push_back(dns::ResourceRecord{
+          qname, dns::RRType::kTXT, dns::RRClass::kIN, 3600,
+          dns::TxtRdata{{profile.text_answer}}});
+      break;
+    case AnswerMode::kUndecodable: {
+      // Claim one answer record but ship none: the receiving parser runs off
+      // the end of the packet mid-record. This reproduces the 8,764
+      // undecodable answers of the 2013 corpus (§IV-C "Caveats").
+      response.header.qdcount =
+          static_cast<std::uint16_t>(response.questions.size());
+      response.header.ancount = 1;
+      response.header.nscount = 0;
+      response.header.arcount = 0;
+      raw_counts = true;
+      break;
+    }
+    case AnswerMode::kRecursive:
+      break;  // unreachable; handled by respond_recursive
+  }
+
+  stamp_profile(profile, response);
+  if (raw_counts && profile.omit_question) response.header.qdcount = 0;
+  return response;
+}
+
+ResponseTemplates build_response_templates(const BehaviorProfile& profile,
+                                           const ProbeQnameFactory& qname,
+                                           dns::EncodeBuffer& scratch) {
+  ResponseTemplates t;
+  // Profiles the fast path cannot serve: silence is already free, and
+  // forwarders/recursives involve upstream traffic per query.
+  if (!profile.respond || profile.forwarder ||
+      profile.answer == AnswerMode::kRecursive)
+    return t;
+  const auto probe_query = [&](const dns::StampVars& v) {
+    return dns::make_query(v.txn, qname(v.cluster, v.index), dns::RRType::kA);
+  };
+  t.raw_counts = profile.answer == AnswerMode::kUndecodable;
+  t.query = dns::WireTemplate::derive(probe_query, scratch);
+  t.response = dns::WireTemplate::derive(
+      [&](const dns::StampVars& v) {
+        bool rc = false;
+        return build_fabricated_response(profile, probe_query(v), rc);
+      },
+      scratch, t.raw_counts);
+  t.slip = dns::WireTemplate::derive(
+      [&](const dns::StampVars& v) {
+        bool rc = false;
+        dns::Message r = build_fabricated_response(profile, probe_query(v), rc);
+        r.answers.clear();
+        r.authority.clear();
+        r.additional.clear();
+        r.header.flags.tc = true;
+        return r;
+      },
+      scratch);
+  // Responses must fit the classic 512-byte budget so the slow path's
+  // truncate_to_fit is a no-op for matched queries (the fast path skips it).
+  t.usable = t.query.ok() && t.response.ok() && t.slip.ok() &&
+             t.response.size() <= 512 && t.slip.size() <= 512;
+  return t;
+}
+
 ResolverHost::ResolverHost(net::Network& network, net::IPv4Addr addr,
                            BehaviorProfile profile, EngineConfig engine_config,
-                           std::uint64_t seed, dns::EncodeBuffer* codec_scratch)
+                           std::uint64_t seed, dns::EncodeBuffer* codec_scratch,
+                           const ResponseTemplates* templates)
     : network_(network),
       addr_(addr),
       codec_scratch_(codec_scratch != nullptr ? *codec_scratch : own_scratch_),
       profile_(std::move(profile)),
       engine_config_(std::move(engine_config)),
       seed_(seed),
-      rrl_(profile_.rrl) {
+      rrl_(profile_.rrl),
+      tpl_(templates != nullptr && templates->ok() ? templates : nullptr) {
   network_.bind_batch(
       net::Endpoint{addr_, net::kDnsPort},
       [this](const net::Datagram& d) { on_query(d); },
@@ -28,12 +127,7 @@ ResolverHost::~ResolverHost() {
 }
 
 void ResolverHost::stamp(dns::Message& response) const {
-  response.header.flags.ra = profile_.ra;
-  response.header.flags.aa = profile_.aa;
-  response.header.flags.rcode = profile_.rcode;
-  if (profile_.omit_question) {
-    response.questions.clear();
-  }
+  stamp_profile(profile_, response);
 }
 
 void ResolverHost::on_query_batch(const net::DatagramBatch& b) {
@@ -48,6 +142,18 @@ void ResolverHost::on_query_batch(const net::DatagramBatch& b) {
 void ResolverHost::on_query(const net::Datagram& d) {
   ++stats_.queries;
   if (!profile_.respond) return;
+  // Probe fast path: a wire-exact in-width probe query gets its response
+  // stamped from the profile's shared template — no decode, no encode.
+  // Anything else (CHAOS class, EDNS, odd qtypes, wide ids) fails the
+  // byte-exact match and takes the full path below.
+  if (tpl_ != nullptr) {
+    dns::StampVars v;
+    if (tpl_->query.match(d.payload, v)) {
+      fast_respond(v, d.src);
+      return;
+    }
+    ++stats_.template_fallback;
+  }
   const auto decoded = dns::decode(d.payload);
   if (!decoded || decoded->questions.empty()) return;
 
@@ -89,52 +195,38 @@ void ResolverHost::respond_chaos(const dns::Message& query,
 
 void ResolverHost::respond_fabricated(const dns::Message& query,
                                       net::Endpoint client) {
-  dns::Message response = dns::make_response(query);
-  const dns::DnsName& qname = query.questions.front().qname;
   bool raw_counts = false;
-
-  switch (profile_.answer) {
-    case AnswerMode::kNone:
-      break;
-    case AnswerMode::kFixedIp:
-      response.answers.push_back(
-          dns::ResourceRecord{qname, dns::RRType::kA, dns::RRClass::kIN, 3600,
-                              dns::ARdata{profile_.fixed_answer}});
-      break;
-    case AnswerMode::kUrl: {
-      // A CNAME whose target is the "URL" the wild resolvers returned
-      // (e.g. u.dcoin.co) instead of a resolved address.
-      const auto target = dns::DnsName::parse(profile_.text_answer);
-      response.answers.push_back(dns::ResourceRecord{
-          qname, dns::RRType::kCNAME, dns::RRClass::kIN, 3600,
-          dns::NameRdata{target.value_or(dns::DnsName::must_parse("invalid"))}});
-      break;
-    }
-    case AnswerMode::kGarbageString:
-      response.answers.push_back(dns::ResourceRecord{
-          qname, dns::RRType::kTXT, dns::RRClass::kIN, 3600,
-          dns::TxtRdata{{profile_.text_answer}}});
-      break;
-    case AnswerMode::kUndecodable: {
-      // Claim one answer record but ship none: the receiving parser runs off
-      // the end of the packet mid-record. This reproduces the 8,764
-      // undecodable answers of the 2013 corpus (§IV-C "Caveats").
-      response.header.qdcount =
-          static_cast<std::uint16_t>(response.questions.size());
-      response.header.ancount = 1;
-      response.header.nscount = 0;
-      response.header.arcount = 0;
-      raw_counts = true;
-      break;
-    }
-    case AnswerMode::kRecursive:
-      break;  // unreachable; handled by respond_recursive
-  }
-
-  stamp(response);
-  if (raw_counts && profile_.omit_question) response.header.qdcount = 0;
+  dns::Message response = build_fabricated_response(profile_, query, raw_counts);
   emit(std::move(response), client, raw_counts,
        dns::response_size_budget(query));
+}
+
+void ResolverHost::fast_respond(const dns::StampVars& v, net::Endpoint client) {
+  std::span<const std::uint8_t> wire;
+  switch (rrl_.check(client.addr, network_.loop().now())) {
+    case RrlAction::kSend:
+      wire = tpl_->response.stamp(v, codec_scratch_);
+      break;
+    case RrlAction::kDrop:
+      ++stats_.rrl_dropped;
+      return;
+    case RrlAction::kSlip:
+      ++stats_.rrl_slipped;
+      wire = tpl_->slip.stamp(v, codec_scratch_);
+      break;
+  }
+  ++stats_.responses;
+  ++stats_.template_stamped;
+  // Mirrors emit(): acquire the pooled buffer now, let the delayed event
+  // carry only the ref. Truncation is statically a no-op (templates are
+  // only usable when both response shapes fit the 512-byte budget).
+  net::PayloadRef payload = network_.pool().acquire(wire);
+  network_.loop().schedule_in(
+      profile_.response_delay,
+      [this, client, payload = std::move(payload)]() mutable {
+        network_.send(net::Datagram{net::Endpoint{addr_, net::kDnsPort},
+                                    client, std::move(payload)});
+      });
 }
 
 void ResolverHost::respond_recursive(const dns::Message& query,

@@ -2,8 +2,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
+#include "dns/wire_template.h"
 #include "resolver/behavior.h"
 #include "resolver/recursive_resolver.h"
 #include "resolver/rrl.h"
@@ -18,7 +20,47 @@ struct HostStats {
   std::uint64_t truncated = 0;      // responses cut to the client's UDP budget
   std::uint64_t rrl_dropped = 0;    // suppressed by response-rate limiting
   std::uint64_t rrl_slipped = 0;    // replaced by a minimal TC=1 nudge
+  std::uint64_t template_stamped = 0;   // responses stamped from a template
+  std::uint64_t template_fallback = 0;  // queries through the full path
 };
+
+/// Header stamping shared by every fabricating path and the template
+/// factory (Tables IV-VI bit lies).
+void stamp_profile(const BehaviorProfile& profile, dns::Message& response);
+
+/// The full fabricated response for `profile` answering `query` (§IV answer
+/// modes + header stamping). Sets `raw_counts` when the message must be
+/// encoded with its forged header counts (AnswerMode::kUndecodable). The
+/// per-query slow path and the template factory both call this, so the two
+/// can never drift.
+dns::Message build_fabricated_response(const BehaviorProfile& profile,
+                                       const dns::Message& query,
+                                       bool& raw_counts);
+
+/// Pre-encoded templates for one fabricating profile. The response bytes
+/// depend only on the profile and the probe vars — not on the host address —
+/// so one ResponseTemplates instance is shared by every host running the
+/// profile (the builder caches by shaping key).
+struct ResponseTemplates {
+  dns::WireTemplate query;     // recognizes an in-width probe A query
+  dns::WireTemplate response;  // the profile's fabricated response
+  dns::WireTemplate slip;      // the RRL slip: sections cleared, TC=1
+  bool raw_counts = false;     // response encodes through raw header counts
+  bool usable = false;
+  bool ok() const noexcept { return usable; }
+};
+
+/// Renders the probe qname for (cluster, index) — the builder passes the
+/// campaign's SubdomainScheme::qname.
+using ProbeQnameFactory =
+    std::function<dns::DnsName(std::uint32_t cluster, std::uint32_t index)>;
+
+/// Derive the template set for `profile`. Returns not-usable for profiles
+/// the fast path cannot serve (non-responding, forwarders, genuine
+/// recursion) and for any shape the differential derivation declines.
+ResponseTemplates build_response_templates(const BehaviorProfile& profile,
+                                           const ProbeQnameFactory& qname,
+                                           dns::EncodeBuffer& scratch);
 
 class ResolverHost {
  public:
@@ -26,10 +68,14 @@ class ResolverHost {
   /// recurse; it is unused (and the engine never instantiated) otherwise.
   /// `codec_scratch`, when given, is the shard-shared encode buffer (all
   /// hosts of one SimulatedInternet run on one event loop); each host owns
-  /// a buffer otherwise.
+  /// a buffer otherwise. `templates`, when given and usable, enables the
+  /// stamp fast path for in-width probe queries; it must outlive the host
+  /// and match this profile's shaping key. Either way the wire bytes and
+  /// stats are identical, minus the template_* counters themselves.
   ResolverHost(net::Network& network, net::IPv4Addr addr,
                BehaviorProfile profile, EngineConfig engine_config,
-               std::uint64_t seed, dns::EncodeBuffer* codec_scratch = nullptr);
+               std::uint64_t seed, dns::EncodeBuffer* codec_scratch = nullptr,
+               const ResponseTemplates* templates = nullptr);
   ~ResolverHost();
 
   ResolverHost(const ResolverHost&) = delete;
@@ -49,6 +95,9 @@ class ResolverHost {
   void on_query_batch(const net::DatagramBatch& b);
   void respond_chaos(const dns::Message& query, net::Endpoint client);
   void respond_fabricated(const dns::Message& query, net::Endpoint client);
+  /// Template fast path: the RRL gate + stamp of emit(), minus the
+  /// decode/build/encode round it makes unnecessary.
+  void fast_respond(const dns::StampVars& v, net::Endpoint client);
   void respond_recursive(const dns::Message& query, net::Endpoint client);
   void respond_forwarded(const dns::Message& query, net::Endpoint client);
   void emit(dns::Message response, net::Endpoint client, bool raw_counts,
@@ -67,6 +116,7 @@ class ResolverHost {
   std::unique_ptr<IterativeEngine> engine_;  // lazily created
   std::uint16_t next_port_ = 10000;
   ResponseRateLimiter rrl_;
+  const ResponseTemplates* tpl_ = nullptr;
   HostStats stats_;
 };
 

@@ -23,6 +23,7 @@
 #include "dns/builder.h"
 #include "dns/codec.h"
 #include "dns/decode_view.h"
+#include "dns/wire_template.h"
 #include "net/capture_store.h"
 #include "net/event_loop.h"
 #include "net/transport.h"
@@ -111,6 +112,47 @@ TEST(AllocBudget, EncodeIntoWarmScratchAllocatesNothing) {
     }
   });
   EXPECT_EQ(n, 0u) << "per-shard scratch must make re-encoding allocation-free";
+}
+
+// The template-stamped wire path: once a template is derived and the stamp
+// scratch / staging arena are warm, producing a packet (memcpy + field
+// pokes) and recognizing one (segment memcmps) never touch the allocator.
+TEST(AllocBudget, TemplateStampAndMatchAllocateNothing) {
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const WireTemplate tpl = WireTemplate::derive(
+      [&](const StampVars& v) {
+        return make_query(v.txn, scheme.qname({v.cluster, v.index}));
+      },
+      scratch);
+  ASSERT_TRUE(tpl.ok());
+
+  StampVars v{0x1111, 3, 1234567, 0, 0};
+  (void)tpl.stamp(v, scratch);  // warm the stamp scratch once
+  const auto n_stamp = count_allocs([&] {
+    for (int i = 0; i < 100; ++i) {
+      v.txn = static_cast<std::uint16_t>(i);
+      (void)tpl.stamp(v, scratch);
+    }
+  });
+  EXPECT_EQ(n_stamp, 0u) << "stamping into warm scratch must not allocate";
+
+  std::vector<std::uint8_t> arena;
+  arena.reserve(100 * tpl.size());  // the scanner pre-sizes its staging arena
+  const auto n_append = count_allocs([&] {
+    for (int i = 0; i < 100; ++i) {
+      v.index = static_cast<std::uint32_t>(i);
+      tpl.stamp_append(v, arena);
+    }
+  });
+  EXPECT_EQ(n_append, 0u) << "batch staging must reuse the reserved arena";
+
+  const auto wire = tpl.stamp(v, scratch);
+  StampVars out;
+  const auto n_match = count_allocs([&] {
+    for (int i = 0; i < 100; ++i) ASSERT_TRUE(tpl.match(wire, out));
+  });
+  EXPECT_EQ(n_match, 0u) << "probe recognition must not allocate";
 }
 
 TEST(AllocBudget, ConvenienceEncodeStaysWithinTwoAllocations) {

@@ -673,6 +673,117 @@ TEST(CaptureStore, MergedDigestIsShardOrderInsensitive) {
   }
 }
 
+// observe_batch() drains packets through four interleaved digest lanes (plus
+// a cached same-sender prefix); these tests pin it to the per-packet
+// reference — add() for inbound, count_only() for outbound — bit for bit.
+namespace {
+
+/// Apply one span of packets to `ref` exactly as the per-packet taps would.
+void observe_singly(CaptureStore& ref, SimTime t,
+                    std::span<const PacketView> pkts, IPv4Addr host) {
+  for (const PacketView& p : pkts) {
+    const Datagram d{p.src, p.dst,
+                     std::vector<std::uint8_t>(p.payload.begin(),
+                                               p.payload.end())};
+    if (p.dst.addr == host)
+      ref.add(t, d);
+    else if (p.src.addr == host)
+      ref.count_only(t, d);
+  }
+}
+
+void expect_stores_equal(const CaptureStore& a, const CaptureStore& b) {
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.packet_count(), b.packet_count());
+  ASSERT_EQ(a.retained_count(), b.retained_count());
+  for (std::size_t i = 0; i < a.records().size(); ++i) {
+    EXPECT_EQ(a.records()[i].src, b.records()[i].src);
+    EXPECT_EQ(a.records()[i].dst, b.records()[i].dst);
+    const auto pa = a.payload(i);
+    const auto pb = b.payload(i);
+    EXPECT_TRUE(std::equal(pa.begin(), pa.end(), pb.begin(), pb.end()));
+  }
+}
+
+}  // namespace
+
+TEST(CaptureStore, BatchDigestEqualsPerPacketEqualLengths) {
+  // Equal-length payloads drive the 4-lane interleaved drain; sweep batch
+  // sizes covering every lane remainder (n mod 4 in {0,1,2,3}).
+  const IPv4Addr host(9, 9, 9, 9);
+  for (std::size_t n = 1; n <= 9; ++n) {
+    std::vector<std::vector<std::uint8_t>> payloads;
+    std::vector<PacketView> pkts;
+    for (std::size_t i = 0; i < n; ++i) {
+      payloads.push_back({std::uint8_t(i), std::uint8_t(i * 3 + 1), 0x55,
+                          std::uint8_t(0xF0 ^ i)});
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      // Outbound probes from one sender: the same-src prefix cache path.
+      pkts.push_back({{host, 54321},
+                      {IPv4Addr(10, 0, 0, std::uint8_t(i + 1)), 53},
+                      payloads[i]});
+    }
+    CaptureStore batch, single;
+    batch.observe_batch(SimTime::millis(5), pkts, host);
+    observe_singly(single, SimTime::millis(5), pkts, host);
+    expect_stores_equal(batch, single);
+  }
+}
+
+TEST(CaptureStore, BatchDigestEqualsPerPacketMixedLengthsAndDirections) {
+  // Unequal lengths (including empty), inbound + outbound + foreign packets
+  // interleaved: the batch path must classify and digest exactly like the
+  // per-packet taps, skipping the foreign packet entirely.
+  const IPv4Addr host(9, 9, 9, 9);
+  const std::vector<std::uint8_t> p0;                      // empty payload
+  const std::vector<std::uint8_t> p1{1};
+  const std::vector<std::uint8_t> p2{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  const std::vector<std::uint8_t> p3(64, 0xAB);
+  const std::vector<std::uint8_t> p4(300, 0x00);           // zero-run heavy
+  const std::vector<PacketView> pkts = {
+      {{host, 54321}, {IPv4Addr(10, 0, 0, 1), 53}, p1},         // outbound
+      {{IPv4Addr(10, 0, 0, 1), 53}, {host, 54321}, p2},         // inbound
+      {{IPv4Addr(8, 8, 8, 8), 53}, {IPv4Addr(7, 7, 7, 7), 53}, p3},  // foreign
+      {{host, 54321}, {IPv4Addr(10, 0, 0, 2), 53}, p0},         // outbound
+      {{IPv4Addr(10, 0, 0, 3), 53}, {host, 54321}, p4},         // inbound
+      {{host, 54321}, {IPv4Addr(10, 0, 0, 4), 53}, p2},         // outbound
+      {{host, 54321}, {IPv4Addr(10, 0, 0, 5), 53}, p3},         // outbound
+  };
+  CaptureStore batch, single;
+  batch.observe_batch(SimTime::millis(8), pkts, host);
+  observe_singly(single, SimTime::millis(8), pkts, host);
+  expect_stores_equal(batch, single);
+  EXPECT_EQ(batch.packet_count(), 6u);  // the foreign packet is not observed
+  EXPECT_EQ(batch.retained_count(), 2u);
+}
+
+TEST(CaptureStore, BatchSplitsProduceOneDigest) {
+  // A batch observed whole, split in two, or delivered packet-by-packet
+  // yields one digest — the property that lets delivery_group_cap vary
+  // without moving the capture digest.
+  const IPv4Addr host(9, 9, 9, 9);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::vector<PacketView> pkts;
+  for (std::size_t i = 0; i < 7; ++i)
+    payloads.push_back(std::vector<std::uint8_t>(17 + i, std::uint8_t(i)));
+  for (std::size_t i = 0; i < 7; ++i)
+    pkts.push_back({{host, 54321},
+                    {IPv4Addr(10, 0, 0, std::uint8_t(i + 1)), 53},
+                    payloads[i]});
+
+  CaptureStore whole, split, singles;
+  whole.observe_batch(SimTime::millis(1), pkts, host);
+  split.observe_batch(SimTime::millis(1), std::span(pkts).first(3), host);
+  split.observe_batch(SimTime::millis(1), std::span(pkts).subspan(3), host);
+  for (const PacketView& p : pkts)
+    singles.observe_batch(SimTime::millis(1), std::span(&p, 1), host);
+  EXPECT_EQ(whole.digest(), split.digest());
+  EXPECT_EQ(whole.digest(), singles.digest());
+  EXPECT_EQ(whole.packet_count(), split.packet_count());
+  EXPECT_EQ(whole.packet_count(), singles.packet_count());
+}
+
 TEST(CaptureStore, DigestChangesWithContent) {
   // Payloads are shared immutable buffers now, so the one-byte variant is a
   // second datagram rather than an in-place edit.

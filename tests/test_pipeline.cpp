@@ -341,6 +341,73 @@ TEST(PipelineSharding, BatchCapsAreBehaviorInvisible) {
   }
 }
 
+TEST(PipelineSharding, WireTemplatesAreBehaviorInvisible) {
+  // The template-stamped wire path is a pure encoding shortcut: with the
+  // knob on or off, under packet loss (which exercises reap + reuse, whose
+  // order feeds future qnames) and across batch caps and thread counts, the
+  // raw capture digest, behavioral digest, and rendered tables must be
+  // bit-identical. Only the template_* counters may move.
+  PipelineConfig base;
+  base.scale = 16384;
+  base.seed = 42;
+  base.loss_rate = 0.02;  // loss + the latency model's jitter
+  base.wire_templates = false;  // reference: the full encode path
+
+  for (const unsigned threads : {1u, 4u}) {
+    // Each thread count gets its own reference run: loss draws come from
+    // per-shard RNG streams, so a lossy campaign is only reproducible at a
+    // fixed shard layout (the loss-free invariance across thread counts is
+    // MergedReportIdenticalForEveryThreadCount's job).
+    PipelineConfig thr = base;
+    thr.threads = threads;
+    const ScanOutcome ref = run_measurement(paper_2018(), thr);
+    const std::string ref_tables = rendered_tables(ref);
+    const std::uint64_t raw_ref = ref.capture.digest();
+    ASSERT_GT(ref.scan.r2_received, 100u) << threads;
+    ASSERT_GT(ref.scan.timeouts_reaped, 0u) << threads;  // loss bites
+    ASSERT_NE(ref.capture_digest, 0u) << threads;
+    EXPECT_EQ(ref.scan.template_stamped, 0u) << threads;
+    EXPECT_EQ(ref.auth.template_stamped, 0u) << threads;
+    for (const bool templates : {false, true}) {
+      for (const std::size_t cap :
+           {std::size_t{1}, std::size_t{8}, std::size_t{64}, std::size_t{0}}) {
+        PipelineConfig cfg = base;
+        cfg.threads = threads;
+        cfg.wire_templates = templates;
+        cfg.loop_batch_cap = cap;
+        cfg.delivery_group_cap = cap;
+        const ScanOutcome o = run_measurement(paper_2018(), cfg);
+        EXPECT_EQ(o.scan.q1_sent, ref.scan.q1_sent)
+            << "threads=" << threads << " tpl=" << templates << " cap=" << cap;
+        EXPECT_EQ(o.scan.r2_received, ref.scan.r2_received)
+            << "threads=" << threads << " tpl=" << templates << " cap=" << cap;
+        EXPECT_EQ(o.scan.timeouts_reaped, ref.scan.timeouts_reaped)
+            << "threads=" << threads << " tpl=" << templates << " cap=" << cap;
+        EXPECT_EQ(o.auth.queries_received, ref.auth.queries_received)
+            << "threads=" << threads << " tpl=" << templates << " cap=" << cap;
+        EXPECT_EQ(o.capture.digest(), raw_ref)
+            << "threads=" << threads << " tpl=" << templates << " cap=" << cap;
+        EXPECT_EQ(o.capture_digest, ref.capture_digest)
+            << "threads=" << threads << " tpl=" << templates << " cap=" << cap;
+        EXPECT_EQ(rendered_tables(o), ref_tables)
+            << "threads=" << threads << " tpl=" << templates << " cap=" << cap;
+        if (templates) {
+          // The fast paths must actually engage — otherwise this test
+          // proves nothing about them.
+          EXPECT_GT(o.scan.template_stamped, 0u) << threads;
+          EXPECT_GT(o.auth.template_stamped, 0u) << threads;
+          EXPECT_EQ(o.scan.template_stamped + o.scan.template_fallback,
+                    o.scan.q1_sent)
+              << threads;
+        } else {
+          EXPECT_EQ(o.scan.template_stamped, 0u) << threads;
+          EXPECT_EQ(o.auth.template_stamped, 0u) << threads;
+        }
+      }
+    }
+  }
+}
+
 TEST(PipelineSharding, ShardedRunIsDeterministic) {
   PipelineConfig cfg;
   cfg.scale = 65536;

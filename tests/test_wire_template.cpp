@@ -1,0 +1,578 @@
+// Differential guarantees for the template-stamped wire path.
+//
+// A WireTemplate may only ever *decline* — it must never produce bytes that
+// differ from the full encoder. These tests sweep every shape the pipeline
+// stamps (probe queries, auth answers/NXDOMAINs, every fabricating resolver
+// profile and its RRL slip) across a grid of variable assignments and
+// memcmp the stamped bytes against the factory's full encoding. The same
+// file pins the supporting machinery the scanner's hot path relies on:
+// match() soundness (a successful match re-stamps to the exact input),
+// derive() declining coupled or width-changing shapes, Lemire fastmod
+// exactness, and the OutstandingTable replaying std::unordered_map's
+// iteration order (which is digest-visible through the reap sweep).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/builder.h"
+#include "dns/codec.h"
+#include "dns/edns.h"
+#include "dns/message.h"
+#include "dns/wire_template.h"
+#include "net/sim_time.h"
+#include "prober/outstanding_table.h"
+#include "resolver/behavior.h"
+#include "resolver/scripted_resolver.h"
+#include "zone/cluster.h"
+
+namespace orp {
+namespace {
+
+using dns::DnsName;
+using dns::EncodeBuffer;
+using dns::Message;
+using dns::StampVars;
+using dns::WireTemplate;
+
+zone::SubdomainScheme probe_scheme() {
+  return zone::SubdomainScheme(DnsName::must_parse("ucfsealresearch.net"),
+                               5'000'000, 7);
+}
+
+std::vector<std::uint8_t> to_vec(std::span<const std::uint8_t> s) {
+  return {s.begin(), s.end()};
+}
+
+/// The var grid the sweeps run over: boundary and interior values of every
+/// patchable width.
+std::vector<StampVars> var_grid() {
+  std::vector<StampVars> grid;
+  for (const std::uint16_t txn : {0, 1, 0x1234, 0xFFFF})
+    for (const std::uint32_t cluster : {0u, 7u, 42u, 999u})
+      for (const std::uint32_t index : {0u, 9u, 1234567u, 9999999u})
+        for (const std::uint32_t ttl : {0u, 300u, 86400u, 0x7FFFFFFFu})
+          for (const std::uint32_t addr : {0u, 0x01020304u, 0xFFFFFFFFu})
+            grid.push_back({txn, cluster, index, ttl, addr});
+  return grid;
+}
+
+WireTemplate::Factory probe_factory(const zone::SubdomainScheme& scheme) {
+  return [&scheme](const StampVars& v) {
+    return dns::make_query(v.txn, scheme.qname({v.cluster, v.index}),
+                           dns::RRType::kA);
+  };
+}
+
+/// Core differential property: for every grid point the template covers,
+/// stamped bytes == the factory's full encoding.
+void expect_stamp_equals_encode(const WireTemplate& tpl,
+                                const WireTemplate::Factory& make,
+                                bool raw_counts = false) {
+  ASSERT_TRUE(tpl.ok());
+  EncodeBuffer stamp_buf, encode_buf;
+  for (const StampVars& v : var_grid()) {
+    ASSERT_TRUE(tpl.covers(v));
+    const auto stamped = to_vec(tpl.stamp(v, stamp_buf));
+    const Message full = make(v);
+    const auto encoded =
+        raw_counts ? to_vec(dns::encode_raw_counts_into(full, encode_buf))
+                   : to_vec(dns::encode_into(full, encode_buf));
+    ASSERT_EQ(stamped, encoded)
+        << "txn=" << v.txn << " cluster=" << v.cluster << " index=" << v.index
+        << " ttl=" << v.ttl << " addr=" << v.addr;
+  }
+}
+
+// ---- Producer shapes -------------------------------------------------------
+
+TEST(WireTemplate, ProbeQueryStampMatchesFullEncode) {
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const auto make = probe_factory(scheme);
+  const WireTemplate tpl = WireTemplate::derive(make, scratch);
+  expect_stamp_equals_encode(tpl, make);
+}
+
+TEST(WireTemplate, StampAppendMatchesStamp) {
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const WireTemplate tpl = WireTemplate::derive(probe_factory(scheme), scratch);
+  ASSERT_TRUE(tpl.ok());
+
+  std::vector<std::uint8_t> arena;
+  const StampVars a{0xBEEF, 12, 3456789, 0, 0};
+  const StampVars b{0x0001, 999, 0, 0, 0};
+  tpl.stamp_append(a, arena);
+  tpl.stamp_append(b, arena);
+  ASSERT_EQ(arena.size(), 2 * tpl.size());
+
+  EncodeBuffer buf;
+  const auto wa = to_vec(tpl.stamp(a, buf));
+  const auto wb = to_vec(tpl.stamp(b, buf));
+  EXPECT_TRUE(std::equal(wa.begin(), wa.end(), arena.begin()));
+  EXPECT_TRUE(std::equal(wb.begin(), wb.end(), arena.begin() + tpl.size()));
+}
+
+/// The Q2 query shape the auth server recognizes: an iterative (RD=0) probe
+/// A query carrying the resolver engines' default EDNS OPT.
+WireTemplate::Factory q2_factory(const zone::SubdomainScheme& scheme) {
+  return [&scheme](const StampVars& v) {
+    Message q = dns::make_query(v.txn, scheme.qname({v.cluster, v.index}),
+                                dns::RRType::kA);
+    q.header.flags.rd = false;
+    dns::set_edns(q, dns::EdnsInfo{.udp_payload_size = 4096});
+    return q;
+  };
+}
+
+TEST(WireTemplate, AuthAnswerStampMatchesFullEncode) {
+  // The exact shape AuthServer stamps for in-zone probes: aa=1, ra=0, the
+  // ground-truth A record with variable TTL and rdata, OPT echoed.
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const auto q2 = q2_factory(scheme);
+  const auto make = [&](const StampVars& v) {
+    Message r = dns::make_a_response(q2(v), net::IPv4Addr{v.addr}, v.ttl,
+                                     /*ra=*/false, /*aa=*/true);
+    dns::set_edns(r, dns::EdnsInfo{.udp_payload_size = 4096});
+    return r;
+  };
+  const WireTemplate tpl = WireTemplate::derive(make, scratch);
+  expect_stamp_equals_encode(tpl, make);
+}
+
+TEST(WireTemplate, AuthNxdomainStampMatchesFullEncode) {
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const auto q2 = q2_factory(scheme);
+  const auto make = [&](const StampVars& v) {
+    Message r = dns::make_error_response(q2(v), dns::Rcode::kNXDomain,
+                                         /*ra=*/false);
+    r.header.flags.aa = true;
+    dns::set_edns(r, dns::EdnsInfo{.udp_payload_size = 4096});
+    return r;
+  };
+  const WireTemplate tpl = WireTemplate::derive(make, scratch);
+  expect_stamp_equals_encode(tpl, make);
+}
+
+TEST(WireTemplate, AuthQueryTemplateDistinguishesEdnsVariants) {
+  // The Q2 template must match only its exact shape: the recursive probe
+  // (RD=1, no OPT), a DO=1 validator query, and a 65535-size "TCP" retry
+  // all differ in bytes and must take the slow path (their stats depend on
+  // full decode).
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const WireTemplate tpl = WireTemplate::derive(q2_factory(scheme), scratch);
+  ASSERT_TRUE(tpl.ok());
+
+  EncodeBuffer buf;
+  StampVars got;
+  const StampVars v{0x77, 5, 67890, 0, 0};
+  EXPECT_TRUE(tpl.match(tpl.stamp(v, buf), got));
+
+  Message rd1 = dns::make_query(0x77, scheme.qname({5, 67890}));
+  dns::set_edns(rd1, dns::EdnsInfo{.udp_payload_size = 4096});
+  EXPECT_FALSE(tpl.match(dns::encode_into(rd1, buf), got));  // RD=1
+
+  Message do1 = q2_factory(scheme)(v);
+  dns::set_edns(do1, dns::EdnsInfo{.udp_payload_size = 4096, .do_bit = true});
+  EXPECT_FALSE(tpl.match(dns::encode_into(do1, buf), got));
+
+  Message tcp = q2_factory(scheme)(v);
+  dns::set_edns(tcp, dns::EdnsInfo{.udp_payload_size = 65535});
+  EXPECT_FALSE(tpl.match(dns::encode_into(tcp, buf), got));
+
+  Message plain = dns::make_query(0x77, scheme.qname({5, 67890}));
+  plain.header.flags.rd = false;
+  EXPECT_FALSE(tpl.match(dns::encode_into(plain, buf), got));  // no OPT
+}
+
+TEST(WireTemplate, CoversRejectsWideIds) {
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const WireTemplate tpl = WireTemplate::derive(probe_factory(scheme), scratch);
+  ASSERT_TRUE(tpl.ok());
+  EXPECT_TRUE(tpl.covers({0, 999, 9999999, 0, 0}));
+  EXPECT_FALSE(tpl.covers({0, 1000, 0, 0, 0}));       // 4-digit cluster
+  EXPECT_FALSE(tpl.covers({0, 0, 10'000'000, 0, 0}));  // 8-digit index
+}
+
+// ---- Resolver profiles -----------------------------------------------------
+
+std::vector<resolver::BehaviorProfile> fabricating_profiles() {
+  using resolver::AnswerMode;
+  std::vector<resolver::BehaviorProfile> out;
+  for (const AnswerMode mode :
+       {AnswerMode::kNone, AnswerMode::kFixedIp, AnswerMode::kUrl,
+        AnswerMode::kGarbageString, AnswerMode::kUndecodable})
+    for (const bool ra : {false, true})
+      for (const bool aa : {false, true})
+        for (const dns::Rcode rcode : {dns::Rcode::kNoError,
+                                       dns::Rcode::kRefused})
+          for (const bool omit : {false, true}) {
+            resolver::BehaviorProfile p;
+            p.answer = mode;
+            p.ra = ra;
+            p.aa = aa;
+            p.rcode = rcode;
+            p.omit_question = omit;
+            p.fixed_answer = net::IPv4Addr(198, 51, 100, 7);
+            p.text_answer = mode == AnswerMode::kUrl ? "u.dcoin.co"
+                                                     : "xysvc-garbage-!!";
+            out.push_back(std::move(p));
+          }
+  return out;
+}
+
+TEST(ResolverTemplates, EveryProfileShapeStampsIdentically) {
+  // All 80 fabricating shapes (5 answer modes x ra x aa x rcode x
+  // omit_question): the shared template triple must derive usable, and both
+  // the response and the RRL slip must stamp byte-identically to the slow
+  // path's build + encode.
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const resolver::ProbeQnameFactory qname =
+      [&scheme](std::uint32_t cluster, std::uint32_t index) {
+        return scheme.qname({cluster, index});
+      };
+  for (const resolver::BehaviorProfile& profile : fabricating_profiles()) {
+    const resolver::ResponseTemplates t =
+        resolver::build_response_templates(profile, qname, scratch);
+    ASSERT_TRUE(t.ok()) << "mode=" << to_string(profile.answer)
+                        << " ra=" << profile.ra << " aa=" << profile.aa
+                        << " omit=" << profile.omit_question;
+    EXPECT_EQ(t.raw_counts,
+              profile.answer == resolver::AnswerMode::kUndecodable);
+
+    const auto probe = probe_factory(scheme);
+    const auto response_factory = [&](const StampVars& v) {
+      bool rc = false;
+      return resolver::build_fabricated_response(profile, probe(v), rc);
+    };
+    const auto slip_factory = [&](const StampVars& v) {
+      bool rc = false;
+      Message r = resolver::build_fabricated_response(profile, probe(v), rc);
+      r.answers.clear();
+      r.authority.clear();
+      r.additional.clear();
+      r.header.flags.tc = true;
+      return r;
+    };
+    expect_stamp_equals_encode(t.response, response_factory, t.raw_counts);
+    expect_stamp_equals_encode(t.slip, slip_factory);
+
+    // The profile's query template recognizes a stamped probe and recovers
+    // its id exactly.
+    EncodeBuffer buf;
+    const StampVars sent{0xABCD, 41, 7654321, 0, 0};
+    const auto wire = to_vec(dns::encode_into(probe(sent), buf));
+    StampVars got;
+    ASSERT_TRUE(t.query.match(wire, got));
+    EXPECT_EQ(got.txn, sent.txn);
+    EXPECT_EQ(got.cluster, sent.cluster);
+    EXPECT_EQ(got.index, sent.index);
+  }
+}
+
+TEST(ResolverTemplates, UnusableForProfilesTheFastPathCannotServe) {
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const resolver::ProbeQnameFactory qname =
+      [&scheme](std::uint32_t cluster, std::uint32_t index) {
+        return scheme.qname({cluster, index});
+      };
+
+  resolver::BehaviorProfile silent;
+  silent.respond = false;
+  EXPECT_FALSE(resolver::build_response_templates(silent, qname, scratch).ok());
+
+  resolver::BehaviorProfile fwd;
+  fwd.forwarder = true;
+  fwd.upstream = net::IPv4Addr(10, 0, 0, 1);
+  EXPECT_FALSE(resolver::build_response_templates(fwd, qname, scratch).ok());
+
+  resolver::BehaviorProfile recursive;
+  recursive.answer = resolver::AnswerMode::kRecursive;
+  EXPECT_FALSE(
+      resolver::build_response_templates(recursive, qname, scratch).ok());
+}
+
+// ---- match() ---------------------------------------------------------------
+
+TEST(WireTemplateMatch, RoundTripRecoversVars) {
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const WireTemplate tpl = WireTemplate::derive(probe_factory(scheme), scratch);
+  ASSERT_TRUE(tpl.ok());
+
+  EncodeBuffer buf;
+  for (const StampVars& v : var_grid()) {
+    const auto wire = tpl.stamp(v, buf);
+    StampVars got;
+    ASSERT_TRUE(tpl.match(wire, got));
+    EXPECT_EQ(got.txn, v.txn);
+    EXPECT_EQ(got.cluster, v.cluster);
+    EXPECT_EQ(got.index, v.index);
+  }
+}
+
+TEST(WireTemplateMatch, EveryByteMutationIsSound) {
+  // Soundness: a match is a proof that stamping the recovered vars
+  // reproduces the wire exactly. Mutate every byte of a stamped probe; each
+  // mutant must either fail to match or round-trip to its own bytes (a
+  // digit flipped to another digit is still a valid — different — probe).
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const WireTemplate tpl = WireTemplate::derive(probe_factory(scheme), scratch);
+  ASSERT_TRUE(tpl.ok());
+
+  EncodeBuffer buf;
+  const StampVars v{0x5A5A, 123, 4567890, 0, 0};
+  const auto wire = to_vec(tpl.stamp(v, buf));
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (const std::uint8_t delta : {0x01, 0x80}) {
+      std::vector<std::uint8_t> mutant = wire;
+      mutant[i] ^= delta;
+      StampVars got;
+      if (tpl.match(mutant, got)) {
+        const auto restamped = to_vec(tpl.stamp(got, buf));
+        EXPECT_EQ(restamped, mutant) << "byte " << i << " delta " << +delta;
+      }
+    }
+  }
+}
+
+TEST(WireTemplateMatch, RejectsForeignAndResizedPackets) {
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const WireTemplate tpl = WireTemplate::derive(probe_factory(scheme), scratch);
+  ASSERT_TRUE(tpl.ok());
+
+  EncodeBuffer buf;
+  StampVars got;
+
+  // Wrong qtype.
+  Message txt = dns::make_query(7, scheme.qname({1, 2}), dns::RRType::kTXT);
+  EXPECT_FALSE(tpl.match(dns::encode_into(txt, buf), got));
+
+  // CHAOS-class version.bind (the fingerprinting probe).
+  Message chaos = dns::make_query(7, DnsName::must_parse("version.bind"),
+                                  dns::RRType::kTXT);
+  chaos.questions.front().qclass = dns::RRClass::kCH;
+  EXPECT_FALSE(tpl.match(dns::encode_into(chaos, buf), got));
+
+  // A foreign domain of similar shape.
+  Message other = dns::make_query(
+      7, DnsName::must_parse("or001.0000002.example.net"), dns::RRType::kA);
+  EXPECT_FALSE(tpl.match(dns::encode_into(other, buf), got));
+
+  // An out-of-width id renders a longer qname, so it cannot match.
+  Message wide = dns::make_query(7, scheme.qname({1000, 5}), dns::RRType::kA);
+  EXPECT_FALSE(tpl.match(dns::encode_into(wide, buf), got));
+
+  // Truncated and extended copies of a genuine probe.
+  const auto wire = to_vec(tpl.stamp({1, 2, 3, 0, 0}, buf));
+  EXPECT_FALSE(tpl.match(std::span(wire).first(wire.size() - 1), got));
+  std::vector<std::uint8_t> longer = wire;
+  longer.push_back(0);
+  EXPECT_FALSE(tpl.match(longer, got));
+}
+
+// ---- derive() declining ----------------------------------------------------
+
+TEST(WireTemplateDerive, DeclinesWidthChangingShapes) {
+  // Unpadded decimal rendering: the fingerprint index has more digits than
+  // the base, the encoding changes length, and derive must refuse.
+  EncodeBuffer scratch;
+  const WireTemplate tpl = WireTemplate::derive(
+      [](const StampVars& v) {
+        return dns::make_query(
+            v.txn,
+            DnsName::must_parse("x" + std::to_string(v.index) + ".example.com"),
+            dns::RRType::kA);
+      },
+      scratch);
+  EXPECT_FALSE(tpl.ok());
+}
+
+TEST(WireTemplateDerive, DeclinesCoupledFields) {
+  // A message where the TTL appears both verbatim and transformed (+1): the
+  // transformed copy's bytes do not equal any fingerprint byte, so the
+  // differential probe cannot attribute them and must refuse — stamping
+  // such a shape would silently miss the coupled copy.
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const WireTemplate tpl = WireTemplate::derive(
+      [&](const StampVars& v) {
+        const DnsName qname = scheme.qname({v.cluster, v.index});
+        Message r = dns::make_a_response(
+            dns::make_query(v.txn, qname, dns::RRType::kA),
+            net::IPv4Addr{v.addr}, v.ttl);
+        r.answers.push_back(dns::ResourceRecord{
+            qname, dns::RRType::kA, dns::RRClass::kIN, v.ttl + 1,
+            dns::ARdata{net::IPv4Addr{v.addr}}});
+        return r;
+      },
+      scratch);
+  EXPECT_FALSE(tpl.ok());
+}
+
+TEST(WireTemplateDerive, ConstantShapeStampsItsOneMessage) {
+  // A factory that ignores every var yields a patchless template: stamping
+  // is a pure memcpy and still equals the full encoding.
+  EncodeBuffer scratch;
+  const auto make = [](const StampVars&) {
+    return dns::make_query(99, DnsName::must_parse("static.example.com"),
+                           dns::RRType::kA);
+  };
+  const WireTemplate tpl = WireTemplate::derive(make, scratch);
+  ASSERT_TRUE(tpl.ok());
+  EncodeBuffer buf, buf2;
+  const auto stamped = to_vec(tpl.stamp({0xFFFF, 999, 9999999, 1, 2}, buf));
+  EXPECT_EQ(stamped, to_vec(dns::encode_into(make({}), buf2)));
+}
+
+// ---- FastMod ---------------------------------------------------------------
+
+std::uint64_t splitmix(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+TEST(FastMod, MatchesDivideAcrossBucketCounts) {
+  // Every divisor the bucket table can take: libstdc++'s small rehash
+  // primes, large primes near the top of the table, and adversarial
+  // non-primes for good measure.
+  const std::uint64_t divisors[] = {
+      1,       2,       3,        5,         7,         13,        29,
+      59,      127,     257,      541,       1109,      2357,      5087,
+      10273,   42043,   85229,    712697,    5967347,   49969847,
+      206062531, 849749479, 1725587117, 4294967291ull, 6442450939ull};
+  std::uint64_t rng = 42;
+  for (const std::uint64_t d : divisors) {
+    prober::FastMod fm;
+    fm.set(d);
+    const std::uint64_t edges[] = {0,     1,     d - 1, d,    d + 1,
+                                   2 * d, ~0ull, ~0ull - 1, d * d};
+    for (const std::uint64_t n : edges) EXPECT_EQ(fm.mod(n), n % d) << d;
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t n = splitmix(rng);
+      ASSERT_EQ(fm.mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+// ---- OutstandingTable ------------------------------------------------------
+
+/// A hasher shared verbatim by the table and the reference map, so both
+/// containers see identical hash values (the table's contract).
+struct MixHash {
+  std::size_t operator()(std::uint64_t k) const noexcept {
+    std::uint64_t z = k + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+};
+
+TEST(OutstandingTable, ReplaysUnorderedMapIterationOrder) {
+  // Interleaved inserts, duplicate inserts, and erases driven by one
+  // deterministic stream, applied to the table and to the hashtable it
+  // replaced. Size and membership must agree everywhere; on libstdc++ the
+  // full iteration order must be byte-identical too (the digest-visible
+  // property the reap sweep depends on).
+  prober::OutstandingTable<MixHash> table{MixHash{}};
+  std::unordered_map<std::uint64_t, net::SimTime, MixHash> ref;
+  std::vector<std::uint64_t> live;
+
+  std::uint64_t rng = 7;
+  for (int step = 0; step < 6000; ++step) {
+    const std::uint64_t roll = splitmix(rng);
+    if (roll % 4 == 0 && !live.empty()) {
+      // Erase a currently-present key.
+      const std::size_t at = roll / 7 % live.size();
+      const std::uint64_t key = live[at];
+      live[at] = live.back();
+      live.pop_back();
+      ref.erase(key);
+      const std::uint32_t h = table.find(key);
+      ASSERT_NE(h, prober::OutstandingTable<MixHash>::kNil);
+      table.erase_at(h);
+    } else if (roll % 16 == 1 && !live.empty()) {
+      // Duplicate insert: a no-op on both sides.
+      const std::uint64_t key = live[roll / 7 % live.size()];
+      ref.emplace(key, net::SimTime::millis(step));
+      table.emplace(key, net::SimTime::millis(step));
+    } else {
+      const std::uint64_t key = roll >> 16;  // occasional natural collisions
+      if (ref.emplace(key, net::SimTime::millis(step)).second)
+        live.push_back(key);
+      table.emplace(key, net::SimTime::millis(step));
+    }
+    ASSERT_EQ(table.size(), ref.size());
+  }
+
+  // Membership + stored values agree.
+  for (const auto& [key, sent] : ref) {
+    const std::uint32_t h = table.find(key);
+    ASSERT_NE(h, prober::OutstandingTable<MixHash>::kNil);
+    EXPECT_EQ(table.key_at(h), key);
+    EXPECT_EQ(table.sent_at(h), sent);
+  }
+  EXPECT_EQ(table.find(~0ull), prober::OutstandingTable<MixHash>::kNil);
+
+#ifdef __GLIBCXX__
+  // Iteration order replay — the load-bearing property.
+  std::vector<std::uint64_t> table_order;
+  for (std::uint32_t i = table.first();
+       i != prober::OutstandingTable<MixHash>::kNil; i = table.next(i))
+    table_order.push_back(table.key_at(i));
+  std::vector<std::uint64_t> map_order;
+  for (const auto& [key, sent] : ref) map_order.push_back(key);
+  ASSERT_EQ(table_order, map_order);
+#endif
+}
+
+TEST(OutstandingTable, EraseWhileIteratingMatchesMapSemantics) {
+  prober::OutstandingTable<MixHash> table{MixHash{}};
+  std::unordered_map<std::uint64_t, net::SimTime, MixHash> ref;
+  for (std::uint64_t k = 1; k <= 300; ++k) {
+    table.emplace(k * 0x10001, net::SimTime::millis(k));
+    ref.emplace(k * 0x10001, net::SimTime::millis(k));
+  }
+  // Reap every key with an odd low bit, erase-while-iterating on both.
+  for (std::uint32_t i = table.first();
+       i != prober::OutstandingTable<MixHash>::kNil;) {
+    if (table.key_at(i) & 1)
+      i = table.erase_at(i);
+    else
+      i = table.next(i);
+  }
+  for (auto it = ref.begin(); it != ref.end();) {
+    if (it->first & 1)
+      it = ref.erase(it);
+    else
+      ++it;
+  }
+  ASSERT_EQ(table.size(), ref.size());
+#ifdef __GLIBCXX__
+  std::vector<std::uint64_t> table_order;
+  for (std::uint32_t i = table.first();
+       i != prober::OutstandingTable<MixHash>::kNil; i = table.next(i))
+    table_order.push_back(table.key_at(i));
+  std::vector<std::uint64_t> map_order;
+  for (const auto& [key, sent] : ref) map_order.push_back(key);
+  ASSERT_EQ(table_order, map_order);
+#endif
+}
+
+}  // namespace
+}  // namespace orp
