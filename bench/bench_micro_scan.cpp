@@ -220,12 +220,12 @@ bool write_bench_scan_json(const char* path) {
   }
   // The instrumentation tax: the same campaign with the observability layer
   // fully on (metrics + 1/64 flow tracing), single-shard so the comparison
-  // is not muddied by scheduling noise. Best-of-3 on both sides — single
-  // runs on a shared container swing by 10%+, which would drown the signal.
-  // Acceptance: well under 5%.
+  // is not muddied by scheduling noise. Interleaved best-of-7 on both sides
+  // — single runs on a shared container swing by 10%+, which would drown
+  // the signal. Acceptance: ≤ 5%.
   double best_plain = wall_t1, wall_obs = 1e9;
   std::uint64_t events_obs = 0;
-  for (int i = 0; i < 3; ++i) {
+  for (int i = 0; i < 7; ++i) {
     best_plain = std::min(best_plain, timed_campaign(1).first);
     const auto [wall, events] = timed_campaign(1, /*instrumented=*/true);
     if (wall < wall_obs) {

@@ -113,6 +113,10 @@ int main(int argc, char** argv) {
   cfg.scale = opts.scale;
   cfg.seed = opts.seed;
   cfg.loss_rate = opts.loss;
+  // Per-response CSV export needs the materialized views; everything else
+  // (summary tables, --summary-csv) comes from the streamed tables, so the
+  // debugging knob stays off unless the rows are actually wanted.
+  cfg.retain_views = !opts.csv_path.empty();
 
   if (!opts.quiet)
     std::printf("orpscan: %d population, scale 1/%llu, seed %llu%s\n",

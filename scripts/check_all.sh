@@ -40,6 +40,23 @@ if [[ "$best_eps" -lt "$PERF_FLOOR_EPS" ]]; then
   exit 1
 fi
 
+echo "==== tier-1: streaming-analysis memory ceiling ===="
+# One forked streaming campaign at scale 256; the child's ru_maxrss is the
+# whole-process peak. The ceiling (128 MB) sits ~2.7x above the ~46 MB a
+# healthy streaming run peaks at — tripping it means per-response state is
+# being retained again (the O(probes) view buffer the streaming analyzer
+# exists to eliminate), not noise. BENCH_analysis.ci.json also records
+# analysis_bytes: the bytes retained to produce the tables, which should
+# stay in the KB range while posthoc runs carry MBs.
+RSS_CEILING_KB=131072
+"$BUILD_DIR/bench/bench_micro_analysis" --ci
+rss_kb=$(sed -n 's/.*"peak_rss_kb": \([0-9]*\).*/\1/p' BENCH_analysis.ci.json)
+echo "memory ceiling: scale-256 streaming peak RSS = ${rss_kb} KB (ceiling $RSS_CEILING_KB)"
+if [[ -z "$rss_kb" || "$rss_kb" -gt "$RSS_CEILING_KB" ]]; then
+  echo "check_all: FAIL — streaming campaign peak RSS above the ceiling" >&2
+  exit 1
+fi
+
 if [[ "${ORP_SKIP_SANITIZE:-0}" != "1" ]]; then
   echo "==== sanitize: wire path ===="
   scripts/sanitize_wire_tests.sh

@@ -26,6 +26,15 @@ struct AnswerBreakdown {
   double err_percent() const noexcept {
     return util::percent(incorrect, with_answer());
   }
+
+  /// Shard merge for the streaming analysis path (counters sum).
+  AnswerBreakdown& operator+=(const AnswerBreakdown& o) noexcept {
+    r2 += o.r2;
+    without_answer += o.without_answer;
+    correct += o.correct;
+    incorrect += o.incorrect;
+    return *this;
+  }
 };
 
 AnswerBreakdown analyze_answers(std::span<const R2View> views);

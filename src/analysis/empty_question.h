@@ -27,6 +27,23 @@ struct EmptyQuestionSummary {
   std::uint64_t aa1 = 0;
 
   std::array<std::uint64_t, dns::kRcodeCount> rcode{};
+
+  /// Shard merge for the streaming analysis path (every field is a count).
+  EmptyQuestionSummary& operator+=(const EmptyQuestionSummary& o) noexcept {
+    total += o.total;
+    with_answer += o.with_answer;
+    correct += o.correct;
+    private_answers += o.private_answers;
+    malformed_answers += o.malformed_answers;
+    unknown_org += o.unknown_org;
+    ra1 += o.ra1;
+    ra0 += o.ra0;
+    ra1_without_answer += o.ra1_without_answer;
+    ra0_with_answer += o.ra0_with_answer;
+    aa1 += o.aa1;
+    for (std::size_t i = 0; i < rcode.size(); ++i) rcode[i] += o.rcode[i];
+    return *this;
+  }
 };
 
 EmptyQuestionSummary analyze_empty_question(std::span<const R2View> views,

@@ -23,16 +23,33 @@ std::string_view to_string(AnswerForm f) noexcept {
 R2View classify_r2(const prober::R2Record& record,
                    const zone::SubdomainScheme& scheme) {
   R2View view;
-  view.resolver = record.resolver;
-  view.time = record.time;
+  classify_r2_into(record.payload, record.resolver, record.time, scheme, view);
+  return view;
+}
+
+void classify_r2_into(std::span<const std::uint8_t> payload,
+                      net::IPv4Addr resolver, net::SimTime time,
+                      const zone::SubdomainScheme& scheme, R2View& view) {
+  view.resolver = resolver;
+  view.time = time;
+  view.header_decoded = true;
+  view.has_question = false;
+  view.ra = false;
+  view.aa = false;
+  view.rcode = dns::Rcode::kNoError;
+  view.form = AnswerForm::kNone;
+  view.answer_ip.reset();
+  view.answer_text.clear();  // keeps capacity — the scratch-reuse contract
+  view.subdomain.reset();
+  view.correct = false;
 
   // Zero-copy decode: same validation rules and stages as decode_partial
   // (the differential fuzz suite pins the equivalence), but nothing is
   // materialized — names and rdata stay offsets into the payload.
-  const dns::DecodeView v = dns::DecodeView::parse(record.payload);
+  const dns::DecodeView v = dns::DecodeView::parse(payload);
   if (v.failed_at == dns::DecodeStage::kHeader) {
     view.header_decoded = false;
-    return view;
+    return;
   }
   view.ra = v.header.flags.ra;
   view.aa = v.header.flags.aa;
@@ -44,16 +61,16 @@ R2View classify_r2(const prober::R2Record& record,
   // Answer-section failure after a clean question: the Table VII N/A class.
   if (v.failed_at == dns::DecodeStage::kQuestion) {
     view.has_question = false;
-    return view;
+    return;
   }
   if (v.failed_at == dns::DecodeStage::kAnswer) {
     view.form = AnswerForm::kUndecodable;
-    return view;
+    return;
   }
 
   if (v.answers_parsed == 0) {
     view.form = AnswerForm::kNone;
-    return view;
+    return;
   }
 
   // Judge the first answer record, as the paper's single-question probes do.
@@ -67,14 +84,26 @@ R2View classify_r2(const prober::R2Record& record,
           (static_cast<std::uint32_t>(rr.rdata[2]) << 8) | rr.rdata[3]);
       if (view.subdomain)
         view.correct = (*view.answer_ip == scheme.ground_truth(*view.subdomain));
-      return view;
+      return;
     }
     case dns::RRType::kNS:
     case dns::RRType::kCNAME:
     case dns::RRType::kPTR: {
       view.form = AnswerForm::kUrl;
-      view.answer_text = rr.rdata_name.to_string();
-      return view;
+      // Presentation form built in place, byte-identical to
+      // NameView::to_string (labels joined by '.', "." for the root) but
+      // reusing the scratch string's capacity.
+      if (rr.rdata_name.is_root()) {
+        view.answer_text.assign(1, '.');
+        return;
+      }
+      view.answer_text.reserve(rr.rdata_name.wire_length() - 2);
+      for (std::size_t i = 0; i < rr.rdata_name.label_count(); ++i) {
+        if (!view.answer_text.empty()) view.answer_text.push_back('.');
+        const std::string_view label = rr.rdata_name.label(i);
+        view.answer_text.append(label.data(), label.size());
+      }
+      return;
     }
     case dns::RRType::kTXT: {
       view.form = AnswerForm::kString;
@@ -96,7 +125,7 @@ R2View classify_r2(const prober::R2Record& record,
             reinterpret_cast<const char*>(rr.rdata.data() + p + 1), len);
         p += 1 + static_cast<std::size_t>(len);
       }
-      return view;
+      return;
     }
     case dns::RRType::kSOA:
     case dns::RRType::kMX:
@@ -104,7 +133,7 @@ R2View classify_r2(const prober::R2Record& record,
       // Structured but non-text rdata: a string-form answer with no text,
       // exactly as the Message-based classifier judged these.
       view.form = AnswerForm::kString;
-      return view;
+      return;
     }
     default: {
       // Anything else (raw bytes, OPT, ...) is a garbage-string answer.
@@ -115,7 +144,7 @@ R2View classify_r2(const prober::R2Record& record,
         view.answer_text.push_back(kHex[b >> 4]);
         view.answer_text.push_back(kHex[b & 0xF]);
       }
-      return view;
+      return;
     }
   }
 }

@@ -62,6 +62,15 @@ struct R2View {
 R2View classify_r2(const prober::R2Record& record,
                    const zone::SubdomainScheme& scheme);
 
+/// The same classification written into a caller-owned scratch view. `out`
+/// is fully reset first, but its string keeps its capacity — the streaming
+/// analyzer reuses one scratch per shard so the steady-state per-R2 cost is
+/// zero allocations (text answers build in place; the alloc-budget suite
+/// pins this).
+void classify_r2_into(std::span<const std::uint8_t> payload,
+                      net::IPv4Addr resolver, net::SimTime time,
+                      const zone::SubdomainScheme& scheme, R2View& out);
+
 /// Classify a whole scan's worth.
 std::vector<R2View> classify_all(const prober::R2Store& records,
                                  const zone::SubdomainScheme& scheme);

@@ -28,11 +28,25 @@ struct FlagBreakdown {
   double err_percent() const noexcept {
     return util::percent(incorrect, with_answer());
   }
+
+  FlagBreakdown& operator+=(const FlagBreakdown& o) noexcept {
+    without_answer += o.without_answer;
+    correct += o.correct;
+    incorrect += o.incorrect;
+    return *this;
+  }
 };
 
 struct FlagTable {
   FlagBreakdown bit0;
   FlagBreakdown bit1;
+
+  /// Shard merge for the streaming analysis path.
+  FlagTable& operator+=(const FlagTable& o) noexcept {
+    bit0 += o.bit0;
+    bit1 += o.bit1;
+    return *this;
+  }
 };
 
 FlagTable analyze_ra(std::span<const R2View> views);  // Table IV
@@ -43,10 +57,22 @@ struct RcodeRow {
   std::uint64_t with_answer = 0;     // "W"
   std::uint64_t without_answer = 0;  // "W/O"
   std::uint64_t total() const noexcept { return with_answer + without_answer; }
+
+  RcodeRow& operator+=(const RcodeRow& o) noexcept {
+    with_answer += o.with_answer;
+    without_answer += o.without_answer;
+    return *this;
+  }
 };
 
 struct RcodeTable {
   std::array<RcodeRow, dns::kRcodeCount> rows{};
+
+  /// Shard merge for the streaming analysis path.
+  RcodeTable& operator+=(const RcodeTable& o) noexcept {
+    for (std::size_t i = 0; i < rows.size(); ++i) rows[i] += o.rows[i];
+    return *this;
+  }
 
   const RcodeRow& row(dns::Rcode rc) const noexcept {
     return rows[static_cast<std::size_t>(rc)];

@@ -1,5 +1,8 @@
 #include "authns/auth_server.h"
 
+#include <cstring>
+#include <string_view>
+
 #include "dns/builder.h"
 #include "dns/edns.h"
 #include "util/hash.h"
@@ -13,6 +16,16 @@ dns::SoaRdata make_soa(const dns::DnsName& sld) {
   soa.rname = sld.child("hostmaster");
   soa.serial = 2018042601;
   return soa;
+}
+
+/// Fixed-width zero-padded decimal (precondition: v fits in `width`, which
+/// a WireTemplate match guarantees for the stamped digit runs).
+char* put_fixed(char* p, std::uint32_t v, int width) {
+  for (int i = width - 1; i >= 0; --i) {
+    p[i] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  }
+  return p + width;
 }
 
 }  // namespace
@@ -75,6 +88,13 @@ AuthServer::AuthServer(net::Network& network, net::IPv4Addr addr,
     // these shapes (the fast path skips it).
     templates_ok_ = query_tpl_.ok() && answer_tpl_.ok() && nx_tpl_.ok() &&
                     answer_tpl_.size() <= 512 && nx_tpl_.size() <= 512;
+    // Learn the canonical-key layout for probe_marked(), exactly as the
+    // scanner's QnameRenderer does: "or###.#######" + an id-invariant tail.
+    const std::string canon0 = scheme_.qname({0, 0}).canonical_key();
+    constexpr std::string_view kHead = "or000.0000000";
+    canon_ok_ = canon0.size() >= kHead.size() &&
+                std::string_view(canon0).substr(0, kHead.size()) == kHead;
+    if (canon_ok_) canon_suffix_ = canon0.substr(kHead.size());
   }
   load_cluster(0, /*initial=*/true);
 }
@@ -99,17 +119,46 @@ void AuthServer::on_batch(const net::DatagramBatch& b) {
     on_datagram(net::Datagram{b.srcs[i], b.dst, b.payloads[i]});
 }
 
+std::uint64_t AuthServer::probe_flow(const dns::StampVars& v) const {
+  char buf[dns::kMaxNameLength + 32];
+  char* p = buf;
+  *p++ = 'o';
+  *p++ = 'r';
+  p = put_fixed(p, v.cluster, 3);
+  *p++ = '.';
+  p = put_fixed(p, v.index, 7);
+  std::memcpy(p, canon_suffix_.data(), canon_suffix_.size());
+  p += canon_suffix_.size();
+  return util::Fnv1a{}
+      .bytes(std::string_view(buf, static_cast<std::size_t>(p - buf)))
+      .value();
+}
+
 void AuthServer::on_datagram(const net::Datagram& d) {
   ++stats_.queries_received;
   // Probe fast path: a wire-exact in-width A query for the loaded scheme is
   // answered by stamping a pre-encoded response — no decode, no encode.
-  // Gated off while a tracer needs the Q2/R1 span points or a zone reload
-  // is in flight (those queries take the full path and its SERVFAIL).
+  // Gated off while a zone reload is in flight (those queries take the full
+  // path and its SERVFAIL). Tracer-marked flows stay on the fast path: the
+  // Q2/R1 span points are recorded around the stamp, with the same
+  // timestamps and peer the full path would record (no simulated time
+  // passes inside a handler), so the trace is identical while the marked
+  // query still costs one stamp instead of a decode/encode round.
   dns::StampVars v;
-  if (templates_ok_ && tracer_ == nullptr &&
-      network_.loop().now() >= load_busy_until_ &&
-      query_tpl_.match(d.payload, v)) {
+  if (templates_ok_ && network_.loop().now() >= load_busy_until_ &&
+      query_tpl_.match(d.payload, v) && (tracer_ == nullptr || canon_ok_)) {
     ++stats_.edns_queries;  // the matched shape always carries EDNS, DO=0
+    std::uint64_t traced_flow = 0;
+    bool traced = false;
+    if (tracer_ != nullptr) {
+      const std::uint64_t flow = probe_flow(v);
+      if (tracer_->marked(flow)) {
+        traced_flow = flow;
+        traced = true;
+        tracer_->record(flow, obs::SpanPoint::kQ2Auth, network_.loop().now(),
+                        d.src.addr.value());
+      }
+    }
     const zone::SubdomainId id{v.cluster, v.index};
     const bool resident =
         id.cluster == loaded_cluster_ ||
@@ -127,6 +176,9 @@ void AuthServer::on_datagram(const net::Datagram& d) {
     ++stats_.template_stamped;
     ++stats_.responses_sent;
     network_.send(net::Endpoint{addr_, net::kDnsPort}, d.src, wire);
+    if (traced)
+      tracer_->record(traced_flow, obs::SpanPoint::kR1Sent,
+                      network_.loop().now(), d.src.addr.value());
     return;
   }
   ++stats_.template_fallback;

@@ -13,6 +13,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "dns/codec.h"
 #include "dns/wire_template.h"
@@ -103,6 +104,14 @@ class AuthServer {
   /// equivalent to one on_datagram call per item.
   void on_batch(const net::DatagramBatch& b);
   dns::Message answer(const dns::Message& query);
+  /// Flow key of a matched probe query: renders the probe's canonical qname
+  /// from the stamped vars (the template match guarantees in-width digits)
+  /// and hashes it — no decode. Marked flows record their Q2/R1 span points
+  /// from the fast path itself; diverting them to the full decode/encode
+  /// path would make the tracer pay a full codec round per marked query,
+  /// and qname reuse makes the marked set cover far more traffic than the
+  /// 1-in-N sampling rate suggests.
+  std::uint64_t probe_flow(const dns::StampVars& v) const;
 
   net::Network& network_;
   net::IPv4Addr addr_;
@@ -119,13 +128,21 @@ class AuthServer {
 
   // Probe fast path: recognize an in-width A query for the scheme via
   // query_tpl_.match(), stamp the answer (or NXDOMAIN) from a pre-encoded
-  // template. Engaged only when no tracer is attached and the server is
-  // not mid-reload; everything else (EDNS, apex, out-of-zone, FORMERR)
+  // template. Engaged when the server is not mid-reload; tracer-marked
+  // flows stay on it too (their Q2/R1 span points are recorded around the
+  // stamp). Everything else (EDNS variants, apex, out-of-zone, FORMERR)
   // can't match the template and takes the full path.
   dns::WireTemplate query_tpl_;
   dns::WireTemplate answer_tpl_;
   dns::WireTemplate nx_tpl_;
   bool templates_ok_ = false;
+
+  // Canonical-key renderer for probe_marked(): canonical bytes after the
+  // two numeric labels, mirroring prober::QnameRenderer. canon_ok_ is false
+  // if the scheme's canonical form ever deviates from "or###.#######..."
+  // (then a tracer disables the fast path entirely, as before).
+  std::string canon_suffix_;
+  bool canon_ok_ = false;
 };
 
 }  // namespace orp::authns

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "analysis/flow.h"
+#include "analysis/streaming.h"
 #include "core/shard.h"
 #include "util/rng.h"
 
@@ -94,12 +95,21 @@ ScanOutcome run_measurement(const PaperYear& year,
     });
   }
 
+  // Streaming vs post-hoc. The default streams: every shard classifies its
+  // R2s at capture time into partial tables (and the behavior digest), so
+  // nothing per-response survives the scan. posthoc_analysis retains the
+  // views and reruns the legacy whole-campaign pass instead — the
+  // differential path the determinism suite compares against.
+  const bool streaming = !config.posthoc_analysis;
+  const bool retain = config.retain_views || config.posthoc_analysis;
+
   std::vector<ShardResult> results(shards);
   const auto run_shard = [&](std::uint32_t shard_id) {
     ShardContext ctx(outcome.spec, net_config, plan, shard_id, shards,
                      scan_config, config.obs,
                      progress != nullptr ? &progress->shard(shard_id)
-                                         : nullptr);
+                                         : nullptr,
+                     streaming, retain);
     results[shard_id] = ctx.run();
   };
   if (shards == 1) {
@@ -143,6 +153,7 @@ ScanOutcome run_measurement(const PaperYear& year,
   outcome.capture = std::move(results[0].capture);
   outcome.metrics = std::move(results[0].metrics);
   outcome.traces = std::move(results[0].traces);
+  analysis::PartialTables tables = std::move(results[0].tables);
   std::vector<std::vector<analysis::R2View>> view_shards;
   view_shards.reserve(shards);
   view_shards.push_back(std::move(results[0].views));
@@ -154,6 +165,7 @@ ScanOutcome run_measurement(const PaperYear& year,
     outcome.capture.merge(std::move(results[i].capture));
     outcome.metrics += results[i].metrics;
     outcome.traces.merge(std::move(results[i].traces));
+    tables += results[i].tables;
     view_shards.push_back(std::move(results[i].views));
   }
   outcome.capture.sort_canonical();
@@ -161,15 +173,30 @@ ScanOutcome run_measurement(const PaperYear& year,
   outcome.cluster_loads = outcome.auth.cluster_loads;
   outcome.sim_duration_seconds = outcome.scan.duration().as_seconds();
 
-  outcome.views = analysis::merge_views(std::move(view_shards));
-  outcome.capture_digest = analysis::behavior_digest(outcome.views);
+  if (retain)
+    outcome.views = analysis::merge_views(std::move(view_shards));
+  outcome.capture_digest = streaming
+                               ? tables.digest
+                               : analysis::behavior_digest(outcome.views);
+  if (streaming) {
+    outcome.analysis_bytes = tables.footprint_bytes();
+  } else {
+    std::size_t bytes = outcome.capture.arena_bytes() +
+                        outcome.views.capacity() * sizeof(analysis::R2View);
+    for (const analysis::R2View& v : outcome.views)
+      bytes += v.answer_text.capacity();
+    outcome.analysis_bytes = bytes;
+  }
 
-  // 6. Analyze against the campaign-global intel databases.
+  // 6. Finalize against the campaign-global intel databases (identical to
+  // every shard's bundle — build_intel uses only global inputs).
   if (config.analyze) {
     const IntelBundle intel =
         build_intel(outcome.spec, plan, measurement_auth_address());
-    outcome.analysis = analysis::analyze_scan(outcome.views, intel.threats,
-                                              intel.geo, intel.orgs);
+    outcome.analysis =
+        streaming ? tables.finalize(intel.orgs, intel.threats)
+                  : analysis::analyze_scan(outcome.views, intel.threats,
+                                           intel.geo, intel.orgs);
   }
   return outcome;
 }

@@ -21,7 +21,11 @@ namespace orp::core {
 
 struct PipelineConfig {
   /// 1/scale sample of the full campaign. 1 = the paper's full 3.7B-probe
-  /// scan (hours of CPU and tens of GB of RAM; scaled runs are the default).
+  /// scan — hours of CPU, but no longer tens of GB of RAM: the default
+  /// streaming path classifies each R2 at capture time and keeps only the
+  /// partial tables, so peak memory is O(shards x distinct values), not
+  /// O(probes). Retaining the per-response views/pcap (retain_views /
+  /// posthoc_analysis below) restores the old O(probes) envelope.
   std::uint64_t scale = 1024;
   std::uint64_t seed = 42;
   /// Skip the analysis pass (benches that only need raw scan stats).
@@ -48,6 +52,19 @@ struct PipelineConfig {
   /// by default; enabling any of them changes no simulated behavior — the
   /// tables and digests stay byte-identical (instrumentation is passive).
   obs::ObsConfig obs;
+  /// Debugging knob: retain every R2 (scanner R2Store + capture arena) and
+  /// fill `ScanOutcome::views` in canonical order. Off by default — the
+  /// streaming analyzer consumes each response at capture time, so the
+  /// default campaign materializes no per-response state. Turn on for
+  /// pcap/CSV export (examples/orpscan) or view-level debugging.
+  bool retain_views = false;
+  /// Differential-testing knob: compute the analysis with the legacy
+  /// post-hoc pass (classify_all over retained views + analyze_scan) instead
+  /// of merging the shards' streamed partial tables. Implies retention.
+  /// The streaming and post-hoc results are byte-identical — the
+  /// determinism suite pins this — so there is no reason to turn this on
+  /// outside tests and the comparison bench.
+  bool posthoc_analysis = false;
 };
 
 struct ScanOutcome {
@@ -57,12 +74,23 @@ struct ScanOutcome {
   authns::AuthStats auth;             // authns-side counters (Q2, R1)
   zone::ClusterStats clusters;        // Fig. 3 lifecycle
   std::uint64_t cluster_loads = 0;    // zone loads at the auth server(s)
-  std::vector<analysis::R2View> views;  // merged, canonical resolver order
+  /// Merged views in canonical resolver order — populated only when the
+  /// config retained them (retain_views / posthoc_analysis); empty on the
+  /// default streaming path.
+  std::vector<analysis::R2View> views;
   analysis::ScanAnalysis analysis;
-  net::CaptureStore capture;          // merged prober-vantage capture
-  /// Order-insensitive digest of the views' behavioral content — equal
-  /// across thread counts (the shard-determinism check).
+  /// Merged prober-vantage capture. Counts and digest are always complete;
+  /// payload records are retained only under retain_views/posthoc_analysis.
+  net::CaptureStore capture;
+  /// Order-insensitive digest of the R2s' behavioral content — equal across
+  /// thread counts (the shard-determinism check). Streamed per shard on the
+  /// default path; identical to behavior_digest over the retained views.
   std::uint64_t capture_digest = 0;
+  /// Bytes retained to produce `analysis`: the merged partial-table
+  /// footprint on the streaming path, or the capture arena + materialized
+  /// view buffer under posthoc_analysis. The memory axis BENCH_analysis.json
+  /// tracks (whole-process RSS is dominated by the simulated internet).
+  std::size_t analysis_bytes = 0;
   std::uint64_t events_executed = 0;  // summed across shard loops
   double sim_duration_seconds = 0;    // simulated wall-clock of the campaign
   unsigned threads_used = 1;

@@ -13,9 +13,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "analysis/flow.h"
+#include "analysis/streaming.h"
 #include "core/internet_builder.h"
 #include "net/capture_store.h"
 #include "obs/obs.h"
@@ -29,7 +31,12 @@ struct ShardResult {
   authns::AuthStats auth;
   zone::ClusterStats clusters;
   std::uint64_t events_executed = 0;
+  /// Classified R2 views — populated only when the campaign retains R2
+  /// payloads (retain_r2); the streaming path never materializes them.
   std::vector<analysis::R2View> views;
+  /// Streamed partial tables — populated on the streaming path; the
+  /// pipeline folds them in shard order with `operator+=`.
+  analysis::PartialTables tables;
   net::CaptureStore capture;
   obs::Metrics metrics;     // inert unless the campaign enabled metrics
   obs::FlowTracer traces;   // empty unless the campaign enabled tracing
@@ -44,12 +51,19 @@ class ShardContext {
   /// default — instrumentation must be opt-in and must not perturb the event
   /// stream); `beacon`, when given, is the campaign-owned progress slot this
   /// shard publishes into.
+  ///
+  /// `streaming` attaches a StreamingAnalyzer to the scanner so every R2 is
+  /// classified at capture time into this shard's PartialTables; `retain_r2`
+  /// keeps R2 payloads in the scanner's R2Store and the capture arena (the
+  /// post-hoc / differential-testing path). The default pipeline streams
+  /// without retention — O(1) shard memory instead of O(responses).
   ShardContext(const PopulationSpec& spec, const InternetConfig& net_config,
                const InternetPlan& plan, std::uint32_t shard_id,
                std::uint32_t shard_count,
                const prober::ScanConfig& scan_config,
                const obs::ObsConfig& obs_config = {},
-               obs::ShardBeacon* beacon = nullptr);
+               obs::ShardBeacon* beacon = nullptr, bool streaming = true,
+               bool retain_r2 = true);
 
   ShardContext(const ShardContext&) = delete;
   ShardContext& operator=(const ShardContext&) = delete;
@@ -70,6 +84,9 @@ class ShardContext {
   prober::Scanner scanner_;
   net::CaptureStore capture_;
   obs::ShardObs obs_;
+  bool retain_r2_ = true;
+  /// Capture-time classifier; null when the shard runs post-hoc only.
+  std::unique_ptr<analysis::StreamingAnalyzer> analyzer_;
 };
 
 }  // namespace orp::core

@@ -137,10 +137,12 @@ void CaptureStore::observe_batch(SimTime t, std::span<const PacketView> pkts,
       have_prefix = true;
     }
     if (p.dst.addr == host) {
-      records_.push_back(
-          CaptureRecord{t, p.src, p.dst, arena_.size(),
-                        static_cast<std::uint32_t>(p.payload.size())});
-      arena_.insert(arena_.end(), p.payload.begin(), p.payload.end());
+      if (retain_payloads_) {
+        records_.push_back(
+            CaptureRecord{t, p.src, p.dst, arena_.size(),
+                          static_cast<std::uint32_t>(p.payload.size())});
+        arena_.insert(arena_.end(), p.payload.begin(), p.payload.end());
+      }
     } else if (p.src.addr != host) {
       continue;  // not this vantage's traffic
     }
@@ -157,9 +159,12 @@ void CaptureStore::observe_batch(SimTime t, std::span<const PacketView> pkts,
 }
 
 void CaptureStore::add(SimTime t, const Datagram& d) {
-  records_.push_back(CaptureRecord{t, d.src, d.dst, arena_.size(),
-                                   static_cast<std::uint32_t>(d.payload.size())});
-  arena_.insert(arena_.end(), d.payload.begin(), d.payload.end());
+  if (retain_payloads_) {
+    records_.push_back(
+        CaptureRecord{t, d.src, d.dst, arena_.size(),
+                      static_cast<std::uint32_t>(d.payload.size())});
+    arena_.insert(arena_.end(), d.payload.begin(), d.payload.end());
+  }
   ++packet_count_;
   absorb_digest(d);
 }

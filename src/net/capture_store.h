@@ -57,6 +57,13 @@ class CaptureStore {
   /// allocation budget in tests).
   void reserve(std::size_t records, std::size_t arena_bytes);
 
+  /// Whether inbound payloads are retained (default: yes). With retention
+  /// off, `add` degrades to `count_only` — packet counts and the digest are
+  /// maintained exactly as before, but no record or arena bytes are kept.
+  /// The streaming pipeline turns this off: the analyzer consumes each R2
+  /// at capture time, so the shard never needs its pcap.
+  void set_retain_payloads(bool retain) noexcept { retain_payloads_ = retain; }
+
   /// Fold another shard's store into this one (commutative on the digest
   /// and counts; records concatenate in call order, arenas concatenate and
   /// the moved-in offsets shift).
@@ -93,6 +100,7 @@ class CaptureStore {
   std::vector<std::uint8_t> arena_;
   std::uint64_t packet_count_ = 0;
   std::uint64_t digest_ = 0;
+  bool retain_payloads_ = true;
 };
 
 }  // namespace orp::net

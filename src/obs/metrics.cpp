@@ -243,12 +243,16 @@ const Builtin& builtin() {
         s.counter("orp_auth_cluster_loads",
                   "zone cluster loads (counts per shard instance)",
                   I::kThreadVariant);
-    b.auth_template_stamped =
-        s.counter("orp_auth_template_stamped",
-                  "auth responses stamped from a wire template");
-    b.auth_template_fallback =
-        s.counter("orp_auth_template_fallback",
-                  "auth queries through the full decode/encode path");
+    // Layout-invariant even with tracing on: marked flows stay on the
+    // stamped fast path (their span points are recorded around the stamp),
+    // so which queries stamp depends only on the wire shape and the reload
+    // windows, not on the shard layout's marked-qname set.
+    b.auth_template_stamped = s.counter(
+        "orp_auth_template_stamped",
+        "auth responses stamped from a wire template");
+    b.auth_template_fallback = s.counter(
+        "orp_auth_template_fallback",
+        "auth queries through the full decode/encode path");
 
     // The *set of sampled permutation indices* is shard-count-invariant (the
     // sampler keys on the global index — pinned by ObsPipeline), but these
@@ -260,6 +264,25 @@ const Builtin& builtin() {
     b.trace_records =
         s.counter("orp_trace_records", "span records appended to the tracer",
                   I::kThreadVariant);
+
+    // Streaming analysis. The classification totals are per-R2 properties
+    // (invariant across shard layouts); exemplar churn and the accumulator
+    // footprint depend on arrival order and shard count.
+    b.analysis_r2_classified = s.counter(
+        "orp_analysis_r2_classified", "R2 responses classified at capture");
+    b.analysis_r2_incorrect =
+        s.counter("orp_analysis_r2_incorrect",
+                  "questioned R2s judged incorrect (Table III)");
+    b.analysis_r2_malicious = s.counter(
+        "orp_analysis_r2_malicious", "incorrect answers in a threat category");
+    b.analysis_exemplar_updates =
+        s.counter("orp_analysis_exemplar_updates",
+                  "canonical-exemplar replacements (arrival-order dependent)",
+                  I::kThreadVariant);
+    b.analysis_table_bytes =
+        s.gauge("orp_analysis_table_bytes",
+                "approximate live bytes in a shard's partial tables",
+                MergeOp::kMax, I::kThreadVariant);
     return b;
   }();
   return instance;

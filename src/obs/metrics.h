@@ -249,6 +249,13 @@ struct Builtin {
   // obs::FlowTracer
   CounterHandle trace_flows_sampled;
   CounterHandle trace_records;
+
+  // analysis::StreamingAnalyzer (capture-time classification)
+  CounterHandle analysis_r2_classified;
+  CounterHandle analysis_r2_incorrect;
+  CounterHandle analysis_r2_malicious;
+  CounterHandle analysis_exemplar_updates;
+  GaugeHandle analysis_table_bytes;
 };
 
 const Builtin& builtin();

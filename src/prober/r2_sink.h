@@ -1,0 +1,28 @@
+// The scanner's capture-time response hook.
+//
+// The streaming analysis stage (analysis/streaming.h) consumes R2s as they
+// arrive instead of re-reading a retained payload arena after the scan. The
+// prober layer cannot see the analysis layer (analysis depends on prober),
+// so the hand-off is this one-method interface: the scanner calls it once
+// per received R2 datagram, before any grouping bookkeeping, borrowing the
+// payload for the duration of the call only.
+#pragma once
+
+#include <span>
+
+#include "net/ipv4.h"
+#include "net/sim_time.h"
+
+namespace orp::prober {
+
+class R2Sink {
+ public:
+  virtual ~R2Sink() = default;
+
+  /// One captured R2. `payload` borrows the delivery buffer — consume it
+  /// during the call; do not retain the span.
+  virtual void on_r2(net::SimTime time, net::IPv4Addr resolver,
+                     std::span<const std::uint8_t> payload) = 0;
+};
+
+}  // namespace orp::prober

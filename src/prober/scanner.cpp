@@ -253,12 +253,21 @@ void Scanner::send_one_probe(net::IPv4Addr target) {
   if (tracer_ != nullptr) {
     // The probe's global permutation index — a property of the campaign
     // plan, not the shard layout, so sampling is shard-count-invariant.
+    // Indexes grow monotonically, so the cursor check replaces a per-probe
+    // division with a compare; reserved-address skips can jump the index
+    // past a sample point, in which case sample() rejects (that index sent
+    // no probe) and the cursor re-arms at the next multiple.
     const std::uint64_t index = config_.first_index + raw_consumed_ - 1;
-    if (tracer_->sample(index)) {
-      char key_buf[dns::kMaxNameLength + 32];
-      const std::uint64_t flow =
-          util::Fnv1a{}.bytes(renderer_.render(pack(id), key_buf)).value();
-      tracer_->begin_flow(flow, index, network_.loop().now(), target.value());
+    if (index >= next_trace_index_) {
+      if (tracer_->sample(index)) {
+        char key_buf[dns::kMaxNameLength + 32];
+        const std::uint64_t flow =
+            util::Fnv1a{}.bytes(renderer_.render(pack(id), key_buf)).value();
+        tracer_->begin_flow(flow, index, network_.loop().now(),
+                            target.value());
+      }
+      const std::uint64_t every = tracer_->sample_every();
+      next_trace_index_ = index - index % every + every;
     }
   }
   // Stage the wire bytes. Common ids stamp the pre-encoded template (txn +
@@ -335,7 +344,10 @@ void Scanner::on_datagram(const net::Datagram& d) {
   ++stats_.r2_received;
   if (beacon_ != nullptr)
     beacon_->responses.store(stats_.r2_received, std::memory_order_relaxed);
-  responses_.add(network_.loop().now(), d.src.addr, d.payload);
+  if (retain_responses_)
+    responses_.add(network_.loop().now(), d.src.addr, d.payload);
+  if (r2_sink_ != nullptr)
+    r2_sink_->on_r2(network_.loop().now(), d.src.addr, d.payload);
 
   // Group the flow by qname (§III-B): the DNS ID field is too narrow at
   // 100k pps, so the question name is the flow key. A DecodeView is a full

@@ -24,6 +24,7 @@
 #include "obs/trace.h"
 #include "prober/outstanding_table.h"
 #include "prober/permutation.h"
+#include "prober/r2_sink.h"
 #include "prober/r2_store.h"
 #include "prober/rate_limiter.h"
 #include "zone/cluster.h"
@@ -159,7 +160,26 @@ class Scanner {
   void set_obs(obs::FlowTracer* tracer, obs::ShardBeacon* beacon) noexcept {
     tracer_ = tracer;
     beacon_ = beacon;
+    // Prime the sampling cursor: the first multiple of sample_every at or
+    // after this shard's slice start. The send path then pays one compare
+    // per probe instead of one division (see send_one_probe).
+    if (tracer != nullptr && tracer->enabled()) {
+      const std::uint64_t every = tracer->sample_every();
+      next_trace_index_ = (config_.first_index + every - 1) / every * every;
+    }
   }
+
+  /// Attach a capture-time R2 consumer (may be null). The sink sees every
+  /// response payload in arrival order, before any retention decision — the
+  /// streaming analyzer classifies and folds it into the shard's partial
+  /// tables right here, so the campaign needs no post-hoc view pass.
+  void set_r2_sink(R2Sink* sink) noexcept { r2_sink_ = sink; }
+
+  /// Whether R2 payloads are retained in the R2Store (default: yes). The
+  /// streaming pipeline turns retention off — the sink has already consumed
+  /// each payload — collapsing the scanner's O(responses) memory to O(1).
+  /// Grouping stats (matched/unmatched/empty-question) are unaffected.
+  void set_retain_responses(bool retain) noexcept { retain_responses_ = retain; }
 
   const ScanStats& stats() const noexcept { return stats_; }
   const R2Store& responses() const noexcept { return responses_; }
@@ -240,7 +260,14 @@ class Scanner {
   bool finished_ = false;
   ScanStats stats_;
   R2Store responses_;
+  R2Sink* r2_sink_ = nullptr;
+  bool retain_responses_ = true;
   obs::FlowTracer* tracer_ = nullptr;
+  /// Next global permutation index the tracer would sample — probes below
+  /// it skip the sampling check with a single compare. Indexes only grow
+  /// (raw steps are consumed in order), so the cursor re-arms by rounding
+  /// the current index up to the next sample_every multiple.
+  std::uint64_t next_trace_index_ = 0;
   obs::ShardBeacon* beacon_ = nullptr;
   std::uint64_t peak_outstanding_ = 0;
 };

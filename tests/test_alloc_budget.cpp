@@ -20,6 +20,7 @@
 #include <new>
 
 #include "analysis/flow.h"
+#include "analysis/streaming.h"
 #include "dns/builder.h"
 #include "dns/codec.h"
 #include "dns/decode_view.h"
@@ -345,6 +346,86 @@ TEST(AllocBudget, FlowGrouperAuthPacketLookupIsAllocationFree) {
   });
   EXPECT_EQ(n, 0u) << "flow lookups must not materialize key strings";
   EXPECT_EQ(grouper.flows().size(), 1u);
+}
+
+// The streaming-analysis budget: once every distinct value in the stream
+// has been seen (the scratch view's text capacity is warm, the exemplars
+// are set, the distinct-value sets contain their keys), classifying and
+// folding an R2 into the shard's PartialTables is allocation-free. This is
+// what lets the capture-time path replace the O(probes) view buffer
+// without moving the per-packet cost.
+TEST(AllocBudget, StreamingClassifyAndObserveAllocatesNothingSteadyState) {
+  const auto scheme = probe_scheme();
+  const intel::ThreatDb threats;  // empty: the common (benign) case
+  intel::GeoDb geo;
+  geo.build();
+  intel::OrgDb orgs;
+  orgs.build();
+  analysis::StreamingAnalyzer analyzer(scheme, threats, geo, orgs);
+
+  // Three steady-state shapes: a correct A answer (the overwhelmingly
+  // common case), a repeated wrong A answer, and a repeated TXT answer.
+  Message correct = probe_query(scheme);
+  correct.header.flags.qr = true;
+  correct.header.flags.ra = true;
+  correct.answers.push_back(
+      ResourceRecord{correct.questions[0].qname, RRType::kA, RRClass::kIN,
+                     300, ARdata{scheme.ground_truth({3, 1234567})}});
+  const auto correct_wire = encode(correct);
+
+  Message wrong = probe_query(scheme);
+  wrong.header.flags.qr = true;
+  wrong.answers.push_back(ResourceRecord{wrong.questions[0].qname, RRType::kA,
+                                         RRClass::kIN, 300,
+                                         ARdata{net::IPv4Addr(203, 0, 113, 5)}});
+  const auto wrong_wire = encode(wrong);
+
+  Message txt = probe_query(scheme);
+  txt.header.flags.qr = true;
+  txt.answers.push_back(ResourceRecord{
+      txt.questions[0].qname, RRType::kTXT, RRClass::kIN, 60,
+      TxtRdata{{"a deliberately long garbage answer", "second chunk"}}});
+  const auto txt_wire = encode(txt);
+
+  const net::IPv4Addr resolver(8, 8, 8, 8);
+  // Warm: first sight of each distinct wrong IP / text pays its set node
+  // and the scratch view's text capacity; nothing after that may.
+  analyzer.on_r2(net::SimTime{}, resolver, correct_wire);
+  analyzer.on_r2(net::SimTime{}, resolver, wrong_wire);
+  analyzer.on_r2(net::SimTime{}, resolver, txt_wire);
+
+  const auto n = count_allocs([&] {
+    for (int i = 0; i < 100; ++i) {
+      analyzer.on_r2(net::SimTime{}, resolver, correct_wire);
+      analyzer.on_r2(net::SimTime{}, resolver, wrong_wire);
+      analyzer.on_r2(net::SimTime{}, resolver, txt_wire);
+    }
+  });
+  EXPECT_EQ(n, 0u) << "per-R2 streaming classify+observe must not allocate";
+
+  const analysis::PartialTables& t = analyzer.tables();
+  EXPECT_EQ(t.r2_total, 303u);
+  EXPECT_EQ(t.answers.correct, 101u);
+  EXPECT_EQ(t.answers.incorrect, 202u);
+  EXPECT_EQ(t.wrong_ip_counts.size(), 1u);
+  EXPECT_EQ(t.unique_strings.size(), 1u);
+}
+
+// Exemplar replacement is the one arrival-order-dependent moment in the
+// stream; even it stays off the allocator when the replacement text fits
+// the capacity already banked in the slot.
+TEST(AllocBudget, ExemplarOfferWithWarmCapacityAllocatesNothing) {
+  analysis::TextExemplar ex;
+  std::string long_text(64, 'a');
+  std::string short_text(32, 'b');
+  ASSERT_TRUE(ex.offer(200, long_text));  // banks 64 bytes of capacity
+  const auto n = count_allocs([&] {
+    ASSERT_TRUE(ex.offer(100, short_text));   // smaller resolver replaces
+    ASSERT_FALSE(ex.offer(150, long_text));   // larger resolver does not
+  });
+  EXPECT_EQ(n, 0u) << "replacement within banked capacity must be free";
+  EXPECT_EQ(ex.text, short_text);
+  EXPECT_EQ(ex.resolver, 100u);
 }
 
 TEST(AllocBudget, ProbeNameGenerationAndKeyAreSingleAllocations) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analysis/report.h"
+#include "analysis/streaming.h"
 #include "dns/builder.h"
 
 namespace orp::analysis {
@@ -356,6 +359,165 @@ TEST(PrivateRedirects, PublicWrongAnswersExcluded) {
   const PrivateRedirectSummary s = analyze_private_redirects(views);
   EXPECT_EQ(s.r2, 0u);
   EXPECT_EQ(s.share_of_incorrect(0), 0.0);
+}
+
+// ---- Streaming partial tables --------------------------------------------------------
+
+/// Every paper table rendered into one comparable string (field-complete,
+/// unlike the summary CSV: exemplars, top-K attribution and uniques included).
+std::string rendered(const ScanAnalysis& a) {
+  std::string s;
+  s += render_answer_table({{"t", a.answers}});
+  s += render_flag_table({{"t", a.ra}}, "RA");
+  s += render_flag_table({{"t", a.aa}}, "AA");
+  s += render_rcode_table({{"t", a.rcodes}});
+  s += render_incorrect_table({{"t", a.incorrect}});
+  s += render_top10_table(a.top10);
+  s += render_malicious_table({{"t", a.malicious}});
+  s += render_malicious_flags_table({{"t", a.malicious}});
+  s += render_geo_summary(a.geo);
+  s += render_empty_question_summary(a.empty_question);
+  return s;
+}
+
+/// Synthetic views in canonical order (the stable resolver-address sort the
+/// pipeline applies before the post-hoc pass; the streaming exemplar rule
+/// assumes it — see streaming.h).
+std::vector<R2View> canonical_views() {
+  auto views = synthetic_views();
+  std::stable_sort(views.begin(), views.end(),
+                   [](const R2View& a, const R2View& b) {
+                     return a.resolver.value() < b.resolver.value();
+                   });
+  return views;
+}
+
+struct StreamingIntel {
+  intel::ThreatDb threats;
+  intel::GeoDb geo;
+  intel::OrgDb orgs;
+  StreamingIntel() {
+    threats.add_report(*net::IPv4Addr::parse("208.91.197.91"),
+                       intel::ThreatCategory::kMalware);
+    geo.add_range(net::IPv4Addr(99, 0, 0, 0), net::IPv4Addr(99, 0, 0, 0),
+                  "US");
+    geo.add_range(net::IPv4Addr(99, 0, 0, 1), net::IPv4Addr(99, 0, 0, 1),
+                  "IN");
+    geo.build();
+    orgs.add_range(*net::IPv4Addr::parse("208.91.197.91"),
+                   *net::IPv4Addr::parse("208.91.197.91"),
+                   "Confluence Network Inc");
+    orgs.build();
+  }
+};
+
+TEST(StreamingTables, ObserveThenFinalizeMatchesAnalyzeScan) {
+  const StreamingIntel intel;
+  const auto views = canonical_views();
+  const ScanAnalysis posthoc =
+      analyze_scan(views, intel.threats, intel.geo, intel.orgs);
+
+  PartialTables t;
+  for (const R2View& v : views)
+    t.observe(v, intel.threats, intel.geo, intel.orgs);
+  const ScanAnalysis streamed = t.finalize(intel.orgs, intel.threats);
+
+  EXPECT_EQ(rendered(streamed), rendered(posthoc));
+  EXPECT_EQ(t.r2_total, views.size());
+  EXPECT_EQ(t.digest, behavior_digest(views));
+  // The one intentional divergence: the streamed result never retains the
+  // malicious views themselves (their only consumer, the geo table, is
+  // streamed directly).
+  EXPECT_TRUE(streamed.malicious.malicious_views.empty());
+  EXPECT_EQ(posthoc.malicious.malicious_views.size(),
+            posthoc.malicious.total_r2);
+}
+
+TEST(StreamingTables, ShardSplitAndMergeIsLayoutInvariant) {
+  const StreamingIntel intel;
+  const auto views = canonical_views();
+
+  // One accumulator is the reference; every contiguous split of the same
+  // stream, merged in shard order, must reproduce it exactly.
+  PartialTables ref;
+  for (const R2View& v : views)
+    ref.observe(v, intel.threats, intel.geo, intel.orgs);
+  const std::string ref_rendered =
+      rendered(ref.finalize(intel.orgs, intel.threats));
+
+  for (const std::size_t shards : {2u, 3u, 5u}) {
+    std::vector<PartialTables> parts(shards);
+    for (std::size_t i = 0; i < views.size(); ++i)
+      parts[i * shards / views.size()].observe(views[i], intel.threats,
+                                               intel.geo, intel.orgs);
+    PartialTables merged = std::move(parts[0]);
+    for (std::size_t s = 1; s < shards; ++s) merged += parts[s];
+
+    EXPECT_EQ(rendered(merged.finalize(intel.orgs, intel.threats)),
+              ref_rendered)
+        << shards << " shards";
+    EXPECT_EQ(merged.digest, ref.digest) << shards << " shards";
+    EXPECT_EQ(merged.r2_total, ref.r2_total) << shards << " shards";
+  }
+}
+
+TEST(StreamingTables, ExemplarKeepsCanonicalFirstAcrossMergeOrder) {
+  // Two shards observe the same wrong IP at different resolvers; whichever
+  // side of the merge holds the smaller resolver address must win, because
+  // canonical view order sorts by resolver.
+  PartialTables low, high;
+  R2View v;
+  v.has_question = true;
+  v.form = AnswerForm::kIp;
+  v.answer_ip = net::IPv4Addr(1, 2, 3, 4);
+  const intel::ThreatDb threats;
+  intel::GeoDb geo;
+  geo.build();
+  intel::OrgDb orgs;
+  orgs.build();
+
+  v.resolver = net::IPv4Addr(10, 0, 0, 1);
+  v.answer_ip = net::IPv4Addr(5, 5, 5, 5);
+  low.observe(v, threats, geo, orgs);
+  v.resolver = net::IPv4Addr(200, 0, 0, 1);
+  v.answer_ip = net::IPv4Addr(6, 6, 6, 6);
+  high.observe(v, threats, geo, orgs);
+
+  PartialTables a = low;
+  a += high;
+  PartialTables b = high;
+  b += low;
+  EXPECT_EQ(a.ip_example.ip, net::IPv4Addr(5, 5, 5, 5).value());
+  EXPECT_EQ(b.ip_example.ip, a.ip_example.ip)
+      << "merge order must not change the canonical exemplar";
+}
+
+TEST(StreamingTables, EmptyTextNeverFillsAnExampleSlot) {
+  // SOA/MX/AAAA answers classify as kString with empty text; the post-hoc
+  // example is the first *non-empty* text in canonical order, so an earlier
+  // empty one must not claim the slot.
+  const intel::ThreatDb threats;
+  intel::GeoDb geo;
+  geo.build();
+  intel::OrgDb orgs;
+  orgs.build();
+
+  std::vector<R2View> views(2);
+  views[0].has_question = true;
+  views[0].resolver = net::IPv4Addr(1, 1, 1, 1);
+  views[0].form = AnswerForm::kString;  // empty answer_text
+  views[1].has_question = true;
+  views[1].resolver = net::IPv4Addr(2, 2, 2, 2);
+  views[1].form = AnswerForm::kString;
+  views[1].answer_text = "wild";
+
+  PartialTables t;
+  for (const R2View& v : views) t.observe(v, threats, geo, orgs);
+  const ScanAnalysis streamed = t.finalize(orgs, threats);
+  const ScanAnalysis posthoc = analyze_scan(views, threats, geo, orgs);
+  EXPECT_EQ(streamed.incorrect.str.example, "wild");
+  EXPECT_EQ(streamed.incorrect.str.example, posthoc.incorrect.str.example);
+  EXPECT_EQ(streamed.incorrect.str.unique, posthoc.incorrect.str.unique);
 }
 
 // ---- FlowGrouper --------------------------------------------------------------------

@@ -254,9 +254,11 @@ TEST(PipelineSharding, MergedReportIdenticalForEveryThreadCount) {
   base.scale = 16384;
   base.seed = 42;
   base.threads = 1;
+  base.retain_views = true;  // the view-order comparison below needs them
   const ScanOutcome ref = run_measurement(paper_2018(), base);
   const std::string ref_tables = rendered_tables(ref);
   ASSERT_GT(ref.scan.r2_received, 100u);
+  ASSERT_GT(ref.views.size(), 100u);
   ASSERT_NE(ref.capture_digest, 0u);
 
   for (const unsigned threads : {2u, 4u, 8u}) {
@@ -406,6 +408,94 @@ TEST(PipelineSharding, WireTemplatesAreBehaviorInvisible) {
       }
     }
   }
+}
+
+TEST(PipelineSharding, StreamingAnalysisIsExact) {
+  // The tentpole differential: the default streaming path (classify at
+  // capture, merge partial tables, retain nothing) must reproduce the
+  // legacy post-hoc pass byte-for-byte — same rendered tables, same
+  // behavioral digest — across thread counts, batch caps, wire templates,
+  // and packet loss.
+  //
+  // Reference economy: a loss-free campaign's post-hoc tables are invariant
+  // across thread counts / caps / templates (pinned by the other sharding
+  // tests), so one reference covers all loss-free configs. Lossy campaigns
+  // draw loss from per-shard RNG streams, so each thread count needs its
+  // own lossy reference.
+  constexpr std::uint64_t kScale = 32768;
+  const auto posthoc_ref = [&](double loss, unsigned threads) {
+    PipelineConfig cfg;
+    cfg.scale = kScale;
+    cfg.seed = 42;
+    cfg.loss_rate = loss;
+    cfg.threads = threads;
+    cfg.posthoc_analysis = true;
+    return run_measurement(paper_2018(), cfg);
+  };
+  const ScanOutcome ref_clean = posthoc_ref(0.0, 1);
+  ASSERT_GT(ref_clean.scan.r2_received, 100u);
+  ASSERT_GT(ref_clean.views.size(), 0u);  // post-hoc retains
+  const std::string tables_clean = rendered_tables(ref_clean);
+
+  for (const double loss : {0.0, 0.02}) {
+    for (const unsigned threads : {1u, 4u}) {
+      const ScanOutcome* ref = &ref_clean;
+      ScanOutcome lossy_ref;
+      std::string ref_tables = tables_clean;
+      if (loss > 0.0) {
+        lossy_ref = posthoc_ref(loss, threads);
+        ref_tables = rendered_tables(lossy_ref);
+        ref = &lossy_ref;
+      }
+      for (const bool templates : {true, false}) {
+        for (const std::size_t cap :
+             {std::size_t{1}, std::size_t{64}, std::size_t{0}}) {
+          PipelineConfig cfg;
+          cfg.scale = kScale;
+          cfg.seed = 42;
+          cfg.loss_rate = loss;
+          cfg.threads = threads;
+          cfg.wire_templates = templates;
+          cfg.loop_batch_cap = cap;
+          cfg.delivery_group_cap = cap;
+          const ScanOutcome o = run_measurement(paper_2018(), cfg);
+          const auto tag = [&]() {
+            return "loss=" + std::to_string(loss) +
+                   " threads=" + std::to_string(threads) +
+                   " tpl=" + std::to_string(templates) +
+                   " cap=" + std::to_string(cap);
+          };
+          // Streaming == post-hoc, byte for byte.
+          EXPECT_EQ(rendered_tables(o), ref_tables) << tag();
+          EXPECT_EQ(o.capture_digest, ref->capture_digest) << tag();
+          EXPECT_EQ(o.analysis.r2_total, ref->analysis.r2_total) << tag();
+          EXPECT_EQ(o.scan.r2_received, ref->scan.r2_received) << tag();
+          // The default path materializes nothing per-response.
+          EXPECT_TRUE(o.views.empty()) << tag();
+          EXPECT_EQ(o.capture.retained_count(), 0u) << tag();
+          EXPECT_GT(o.capture.packet_count(), 0u) << tag();
+        }
+      }
+    }
+  }
+}
+
+TEST(PipelineSharding, StreamingMaliciousViewsAreTheOneDivergence) {
+  // finalize() leaves malicious.malicious_views empty (its only consumer,
+  // the geo table, is streamed directly); the post-hoc pass still fills it.
+  // Pin both sides so a future consumer of the vector fails loudly here
+  // instead of silently reading an empty list.
+  PipelineConfig cfg;
+  cfg.scale = 32768;
+  cfg.seed = 42;
+  const ScanOutcome streamed = run_measurement(paper_2018(), cfg);
+  cfg.posthoc_analysis = true;
+  const ScanOutcome posthoc = run_measurement(paper_2018(), cfg);
+  EXPECT_TRUE(streamed.analysis.malicious.malicious_views.empty());
+  EXPECT_EQ(posthoc.analysis.malicious.malicious_views.size(),
+            posthoc.analysis.malicious.total_r2);
+  EXPECT_EQ(streamed.analysis.malicious.total_r2,
+            posthoc.analysis.malicious.total_r2);
 }
 
 TEST(PipelineSharding, ShardedRunIsDeterministic) {
