@@ -1,0 +1,212 @@
+// bench_tcp_fallback: the amplification-resiliency study behind the stream
+// transport (DESIGN.md "Stream transport").
+//
+// The paper's §II-C threat is reflection: a spoofed UDP query to an open
+// resolver lands an amplified answer on the victim. The classic defense
+// pair is server-side truncation (cap UDP answers, TC=1) plus DoTCP
+// fallback (RFC 7766): the reflected stub is small, and the full answer
+// moves to a transport that requires return-routability. This bench runs
+// the same probe campaign against each resolver profile twice —
+//
+//   leg 1, UDP-only: truncation off. amp = UDP bytes out / bytes in,
+//     the classic reflector factor, measured at the resolver by a tap.
+//   leg 2, defended: server-side UDP cap (and, per variant, TCP service),
+//     scanner DoTCP fallback on. The reflected (spoofable) UDP bytes come
+//     from the tap; the TCP bytes come from the scanner's per-connection
+//     accounting and are reported as attacker cost, never amplification.
+//
+// Emits BENCH_tcp.json and exits non-zero if any truncating profile fails
+// to reduce spoofable amplification versus its UDP-only leg — that drop is
+// the acceptance criterion, checked here rather than by a reader.
+//
+//   ./bench_tcp_fallback [out.json] [hosts_per_profile] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/amplification.h"
+#include "authns/auth_server.h"
+#include "prober/permutation.h"
+#include "prober/scanner.h"
+#include "resolver/scripted_resolver.h"
+#include "zone/cluster.h"
+
+using namespace orp;
+
+namespace {
+
+struct Variant {
+  const char* label;
+  bool fat_answers;    // garbage-TXT answers (~310 B) vs small A (~70 B)
+  std::uint16_t cap;   // defended-leg server-side UDP limit
+  bool tcp_service;    // defended-leg resolver listens on TCP
+};
+
+// An ad-style TXT payload near the 255-byte character-string ceiling: the
+// fattest single answer a manipulating resolver in the modeled population
+// returns (Table VII "string" answers are this shape).
+std::string fat_text() {
+  std::string t;
+  while (t.size() < 230) t += "BUY-NOW.example/offer?id=1337&ref=dns ";
+  t.resize(230);
+  return t;
+}
+
+resolver::BehaviorProfile profile_for(const Variant& v, bool defended) {
+  resolver::BehaviorProfile p;
+  if (v.fat_answers) {
+    p.answer = resolver::AnswerMode::kGarbageString;
+    p.text_answer = fat_text();
+  } else {
+    p.answer = resolver::AnswerMode::kFixedIp;
+    p.fixed_answer = net::IPv4Addr(203, 0, 113, 77);
+  }
+  if (defended) {
+    p.udp_limit = v.cap;
+    p.tcp = v.tcp_service;
+  }
+  return p;
+}
+
+struct LegResult {
+  analysis::ByteLeg udp;      // at the resolver: in = queries, out = answers
+  prober::ScanStats stats;
+};
+
+/// One self-contained simulated world: `hosts` resolvers with `profile`
+/// planted on the scan order, probed by one scanner. The tap accounts every
+/// UDP byte that crosses the planted resolvers' port 53.
+LegResult run_leg(const resolver::BehaviorProfile& profile, int hosts,
+                  std::uint64_t seed, bool fallback) {
+  net::EventLoop loop;
+  net::Network net(loop, seed);
+  net.set_latency({net::SimTime::millis(2), net::SimTime::millis(1)});
+  const zone::SubdomainScheme scheme(
+      dns::DnsName::must_parse("ucfsealresearch.net"), 64, 7);
+  authns::AuthServer auth(net, net::IPv4Addr(45, 76, 18, 21), scheme,
+                          net::SimTime::nanos(0));
+  const auto hierarchy = resolver::build_hierarchy(
+      net, scheme.sld(), scheme.sld().child("ns1"), auth.address(), 1);
+  resolver::EngineConfig engine_config;
+  engine_config.hints = hierarchy.hints;
+
+  const auto params = prober::derive_params(seed);
+  const prober::CyclicPermutation perm(params.generator, params.start);
+  std::vector<std::unique_ptr<resolver::ResolverHost>> planted;
+  std::unordered_set<std::uint32_t> planted_addrs;
+  std::uint64_t k = 50;
+  for (int i = 0; i < hosts; ++i, ++k) {
+    std::uint64_t raw = perm.raw_at(k);
+    while (raw >= (std::uint64_t{1} << 32) ||
+           net::is_reserved(net::IPv4Addr(static_cast<std::uint32_t>(raw))) ||
+           net.bound(net::Endpoint{net::IPv4Addr(static_cast<std::uint32_t>(raw)),
+                                   net::kDnsPort}))
+      raw = perm.raw_at(++k);
+    const net::IPv4Addr addr(static_cast<std::uint32_t>(raw));
+    planted.push_back(std::make_unique<resolver::ResolverHost>(
+        net, addr, profile, engine_config, planted.size() + 1));
+    planted_addrs.insert(addr.value());
+  }
+
+  LegResult leg;
+  net.add_tap([&](net::SimTime, const net::Datagram& d) {
+    if (d.dst.port == net::kDnsPort && planted_addrs.count(d.dst.addr.value()))
+      leg.udp.bytes_in += d.payload.size();
+    if (d.src.port == net::kDnsPort && planted_addrs.count(d.src.addr.value()))
+      leg.udp.bytes_out += d.payload.size();
+  });
+
+  prober::ScanConfig cfg;
+  cfg.seed = seed;
+  cfg.rate_pps = 100000;
+  cfg.raw_steps = k + 50;  // covers every planted position
+  cfg.response_timeout = net::SimTime::seconds(2.0);
+  cfg.reap_interval = net::SimTime::millis(500);
+  cfg.tcp_fallback = fallback;
+  cfg.tcp_timeout = net::SimTime::seconds(3.0);
+  prober::Scanner scanner(net, net::IPv4Addr(132, 170, 3, 44), cfg, scheme);
+  scanner.start([] {});
+  loop.run();
+  leg.stats = scanner.stats();
+  return leg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_tcp.json";
+  const int hosts = argc > 2 ? std::atoi(argv[2]) : 12;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  const Variant variants[] = {
+      {"small A answers, cap 512 + DoTCP", false, 512, true},
+      {"fat TXT answers, cap 128 + DoTCP", true, 128, true},
+      {"fat TXT answers, cap 200 + DoTCP", true, 200, true},
+      {"fat TXT answers, cap 128, no TCP service", true, 128, false},
+  };
+
+  analysis::AmplificationReport report;
+  bool ok = true;
+  for (const Variant& v : variants) {
+    const LegResult udp_only =
+        run_leg(profile_for(v, /*defended=*/false), hosts, seed, false);
+    const LegResult defended =
+        run_leg(profile_for(v, /*defended=*/true), hosts, seed, true);
+
+    analysis::AmplificationRow& row = report.row(v.label);
+    row.udp_only = udp_only.udp;
+    row.post_udp = defended.udp;
+    row.post_tcp.bytes_in = defended.stats.tcp_bytes_sent;
+    row.post_tcp.bytes_out = defended.stats.tcp_bytes_received;
+    row.queries = defended.stats.q1_sent;
+    row.truncated = defended.stats.tc_seen;
+    row.tcp_retries = defended.stats.tcp_retries;
+    row.tcp_answers = defended.stats.tcp_answers;
+
+    // The study's claim, enforced: whenever truncation engaged, the
+    // spoofable amplification must drop versus the UDP-only leg. The
+    // control profile (never truncated) must instead hold steady.
+    if (row.truncated > 0) {
+      if (row.amp_post_fallback() >= row.amp_udp_only()) {
+        std::fprintf(stderr,
+                     "bench_tcp_fallback: FAIL %s: post-fallback amp %.2f "
+                     ">= udp-only amp %.2f\n",
+                     v.label, row.amp_post_fallback(), row.amp_udp_only());
+        ok = false;
+      }
+    } else if (v.fat_answers) {
+      std::fprintf(stderr,
+                   "bench_tcp_fallback: FAIL %s: expected truncation never "
+                   "engaged\n",
+                   v.label);
+      ok = false;
+    }
+  }
+
+  std::printf("%s", report.render().c_str());
+  std::printf(
+      "\nTCP bytes are attacker cost, not amplification: the handshake\n"
+      "proves return-routability, so nothing on that leg reaches a spoofed\n"
+      "victim (RFC 7766; DESIGN.md \"Stream transport\").\n");
+
+  std::string json = "{\n  \"bench\": \"tcp_fallback\",\n";
+  json += "  \"hosts_per_profile\": " + std::to_string(hosts) + ",\n";
+  json += "  \"seed\": " + std::to_string(seed) + ",\n";
+  json += "  \"profiles\": " + report.to_json() + "\n}\n";
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_tcp_fallback: cannot open %s\n", out_path);
+    return 1;
+  }
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  if (std::fclose(f) != 0 || !wrote) {
+    std::fprintf(stderr, "bench_tcp_fallback: short write to %s\n", out_path);
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path);
+  return ok ? 0 : 1;
+}

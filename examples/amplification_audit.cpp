@@ -3,11 +3,25 @@
 // measurement SLD, then compares response sizes for A vs ANY queries issued
 // through an open resolver with a spoofed-source scenario in mind: the
 // bandwidth amplification factor is |response| / |query|.
+//
+// Default mode runs the resiliency study: every probe is fired at two
+// resolvers — one wide open, one defending itself with server-side
+// truncation (UDP answers capped at 512 B, TC=1) plus DNS-over-TCP service
+// (RFC 7766) — and the result is an analysis::AmplificationReport. The
+// spoofed victim only ever receives the truncated stub; the full answer is
+// re-fetched over TCP by a *legitimate* client, whose handshake proves
+// return-routability, so those bytes are attacker cost, not amplification.
+//
+//   ./amplification_audit              # the truncation + DoTCP study
+//   ./amplification_audit --udp-only   # the classic reflector table only
 #include <cstdio>
+#include <cstring>
 
+#include "analysis/amplification.h"
 #include "authns/auth_server.h"
 #include "dns/builder.h"
 #include "dns/edns.h"
+#include "net/stream.h"
 #include "resolver/root_tld.h"
 #include "resolver/scripted_resolver.h"
 #include "util/strings.h"
@@ -16,7 +30,49 @@
 
 using namespace orp;
 
-int main() {
+namespace {
+
+struct Probe {
+  const char* label;
+  dns::RRType qtype;
+  const dns::DnsName* qname;
+  std::uint16_t edns;  // 0 = classic DNS (512-byte responses)
+};
+
+/// One-shot DoTCP client: connect, ask, record the answer, close. Mirrors
+/// what a legitimate stub does after receiving TC=1.
+class TcpRetryClient : public net::StreamHandler {
+ public:
+  TcpRetryClient(net::StreamNet& streams, std::vector<std::uint8_t> query)
+      : streams_(streams), query_(std::move(query)) {}
+
+  void on_established(net::ConnId c) override {
+    streams_.send_message(c, query_);
+  }
+  void on_message(net::ConnId c, net::SimTime,
+                  const net::PayloadRef& msg) override {
+    answer_size = msg.size();
+    // Wire bytes both ways, banked while the connection is still live.
+    bytes_sent = streams_.conn_bytes_sent(c);
+    bytes_received = streams_.conn_bytes_received(c);
+    streams_.close(c);
+  }
+
+  std::size_t answer_size = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+ private:
+  net::StreamNet& streams_;
+  std::vector<std::uint8_t> query_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool udp_only =
+      argc > 1 && std::strcmp(argv[1], "--udp-only") == 0;
+
   net::EventLoop loop;
   net::Network network(loop, 21);
   const dns::DnsName sld = dns::DnsName::must_parse("ucfsealresearch.net");
@@ -49,32 +105,32 @@ int main() {
   resolver::ResolverHost open_resolver(network, net::IPv4Addr(66, 77, 1, 1),
                                        honest, engine_config, 1);
 
+  // The defended twin: same honest recursion, but UDP answers are capped at
+  // the classic 512 bytes (whole-record cut, TC=1) and port 53 TCP serves
+  // the full answer to anyone who can complete a handshake.
+  resolver::BehaviorProfile defended = honest;
+  defended.udp_limit = 512;
+  defended.tcp = true;
+  resolver::ResolverHost defended_resolver(
+      network, net::IPv4Addr(66, 77, 1, 2), defended, engine_config, 2);
+
   // The victim's address — where spoofed-source responses would land.
   const net::Endpoint victim{net::IPv4Addr(203, 113, 0, 99), 53000};
+  // The legitimate client retrying over TCP (its real, routable address).
+  const net::Endpoint client{net::IPv4Addr(198, 51, 100, 7), 49152};
 
-  struct Variant {
-    const char* label;
-    dns::RRType qtype;
-    const dns::DnsName* qname;
-    std::uint16_t edns;  // 0 = classic DNS (512-byte responses)
-  };
   const dns::DnsName sub_a = scheme.qname({0, 1});
   const dns::DnsName sub_any = scheme.qname({0, 2});
-  const Variant probes[] = {
+  const Probe probes[] = {
       {"A, probe subdomain, classic", dns::RRType::kA, &sub_a, 0},
       {"ANY, probe subdomain, classic", dns::RRType::kANY, &sub_any, 0},
       {"ANY, record-rich apex, classic", dns::RRType::kANY, &sld, 0},
       {"ANY, record-rich apex, EDNS 4096", dns::RRType::kANY, &sld, 4096},
   };
 
-  util::TextTable t(
-      {"query", "query bytes", "response bytes", "TC", "factor"});
-  double worst = 0;
-  for (const auto& probe : probes) {
-    dns::Message query = dns::make_query(7, *probe.qname, probe.qtype);
-    if (probe.edns != 0)
-      dns::set_edns(query, dns::EdnsInfo{.udp_payload_size = probe.edns});
-    const auto query_wire = dns::encode(query);
+  /// Fire one spoofed query at `resolver`; returns {response bytes, TC}.
+  const auto spoofed_exchange = [&](net::IPv4Addr resolver,
+                                    const std::vector<std::uint8_t>& wire) {
     std::size_t response_size = 0;
     bool tc = false;
     network.bind(victim, [&](const net::Datagram& d) {
@@ -82,38 +138,100 @@ int main() {
       if (const auto decoded = dns::decode(d.payload))
         tc = decoded->header.flags.tc;
     });
-    // Spoofed source: the query claims to come from the victim.
     network.send(net::Datagram{
-        victim, net::Endpoint{open_resolver.address(), net::kDnsPort},
-        query_wire});
+        victim, net::Endpoint{resolver, net::kDnsPort}, wire});
     loop.run();
     network.unbind(victim);
-    const double factor =
-        static_cast<double>(response_size) / query_wire.size();
-    worst = std::max(worst, factor);
-    t.add_row({probe.label, std::to_string(query_wire.size()),
-               std::to_string(response_size), tc ? "1" : "0",
-               util::fixed(factor, 2) + "x"});
-  }
-  std::printf("%s", t.render().c_str());
-  std::printf(
-      "\nclassic DNS caps the reflection at 512 bytes (TC=1 and records "
-      "dropped); EDNS(0)\nlifts the cap — \"due to recent update it is now "
-      "possible to have more than 512 bytes\"\n(paper §II-C, RFC 6891).\n");
+    return std::pair<std::size_t, bool>{response_size, tc};
+  };
 
-  // Fleet arithmetic from the paper's 2018 estimate: ~3M open resolvers.
-  const double resolvers = 3'000'000;
-  const double pps_per_resolver = 10;  // modest per-reflector query rate
-  const double query_bytes = 60;
-  const double victim_gbps =
-      resolvers * pps_per_resolver * query_bytes * worst * 8 / 1e9;
+  if (udp_only) {
+    // The legacy reflector table: the undefended resolver only.
+    util::TextTable t(
+        {"query", "query bytes", "response bytes", "TC", "factor"});
+    double worst = 0;
+    for (const Probe& probe : probes) {
+      dns::Message query = dns::make_query(7, *probe.qname, probe.qtype);
+      if (probe.edns != 0)
+        dns::set_edns(query, dns::EdnsInfo{.udp_payload_size = probe.edns});
+      const auto query_wire = dns::encode(query);
+      const auto [response_size, tc] =
+          spoofed_exchange(open_resolver.address(), query_wire);
+      const double factor =
+          static_cast<double>(response_size) / query_wire.size();
+      worst = std::max(worst, factor);
+      t.add_row({probe.label, std::to_string(query_wire.size()),
+                 std::to_string(response_size), tc ? "1" : "0",
+                 util::fixed(factor, 2) + "x"});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf(
+        "\nclassic DNS caps the reflection at 512 bytes (TC=1 and records "
+        "dropped); EDNS(0)\nlifts the cap — \"due to recent update it is now "
+        "possible to have more than 512 bytes\"\n(paper §II-C, RFC 6891).\n");
+
+    // Fleet arithmetic from the paper's 2018 estimate: ~3M open resolvers.
+    const double resolvers = 3'000'000;
+    const double pps_per_resolver = 10;  // modest per-reflector query rate
+    const double query_bytes = 60;
+    const double victim_gbps =
+        resolvers * pps_per_resolver * query_bytes * worst * 8 / 1e9;
+    std::printf(
+        "\nfleet estimate: %.0f open resolvers x %.0f spoofed queries/s at "
+        "%.2fx amplification\n-> %.1f Gbps at the victim (the CloudFlare 2013 "
+        "attack the paper cites peaked at 75 Gbps).\n",
+        resolvers, pps_per_resolver, worst, victim_gbps);
+    std::printf(
+        "\nresponses land at the spoofed source because plain DNS has no "
+        "source authentication;\nthe resolver is a blind amplifier "
+        "(§II-C).\n");
+    return 0;
+  }
+
+  // The resiliency study: same probes, open vs defended resolver, one
+  // report row per probe shape.
+  analysis::AmplificationReport report;
+  for (const Probe& probe : probes) {
+    dns::Message query = dns::make_query(7, *probe.qname, probe.qtype);
+    if (probe.edns != 0)
+      dns::set_edns(query, dns::EdnsInfo{.udp_payload_size = probe.edns});
+    const auto query_wire = dns::encode(query);
+
+    analysis::AmplificationRow& row = report.row(probe.label);
+    row.queries = 1;
+
+    const auto [full_size, full_tc] =
+        spoofed_exchange(open_resolver.address(), query_wire);
+    (void)full_tc;
+    row.udp_only.bytes_in = query_wire.size();
+    row.udp_only.bytes_out = full_size;
+
+    const auto [stub_size, stub_tc] =
+        spoofed_exchange(defended_resolver.address(), query_wire);
+    row.post_udp.bytes_in = query_wire.size();
+    row.post_udp.bytes_out = stub_size;
+    if (stub_tc) {
+      row.truncated = 1;
+      // The legitimate client's RFC 7766 retry — the part of the flow a
+      // spoofing attacker cannot perform.
+      TcpRetryClient retry(network.streams(), query_wire);
+      network.streams().connect(
+          client, net::Endpoint{defended_resolver.address(), net::kDnsPort},
+          &retry);
+      ++row.tcp_retries;
+      loop.run();
+      if (retry.answer_size > 0) ++row.tcp_answers;
+      row.post_tcp.bytes_in = retry.bytes_sent;
+      row.post_tcp.bytes_out = retry.bytes_received;
+    }
+  }
+
+  std::printf("%s", report.render().c_str());
   std::printf(
-      "\nfleet estimate: %.0f open resolvers x %.0f spoofed queries/s at "
-      "%.2fx amplification\n-> %.1f Gbps at the victim (the CloudFlare 2013 "
-      "attack the paper cites peaked at 75 Gbps).\n",
-      resolvers, pps_per_resolver, worst, victim_gbps);
-  std::printf(
-      "\nresponses land at the spoofed source because plain DNS has no "
-      "source authentication;\nthe resolver is a blind amplifier (§II-C).\n");
+      "\nthe spoofed victim only ever receives the truncated stub; the full "
+      "answer moves to\nTCP, where the handshake proves return-routability "
+      "(RFC 7766). TCP bytes are the\nlegitimate client's cost — an attacker "
+      "with a spoofed source never sees them.\nRun with --udp-only for the "
+      "classic reflector table.\n");
   return 0;
 }

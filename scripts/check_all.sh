@@ -40,6 +40,21 @@ if [[ "$best_eps" -lt "$PERF_FLOOR_EPS" ]]; then
   exit 1
 fi
 
+echo "==== tier-1: amplification-resiliency study ===="
+# The stream-transport acceptance row: the bench itself exits non-zero if
+# any truncating profile's post-fallback (spoofable) amplification fails to
+# drop below its UDP-only leg, so a plain run IS the check. The grep just
+# confirms the artifact carries the per-profile rows downstream readers
+# parse. Small host count — this is a smoke row, not the full study.
+"$BUILD_DIR/bench/bench_tcp_fallback" BENCH_tcp.json 6
+profile_rows=$(grep -c '"profile":' BENCH_tcp.json || true)
+rm -f BENCH_tcp.json
+echo "amplification study: $profile_rows profile rows, truncating profiles all dropped"
+if [[ "$profile_rows" -lt 4 ]]; then
+  echo "check_all: FAIL — BENCH_tcp.json missing profile rows" >&2
+  exit 1
+fi
+
 echo "==== tier-1: streaming-analysis memory ceiling ===="
 # One forked streaming campaign at scale 256; the child's ru_maxrss is the
 # whole-process peak. The ceiling (128 MB) sits ~2.7x above the ~46 MB a

@@ -12,7 +12,10 @@
 # missed happens-before edge between shard loops would corrupt the merge —
 # this preset makes both loud. The batched dispatch path (EventLoop batch
 # drain, Network DatagramBatch pools, endpoint batch handlers, RRL
-# check_batch) rides along via test_net / test_pipeline / test_rrl. Usage:
+# check_batch) rides along via test_net / test_pipeline / test_rrl, and the
+# stream transport (pooled connection slots, segment queues reusing the same
+# PayloadRef slabs, reassembly across capacity classes) via test_stream plus
+# the DoTCP-retry suites in test_prober / test_alloc_budget. Usage:
 #
 #   scripts/sanitize_net_tests.sh          # configure, build, run both
 #   BUILD_DIR=build-asan TSAN_BUILD_DIR=build-tsan scripts/sanitize_net_tests.sh
@@ -21,7 +24,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build-sanitize}"
 TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-tsan}"
-TESTS=(test_net test_prober test_pipeline test_alloc_budget test_obs test_rrl)
+TESTS=(test_net test_stream test_prober test_pipeline test_alloc_budget test_obs test_rrl)
 
 status=0
 
@@ -43,6 +46,9 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DORP_SANITIZE=thread
 cmake --build "$TSAN_BUILD_DIR" -j"$(nproc)" --target test_pipeline test_obs
 
+# PipelineSharding.* includes TcpFallbackSweepIsPinned, so the stream
+# transport runs under TSan with DoTCP fallback engaged across the
+# threads x batch-cap sweep, not just in single-threaded unit tests.
 echo "==== test_pipeline PipelineSharding.* (tsan) ===="
 "$TSAN_BUILD_DIR/tests/test_pipeline" --gtest_filter='PipelineSharding.*' ||
   status=1

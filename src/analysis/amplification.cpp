@@ -1,0 +1,94 @@
+#include "analysis/amplification.h"
+
+#include <cstdio>
+
+#include "util/table.h"
+
+namespace orp::analysis {
+
+namespace {
+
+double ratio(std::uint64_t out, std::uint64_t in) noexcept {
+  return in == 0 ? 0.0 : static_cast<double>(out) / static_cast<double>(in);
+}
+
+std::string fixed2(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+double AmplificationRow::amp_udp_only() const noexcept {
+  return ratio(udp_only.bytes_out, udp_only.bytes_in);
+}
+
+double AmplificationRow::amp_post_fallback() const noexcept {
+  return ratio(post_udp.bytes_out, post_udp.bytes_in);
+}
+
+AmplificationRow& AmplificationReport::row(std::string label) {
+  for (AmplificationRow& r : rows_)
+    if (r.label == label) return r;
+  rows_.emplace_back();
+  rows_.back().label = std::move(label);
+  return rows_.back();
+}
+
+std::string AmplificationReport::render() const {
+  util::TextTable t({"profile", "udp-only B out/in", "amp", "reflected B",
+                     "tcp B out/in", "amp post", "cut"});
+  for (std::size_t c = 1; c < 7; ++c) t.set_align(c, util::Align::kRight);
+  for (const AmplificationRow& r : rows_) {
+    const double before = r.amp_udp_only();
+    const double after = r.amp_post_fallback();
+    const double cut =
+        before <= 0.0 ? 0.0 : 100.0 * (1.0 - after / before);
+    t.add_row({r.label,
+               std::to_string(r.udp_only.bytes_out) + "/" +
+                   std::to_string(r.udp_only.bytes_in),
+               fixed2(before) + "x", std::to_string(r.post_udp.bytes_out),
+               std::to_string(r.post_tcp.bytes_out) + "/" +
+                   std::to_string(r.post_tcp.bytes_in),
+               fixed2(after) + "x", fixed2(cut) + "%"});
+  }
+  return t.render();
+}
+
+std::string AmplificationReport::to_json() const {
+  std::string json = "[\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const AmplificationRow& r = rows_[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  {\"profile\": \"%s\",\n"
+        "   \"udp_only\": {\"bytes_in\": %llu, \"bytes_out\": %llu,"
+        " \"amplification\": %.4f},\n"
+        "   \"post_fallback\": {\"udp_bytes_in\": %llu,"
+        " \"udp_bytes_out\": %llu, \"tcp_bytes_in\": %llu,"
+        " \"tcp_bytes_out\": %llu, \"amplification\": %.4f},\n"
+        "   \"queries\": %llu, \"truncated\": %llu,"
+        " \"tcp_retries\": %llu, \"tcp_answers\": %llu}",
+        r.label.c_str(),
+        static_cast<unsigned long long>(r.udp_only.bytes_in),
+        static_cast<unsigned long long>(r.udp_only.bytes_out),
+        r.amp_udp_only(),
+        static_cast<unsigned long long>(r.post_udp.bytes_in),
+        static_cast<unsigned long long>(r.post_udp.bytes_out),
+        static_cast<unsigned long long>(r.post_tcp.bytes_in),
+        static_cast<unsigned long long>(r.post_tcp.bytes_out),
+        r.amp_post_fallback(),
+        static_cast<unsigned long long>(r.queries),
+        static_cast<unsigned long long>(r.truncated),
+        static_cast<unsigned long long>(r.tcp_retries),
+        static_cast<unsigned long long>(r.tcp_answers));
+    json += buf;
+    json += i + 1 < rows_.size() ? ",\n" : "\n";
+  }
+  json += "]";
+  return json;
+}
+
+}  // namespace orp::analysis

@@ -1,0 +1,86 @@
+// Amplification-resiliency accounting for the stream-transport study.
+//
+// The paper's §V warning is that open resolvers are reflector fuel: a small
+// spoofed UDP query yields a large UDP answer aimed at the victim. The
+// classic mitigation pair is truncation (cap UDP answers, set TC=1) plus
+// DoTCP fallback (RFC 7766) — the truncated reflection is small, and the
+// full answer moves to a transport that requires return-routability, which a
+// spoofing attacker does not have.
+//
+// This module is the pure accounting side of that experiment: per measured
+// profile it holds two legs,
+//
+//   * UDP-only       — no truncation: every answer is reflected in full.
+//                      amp = udp_bytes_out / udp_bytes_in, the classic
+//                      amplification factor.
+//   * post-fallback  — truncation + DoTCP: amp counts only the *reflected*
+//                      (spoofable) UDP bytes. TCP bytes are reported beside
+//                      it as attacker cost context, never as amplification —
+//                      a TCP handshake proves return-routability, so those
+//                      bytes reach the attacker, not the victim.
+//
+// For any truncating profile, post-fallback amplification is lower than
+// UDP-only by construction (the reflected answer is a prefix of the full
+// one); the bench asserts exactly that. Measurement (byte taps, connection
+// accounting) lives with the harnesses — this file depends only on util.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orp::analysis {
+
+/// Byte totals for one transport direction pair, as seen at the resolver:
+/// `in` is attacker->resolver query bytes, `out` is resolver->victim (UDP)
+/// or resolver->prober (TCP) response bytes.
+struct ByteLeg {
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+/// One measured profile: the same query load with and without the
+/// truncation + DoTCP defenses.
+struct AmplificationRow {
+  std::string label;
+
+  /// Defense off: full answers over UDP.
+  ByteLeg udp_only;
+
+  /// Defense on: `post_udp` is the reflected (truncated) UDP traffic,
+  /// `post_tcp` the DoTCP retry traffic that replaced the cut bytes.
+  ByteLeg post_udp;
+  ByteLeg post_tcp;
+
+  /// Flow counts for the defended leg.
+  std::uint64_t queries = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t tcp_retries = 0;
+  std::uint64_t tcp_answers = 0;
+
+  /// Classic reflector factor (0 when no query bytes were seen).
+  double amp_udp_only() const noexcept;
+  /// Spoofable amplification with the defense on: reflected UDP bytes out
+  /// over UDP bytes in. TCP bytes are deliberately excluded (see header).
+  double amp_post_fallback() const noexcept;
+};
+
+/// The study's result table: one row per profile, rendered in insertion
+/// order (deterministic — no map reordering).
+class AmplificationReport {
+ public:
+  AmplificationRow& row(std::string label);
+  const std::vector<AmplificationRow>& rows() const noexcept { return rows_; }
+
+  /// Paper-style ASCII table: both legs' bytes, both factors, and the
+  /// factor reduction.
+  std::string render() const;
+
+  /// Machine-readable form for BENCH_tcp.json (stable key order).
+  std::string to_json() const;
+
+ private:
+  std::vector<AmplificationRow> rows_;
+};
+
+}  // namespace orp::analysis

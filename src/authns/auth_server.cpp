@@ -5,6 +5,7 @@
 
 #include "dns/builder.h"
 #include "dns/edns.h"
+#include "dns/truncate.h"
 #include "util/hash.h"
 
 namespace orp::authns {
@@ -99,6 +100,23 @@ AuthServer::AuthServer(net::Network& network, net::IPv4Addr addr,
   load_cluster(0, /*initial=*/true);
 }
 
+AuthServer::~AuthServer() {
+  if (tcp_enabled_)
+    network_.streams().unlisten(net::Endpoint{addr_, net::kDnsPort});
+}
+
+void AuthServer::set_udp_limit(std::uint16_t limit) noexcept {
+  udp_limit_ = limit;
+  tpl_fit_limit_ =
+      limit == 0 || (answer_tpl_.size() <= limit && nx_tpl_.size() <= limit);
+}
+
+void AuthServer::enable_tcp() {
+  if (tcp_enabled_) return;
+  tcp_enabled_ = true;
+  network_.streams().listen(net::Endpoint{addr_, net::kDnsPort}, this);
+}
+
 void AuthServer::load_cluster(std::uint32_t cluster, bool initial) {
   loaded_cluster_ = cluster;
   ++stats_.cluster_loads;
@@ -145,7 +163,8 @@ void AuthServer::on_datagram(const net::Datagram& d) {
   // passes inside a handler), so the trace is identical while the marked
   // query still costs one stamp instead of a decode/encode round.
   dns::StampVars v;
-  if (templates_ok_ && network_.loop().now() >= load_busy_until_ &&
+  if (templates_ok_ && tpl_fit_limit_ &&
+      network_.loop().now() >= load_busy_until_ &&
       query_tpl_.match(d.payload, v) && (tracer_ == nullptr || canon_ok_)) {
     ++stats_.edns_queries;  // the matched shape always carries EDNS, DO=0
     std::uint64_t traced_flow = 0;
@@ -226,11 +245,57 @@ void AuthServer::on_datagram(const net::Datagram& d) {
   if (dns::truncate_to_fit(response, dns::response_size_budget(*decoded)))
     ++stats_.truncated;
   ++stats_.responses_sent;
-  const auto wire = dns::encode_into(response, codec_scratch_);
+  auto wire = dns::encode_into(response, codec_scratch_);
+  // Server-side UDP cap: a wire-level whole-record cut with TC=1 on top of
+  // whatever the client's EDNS budget already allowed. The TCP listener
+  // (enable_tcp) serves the same query un-cut, which is what makes the
+  // TC=1 bit an invitation rather than a dead end.
+  if (udp_limit_ != 0 && wire.size() > udp_limit_) {
+    std::span<std::uint8_t> mut{codec_scratch_.out.data(), wire.size()};
+    const std::size_t cut = dns::Truncator::truncate(mut, udp_limit_);
+    if (cut < wire.size()) {
+      wire = wire.first(cut);
+      ++stats_.truncated;
+    }
+  }
   network_.send(net::Endpoint{addr_, net::kDnsPort}, d.src, wire);
   if (traced)
     tracer_->record(traced_flow, obs::SpanPoint::kR1Sent,
                     network_.loop().now(), d.src.addr.value());
+}
+
+void AuthServer::on_message(net::ConnId c, net::SimTime /*at*/,
+                            const net::PayloadRef& msg) {
+  ++stats_.queries_received;
+  ++stats_.tcp_queries;
+  ++stats_.template_fallback;  // streams never take the stamp fast path
+  net::StreamNet& streams = network_.streams();
+  const auto decoded = dns::decode(msg.span());
+  if (!decoded) {
+    ++stats_.formerr;
+    dns::Message err;
+    const auto in = msg.span();
+    if (in.size() >= 2)
+      err.header.id = static_cast<std::uint16_t>((in[0] << 8) | in[1]);
+    err.header.flags.qr = true;
+    err.header.flags.rcode = dns::Rcode::kFormErr;
+    ++stats_.responses_sent;
+    ++stats_.tcp_responses;
+    streams.send_message(c, dns::encode_into(err, codec_scratch_));
+    return;
+  }
+  if (const auto edns = dns::extract_edns(*decoded)) {
+    ++stats_.edns_queries;
+    if (edns->do_bit) ++stats_.dnssec_do_queries;
+  }
+  dns::Message response = answer(*decoded);
+  if (dns::extract_edns(*decoded))
+    dns::set_edns(response, dns::EdnsInfo{.udp_payload_size = 4096});
+  // No truncate_to_fit and no udp_limit_ cut: the stream carries the whole
+  // answer regardless of any advertised datagram budget (RFC 7766).
+  ++stats_.responses_sent;
+  ++stats_.tcp_responses;
+  streams.send_message(c, dns::encode_into(response, codec_scratch_));
 }
 
 dns::Message AuthServer::answer(const dns::Message& query) {

@@ -17,6 +17,7 @@
 
 #include "dns/codec.h"
 #include "dns/wire_template.h"
+#include "net/stream.h"
 #include "net/transport.h"
 #include "obs/trace.h"
 #include "zone/cluster.h"
@@ -37,6 +38,8 @@ struct AuthStats {
   std::uint64_t cluster_loads = 0;
   std::uint64_t template_stamped = 0;   // responses stamped from a template
   std::uint64_t template_fallback = 0;  // queries through the full path
+  std::uint64_t tcp_queries = 0;        // queries arriving over a stream
+  std::uint64_t tcp_responses = 0;      // responses served over a stream
 
   /// Merge another shard's auth-vantage counters. A sharded campaign runs
   /// one AuthServer instance per shard (each shard's loop is isolated);
@@ -54,11 +57,13 @@ struct AuthStats {
     cluster_loads += o.cluster_loads;
     template_stamped += o.template_stamped;
     template_fallback += o.template_fallback;
+    tcp_queries += o.tcp_queries;
+    tcp_responses += o.tcp_responses;
     return *this;
   }
 };
 
-class AuthServer {
+class AuthServer : private net::StreamHandler {
  public:
   /// The server answers for `scheme.sld()`. `addr` is its public address.
   /// `codec_scratch`, when given, is a shared single-threaded encode buffer
@@ -71,6 +76,7 @@ class AuthServer {
              zone::SubdomainScheme scheme, net::SimTime zone_load_latency,
              dns::EncodeBuffer* codec_scratch = nullptr,
              bool wire_templates = true);
+  ~AuthServer();
 
   net::IPv4Addr address() const noexcept { return addr_; }
   const zone::SubdomainScheme& scheme() const noexcept { return scheme_; }
@@ -95,6 +101,18 @@ class AuthServer {
   /// e.g. to study ANY-query amplification against a record-rich apex.
   void add_record(dns::ResourceRecord rr);
 
+  /// Server-side UDP response cap: responses exceeding `limit` bytes are
+  /// cut at the largest whole-record boundary with TC=1 (dns::Truncator),
+  /// on top of the client's EDNS budget. 0 (default) disables the cap.
+  /// Engaged by the truncation/fallback study; the measurement campaign
+  /// never sets it.
+  void set_udp_limit(std::uint16_t limit) noexcept;
+
+  /// Also answer DNS over TCP on port 53 — full responses, never capped
+  /// (RFC 7766 conduct for a truncating authoritative).
+  void enable_tcp();
+  std::uint16_t udp_limit() const noexcept { return udp_limit_; }
+
   /// Total simulated time spent loading zones.
   net::SimTime load_time_total() const noexcept { return load_time_total_; }
 
@@ -103,6 +121,12 @@ class AuthServer {
   /// Grouped-delivery entry point: span-order per-query processing,
   /// equivalent to one on_datagram call per item.
   void on_batch(const net::DatagramBatch& b);
+  /// DNS-over-TCP entry point (enable_tcp): full answers down the same
+  /// connection, exempt from both the EDNS budget and udp_limit_. The
+  /// stream vantage is not flow-traced — the TCP span points of a fallback
+  /// flow are recorded by the retrying scanner, not here.
+  void on_message(net::ConnId c, net::SimTime at,
+                  const net::PayloadRef& msg) override;
   dns::Message answer(const dns::Message& query);
   /// Flow key of a matched probe query: renders the probe's canonical qname
   /// from the stamped vars (the template match guarantees in-width digits)
@@ -123,6 +147,12 @@ class AuthServer {
   net::SimTime load_busy_until_;
   net::SimTime load_time_total_;
   std::uint32_t loaded_cluster_ = 0;
+  std::uint16_t udp_limit_ = 0;
+  /// Both response templates fit under udp_limit_ (always true at 0), so
+  /// the stamp fast path never needs a truncation pass. Recomputed by
+  /// set_udp_limit; checked alongside templates_ok_.
+  bool tpl_fit_limit_ = true;
+  bool tcp_enabled_ = false;
   AuthStats stats_;
   obs::FlowTracer* tracer_ = nullptr;
 

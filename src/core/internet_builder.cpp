@@ -204,6 +204,19 @@ SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
     return it->second;
   };
 
+  // Stream-transport shaping: applied identically in both plant loops below
+  // (owned hosts and upstream replicas), so a host's shaped profile — and
+  // therefore its observable behavior — is independent of the shard layout.
+  // Forwarders keep their planned knobs: CPE proxies rarely listen on TCP,
+  // so their truncated answers stay terminal (no DoTCP escape hatch).
+  const auto shaped = [&config](resolver::BehaviorProfile p) {
+    if (p.respond && !p.forwarder) {
+      if (config.udp_limit != 0) p.udp_limit = config.udp_limit;
+      if (config.tcp) p.tcp = true;
+    }
+    return p;
+  };
+
   // ---- Plant this shard's slice of the planned population -----------------
   const ShardSlice slice = shard_slice(spec.raw_steps, shard_id, shard_count);
   std::unordered_set<std::uint32_t> planted;
@@ -211,9 +224,10 @@ SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
                                   : plan.hosts.size() / shard_count + 8);
   for (const PlannedHost& ph : plan.hosts) {
     if (shard_count > 1 && !slice.contains(ph.perm_index)) continue;
+    const resolver::BehaviorProfile profile = shaped(ph.profile);
     hosts_.push_back(std::make_unique<resolver::ResolverHost>(
-        *network_, ph.addr, ph.profile, engine_config, ph.engine_seed,
-        &codec_scratch_, templates_for(ph.profile)));
+        *network_, ph.addr, profile, engine_config, ph.engine_seed,
+        &codec_scratch_, templates_for(profile)));
     planted.insert(ph.addr.value());
   }
 
@@ -231,9 +245,10 @@ SimulatedInternet::SimulatedInternet(const PopulationSpec& spec,
     }
     for (const PlannedHost& ph : plan.hosts) {
       if (!needed.contains(ph.addr.value())) continue;
+      const resolver::BehaviorProfile profile = shaped(ph.profile);
       hosts_.push_back(std::make_unique<resolver::ResolverHost>(
-          *network_, ph.addr, ph.profile, engine_config, ph.engine_seed,
-          &codec_scratch_, templates_for(ph.profile)));
+          *network_, ph.addr, profile, engine_config, ph.engine_seed,
+          &codec_scratch_, templates_for(profile)));
       needed.erase(ph.addr.value());
     }
   }

@@ -55,6 +55,14 @@ struct InternetConfig {
   /// differentially verified against the full encoder at derive time — and
   /// the determinism suite sweeps this knob too.
   bool wire_templates = true;
+  /// Stream-transport shaping, applied uniformly to every responding
+  /// non-forwarder profile at plant time (forwarders keep their own knobs:
+  /// CPE proxies rarely listen on TCP, so their truncated answers stay
+  /// terminal). `udp_limit` caps UDP answers (TC=1 beyond it); `tcp` makes
+  /// shaped hosts listen on a stream socket. Both defaults reproduce the
+  /// pinned UDP-only campaign exactly.
+  std::uint16_t udp_limit = 0;
+  bool tcp = false;
 };
 
 /// One planted host, fully resolved: every random draw already made.

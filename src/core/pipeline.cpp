@@ -39,6 +39,8 @@ ScanOutcome run_measurement(const PaperYear& year,
   net_config.loop_batch_cap = config.loop_batch_cap;
   net_config.delivery_group_cap = config.delivery_group_cap;
   net_config.wire_templates = config.wire_templates;
+  net_config.udp_limit = config.udp_limit;
+  net_config.tcp = config.tcp_fallback;
   const InternetPlan plan = plan_internet(outcome.spec, net_config);
 
   // 3. The campaign-level scan parameters (Table II at this run's scale);
@@ -50,6 +52,7 @@ ScanOutcome run_measurement(const PaperYear& year,
   scan_config.rotate_pause =
       net::SimTime::seconds(outcome.spec.zone_load_seconds);
   scan_config.wire_templates = config.wire_templates;
+  scan_config.tcp_fallback = config.tcp_fallback;
 
   // A shard needs a non-empty slice; more shards than raw steps would only
   // create idle loops.

@@ -65,6 +65,14 @@ struct PipelineConfig {
   /// determinism suite pins this — so there is no reason to turn this on
   /// outside tests and the comparison bench.
   bool posthoc_analysis = false;
+  /// Stream-transport experiment (off by default): when `udp_limit` is
+  /// non-zero, truncating resolver profiles cap UDP answers at that many
+  /// bytes and set TC=1; when `tcp_fallback` is on, those hosts also listen
+  /// on TCP and the prober retries matched TC=1 answers over a stream
+  /// connection (RFC 7766 DoTCP). Both off reproduces the pinned UDP
+  /// campaign byte-for-byte — no stream event is ever scheduled.
+  bool tcp_fallback = false;
+  std::uint16_t udp_limit = 0;
 };
 
 struct ScanOutcome {

@@ -142,6 +142,11 @@ void ShardContext::collect_metrics() {
   m.set_max(b.scan_outstanding_peak, scanner_.peak_outstanding());
   m.add(b.scan_template_stamped, s.template_stamped);
   m.add(b.scan_template_fallback, s.template_fallback);
+  m.add(b.tcp_tc_seen, s.tc_seen);
+  m.add(b.tcp_retries, s.tcp_retries);
+  m.add(b.tcp_answers, s.tcp_answers);
+  m.add(b.tcp_failures, s.tcp_failures);
+  m.add(b.tcp_duplicate_r2, s.tcp_duplicate_r2);
   m.add(b.rate_tokens_granted, scanner_.limiter().granted());
   m.add(b.rate_deferred, scanner_.limiter().deferred());
 

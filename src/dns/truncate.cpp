@@ -1,0 +1,87 @@
+#include "dns/truncate.h"
+
+#include "dns/wire_scan.h"
+
+namespace orp::dns {
+
+namespace {
+
+constexpr std::uint16_t read16(std::span<const std::uint8_t> wire,
+                               std::size_t pos) noexcept {
+  return static_cast<std::uint16_t>((wire[pos] << 8) | wire[pos + 1]);
+}
+
+constexpr void write16(std::span<std::uint8_t> wire, std::size_t pos,
+                       std::uint16_t v) noexcept {
+  wire[pos] = static_cast<std::uint8_t>(v >> 8);
+  wire[pos + 1] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+}  // namespace
+
+TruncationCut Truncator::plan(std::span<const std::uint8_t> wire,
+                              std::size_t budget) noexcept {
+  TruncationCut cut;
+  if (wire.size() < kHeaderSize || budget < kHeaderSize) return cut;
+  const std::uint16_t counts[4] = {read16(wire, 4), read16(wire, 6),
+                                   read16(wire, 8), read16(wire, 10)};
+  cut.len = kHeaderSize;
+
+  // Walk every section in wire order, advancing a candidate cut after each
+  // whole record that still fits the budget. Survivor counts freeze once a
+  // record overflows (everything later is past the cut even if a later,
+  // smaller record would have fit — the cut is a prefix, not a knapsack).
+  std::uint16_t survivors[4] = {0, 0, 0, 0};
+  std::size_t cursor = kHeaderSize;
+  bool over = false;
+  for (int section = 0; section < 4; ++section) {
+    for (std::uint16_t i = 0; i < counts[section]; ++i) {
+      const wire::NameScan name = wire::scan_name(wire, cursor);
+      if (!name.ok) return cut;  // malformed: refuse to plan
+      std::size_t end;
+      if (section == 0) {
+        end = name.end + 4;  // qtype + qclass
+      } else {
+        if (name.end + 10 > wire.size()) return cut;
+        end = name.end + 10 + read16(wire, name.end + 8);
+      }
+      if (end > wire.size()) return cut;
+      cursor = end;
+      if (!over && end <= budget) {
+        cut.len = end;
+        ++survivors[section];
+      } else {
+        over = true;
+      }
+    }
+  }
+
+  cut.valid = true;
+  cut.needed = wire.size() > budget;
+  if (!cut.needed) {
+    cut.len = wire.size();
+    cut.qdcount = counts[0];
+    cut.ancount = counts[1];
+    cut.nscount = counts[2];
+    cut.arcount = counts[3];
+  } else {
+    cut.qdcount = survivors[0];
+    cut.ancount = survivors[1];
+    cut.nscount = survivors[2];
+    cut.arcount = survivors[3];
+  }
+  return cut;
+}
+
+std::size_t Truncator::apply(std::span<std::uint8_t> wire,
+                             const TruncationCut& cut) noexcept {
+  if (!cut.valid || !cut.needed) return wire.size();
+  wire[2] |= 0x02;  // TC
+  write16(wire, 4, cut.qdcount);
+  write16(wire, 6, cut.ancount);
+  write16(wire, 8, cut.nscount);
+  write16(wire, 10, cut.arcount);
+  return cut.len;
+}
+
+}  // namespace orp::dns

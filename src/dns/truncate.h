@@ -1,0 +1,68 @@
+// Wire-level whole-record truncation (TC=1).
+//
+// A resolver that caps its UDP responses does not re-plan the message: it
+// cuts the encoded packet at a record boundary, fixes the section counts,
+// and sets TC (RFC 2181 §9 — a responder must not send partial RRsets
+// without TC, and never a partial RR). Truncator reproduces that on the
+// already-encoded wire image, which is what the truncating host profiles
+// apply after the encoder (or the template stamper) has produced the full
+// answer.
+//
+// The cut is always decodable: RFC 1035 compression pointers point
+// backwards, so removing a suffix of the packet can never orphan a name an
+// earlier record references.
+//
+// Relationship to dns::truncate_to_fit (edns.h): that helper re-plans at
+// the *message* level (drops whole RRs largest-section-first, keeps OPT)
+// before encoding — the EDNS-negotiation path. Truncator is the wire-level
+// analogue for hosts that size-cap after encoding; the two intentionally
+// produce different survivor sets (prefix order vs section preference).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace orp::dns {
+
+/// A planned cut: keep the first `len` bytes, rewrite the header counts to
+/// the survivors, set TC. `valid` means the wire walked cleanly enough to
+/// plan (header present, record boundaries consistent, budget >= header);
+/// `needed` means the packet actually exceeded the budget.
+struct TruncationCut {
+  std::size_t len = 0;
+  std::uint16_t qdcount = 0;
+  std::uint16_t ancount = 0;
+  std::uint16_t nscount = 0;
+  std::uint16_t arcount = 0;
+  bool needed = false;
+  bool valid = false;
+};
+
+class Truncator {
+ public:
+  static constexpr std::size_t kHeaderSize = 12;
+
+  /// Plan the largest whole-record prefix of `wire` that fits in `budget`
+  /// bytes. Questions count as records (a cut never splits one); a budget
+  /// of exactly kHeaderSize keeps only the header. Returns valid=false on
+  /// a malformed packet (counts lying about the payload) or budget <
+  /// kHeaderSize — callers then leave the packet alone.
+  static TruncationCut plan(std::span<const std::uint8_t> wire,
+                            std::size_t budget) noexcept;
+
+  /// Patch `wire` in place per `cut` (survivor counts + TC bit) and return
+  /// the new packet length. No-op (returns wire.size()) unless
+  /// cut.valid && cut.needed.
+  static std::size_t apply(std::span<std::uint8_t> wire,
+                           const TruncationCut& cut) noexcept;
+
+  /// plan + apply in one call: returns the packet's (possibly reduced)
+  /// length. Malformed or already-fitting packets come back untouched.
+  static std::size_t truncate(std::span<std::uint8_t> wire,
+                              std::size_t budget) noexcept {
+    return apply(wire, plan(wire, budget));
+  }
+};
+
+}  // namespace orp::dns

@@ -30,14 +30,25 @@ BufferPool::~BufferPool() {
 }
 
 PayloadRef BufferPool::acquire(std::span<const std::uint8_t> bytes) {
-  PayloadSlab* s;
-  if (!free_.empty()) {
-    s = free_.back();
-    free_.pop_back();
-  } else {
+  const std::size_t want = class_for_size(bytes.size());
+  PayloadSlab* s = nullptr;
+  // Pop from the smallest class that fits; any larger class also fits (its
+  // slabs' capacities are at least their own class size).
+  for (std::size_t b = want; b < kNumClasses; ++b) {
+    if (!free_[b].empty()) {
+      s = free_[b].back();
+      free_[b].pop_back();
+      break;
+    }
+  }
+  if (s == nullptr) {
     slabs_.push_back(std::make_unique<PayloadSlab>());
     s = slabs_.back().get();
     s->owner = this;
+    // Reserve the whole class up front: capacity never shrinks, so this
+    // slab serves every future acquire of its class without regrowing.
+    const std::size_t cap = class_size(want);
+    s->bytes.reserve(cap < bytes.size() ? bytes.size() : cap);
   }
   s->bytes.assign(bytes.begin(), bytes.end());
   s->refs = 1;

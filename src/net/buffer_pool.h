@@ -14,6 +14,8 @@
 // (CaptureStore arenas, R2Store chunks) copy bytes out instead.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
@@ -100,8 +102,17 @@ class PayloadRef {
 };
 
 /// Free-list of PayloadSlabs. acquire() copies the caller's bytes into a
-/// recycled slab (no allocation once the slab's capacity has warmed up and the
-/// free list covers the in-flight high-water mark).
+/// recycled slab (no allocation once the free lists cover the in-flight
+/// high-water mark).
+///
+/// The free list is segregated into power-of-two capacity classes
+/// (256 B … 64 KiB). Mixed traffic — mss-sized stream segments interleaved
+/// with whole reassembled DNS messages — would otherwise churn a single LIFO
+/// list: a large acquire that pops a small-capacity slab regrows it, paying
+/// an allocation that warm-up can never fully retire. With classes, an
+/// acquire only ever pops a slab whose capacity already fits, and a new slab
+/// reserves its whole class up front, so the steady state is allocation-free
+/// regardless of how sizes interleave.
 class BufferPool {
  public:
   BufferPool() = default;
@@ -111,12 +122,17 @@ class BufferPool {
 
   PayloadRef acquire(std::span<const std::uint8_t> bytes);
 
-  /// Total slabs ever created (bounded by the in-flight high-water mark).
+  /// Total slabs ever created (bounded by the per-class in-flight
+  /// high-water marks).
   std::size_t slab_count() const noexcept { return slabs_.size(); }
-  std::size_t free_count() const noexcept { return free_.size(); }
+  std::size_t free_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& f : free_) n += f.size();
+    return n;
+  }
   /// Slabs currently referenced somewhere on the packet path.
   std::size_t in_flight_count() const noexcept {
-    return slabs_.size() - free_.size();
+    return slabs_.size() - free_count();
   }
   /// Total recycle events (last reference dropped, slab back on the list).
   std::uint64_t recycled_count() const noexcept { return recycled_; }
@@ -127,13 +143,40 @@ class BufferPool {
 
  private:
   friend class PayloadRef;
+
+  /// Capacity classes 256 << 0 … 256 << 8 (= 64 KiB, the DNS/TCP message
+  /// ceiling). Sizes above the last class are clamped into it; the giant
+  /// slab keeps its real capacity and may regrow on reuse (no such payload
+  /// exists on the simulated wire today).
+  static constexpr std::size_t kMinClass = 256;
+  static constexpr std::size_t kNumClasses = 9;
+
+  static constexpr std::size_t class_size(std::size_t b) noexcept {
+    return kMinClass << b;
+  }
+  /// Smallest class that holds `n` bytes.
+  static constexpr std::size_t class_for_size(std::size_t n) noexcept {
+    const auto b = static_cast<std::size_t>(std::countr_zero(
+                       std::bit_ceil(n < kMinClass ? kMinClass : n))) -
+                   8;
+    return b < kNumClasses ? b : kNumClasses - 1;
+  }
+  /// Largest class whose size a slab of `cap` capacity covers — the
+  /// invariant: every slab on free_[b] has capacity >= class_size(b).
+  static constexpr std::size_t class_for_capacity(std::size_t cap) noexcept {
+    const auto b = static_cast<std::size_t>(std::countr_zero(
+                       std::bit_floor(cap < kMinClass ? kMinClass : cap))) -
+                   8;
+    return b < kNumClasses ? b : kNumClasses - 1;
+  }
+
   void recycle(PayloadSlab* s) {
-    free_.push_back(s);
+    free_[class_for_capacity(s->bytes.capacity())].push_back(s);
     ++recycled_;
   }
 
   std::vector<std::unique_ptr<PayloadSlab>> slabs_;
-  std::vector<PayloadSlab*> free_;
+  std::array<std::vector<PayloadSlab*>, kNumClasses> free_;
   std::uint64_t recycled_ = 0;
 };
 

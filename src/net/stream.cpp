@@ -1,0 +1,321 @@
+#include "net/stream.h"
+
+#include <cstring>
+
+namespace orp::net {
+
+StreamNet::StreamNet(EventLoop& loop, BufferPool& pool, std::uint64_t seed)
+    : loop_(loop), pool_(pool), rng_(seed) {}
+
+void StreamNet::listen(Endpoint ep, StreamHandler* h) { listeners_[ep] = h; }
+
+void StreamNet::unlisten(Endpoint ep) { listeners_.erase(ep); }
+
+bool StreamNet::listening(Endpoint ep) const {
+  return listeners_.find(ep) != listeners_.end();
+}
+
+StreamNet::Conn* StreamNet::get(ConnId c) noexcept {
+  const std::uint32_t slot = slot_of(c);
+  if (slot >= conns_.size()) return nullptr;
+  Conn& conn = conns_[slot];
+  if (conn.state == State::kFree || conn.gen != gen_of(c)) return nullptr;
+  return &conn;
+}
+
+const StreamNet::Conn* StreamNet::get(ConnId c) const noexcept {
+  return const_cast<StreamNet*>(this)->get(c);
+}
+
+ConnId StreamNet::alloc_conn() {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(conns_.size());
+    conns_.emplace_back();
+  }
+  Conn& c = conns_[slot];
+  c.local = Endpoint{};
+  c.remote = Endpoint{};
+  c.peer = kNilConn;
+  c.handler = nullptr;
+  c.state = State::kSynSent;  // placeholder; caller sets the real state
+  c.rx_floor = SimTime{};
+  c.bytes_sent = 0;
+  c.bytes_received = 0;
+  c.user_data = 0;
+  c.rx.clear();  // capacity retained
+  c.rx_off = 0;
+  ++active_;
+  return make_id(slot, c.gen);
+}
+
+void StreamNet::free_conn(ConnId c) {
+  const std::uint32_t slot = slot_of(c);
+  Conn& conn = conns_[slot];
+  conn.state = State::kFree;
+  conn.handler = nullptr;
+  ++conn.gen;  // in-flight events toward this id are now inert
+  free_slots_.push_back(slot);
+  --active_;
+}
+
+SimTime StreamNet::sample_latency() {
+  const std::int64_t jitter_ns = latency_.jitter.as_nanos();
+  if (jitter_ns <= 0) return latency_.base;
+  return latency_.base +
+         SimTime::nanos(static_cast<std::int64_t>(
+             rng_.bounded(static_cast<std::uint64_t>(jitter_ns))));
+}
+
+SimTime StreamNet::ordered_arrival(Conn& to) {
+  SimTime at = loop_.now() + sample_latency();
+  if (at < to.rx_floor) at = to.rx_floor;
+  to.rx_floor = at;
+  return at;
+}
+
+ConnId StreamNet::connect(Endpoint src, Endpoint dst, StreamHandler* h) {
+  const ConnId cid = alloc_conn();
+  Conn& c = conns_[slot_of(cid)];
+  c.local = src;
+  c.remote = dst;
+  c.handler = h;
+  c.state = State::kSynSent;
+  ++stats_.connects;
+  c.bytes_sent += kSegmentOverhead;  // SYN
+  stats_.bytes_sent += kSegmentOverhead;
+  if (loss_rate_ > 0.0 && rng_.chance(loss_rate_)) {
+    // Lost SYN: nothing ever arrives; the caller's timeout is the only
+    // signal (real TCP would retransmit, but a resolver that silently
+    // drops TCP behaves exactly like this to the prober).
+    ++stats_.syn_lost;
+    return cid;
+  }
+  loop_.schedule_in(sample_latency(), [this, cid]() { syn_arrive(cid); });
+  return cid;
+}
+
+void StreamNet::syn_arrive(ConnId client) {
+  Conn* c = get(client);
+  if (c == nullptr || c->state != State::kSynSent) return;  // caller gave up
+  const auto it = listeners_.find(c->remote);
+  if (it == listeners_.end()) {
+    // Connection refused: RST back to the client.
+    ++stats_.refused;
+    loop_.schedule_in(sample_latency(),
+                      [this, client]() { refuse_arrive(client); });
+    return;
+  }
+  const ConnId sid = alloc_conn();
+  Conn& s = conns_[slot_of(sid)];
+  Conn& cc = conns_[slot_of(client)];  // alloc_conn may have reallocated
+  s.local = cc.remote;
+  s.remote = cc.local;
+  s.handler = it->second;
+  s.state = State::kEstablished;
+  s.peer = client;
+  cc.peer = sid;
+  // Server-side handshake accounting: SYN in, SYN-ACK out, final ACK in.
+  s.bytes_received += 2 * kSegmentOverhead;
+  s.bytes_sent += kSegmentOverhead;
+  stats_.bytes_sent += kSegmentOverhead;
+  stats_.bytes_received += 2 * kSegmentOverhead;
+  ++stats_.accepted;
+  loop_.schedule_in(sample_latency(),
+                    [this, client]() { synack_arrive(client); });
+  s.handler->on_accept(sid, s.remote);
+}
+
+void StreamNet::synack_arrive(ConnId client) {
+  Conn* c = get(client);
+  if (c == nullptr || c->state != State::kSynSent) return;
+  c->state = State::kEstablished;
+  // SYN-ACK in, final ACK out.
+  c->bytes_received += kSegmentOverhead;
+  c->bytes_sent += kSegmentOverhead;
+  stats_.bytes_sent += kSegmentOverhead;
+  stats_.bytes_received += kSegmentOverhead;
+  if (c->handler != nullptr) c->handler->on_established(client);
+}
+
+void StreamNet::refuse_arrive(ConnId client) {
+  Conn* c = get(client);
+  if (c == nullptr || c->state != State::kSynSent) return;
+  c->bytes_received += kSegmentOverhead;  // RST
+  stats_.bytes_received += kSegmentOverhead;
+  ++stats_.resets;
+  StreamHandler* h = c->handler;
+  free_conn(client);
+  if (h != nullptr) h->on_closed(client, true);
+}
+
+void StreamNet::schedule_segment(ConnId to, std::span<const std::uint8_t> seg) {
+  Conn* dst = get(to);
+  if (dst == nullptr) return;
+  const SimTime at = ordered_arrival(*dst);
+  PayloadRef payload = pool_.acquire(seg);
+  ++stats_.segments_sent;
+  loop_.schedule_at(at, [this, to, payload = std::move(payload)]() {
+    segment_arrive(to, payload);
+  });
+}
+
+bool StreamNet::send_message(ConnId c, std::span<const std::uint8_t> payload) {
+  Conn* conn = get(c);
+  if (conn == nullptr || conn->state != State::kEstablished ||
+      payload.size() > 0xFFFF)
+    return false;
+  const ConnId peer = conn->peer;
+  if (get(peer) == nullptr) return false;  // peer already gone
+  ++stats_.messages_sent;
+
+  // First segment carries the 2-byte big-endian length prefix plus the head
+  // of the payload; later segments slice the payload span directly.
+  const std::size_t head =
+      payload.size() < mss_ - 2 ? payload.size() : mss_ - 2;
+  seg_scratch_.clear();
+  seg_scratch_.push_back(static_cast<std::uint8_t>(payload.size() >> 8));
+  seg_scratch_.push_back(static_cast<std::uint8_t>(payload.size() & 0xFF));
+  seg_scratch_.insert(seg_scratch_.end(), payload.begin(),
+                      payload.begin() + static_cast<std::ptrdiff_t>(head));
+  std::uint64_t wire = seg_scratch_.size() + kSegmentOverhead;
+  schedule_segment(peer, seg_scratch_);
+  for (std::size_t off = head; off < payload.size(); off += mss_) {
+    const std::size_t n =
+        payload.size() - off < mss_ ? payload.size() - off : mss_;
+    wire += n + kSegmentOverhead;
+    schedule_segment(peer, payload.subspan(off, n));
+  }
+  conn = get(c);  // schedule_segment never frees, but stay defensive
+  if (conn != nullptr) conn->bytes_sent += wire;
+  stats_.bytes_sent += wire;
+  return true;
+}
+
+void StreamNet::segment_arrive(ConnId to, const PayloadRef& seg) {
+  Conn* c = get(to);
+  if (c == nullptr || c->state != State::kEstablished) return;
+  c->bytes_received += seg.size() + kSegmentOverhead;
+  stats_.bytes_received += seg.size() + kSegmentOverhead;
+  c->rx.insert(c->rx.end(), seg.begin(), seg.end());
+  deliver_messages(to);
+}
+
+void StreamNet::deliver_messages(ConnId to) {
+  // Extract every complete [len16][payload] frame. The handler may close
+  // the connection from inside on_message, so revalidate per frame.
+  while (true) {
+    Conn* live = get(to);
+    if (live == nullptr || live->state != State::kEstablished) return;
+    const std::size_t avail = live->rx.size() - live->rx_off;
+    if (avail < 2) break;
+    const std::size_t len = (std::size_t{live->rx[live->rx_off]} << 8) |
+                            live->rx[live->rx_off + 1];
+    if (avail - 2 < len) break;
+    const PayloadRef msg =
+        pool_.acquire({live->rx.data() + live->rx_off + 2, len});
+    live->rx_off += 2 + len;
+    ++stats_.messages_delivered;
+    live->handler->on_message(to, loop_.now(), msg);
+  }
+  Conn* live = get(to);
+  if (live == nullptr) return;
+  if (live->rx_off == live->rx.size()) {
+    live->rx.clear();
+    live->rx_off = 0;
+  } else if (live->rx_off > 0) {
+    // Compact the tail of a split frame to the front; capacity retained.
+    std::memmove(live->rx.data(), live->rx.data() + live->rx_off,
+                 live->rx.size() - live->rx_off);
+    live->rx.resize(live->rx.size() - live->rx_off);
+    live->rx_off = 0;
+  }
+}
+
+void StreamNet::close(ConnId c) {
+  Conn* conn = get(c);
+  if (conn == nullptr) return;
+  const ConnId peer = conn->peer;
+  if (conn->state == State::kEstablished && get(peer) != nullptr) {
+    conn->bytes_sent += kSegmentOverhead;  // FIN
+    stats_.bytes_sent += kSegmentOverhead;
+    Conn* p = get(peer);
+    const SimTime at = ordered_arrival(*p);
+    loop_.schedule_at(at, [this, peer]() { fin_arrive(peer); });
+  }
+  free_conn(c);
+}
+
+void StreamNet::fin_arrive(ConnId to) {
+  Conn* c = get(to);
+  if (c == nullptr) return;
+  c->bytes_received += kSegmentOverhead;
+  stats_.bytes_received += kSegmentOverhead;
+  ++stats_.fins;
+  StreamHandler* h = c->handler;
+  free_conn(to);
+  if (h != nullptr) h->on_closed(to, false);
+}
+
+void StreamNet::reset(ConnId c) {
+  Conn* conn = get(c);
+  if (conn == nullptr) return;
+  const ConnId peer = conn->peer;
+  if (peer != kNilConn && get(peer) != nullptr) {
+    conn->bytes_sent += kSegmentOverhead;  // RST
+    stats_.bytes_sent += kSegmentOverhead;
+    loop_.schedule_in(sample_latency(), [this, peer]() { rst_arrive(peer); });
+  }
+  free_conn(c);
+}
+
+void StreamNet::rst_arrive(ConnId to) {
+  Conn* c = get(to);
+  if (c == nullptr) return;
+  c->bytes_received += kSegmentOverhead;
+  stats_.bytes_received += kSegmentOverhead;
+  ++stats_.resets;
+  StreamHandler* h = c->handler;
+  free_conn(to);
+  if (h != nullptr) h->on_closed(to, true);
+}
+
+bool StreamNet::established(ConnId c) const noexcept {
+  const Conn* conn = get(c);
+  return conn != nullptr && conn->state == State::kEstablished;
+}
+
+Endpoint StreamNet::local_endpoint(ConnId c) const noexcept {
+  const Conn* conn = get(c);
+  return conn != nullptr ? conn->local : Endpoint{};
+}
+
+Endpoint StreamNet::remote_endpoint(ConnId c) const noexcept {
+  const Conn* conn = get(c);
+  return conn != nullptr ? conn->remote : Endpoint{};
+}
+
+void StreamNet::set_user_data(ConnId c, std::uint64_t v) noexcept {
+  Conn* conn = get(c);
+  if (conn != nullptr) conn->user_data = v;
+}
+
+std::uint64_t StreamNet::user_data(ConnId c) const noexcept {
+  const Conn* conn = get(c);
+  return conn != nullptr ? conn->user_data : 0;
+}
+
+std::uint64_t StreamNet::conn_bytes_sent(ConnId c) const noexcept {
+  const Conn* conn = get(c);
+  return conn != nullptr ? conn->bytes_sent : 0;
+}
+
+std::uint64_t StreamNet::conn_bytes_received(ConnId c) const noexcept {
+  const Conn* conn = get(c);
+  return conn != nullptr ? conn->bytes_received : 0;
+}
+
+}  // namespace orp::net

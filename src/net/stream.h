@@ -1,0 +1,249 @@
+// Simulated TCP-style stream transport beside the datagram path.
+//
+// The DoTCP line of work (PAPERS.md: truncation, fragmentation, and TCP
+// fallback on open resolvers) measures what happens *after* a UDP answer
+// arrives with TC=1: the client re-asks over a connection. Modeling that
+// needs a second transport with connection setup cost, ordered delivery,
+// and the 2-byte DNS length prefix — none of which the datagram network
+// has or should grow.
+//
+// StreamNet is that transport. Design rules, in the order they matter:
+//
+//   * Determinism isolation. StreamNet draws from its OWN Rng substream
+//     (forked from the network seed by a fixed label), never from the
+//     datagram network's. A campaign with tcp_fallback disabled therefore
+//     schedules zero stream events and consumes zero extra draws — the
+//     pinned UDP digests are invariant by construction, not by luck.
+//   * Pooled everything. Connection records recycle through a free list
+//     (generation-counted ids make stale in-flight events inert), segment
+//     payloads ride BufferPool slabs, and reassembly buffers keep their
+//     capacity across connections: the established-connection
+//     send → segment → deliver → reassemble path is zero allocations per
+//     message once warm (pinned by test_alloc_budget).
+//   * Ordered delivery. Each segment's arrival time is clamped to be no
+//     earlier than the previous segment toward the same connection
+//     (deliver_at = max(now + latency, rx_floor)); equal times fall back
+//     to the event loop's insertion-seq tie-break. Segments therefore
+//     arrive in send order — TCP's contract — without modeling seq/ack.
+//   * Framing is the transport's job. Callers send and receive whole DNS
+//     messages; StreamNet prepends the RFC 1035 §4.2.2 2-byte length on
+//     the wire, splits into MSS-sized segments, and reassembles on the
+//     far side. A message delivered by on_message is a pooled PayloadRef
+//     containing exactly the DNS bytes, prefix stripped.
+//
+// Loss models SYN drop only: an established connection retransmits
+// internally in real TCP, so data segments always arrive; a lost SYN means
+// the connect never completes and the caller's timeout fires — exactly the
+// failure mode the fallback study needs (TC-then-TCP-timeout).
+//
+// Wire-byte accounting: every packet (SYN/SYN-ACK/ACK/FIN/RST/segment)
+// charges kSegmentOverhead header bytes plus payload to the sending side's
+// per-connection counters. The amplification study reads these to compare
+// bytes-in/bytes-out with and without fallback; pure data ACKs are not
+// modeled (a conservative under-count of the client's TCP cost).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/buffer_pool.h"
+#include "net/event_loop.h"
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace orp::net {
+
+/// Generation-counted connection handle: {generation:16 | slot:16}. A slot
+/// recycles with its generation bumped, so events in flight toward a closed
+/// connection validate against the current generation and drop silently.
+using ConnId = std::uint32_t;
+constexpr ConnId kNilConn = 0xFFFFFFFFu;
+
+/// Per-connection callbacks. A virtual interface, not std::function: one
+/// vtable pointer per *role* (scanner, resolver, auth server), zero bytes
+/// and zero allocations per connection.
+class StreamHandler {
+ public:
+  virtual ~StreamHandler() = default;
+  /// Server side: an inbound connection completed its handshake.
+  virtual void on_accept(ConnId c, Endpoint peer) { (void)c, (void)peer; }
+  /// Client side: connect() completed (SYN-ACK arrived); send_message is
+  /// now legal.
+  virtual void on_established(ConnId c) { (void)c; }
+  /// One whole length-prefixed DNS message reassembled (prefix stripped).
+  virtual void on_message(ConnId c, SimTime at, const PayloadRef& msg) = 0;
+  /// The peer closed (reset=false: FIN) or the connection failed/was torn
+  /// down (reset=true: RST or connection refused). `c` is invalid after.
+  virtual void on_closed(ConnId c, bool reset) { (void)c, (void)reset; }
+};
+
+struct StreamStats {
+  std::uint64_t connects = 0;        // connect() calls
+  std::uint64_t accepted = 0;        // handshakes completed at a listener
+  std::uint64_t refused = 0;         // SYN at an endpoint nobody listens on
+  std::uint64_t syn_lost = 0;        // SYN eaten by the loss model
+  std::uint64_t resets = 0;          // RSTs delivered
+  std::uint64_t fins = 0;            // orderly closes delivered
+  std::uint64_t messages_sent = 0;   // send_message() calls
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t segments_sent = 0;
+  std::uint64_t bytes_sent = 0;      // wire bytes incl. header overhead
+  std::uint64_t bytes_received = 0;
+
+  StreamStats& operator+=(const StreamStats& o) noexcept {
+    connects += o.connects;
+    accepted += o.accepted;
+    refused += o.refused;
+    syn_lost += o.syn_lost;
+    resets += o.resets;
+    fins += o.fins;
+    messages_sent += o.messages_sent;
+    messages_delivered += o.messages_delivered;
+    segments_sent += o.segments_sent;
+    bytes_sent += o.bytes_sent;
+    bytes_received += o.bytes_received;
+    return *this;
+  }
+};
+
+class StreamNet {
+ public:
+  /// IPv4 (20) + TCP (20) header bytes charged per simulated packet.
+  static constexpr std::size_t kSegmentOverhead = 40;
+  /// Client-side handshake cost: SYN + final ACK out, SYN-ACK in.
+  static constexpr std::size_t kClientHandshakeBytes = 2 * kSegmentOverhead;
+  /// Default maximum segment size (Ethernet-path MSS).
+  static constexpr std::size_t kDefaultMss = 1460;
+
+  StreamNet(EventLoop& loop, BufferPool& pool, std::uint64_t seed);
+
+  StreamNet(const StreamNet&) = delete;
+  StreamNet& operator=(const StreamNet&) = delete;
+
+  void set_latency(LatencyModel m) noexcept { latency_ = m; }
+  void set_loss_rate(double p) noexcept { loss_rate_ = p; }
+  void set_mss(std::size_t mss) noexcept { mss_ = mss < 8 ? 8 : mss; }
+
+  /// Register / remove a passive listener. One handler serves every
+  /// connection accepted at `ep`.
+  void listen(Endpoint ep, StreamHandler* h);
+  void unlisten(Endpoint ep);
+  bool listening(Endpoint ep) const;
+
+  /// Active open. Returns immediately with the client's ConnId; the
+  /// handshake completes (on_established) or fails (on_closed reset=true /
+  /// nothing at all if the SYN is lost) in simulated time. The caller owns
+  /// its own timeout for the silent-loss case.
+  ConnId connect(Endpoint src, Endpoint dst, StreamHandler* h);
+
+  /// Queue one whole DNS message on an established connection. The 2-byte
+  /// length prefix is added on the wire and stripped before on_message.
+  /// Returns false (and sends nothing) if `c` is stale or not established.
+  bool send_message(ConnId c, std::span<const std::uint8_t> dns_payload);
+
+  /// Orderly close: a FIN is delivered to the peer after any in-flight
+  /// segments; the local end is released immediately.
+  void close(ConnId c);
+  /// Abortive close: RST to the peer (unclamped — may overtake data), local
+  /// end released immediately.
+  void reset(ConnId c);
+
+  bool established(ConnId c) const noexcept;
+  Endpoint local_endpoint(ConnId c) const noexcept;
+  Endpoint remote_endpoint(ConnId c) const noexcept;
+
+  /// Opaque per-connection caller state (e.g. the scanner's retry-slot
+  /// index). Valid for the connection's lifetime; stale ids read 0.
+  void set_user_data(ConnId c, std::uint64_t v) noexcept;
+  std::uint64_t user_data(ConnId c) const noexcept;
+
+  /// Wire bytes this side of the connection has put on / taken off the
+  /// wire, including kSegmentOverhead per packet. Stale ids read 0.
+  std::uint64_t conn_bytes_sent(ConnId c) const noexcept;
+  std::uint64_t conn_bytes_received(ConnId c) const noexcept;
+
+  const StreamStats& stats() const noexcept { return stats_; }
+  /// Connections currently live (any state).
+  std::size_t active_conns() const noexcept { return active_; }
+  /// Pooled connection records ever created (the high-water mark).
+  std::size_t conn_slots() const noexcept { return conns_.size(); }
+
+ private:
+  enum class State : std::uint8_t { kFree, kSynSent, kEstablished };
+
+  struct Conn {
+    Endpoint local;
+    Endpoint remote;
+    ConnId peer = kNilConn;
+    StreamHandler* handler = nullptr;
+    State state = State::kFree;
+    std::uint16_t gen = 0;
+    /// Ordered delivery: no segment toward this conn may arrive earlier
+    /// than the last one scheduled toward it.
+    SimTime rx_floor;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t user_data = 0;
+    /// Reassembly buffer: [rx_off, rx.size()) is unconsumed wire data.
+    /// Keeps its capacity across recycles — steady-state reassembly never
+    /// allocates.
+    std::vector<std::uint8_t> rx;
+    std::size_t rx_off = 0;
+  };
+
+  struct EndpointHash {
+    std::size_t operator()(const Endpoint& e) const noexcept {
+      return static_cast<std::size_t>(
+          util::mix64((std::uint64_t{e.addr.value()} << 16) | e.port));
+    }
+  };
+
+  static constexpr std::uint32_t slot_of(ConnId c) noexcept {
+    return c & 0xFFFFu;
+  }
+  static constexpr std::uint16_t gen_of(ConnId c) noexcept {
+    return static_cast<std::uint16_t>(c >> 16);
+  }
+  static constexpr ConnId make_id(std::uint32_t slot,
+                                  std::uint16_t gen) noexcept {
+    return (std::uint32_t{gen} << 16) | slot;
+  }
+
+  Conn* get(ConnId c) noexcept;
+  const Conn* get(ConnId c) const noexcept;
+  ConnId alloc_conn();
+  void free_conn(ConnId c);
+  SimTime sample_latency();
+  /// Clamped arrival time toward `to`, advancing its rx_floor.
+  SimTime ordered_arrival(Conn& to);
+  void schedule_segment(ConnId to, std::span<const std::uint8_t> seg);
+
+  // Event bodies (each validates its ConnId's generation first).
+  void syn_arrive(ConnId client);
+  void synack_arrive(ConnId client);
+  void refuse_arrive(ConnId client);
+  void segment_arrive(ConnId to, const PayloadRef& seg);
+  void fin_arrive(ConnId to);
+  void rst_arrive(ConnId to);
+  void deliver_messages(ConnId to);
+
+  EventLoop& loop_;
+  BufferPool& pool_;
+  util::Rng rng_;
+  LatencyModel latency_{};
+  double loss_rate_ = 0.0;
+  std::size_t mss_ = kDefaultMss;
+  std::unordered_map<Endpoint, StreamHandler*, EndpointHash> listeners_;
+  std::vector<Conn> conns_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t active_ = 0;
+  /// First-segment staging (length prefix + head of the payload); capacity
+  /// warms once.
+  std::vector<std::uint8_t> seg_scratch_;
+  StreamStats stats_;
+};
+
+}  // namespace orp::net

@@ -2,7 +2,36 @@
 
 #include <utility>
 
+#include "net/stream.h"
+
 namespace orp::net {
+
+Network::Network(EventLoop& loop, std::uint64_t seed)
+    : loop_(loop), rng_(seed), seed_(seed) {}
+
+Network::~Network() = default;
+
+void Network::set_latency(LatencyModel m) noexcept {
+  latency_ = m;
+  if (streams_) streams_->set_latency(m);
+}
+
+void Network::set_loss_rate(double p) noexcept {
+  loss_rate_ = p;
+  if (streams_) streams_->set_loss_rate(p);
+}
+
+StreamNet& Network::streams() {
+  if (!streams_) {
+    // A fixed fork label keeps the stream substream a pure function of the
+    // network seed — the datagram rng_ is never consulted.
+    streams_ = std::make_unique<StreamNet>(
+        loop_, pool_, util::mix64(seed_ ^ 0x7c9df1a35b8e24d6ULL));
+    streams_->set_latency(latency_);
+    streams_->set_loss_rate(loss_rate_);
+  }
+  return *streams_;
+}
 
 void Network::bind(Endpoint ep, Handler handler) {
   Binding& b = handlers_[ep];

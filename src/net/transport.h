@@ -42,6 +42,8 @@
 
 namespace orp::net {
 
+class StreamNet;
+
 constexpr std::uint16_t kDnsPort = 53;
 
 struct Endpoint {
@@ -97,14 +99,14 @@ class Network {
   using Tap = std::function<void(SimTime, const Datagram&)>;
   using BatchTap = std::function<void(SimTime, std::span<const PacketView>)>;
 
-  explicit Network(EventLoop& loop, std::uint64_t seed = 1)
-      : loop_(loop), rng_(seed) {}
+  explicit Network(EventLoop& loop, std::uint64_t seed = 1);
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  void set_latency(LatencyModel m) noexcept { latency_ = m; }
-  void set_loss_rate(double p) noexcept { loss_rate_ = p; }
+  void set_latency(LatencyModel m) noexcept;
+  void set_loss_rate(double p) noexcept;
 
   /// Bind a handler to an endpoint. Rebinding replaces the previous handler
   /// (and clears any batch entry point from an earlier bind_batch).
@@ -174,6 +176,16 @@ class Network {
   EventLoop& loop() noexcept { return loop_; }
   BufferPool& pool() noexcept { return pool_; }
 
+  /// The stream (TCP-style) transport sharing this network's loop, pool,
+  /// and link model. Created on first use with its own Rng substream
+  /// (forked from the network seed by a fixed label), so a campaign that
+  /// never touches streams draws nothing extra from the datagram RNG and
+  /// every pinned UDP digest is invariant by construction.
+  StreamNet& streams();
+  /// Null until streams() has been called — lets the metrics sweep skip
+  /// campaigns that never opened a connection.
+  const StreamNet* streams_or_null() const noexcept { return streams_.get(); }
+
  private:
   struct Binding {
     Handler single;
@@ -220,8 +232,10 @@ class Network {
   EventLoop& loop_;
   BufferPool pool_;
   util::Rng rng_;
+  std::uint64_t seed_;
   LatencyModel latency_{};
   double loss_rate_ = 0.0;
+  std::unique_ptr<StreamNet> streams_;
   std::unordered_map<Endpoint, Binding, EndpointHash> handlers_;
   std::array<std::uint64_t, kFilterWords> bound_filter_{};
   std::vector<TapEntry> taps_;

@@ -184,6 +184,18 @@ const Builtin& builtin() {
     b.scan_template_fallback =
         s.counter("orp_scan_template_fallback",
                   "probes built through the full encoder");
+    b.tcp_tc_seen = s.counter("orp_tcp_tc_seen",
+                              "matched UDP answers carrying TC=1");
+    b.tcp_retries = s.counter("orp_tcp_retries",
+                              "TCP retry connections opened after TC=1");
+    b.tcp_answers =
+        s.counter("orp_tcp_answers", "answers received over a TCP retry");
+    b.tcp_failures =
+        s.counter("orp_tcp_failures",
+                  "TCP retries that timed out, were refused, or reset");
+    b.tcp_duplicate_r2 =
+        s.counter("orp_tcp_duplicate_r2",
+                  "duplicate UDP answers racing a pending TCP retry");
     b.rate_tokens_granted =
         s.counter("orp_rate_tokens_granted",
                   "send tokens granted by the pacing bucket",

@@ -216,6 +216,14 @@ struct Builtin {
   GaugeHandle scan_outstanding_peak;
   CounterHandle scan_template_stamped;
   CounterHandle scan_template_fallback;
+  /// DoTCP fallback (prober::Scanner with tcp_fallback on; all zero
+  /// otherwise). Per-flow properties, so thread-invariant at loss=0 like
+  /// the scan counters above.
+  CounterHandle tcp_tc_seen;
+  CounterHandle tcp_retries;
+  CounterHandle tcp_answers;
+  CounterHandle tcp_failures;
+  CounterHandle tcp_duplicate_r2;
   CounterHandle rate_tokens_granted;
   CounterHandle rate_deferred;
 

@@ -12,6 +12,10 @@ const char* span_point_name(SpanPoint p) noexcept {
       return "R1";
     case SpanPoint::kR2Received:
       return "R2";
+    case SpanPoint::kTcpRetry:
+      return "T1";
+    case SpanPoint::kTcpAnswer:
+      return "T2";
   }
   return "?";
 }

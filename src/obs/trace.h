@@ -137,6 +137,11 @@ enum class SpanPoint : std::uint8_t {
   kQ2Auth = 1,
   kR1Sent = 2,
   kR2Received = 3,
+  /// DoTCP fallback (tcp_fallback campaigns only): the scanner opens a TCP
+  /// retry after a TC=1 answer ("T1"), and the answer arrives over the
+  /// connection ("T2"). A failed retry records T1 without a T2.
+  kTcpRetry = 4,
+  kTcpAnswer = 5,
 };
 
 const char* span_point_name(SpanPoint p) noexcept;

@@ -341,6 +341,13 @@ bool Scanner::match_key(std::string_view key, std::uint64_t& packed) const {
 }
 
 void Scanner::on_datagram(const net::Datagram& d) {
+  if (config_.tcp_fallback) {
+    // The fallback receive path re-orders classification around the TCP
+    // retry; keeping it fully separate leaves the default path below
+    // byte-for-byte untouched (the pinned-digest discipline).
+    on_datagram_fallback(d);
+    return;
+  }
   ++stats_.r2_received;
   if (beacon_ != nullptr)
     beacon_->responses.store(stats_.r2_received, std::memory_order_relaxed);
@@ -386,6 +393,192 @@ void Scanner::on_datagram(const net::Datagram& d) {
   ++stats_.r2_unmatched;
 }
 
+void Scanner::on_datagram_fallback(const net::Datagram& d) {
+  ++stats_.r2_received;
+  if (beacon_ != nullptr)
+    beacon_->responses.store(stats_.r2_received, std::memory_order_relaxed);
+
+  const dns::DecodeView v = dns::DecodeView::parse(d.payload);
+  if (v.complete() && v.questions_parsed > 0) {
+    char key_buf[dns::kMaxNameLength];
+    const std::string_view key = v.qname.canonical_key_into(key_buf);
+    std::uint64_t packed = 0;
+    constexpr std::uint32_t kNil = OutstandingTable<QnameKeyHash>::kNil;
+    const bool ours = match_key(key, packed);
+    const std::uint32_t node = ours ? outstanding_.find(packed) : kNil;
+    if (node != kNil) {
+      ++stats_.r2_matched;
+      if (tracer_ != nullptr) {
+        const std::uint64_t flow = util::Fnv1a{}.bytes(key).value();
+        if (tracer_->marked(flow))
+          tracer_->record(flow, obs::SpanPoint::kR2Received,
+                          network_.loop().now(), d.src.addr.value());
+      }
+      // The answered subdomain retires either way — the flow *was*
+      // answered; what is still open is which payload gets classified.
+      clusters_.retire_answered(unpack(packed));
+      outstanding_.erase_at(node);
+      if (v.header.flags.tc) {
+        ++stats_.tc_seen;
+        start_tcp_retry(packed, d.src.addr, d.payload);
+        return;  // classification deferred until the retry settles
+      }
+      classify(d.src.addr, d.payload);
+      return;
+    }
+    if (ours && find_retry_by_key(packed) != kNilSlot) {
+      // A UDP answer racing the TCP retry (the resolver answered twice,
+      // e.g. full answer after the truncated one): counted, never
+      // classified — the retry owns this flow's single classification.
+      ++stats_.tcp_duplicate_r2;
+      return;
+    }
+    ++stats_.r2_unmatched;
+    classify(d.src.addr, d.payload);
+    return;
+  }
+  if (v.complete()) {
+    ++stats_.r2_empty_question;
+    classify(d.src.addr, d.payload);
+    return;
+  }
+  ++stats_.r2_unmatched;
+  classify(d.src.addr, d.payload);
+}
+
+void Scanner::classify(net::IPv4Addr from,
+                       std::span<const std::uint8_t> payload) {
+  if (retain_responses_)
+    responses_.add(network_.loop().now(), from, payload);
+  if (r2_sink_ != nullptr)
+    r2_sink_->on_r2(network_.loop().now(), from, payload);
+}
+
+std::uint64_t Scanner::flow_of(std::uint64_t packed) const noexcept {
+  char key_buf[dns::kMaxNameLength + 32];
+  return util::Fnv1a{}.bytes(renderer_.render(packed, key_buf)).value();
+}
+
+std::uint32_t Scanner::find_retry(net::ConnId c) const noexcept {
+  for (std::uint32_t i = 0; i < retries_.size(); ++i)
+    if (retries_[i].active && retries_[i].conn == c) return i;
+  return kNilSlot;
+}
+
+std::uint32_t Scanner::find_retry_by_key(std::uint64_t packed) const noexcept {
+  for (std::uint32_t i = 0; i < retries_.size(); ++i)
+    if (retries_[i].active && retries_[i].packed == packed) return i;
+  return kNilSlot;
+}
+
+void Scanner::start_tcp_retry(std::uint64_t packed, net::IPv4Addr target,
+                              const net::PayloadRef& held) {
+  std::uint32_t slot;
+  if (!retry_free_.empty()) {
+    slot = retry_free_.back();
+    retry_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(retries_.size());
+    retries_.emplace_back();
+  }
+  TcpRetry& r = retries_[slot];
+  r.packed = packed;
+  r.target = target;
+  r.held = held;  // refcount bump; the slab stays pooled
+  r.active = true;
+  ++retries_active_;
+  ++stats_.tcp_retries;
+  if (tracer_ != nullptr) {
+    const std::uint64_t flow = flow_of(packed);
+    if (tracer_->marked(flow))
+      tracer_->record(flow, obs::SpanPoint::kTcpRetry, network_.loop().now(),
+                      target.value());
+  }
+  std::uint16_t port = next_tcp_port_++;
+  if (next_tcp_port_ == 0) next_tcp_port_ = 49152;
+  r.conn = network_.streams().connect(net::Endpoint{addr_, port},
+                                      net::Endpoint{target, net::kDnsPort},
+                                      this);
+  // The only signal for a silently lost SYN — and the cap on a connection
+  // that establishes but never answers.
+  const std::uint32_t gen = r.gen;
+  network_.loop().schedule_in(config_.tcp_timeout, [this, slot, gen]() {
+    on_tcp_timeout(slot, gen);
+  });
+}
+
+void Scanner::on_established(net::ConnId c) {
+  const std::uint32_t slot = find_retry(c);
+  if (slot == kNilSlot) {
+    network_.streams().reset(c);
+    return;
+  }
+  // Re-ask the same probe qname over the stream. Fresh transaction id (a
+  // real client's retry is a new transaction); the flow is keyed by qname,
+  // so the answer still groups to the same probe.
+  const std::uint16_t txn = next_txn_++;
+  if (next_txn_ == 0) next_txn_ = 1;
+  const dns::DnsName qname =
+      clusters_.scheme().qname(unpack(retries_[slot].packed));
+  const dns::Message query = dns::make_query(txn, qname, config_.qtype);
+  network_.streams().send_message(c, dns::encode_into(query, codec_scratch_));
+}
+
+void Scanner::on_message(net::ConnId c, net::SimTime /*at*/,
+                         const net::PayloadRef& msg) {
+  const std::uint32_t slot = find_retry(c);
+  if (slot == kNilSlot) return;
+  TcpRetry& r = retries_[slot];
+  ++stats_.tcp_answers;
+  if (tracer_ != nullptr) {
+    const std::uint64_t flow = flow_of(r.packed);
+    if (tracer_->marked(flow))
+      tracer_->record(flow, obs::SpanPoint::kTcpAnswer, network_.loop().now(),
+                      r.target.value());
+  }
+  classify(r.target, msg);
+  finish_retry(slot);
+  network_.streams().close(c);
+}
+
+void Scanner::on_closed(net::ConnId c, bool /*reset*/) {
+  const std::uint32_t slot = find_retry(c);
+  if (slot == kNilSlot) return;  // already settled (answer beat the FIN)
+  tcp_retry_failed(slot);        // refused, reset, or closed unanswered
+}
+
+void Scanner::on_tcp_timeout(std::uint32_t slot, std::uint32_t gen) {
+  if (slot >= retries_.size()) return;
+  TcpRetry& r = retries_[slot];
+  if (!r.active || r.gen != gen) return;  // settled; stale timer
+  const net::ConnId c = r.conn;
+  tcp_retry_failed(slot);            // banks conn bytes while `c` is live
+  network_.streams().reset(c);       // no-op if the SYN was lost
+}
+
+void Scanner::tcp_retry_failed(std::uint32_t slot) {
+  TcpRetry& r = retries_[slot];
+  ++stats_.tcp_failures;
+  // The truncated UDP answer is the flow's final word after all.
+  classify(r.target, r.held.span());
+  finish_retry(slot);
+}
+
+void Scanner::finish_retry(std::uint32_t slot) {
+  TcpRetry& r = retries_[slot];
+  // Bank the connection's wire-byte totals before the id goes stale (a
+  // stale or already-torn-down conn reads 0 — see ScanStats).
+  stats_.tcp_bytes_sent += network_.streams().conn_bytes_sent(r.conn);
+  stats_.tcp_bytes_received += network_.streams().conn_bytes_received(r.conn);
+  r.active = false;
+  r.conn = net::kNilConn;
+  r.held = net::PayloadRef{};  // release the slab back to the pool
+  ++r.gen;                     // pending timeout events become inert
+  --retries_active_;
+  retry_free_.push_back(slot);
+  maybe_finish();  // a drained retry may have been the last open work
+}
+
 void Scanner::reap(bool final_sweep) {
   const net::SimTime now = network_.loop().now();
   constexpr std::uint32_t kNil = OutstandingTable<QnameKeyHash>::kNil;
@@ -401,6 +594,7 @@ void Scanner::reap(bool final_sweep) {
       it = outstanding_.next(it);
     }
   }
+  if (final_sweep) final_swept_ = true;
   if (!sending_done_) {
     network_.loop().schedule_in(config_.reap_interval,
                                 [this]() { reap(false); });
@@ -408,7 +602,10 @@ void Scanner::reap(bool final_sweep) {
 }
 
 void Scanner::maybe_finish() {
-  if (finished_ || !sending_done_) return;
+  if (finished_ || !sending_done_ || !final_swept_) return;
+  // TCP retries opened late in the drain window may still be settling;
+  // each one calls back here as it finishes.
+  if (retries_active_ > 0) return;
   finished_ = true;
   stats_.finished = network_.loop().now();
   network_.unbind(net::Endpoint{addr_, kProberPort});

@@ -19,6 +19,7 @@
 #include "dns/wire_template.h"
 #include "net/capture.h"
 #include "net/reserved.h"
+#include "net/stream.h"
 #include "net/transport.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -97,6 +98,18 @@ struct ScanConfig {
   /// bytes (the template is differentially verified against the encoder);
   /// the determinism suite sweeps this knob.
   bool wire_templates = true;
+  /// Retry TC=1 answers over TCP (RFC 7766 fallback). Off by default — the
+  /// pinned measurement campaign is UDP-only, and with the knob off the
+  /// scanner never touches the stream transport at all. When on, a matched
+  /// truncated answer defers classification until the retry settles: the
+  /// TCP answer wins; on failure (silent SYN loss, refusal, reset, or a
+  /// connection that never answers) the held truncated UDP answer is
+  /// classified instead. Exactly one classification per flow either way.
+  bool tcp_fallback = false;
+  /// Give-up window per TCP retry, covering both the silent-SYN-loss case
+  /// and an established connection that never answers. Shorter than
+  /// response_timeout so retries settle within the scan's final drain.
+  net::SimTime tcp_timeout = net::SimTime::seconds(10.0);
 };
 
 struct ScanStats {
@@ -110,6 +123,18 @@ struct ScanStats {
   std::uint64_t timeouts_reaped = 0;
   std::uint64_t template_stamped = 0;   // probes emitted via WireTemplate
   std::uint64_t template_fallback = 0;  // probes through the full encoder
+  std::uint64_t tc_seen = 0;            // matched answers carrying TC=1
+  std::uint64_t tcp_retries = 0;        // retry connections opened
+  std::uint64_t tcp_answers = 0;        // answers received over TCP
+  std::uint64_t tcp_failures = 0;       // retries settled on the UDP answer
+  std::uint64_t tcp_duplicate_r2 = 0;   // UDP dups racing a pending retry
+  /// Wire bytes the scanner's TCP client put on / took off the wire
+  /// (per-connection totals banked as each retry settles). Failure paths
+  /// where the peer tore the connection down first under-count the lost
+  /// handshake — a conservative floor on the attacker-side TCP cost the
+  /// amplification study reports.
+  std::uint64_t tcp_bytes_sent = 0;
+  std::uint64_t tcp_bytes_received = 0;
   net::SimTime started;
   net::SimTime finished;
 
@@ -128,13 +153,20 @@ struct ScanStats {
     timeouts_reaped += o.timeouts_reaped;
     template_stamped += o.template_stamped;
     template_fallback += o.template_fallback;
+    tc_seen += o.tc_seen;
+    tcp_retries += o.tcp_retries;
+    tcp_answers += o.tcp_answers;
+    tcp_failures += o.tcp_failures;
+    tcp_duplicate_r2 += o.tcp_duplicate_r2;
+    tcp_bytes_sent += o.tcp_bytes_sent;
+    tcp_bytes_received += o.tcp_bytes_received;
     started = std::min(started, o.started);
     finished = std::max(finished, o.finished);
     return *this;
   }
 };
 
-class Scanner {
+class Scanner : private net::StreamHandler {
  public:
   using DoneCallback = std::function<void()>;
   /// Invoked when the subdomain planner rotates to a new cluster; the
@@ -212,6 +244,28 @@ class Scanner {
   void reap(bool final_sweep);
   void maybe_finish();
 
+  // --- DoTCP fallback (config_.tcp_fallback; dead code otherwise) ---
+  /// Receive path with retry deferral: a matched TC=1 answer holds its
+  /// payload and opens a TCP retry instead of classifying; everything else
+  /// behaves exactly like the default path.
+  void on_datagram_fallback(const net::Datagram& d);
+  /// Hand one settled response to retention + the streaming sink — the
+  /// single classification point of a flow in fallback mode.
+  void classify(net::IPv4Addr from, std::span<const std::uint8_t> payload);
+  void start_tcp_retry(std::uint64_t packed, net::IPv4Addr target,
+                       const net::PayloadRef& held);
+  void tcp_retry_failed(std::uint32_t slot);
+  void finish_retry(std::uint32_t slot);
+  void on_tcp_timeout(std::uint32_t slot, std::uint32_t gen);
+  std::uint32_t find_retry(net::ConnId c) const noexcept;
+  std::uint32_t find_retry_by_key(std::uint64_t packed) const noexcept;
+  std::uint64_t flow_of(std::uint64_t packed) const noexcept;
+  // StreamHandler (client side of the retries).
+  void on_established(net::ConnId c) override;
+  void on_message(net::ConnId c, net::SimTime at,
+                  const net::PayloadRef& msg) override;
+  void on_closed(net::ConnId c, bool reset) override;
+
   static constexpr std::uint64_t pack(zone::SubdomainId id) noexcept {
     return (std::uint64_t{id.cluster} << 32) | id.index;
   }
@@ -253,6 +307,25 @@ class Scanner {
   std::vector<std::uint32_t> pending_len_;
   std::vector<net::IPv4Addr> pending_dst_;
   std::vector<net::PacketView> pending_views_;
+
+  // Pooled retry slots: a free list plus linear scans (the active set is
+  // the handful of in-flight retries, and the steady-state path must not
+  // touch an allocating map). Slot generations make stale timeout events
+  // inert, mirroring StreamNet's connection ids.
+  struct TcpRetry {
+    std::uint64_t packed = 0;         // the flow's SubdomainId key
+    net::IPv4Addr target;             // the truncating resolver
+    net::ConnId conn = net::kNilConn;
+    net::PayloadRef held;             // the TC=1 UDP answer, kept pooled
+    std::uint32_t gen = 0;
+    bool active = false;
+  };
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+  std::vector<TcpRetry> retries_;
+  std::vector<std::uint32_t> retry_free_;
+  std::size_t retries_active_ = 0;
+  std::uint16_t next_tcp_port_ = 49152;  // ephemeral client ports
+  bool final_swept_ = false;
 
   std::uint64_t raw_consumed_ = 0;
   std::uint16_t next_txn_ = 1;

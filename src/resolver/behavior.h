@@ -77,6 +77,19 @@ struct BehaviorProfile {
   /// (the fingerprinting surface Takano et al. surveyed; §VI). Empty =
   /// the query is REFUSED, as hardened deployments configure.
   std::string version;
+
+  /// Server-side UDP response cap (bytes). Responses whose encoded form
+  /// exceeds it are cut at the largest whole-record boundary with TC=1
+  /// (dns::Truncator) — on top of the client's EDNS-advertised budget,
+  /// which is honored either way. 0 = no server-side cap. This is the
+  /// truncation knob of the DoTCP fallback study.
+  std::uint16_t udp_limit = 0;
+
+  /// Also serve DNS over TCP on port 53 (full answers, never truncated).
+  /// Forwarder profiles ignore this — CPE proxies in the wild rarely
+  /// listen on TCP, which is exactly what makes their truncated answers
+  /// terminal.
+  bool tcp = false;
 };
 
 }  // namespace orp::resolver

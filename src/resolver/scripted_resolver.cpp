@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "dns/edns.h"
+#include "dns/truncate.h"
 #include <utility>
 
 namespace orp::resolver {
@@ -115,15 +116,27 @@ ResolverHost::ResolverHost(net::Network& network, net::IPv4Addr addr,
       engine_config_(std::move(engine_config)),
       seed_(seed),
       rrl_(profile_.rrl),
-      tpl_(templates != nullptr && templates->ok() ? templates : nullptr) {
+      tpl_(templates != nullptr && templates->ok() &&
+                   (profile_.udp_limit == 0 ||
+                    (templates->response.size() <= profile_.udp_limit &&
+                     templates->slip.size() <= profile_.udp_limit))
+               ? templates
+               : nullptr) {
   network_.bind_batch(
       net::Endpoint{addr_, net::kDnsPort},
       [this](const net::Datagram& d) { on_query(d); },
       [this](const net::DatagramBatch& b) { on_query_batch(b); });
+  // A TCP-capable profile also listens on the stream transport; forwarders
+  // never do (CPE proxies in the wild rarely speak TCP — their truncated
+  // answers are terminal, which the fallback study measures).
+  if (profile_.tcp && profile_.respond && !profile_.forwarder)
+    network_.streams().listen(net::Endpoint{addr_, net::kDnsPort}, this);
 }
 
 ResolverHost::~ResolverHost() {
   network_.unbind(net::Endpoint{addr_, net::kDnsPort});
+  if (profile_.tcp && profile_.respond && !profile_.forwarder)
+    network_.streams().unlisten(net::Endpoint{addr_, net::kDnsPort});
 }
 
 void ResolverHost::stamp(dns::Message& response) const {
@@ -154,28 +167,42 @@ void ResolverHost::on_query(const net::Datagram& d) {
     }
     ++stats_.template_fallback;
   }
-  const auto decoded = dns::decode(d.payload);
+  handle_query(d.payload, ReplyTo{d.src});
+}
+
+void ResolverHost::on_message(net::ConnId c, net::SimTime /*at*/,
+                              const net::PayloadRef& msg) {
+  ++stats_.queries;
+  ++stats_.tcp_queries;
+  // No template fast path over TCP: the stamped wire image is the UDP
+  // response shape, and TCP answers must never carry the UDP cap anyway.
+  handle_query(msg, ReplyTo{net::Endpoint{}, c});
+}
+
+void ResolverHost::handle_query(std::span<const std::uint8_t> wire,
+                                ReplyTo to) {
+  const auto decoded = dns::decode(wire);
   if (!decoded || decoded->questions.empty()) return;
 
   // CHAOS-class version.bind: the fingerprinting side channel.
   if (decoded->questions.front().qclass == dns::RRClass::kCH) {
-    respond_chaos(*decoded, d.src);
+    respond_chaos(*decoded, to);
     return;
   }
   // A forwarder relays regardless of mode: the upstream does the work.
+  // (Forwarders never listen on TCP, so `to` is always a UDP client here.)
   if (profile_.forwarder) {
-    respond_forwarded(*decoded, d.src);
+    respond_forwarded(*decoded, to.client);
     return;
   }
   if (profile_.answer == AnswerMode::kRecursive) {
-    respond_recursive(*decoded, d.src);
+    respond_recursive(*decoded, to);
     return;
   }
-  respond_fabricated(*decoded, d.src);
+  respond_fabricated(*decoded, to);
 }
 
-void ResolverHost::respond_chaos(const dns::Message& query,
-                                 net::Endpoint client) {
+void ResolverHost::respond_chaos(const dns::Message& query, ReplyTo to) {
   const dns::Question& q = query.questions.front();
   const bool is_version_bind =
       q.qname == dns::DnsName::must_parse("version.bind") &&
@@ -190,15 +217,13 @@ void ResolverHost::respond_chaos(const dns::Message& query,
   } else {
     response.header.flags.rcode = dns::Rcode::kRefused;
   }
-  emit(std::move(response), client, false, dns::response_size_budget(query));
+  emit(std::move(response), to, false, dns::response_size_budget(query));
 }
 
-void ResolverHost::respond_fabricated(const dns::Message& query,
-                                      net::Endpoint client) {
+void ResolverHost::respond_fabricated(const dns::Message& query, ReplyTo to) {
   bool raw_counts = false;
   dns::Message response = build_fabricated_response(profile_, query, raw_counts);
-  emit(std::move(response), client, raw_counts,
-       dns::response_size_budget(query));
+  emit(std::move(response), to, raw_counts, dns::response_size_budget(query));
 }
 
 void ResolverHost::fast_respond(const dns::StampVars& v, net::Endpoint client) {
@@ -229,8 +254,7 @@ void ResolverHost::fast_respond(const dns::StampVars& v, net::Endpoint client) {
       });
 }
 
-void ResolverHost::respond_recursive(const dns::Message& query,
-                                     net::Endpoint client) {
+void ResolverHost::respond_recursive(const dns::Message& query, ReplyTo to) {
   if (!engine_) {
     EngineConfig cfg = engine_config_;
     cfg.dnssec_ok = profile_.dnssec_ok;
@@ -245,7 +269,7 @@ void ResolverHost::respond_recursive(const dns::Message& query,
   for (int i = 0; i < fan; ++i) {
     ++stats_.recursions;
     engine_->resolve(q.qname, q.qtype,
-                     [this, query, client, answered](
+                     [this, query, to, answered](
                          const ResolutionOutcome& outcome) {
                        if (*answered) return;
                        *answered = true;
@@ -260,7 +284,7 @@ void ResolverHost::respond_recursive(const dns::Message& query,
                            !outcome.success) {
                          response.header.flags.rcode = outcome.rcode;
                        }
-                       emit(std::move(response), client, false,
+                       emit(std::move(response), to, false,
                             dns::response_size_budget(query));
                      });
   }
@@ -279,7 +303,7 @@ void ResolverHost::respond_forwarded(const dns::Message& query,
     dns::Message response = dns::make_response(query);
     response.answers = upstream_response->answers;
     stamp(response);
-    emit(std::move(response), client, false,
+    emit(std::move(response), ReplyTo{client}, false,
          dns::response_size_budget(query));
   });
   dns::Message upstream_q =
@@ -289,9 +313,29 @@ void ResolverHost::respond_forwarded(const dns::Message& query,
   network_.send(local, net::Endpoint{profile_.upstream, net::kDnsPort}, wire);
 }
 
-void ResolverHost::emit(dns::Message response, net::Endpoint client,
-                        bool raw_counts, std::size_t budget) {
-  switch (rrl_.check(client.addr, network_.loop().now())) {
+void ResolverHost::emit(dns::Message response, ReplyTo to, bool raw_counts,
+                        std::size_t budget) {
+  if (to.via_stream()) {
+    // DNS over TCP: the 64 KiB frame is the only size bound, so neither the
+    // client's UDP budget nor the profile's udp_limit applies — and RRL is
+    // a UDP-amplification mitigation with nothing to mitigate here (the
+    // connection proves the client is return-routable).
+    ++stats_.responses;
+    ++stats_.tcp_responses;
+    const auto wire =
+        raw_counts ? dns::encode_raw_counts_into(response, codec_scratch_)
+                   : dns::encode_into(response, codec_scratch_);
+    net::PayloadRef payload = network_.pool().acquire(wire);
+    network_.loop().schedule_in(
+        profile_.response_delay,
+        [this, conn = to.conn, payload = std::move(payload)]() {
+          // A client that closed or reset while we worked makes this a
+          // validated no-op inside the stream layer.
+          network_.streams().send_message(conn, payload.span());
+        });
+    return;
+  }
+  switch (rrl_.check(to.client.addr, network_.loop().now())) {
     case RrlAction::kSend:
       break;
     case RrlAction::kDrop:
@@ -314,15 +358,28 @@ void ResolverHost::emit(dns::Message response, net::Endpoint client,
   // Honor the client's advertised UDP budget (512 for classic DNS).
   if (!raw_counts && dns::truncate_to_fit(response, budget))
     ++stats_.truncated;
-  const auto wire = raw_counts
-                        ? dns::encode_raw_counts_into(response, codec_scratch_)
-                        : dns::encode_into(response, codec_scratch_);
+  auto wire = raw_counts
+                  ? dns::encode_raw_counts_into(response, codec_scratch_)
+                  : dns::encode_into(response, codec_scratch_);
+  // The profile's server-side cap cuts the encoded wire at the largest
+  // whole-record boundary (TC=1). Wire-level on purpose: a size-capping
+  // server chops the packet it already built, it does not re-plan the
+  // message the way the EDNS budget pass above does.
+  if (!raw_counts && profile_.udp_limit != 0 &&
+      wire.size() > profile_.udp_limit) {
+    const std::span<std::uint8_t> mut{codec_scratch_.out.data(), wire.size()};
+    const std::size_t cut = dns::Truncator::truncate(mut, profile_.udp_limit);
+    if (cut < wire.size()) {
+      wire = wire.first(cut);
+      ++stats_.truncated;
+    }
+  }
   // Acquire the pooled buffer now (while the scratch bytes are live) and let
   // the delayed event carry only the ref — no payload copy at fire time.
   net::PayloadRef payload = network_.pool().acquire(wire);
   network_.loop().schedule_in(
       profile_.response_delay,
-      [this, client, payload = std::move(payload)]() mutable {
+      [this, client = to.client, payload = std::move(payload)]() mutable {
         network_.send(net::Datagram{net::Endpoint{addr_, net::kDnsPort},
                                     client, std::move(payload)});
       });

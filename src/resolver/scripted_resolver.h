@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "dns/wire_template.h"
+#include "net/stream.h"
 #include "resolver/behavior.h"
 #include "resolver/recursive_resolver.h"
 #include "resolver/rrl.h"
@@ -22,6 +23,8 @@ struct HostStats {
   std::uint64_t rrl_slipped = 0;    // replaced by a minimal TC=1 nudge
   std::uint64_t template_stamped = 0;   // responses stamped from a template
   std::uint64_t template_fallback = 0;  // queries through the full path
+  std::uint64_t tcp_queries = 0;    // queries arriving over a stream
+  std::uint64_t tcp_responses = 0;  // responses served over a stream
 };
 
 /// Header stamping shared by every fabricating path and the template
@@ -62,7 +65,16 @@ ResponseTemplates build_response_templates(const BehaviorProfile& profile,
                                            const ProbeQnameFactory& qname,
                                            dns::EncodeBuffer& scratch);
 
-class ResolverHost {
+/// Where a response goes: back out the UDP socket (conn == kNilConn) or
+/// down the stream connection the query arrived on. Small enough to ride in
+/// the resolution callbacks unchanged.
+struct ReplyTo {
+  net::Endpoint client;
+  net::ConnId conn = net::kNilConn;
+  bool via_stream() const noexcept { return conn != net::kNilConn; }
+};
+
+class ResolverHost : private net::StreamHandler {
  public:
   /// `engine_config` supplies root hints for profiles that genuinely
   /// recurse; it is unused (and the engine never instantiated) otherwise.
@@ -93,14 +105,21 @@ class ResolverHost {
   /// Grouped-delivery entry point: span-order per-query processing,
   /// equivalent to one on_query call per item.
   void on_query_batch(const net::DatagramBatch& b);
-  void respond_chaos(const dns::Message& query, net::Endpoint client);
-  void respond_fabricated(const dns::Message& query, net::Endpoint client);
+  /// DNS-over-TCP entry point (profile.tcp): one whole query message per
+  /// on_message, answered over the same connection — full answers, no
+  /// truncation, no RRL (TCP clients are return-routable by construction,
+  /// which is the entire point of the TC=1 nudge).
+  void on_message(net::ConnId c, net::SimTime at,
+                  const net::PayloadRef& msg) override;
+  void handle_query(std::span<const std::uint8_t> wire, ReplyTo to);
+  void respond_chaos(const dns::Message& query, ReplyTo to);
+  void respond_fabricated(const dns::Message& query, ReplyTo to);
   /// Template fast path: the RRL gate + stamp of emit(), minus the
   /// decode/build/encode round it makes unnecessary.
   void fast_respond(const dns::StampVars& v, net::Endpoint client);
-  void respond_recursive(const dns::Message& query, net::Endpoint client);
+  void respond_recursive(const dns::Message& query, ReplyTo to);
   void respond_forwarded(const dns::Message& query, net::Endpoint client);
-  void emit(dns::Message response, net::Endpoint client, bool raw_counts,
+  void emit(dns::Message response, ReplyTo to, bool raw_counts,
             std::size_t budget);
 
   /// Apply this profile's header stamping to a response under construction.

@@ -4,6 +4,7 @@
 
 #include "dns/builder.h"
 #include "dns/codec.h"
+#include "dns/truncate.h"
 #include "dns/message.h"
 #include "dns/name.h"
 #include "dns/types.h"
@@ -433,6 +434,140 @@ TEST(Message, ToStringMentionsSections) {
   EXPECT_NE(s.find("ANSWER"), std::string::npos);
   EXPECT_NE(s.find("AUTHORITY"), std::string::npos);
   EXPECT_NE(s.find("flags:"), std::string::npos);
+}
+
+// ---- Truncator (wire-level whole-record cut, TC=1) -----------------------------
+
+/// A response with `answers` A records on one question (compressed names, so
+/// every cut point exercises the backward-pointer property).
+Message fat_response(int answers) {
+  Message m = make_query(0x7A7A, DnsName::must_parse("big.ucfsealresearch.net"));
+  m.header.flags.qr = true;
+  for (int i = 0; i < answers; ++i)
+    m.answers.push_back(ResourceRecord{m.questions[0].qname, RRType::kA,
+                                       RRClass::kIN, 300,
+                                       ARdata{net::IPv4Addr(10, 0, 0, 1 + i)}});
+  return m;
+}
+
+TEST(Truncator, FittingPacketIsUntouched) {
+  auto wire = encode(fat_response(3));
+  const auto original = wire;
+  const TruncationCut cut = Truncator::plan(wire, wire.size());
+  EXPECT_TRUE(cut.valid);
+  EXPECT_FALSE(cut.needed);
+  EXPECT_EQ(Truncator::truncate(wire, wire.size()), original.size());
+  EXPECT_EQ(wire, original);
+}
+
+TEST(Truncator, BudgetOfExactlyHeaderKeepsOnlyHeader) {
+  auto wire = encode(fat_response(2));
+  const std::size_t len = Truncator::truncate(wire, Truncator::kHeaderSize);
+  EXPECT_EQ(len, Truncator::kHeaderSize);
+  const auto decoded = decode(std::span(wire.data(), len));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->header.flags.tc);
+  EXPECT_TRUE(decoded->questions.empty());
+  EXPECT_TRUE(decoded->answers.empty());
+}
+
+TEST(Truncator, BudgetBelowHeaderIsInvalidAndLeavesThePacketAlone) {
+  auto wire = encode(fat_response(1));
+  const auto original = wire;
+  EXPECT_FALSE(Truncator::plan(wire, Truncator::kHeaderSize - 1).valid);
+  EXPECT_EQ(Truncator::truncate(wire, Truncator::kHeaderSize - 1),
+            original.size());
+  EXPECT_EQ(wire, original);
+}
+
+TEST(Truncator, CutNeverSplitsTheQuestion) {
+  Message q = fat_response(0);
+  auto wire = encode(q);
+  // Any budget inside the question section keeps only the header.
+  for (std::size_t b = Truncator::kHeaderSize; b < wire.size(); ++b) {
+    const TruncationCut cut = Truncator::plan(wire, b);
+    ASSERT_TRUE(cut.valid) << b;
+    EXPECT_EQ(cut.len, Truncator::kHeaderSize) << b;
+    EXPECT_EQ(cut.qdcount, 0u) << b;
+  }
+}
+
+TEST(Truncator, FirstAnswerBoundaryIsExact) {
+  // The wire of (question + 1 answer) is a length-prefix of (question + 2):
+  // only header count bytes differ. That gives the exact first-RR edge.
+  const std::size_t one_answer_len = encode(fat_response(1)).size();
+  auto wire = encode(fat_response(2));
+  ASSERT_GT(wire.size(), one_answer_len);
+
+  const TruncationCut keep = Truncator::plan(wire, one_answer_len);
+  EXPECT_TRUE(keep.valid);
+  EXPECT_EQ(keep.len, one_answer_len);
+  EXPECT_EQ(keep.qdcount, 1u);
+  EXPECT_EQ(keep.ancount, 1u);
+
+  // One byte short of the boundary: the whole first answer goes.
+  const TruncationCut drop = Truncator::plan(wire, one_answer_len - 1);
+  EXPECT_TRUE(drop.valid);
+  EXPECT_EQ(drop.ancount, 0u);
+  EXPECT_EQ(drop.len, encode(fat_response(0)).size());
+
+  auto copy = wire;
+  const std::size_t len = Truncator::truncate(copy, one_answer_len);
+  const auto decoded = decode(std::span(copy.data(), len));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->header.flags.tc);
+  ASSERT_EQ(decoded->answers.size(), 1u);
+}
+
+TEST(Truncator, MalformedCountsAreRejected) {
+  auto wire = encode(fat_response(2));
+  wire[7] = 9;  // ANCOUNT low byte lies: claims 9 answers, payload has 2
+  EXPECT_FALSE(Truncator::plan(wire, 12).valid);
+  const auto original = wire;
+  EXPECT_EQ(Truncator::truncate(wire, 12), original.size());
+  EXPECT_EQ(wire, original);
+}
+
+TEST(Truncator, EdnsBudgetsCutDecodablyAndMonotonically) {
+  // A ~6 KB TXT answer so even the 4096 budget has to cut.
+  Message m = make_query(0x600D, DnsName::must_parse("txt.ucfsealresearch.net"));
+  m.header.flags.qr = true;
+  for (int i = 0; i < 30; ++i)
+    m.answers.push_back(ResourceRecord{
+        m.questions[0].qname, RRType::kTXT, RRClass::kIN, 60,
+        TxtRdata{{std::string(200, static_cast<char>('a' + i % 26))}}});
+  const auto full = encode(m);
+  ASSERT_GT(full.size(), 4096u);
+
+  std::size_t prev_survivors = 0;
+  for (const std::size_t budget : {std::size_t{512}, std::size_t{1232},
+                                   std::size_t{4096}}) {
+    auto wire = full;
+    const TruncationCut cut = Truncator::plan(wire, budget);
+    ASSERT_TRUE(cut.valid) << budget;
+    EXPECT_TRUE(cut.needed) << budget;
+    const std::size_t len = Truncator::truncate(wire, budget);
+    EXPECT_LE(len, budget) << budget;
+    const auto decoded = decode(std::span(wire.data(), len));
+    ASSERT_TRUE(decoded.has_value()) << budget;
+    EXPECT_TRUE(decoded->header.flags.tc) << budget;
+    EXPECT_EQ(decoded->answers.size(), cut.ancount) << budget;
+    EXPECT_GE(decoded->answers.size(), prev_survivors) << budget;
+    prev_survivors = decoded->answers.size();
+  }
+  EXPECT_GT(prev_survivors, 0u);  // 4096 keeps a non-trivial prefix
+}
+
+TEST(Truncator, EveryBudgetYieldsADecodablePrefix) {
+  const auto full = encode(sample_message());
+  for (std::size_t b = Truncator::kHeaderSize; b <= full.size(); ++b) {
+    auto wire = full;
+    const std::size_t len = Truncator::truncate(wire, b);
+    ASSERT_LE(len, b) << b;
+    const auto decoded = decode(std::span(wire.data(), len));
+    ASSERT_TRUE(decoded.has_value()) << "budget " << b;
+    if (len < full.size()) EXPECT_TRUE(decoded->header.flags.tc) << b;
+  }
 }
 
 }  // namespace

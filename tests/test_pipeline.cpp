@@ -410,6 +410,63 @@ TEST(PipelineSharding, WireTemplatesAreBehaviorInvisible) {
   }
 }
 
+TEST(PipelineSharding, TcpFallbackSweepIsPinned) {
+  // The stream transport rides the same sharded event loops as the datagram
+  // path: with a truncating UDP budget and DoTCP fallback enabled, every
+  // thread count and batch cap must produce byte-identical rendered tables,
+  // the same behavioral digest, and the same fallback counters — and the
+  // fallback must actually engage, or the sweep proves nothing.
+  PipelineConfig base;
+  base.scale = 16384;
+  base.seed = 42;
+  base.threads = 1;
+  base.udp_limit = 64;
+  base.tcp_fallback = true;
+  const ScanOutcome ref = run_measurement(paper_2018(), base);
+  const std::string ref_tables = rendered_tables(ref);
+  ASSERT_GT(ref.scan.r2_received, 100u);
+  ASSERT_GT(ref.scan.tc_seen, 0u);
+  ASSERT_GT(ref.scan.tcp_retries, 0u);
+  ASSERT_GT(ref.scan.tcp_answers, 0u);
+  ASSERT_NE(ref.capture_digest, 0u);
+
+  for (const unsigned threads : {1u, 4u}) {
+    for (const std::size_t cap :
+         {std::size_t{1}, std::size_t{8}, std::size_t{64}, std::size_t{0}}) {
+      PipelineConfig cfg = base;
+      cfg.threads = threads;
+      cfg.loop_batch_cap = cap;
+      cfg.delivery_group_cap = cap;
+      const ScanOutcome o = run_measurement(paper_2018(), cfg);
+      EXPECT_EQ(o.scan.q1_sent, ref.scan.q1_sent)
+          << "threads=" << threads << " cap=" << cap;
+      EXPECT_EQ(o.scan.r2_received, ref.scan.r2_received)
+          << "threads=" << threads << " cap=" << cap;
+      EXPECT_EQ(o.scan.tc_seen, ref.scan.tc_seen)
+          << "threads=" << threads << " cap=" << cap;
+      EXPECT_EQ(o.scan.tcp_retries, ref.scan.tcp_retries)
+          << "threads=" << threads << " cap=" << cap;
+      EXPECT_EQ(o.scan.tcp_answers, ref.scan.tcp_answers)
+          << "threads=" << threads << " cap=" << cap;
+      EXPECT_EQ(o.scan.tcp_failures, ref.scan.tcp_failures)
+          << "threads=" << threads << " cap=" << cap;
+      EXPECT_EQ(o.capture_digest, ref.capture_digest)
+          << "threads=" << threads << " cap=" << cap;
+      EXPECT_EQ(rendered_tables(o), ref_tables)
+          << "threads=" << threads << " cap=" << cap;
+    }
+  }
+
+  // Differential control: the same truncating budget without the fallback
+  // classifies the TC=1 stubs themselves — a genuinely different campaign.
+  PipelineConfig off = base;
+  off.tcp_fallback = false;
+  const ScanOutcome o_off = run_measurement(paper_2018(), off);
+  EXPECT_EQ(o_off.scan.tc_seen, 0u);
+  EXPECT_EQ(o_off.scan.tcp_retries, 0u);
+  EXPECT_NE(o_off.capture_digest, ref.capture_digest);
+}
+
 TEST(PipelineSharding, StreamingAnalysisIsExact) {
   // The tentpole differential: the default streaming path (classify at
   // capture, merge partial tables, retain nothing) must reproduce the

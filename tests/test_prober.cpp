@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
 #include <unordered_set>
+
+#include "dns/codec.h"
 
 #include "authns/auth_server.h"
 #include "prober/permutation.h"
@@ -372,6 +375,192 @@ TEST_F(ScannerFixture, ScanDurationMatchesRateArithmetic) {
   const double dur = scanner.stats().duration().as_seconds();
   EXPECT_GT(dur, 4.0);
   EXPECT_LT(dur, 8.0);
+}
+
+// ---- DoTCP fallback (TC=1 retry over the stream transport) -----------------
+//
+// The invariant under test everywhere below: EXACTLY one classified flow per
+// answering target, no matter how the TCP retry settles (answer, refusal,
+// SYN loss, duplicate UDP racing the retry).
+
+/// A profile whose UDP answer is cut (question survives, answer section
+/// does not): header 12 + probe question ~39 bytes fits in 55, the fixed A
+/// record does not. Fabricated rather than recursive so the answer content
+/// does not depend on zone-rotation timing at the fixture's auth server.
+resolver::BehaviorProfile truncating_profile(bool tcp) {
+  resolver::BehaviorProfile p;
+  p.answer = resolver::AnswerMode::kFixedIp;
+  p.fixed_answer = net::IPv4Addr(203, 0, 113, 77);
+  p.udp_limit = 55;
+  p.tcp = tcp;
+  return p;
+}
+
+TEST_F(ScannerFixture, TcRetryClassifiesTheFullTcpAnswerOnce) {
+  const net::IPv4Addr target = plant(1, 100, truncating_profile(true));
+  ScanConfig cfg = scan_config(1, 2000);
+  cfg.tcp_fallback = true;
+  Scanner scanner(net, net::IPv4Addr(132, 170, 3, 44), cfg, scheme);
+  bool done = false;
+  scanner.start([&] { done = true; });
+  loop.run();
+
+  EXPECT_TRUE(done);
+  const ScanStats& s = scanner.stats();
+  EXPECT_EQ(s.r2_matched, 1u);
+  EXPECT_EQ(s.tc_seen, 1u);
+  EXPECT_EQ(s.tcp_retries, 1u);
+  EXPECT_EQ(s.tcp_answers, 1u);
+  EXPECT_EQ(s.tcp_failures, 0u);
+  ASSERT_EQ(scanner.responses().size(), 1u);
+  EXPECT_EQ(scanner.responses()[0].resolver, target);
+  // The classified payload is the full TCP answer: TC clear, answer present.
+  const auto decoded = dns::decode(scanner.responses()[0].payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->header.flags.tc);
+  EXPECT_EQ(decoded->answers.size(), 1u);
+  EXPECT_EQ(net.streams().active_conns(), 0u);  // retry closed cleanly
+}
+
+TEST_F(ScannerFixture, TcThenConnectionRefusedClassifiesTheTruncatedUdp) {
+  // The host truncates but does not listen on TCP (the CPE story): the
+  // retry is refused and the held truncated payload is what gets classified.
+  const net::IPv4Addr target = plant(1, 100, truncating_profile(false));
+  ScanConfig cfg = scan_config(1, 2000);
+  cfg.tcp_fallback = true;
+  Scanner scanner(net, net::IPv4Addr(132, 170, 3, 44), cfg, scheme);
+  scanner.start([] {});
+  loop.run();
+
+  const ScanStats& s = scanner.stats();
+  EXPECT_EQ(s.tc_seen, 1u);
+  EXPECT_EQ(s.tcp_retries, 1u);
+  EXPECT_EQ(s.tcp_answers, 0u);
+  EXPECT_EQ(s.tcp_failures, 1u);
+  ASSERT_EQ(scanner.responses().size(), 1u);
+  EXPECT_EQ(scanner.responses()[0].resolver, target);
+  const auto decoded = dns::decode(scanner.responses()[0].payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->header.flags.tc);
+  EXPECT_TRUE(decoded->answers.empty());
+}
+
+TEST_F(ScannerFixture, TcThenSynLossTimesOutAndStillFinishes) {
+  plant(1, 100, truncating_profile(true));
+  // Kill every SYN on the stream substream only — UDP is untouched, so the
+  // truncated R2 still arrives and opens the retry.
+  net.streams().set_loss_rate(1.0);
+  ScanConfig cfg = scan_config(1, 2000);
+  cfg.tcp_fallback = true;
+  cfg.tcp_timeout = net::SimTime::seconds(3.0);
+  Scanner scanner(net, net::IPv4Addr(132, 170, 3, 44), cfg, scheme);
+  bool done = false;
+  scanner.start([&] { done = true; });
+  loop.run();
+
+  // The scan must not finish until the orphaned retry times out.
+  EXPECT_TRUE(done);
+  const ScanStats& s = scanner.stats();
+  EXPECT_EQ(s.tc_seen, 1u);
+  EXPECT_EQ(s.tcp_retries, 1u);
+  EXPECT_EQ(s.tcp_answers, 0u);
+  EXPECT_EQ(s.tcp_failures, 1u);
+  EXPECT_EQ(net.streams().stats().syn_lost, 1u);
+  ASSERT_EQ(scanner.responses().size(), 1u);
+  const auto decoded = dns::decode(scanner.responses()[0].payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->header.flags.tc);
+  EXPECT_EQ(net.streams().active_conns(), 0u);
+}
+
+TEST_F(ScannerFixture, DuplicateR2WhileRetryPendsIsCountedNeverClassified) {
+  const net::IPv4Addr target = plant(1, 100, truncating_profile(true));
+  // Replay the truncated R2 at the scanner while its TCP retry is pending
+  // (the retry takes ~40 ms of handshake + resolver delay; the duplicate
+  // lands ~2 ms after the original).
+  bool duplicated = false;
+  net.add_tap([&](net::SimTime, const net::Datagram& d) {
+    if (duplicated || d.src.addr != target) return;
+    const auto p = d.payload.span();
+    if (p.size() < 12 || (p[2] & 0x02) == 0) return;  // not the TC answer
+    duplicated = true;
+    net.send(d.src, d.dst, p);
+  });
+  ScanConfig cfg = scan_config(1, 2000);
+  cfg.tcp_fallback = true;
+  Scanner scanner(net, net::IPv4Addr(132, 170, 3, 44), cfg, scheme);
+  scanner.start([] {});
+  loop.run();
+
+  ASSERT_TRUE(duplicated);
+  const ScanStats& s = scanner.stats();
+  EXPECT_EQ(s.r2_received, 2u);  // original + duplicate
+  EXPECT_EQ(s.tc_seen, 1u);
+  EXPECT_EQ(s.tcp_retries, 1u);
+  EXPECT_EQ(s.tcp_duplicate_r2, 1u);
+  EXPECT_EQ(s.tcp_answers, 1u);
+  // Exactly one classified flow: the TCP answer. The duplicate was only
+  // counted.
+  ASSERT_EQ(scanner.responses().size(), 1u);
+  const auto decoded = dns::decode(scanner.responses()[0].payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->header.flags.tc);
+}
+
+TEST_F(ScannerFixture, FallbackDisabledTreatsTcAnswersAsFinal) {
+  // Control: same truncation budget, fallback off — the truncated answer is
+  // classified as-is and no stream machinery is touched. The host does not
+  // listen on TCP either, so the StreamNet is never even constructed.
+  plant(1, 100, truncating_profile(false));
+  Scanner scanner(net, net::IPv4Addr(132, 170, 3, 44), scan_config(1, 2000),
+                  scheme);
+  scanner.start([] {});
+  loop.run();
+
+  const ScanStats& s = scanner.stats();
+  EXPECT_EQ(s.tc_seen, 0u);
+  EXPECT_EQ(s.tcp_retries, 0u);
+  ASSERT_EQ(scanner.responses().size(), 1u);
+  const auto decoded = dns::decode(scanner.responses()[0].payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->header.flags.tc);
+  // The scanner never even forked the stream substream.
+  EXPECT_EQ(net.streams_or_null(), nullptr);
+}
+
+TEST_F(ScannerFixture, FallbackScanIsDeterministic) {
+  auto run_once = [this](std::uint64_t seed) {
+    net::EventLoop l2;
+    net::Network n2(l2, 5);
+    n2.set_latency({net::SimTime::millis(2), net::SimTime::millis(1)});
+    authns::AuthServer a2(n2, net::IPv4Addr(45, 76, 18, 21), scheme,
+                          net::SimTime::nanos(0));
+    auto h2 = resolver::build_hierarchy(n2, scheme.sld(),
+                                        scheme.sld().child("ns1"),
+                                        a2.address(), 1);
+    resolver::EngineConfig ec;
+    ec.hints = h2.hints;
+    const auto params = derive_params(seed);
+    const CyclicPermutation perm(params.generator, params.start);
+    std::uint64_t k = 100, raw = perm.raw_at(k);
+    while (raw >= (std::uint64_t{1} << 32) ||
+           net::is_reserved(net::IPv4Addr(static_cast<std::uint32_t>(raw))) ||
+           n2.bound(net::Endpoint{net::IPv4Addr(static_cast<std::uint32_t>(raw)),
+                                  net::kDnsPort}))
+      raw = perm.raw_at(++k);
+    resolver::ResolverHost host(n2, net::IPv4Addr(static_cast<std::uint32_t>(raw)),
+                                truncating_profile(true), ec, 1);
+    ScanConfig cfg = scan_config(seed, 2000);
+    cfg.tcp_fallback = true;
+    Scanner s(n2, net::IPv4Addr(132, 170, 3, 44), cfg, scheme);
+    s.start([] {});
+    l2.run();
+    std::vector<std::uint8_t> bytes;
+    for (const R2Record& r : s.responses())
+      bytes.insert(bytes.end(), r.payload.begin(), r.payload.end());
+    return std::tuple{s.stats().tcp_answers, l2.now().as_seconds(), bytes};
+  };
+  EXPECT_EQ(run_once(9), run_once(9));
 }
 
 }  // namespace

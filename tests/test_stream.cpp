@@ -1,0 +1,366 @@
+// orp::net::StreamNet — the simulated TCP-style transport behind DoTCP
+// fallback. Covers the connection lifecycle, ordered multi-segment delivery
+// with the 2-byte length prefix, refusal/reset semantics, SYN loss, and
+// generation-counted staleness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "net/buffer_pool.h"
+#include "net/event_loop.h"
+#include "net/stream.h"
+#include "net/transport.h"
+
+namespace orp::net {
+namespace {
+
+const Endpoint kClient{IPv4Addr(10, 0, 0, 1), 49152};
+const Endpoint kServer{IPv4Addr(192, 0, 2, 53), kDnsPort};
+
+/// Records every callback it receives, in order.
+struct Recorder : StreamHandler {
+  struct Closed {
+    ConnId conn;
+    bool reset;
+  };
+  std::vector<ConnId> accepted;
+  std::vector<ConnId> established;
+  std::vector<std::vector<std::uint8_t>> messages;
+  std::vector<ConnId> message_conns;
+  std::vector<Closed> closed;
+
+  void on_accept(ConnId c, Endpoint) override { accepted.push_back(c); }
+  void on_established(ConnId c) override { established.push_back(c); }
+  void on_message(ConnId c, SimTime, const PayloadRef& msg) override {
+    const auto s = msg.span();
+    messages.emplace_back(s.begin(), s.end());
+    message_conns.push_back(c);
+  }
+  void on_closed(ConnId c, bool reset) override {
+    closed.push_back({c, reset});
+  }
+};
+
+/// An echo server: answers every message with the same bytes.
+struct Echo : Recorder {
+  StreamNet* net = nullptr;
+  void on_message(ConnId c, SimTime at, const PayloadRef& msg) override {
+    Recorder::on_message(c, at, msg);
+    net->send_message(c, msg.span());
+  }
+};
+
+struct StreamFixture : ::testing::Test {
+  EventLoop loop;
+  BufferPool pool;
+  StreamNet net{loop, pool, 7};
+};
+
+std::vector<std::uint8_t> bytes(std::size_t n, std::uint8_t start = 0) {
+  std::vector<std::uint8_t> v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+// ---- Lifecycle -----------------------------------------------------------
+
+TEST_F(StreamFixture, HandshakeThenMessageBothWaysThenClose) {
+  Echo server;
+  server.net = &net;
+  Recorder client;
+  net.listen(kServer, &server);
+
+  const ConnId c = net.connect(kClient, kServer, &client);
+  ASSERT_NE(c, kNilConn);
+  EXPECT_FALSE(net.established(c));
+  loop.run();
+  ASSERT_EQ(client.established.size(), 1u);
+  ASSERT_EQ(server.accepted.size(), 1u);
+  EXPECT_TRUE(net.established(c));
+
+  const auto query = bytes(31);
+  ASSERT_TRUE(net.send_message(c, query));
+  loop.run();
+  ASSERT_EQ(server.messages.size(), 1u);
+  EXPECT_EQ(server.messages[0], query);
+  ASSERT_EQ(client.messages.size(), 1u);  // echoed back
+  EXPECT_EQ(client.messages[0], query);
+
+  net.close(c);
+  loop.run();
+  ASSERT_EQ(server.closed.size(), 1u);
+  EXPECT_FALSE(server.closed[0].reset);
+  EXPECT_EQ(net.active_conns(), 0u);
+  EXPECT_EQ(net.stats().fins, 1u);
+}
+
+TEST_F(StreamFixture, EndpointsAreVisibleFromBothSides) {
+  Recorder server, client;
+  net.listen(kServer, &server);
+  const ConnId c = net.connect(kClient, kServer, &client);
+  loop.run();
+  EXPECT_EQ(net.local_endpoint(c), kClient);
+  EXPECT_EQ(net.remote_endpoint(c), kServer);
+  ASSERT_EQ(server.accepted.size(), 1u);
+  EXPECT_EQ(net.local_endpoint(server.accepted[0]), kServer);
+  EXPECT_EQ(net.remote_endpoint(server.accepted[0]), kClient);
+}
+
+TEST_F(StreamFixture, SendBeforeEstablishedIsRejected) {
+  Recorder server, client;
+  net.listen(kServer, &server);
+  const ConnId c = net.connect(kClient, kServer, &client);
+  EXPECT_FALSE(net.send_message(c, bytes(8)));
+  loop.run();
+  EXPECT_TRUE(net.send_message(c, bytes(8)));
+}
+
+// ---- Framing and ordering ------------------------------------------------
+
+TEST_F(StreamFixture, LargeMessageSplitsAndReassemblesExactly) {
+  Recorder server, client;
+  net.listen(kServer, &server);
+  net.set_mss(100);
+  const ConnId c = net.connect(kClient, kServer, &client);
+  loop.run();
+
+  const auto big = bytes(1000, 3);  // 1002 wire bytes -> 11 segments
+  const auto before = net.stats().segments_sent;
+  ASSERT_TRUE(net.send_message(c, big));
+  EXPECT_EQ(net.stats().segments_sent - before, 11u);
+  loop.run();
+  ASSERT_EQ(server.messages.size(), 1u);
+  EXPECT_EQ(server.messages[0], big);
+}
+
+TEST_F(StreamFixture, MessagesArriveInSendOrder) {
+  Recorder server, client;
+  net.listen(kServer, &server);
+  net.set_mss(64);
+  const ConnId c = net.connect(kClient, kServer, &client);
+  loop.run();
+
+  // Mixed sizes so later (smaller) messages would overtake earlier (larger)
+  // ones if arrival were not clamped to the connection's rx floor.
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (std::size_t n : {500u, 10u, 300u, 1u, 700u, 2u}) {
+    sent.push_back(bytes(n, static_cast<std::uint8_t>(n)));
+    ASSERT_TRUE(net.send_message(c, sent.back()));
+  }
+  loop.run();
+  ASSERT_EQ(server.messages.size(), sent.size());
+  EXPECT_EQ(server.messages, sent);
+  EXPECT_EQ(net.stats().messages_delivered, sent.size());
+}
+
+TEST_F(StreamFixture, EmptyAndMaxSizeMessagesRoundTrip) {
+  Recorder server, client;
+  net.listen(kServer, &server);
+  const ConnId c = net.connect(kClient, kServer, &client);
+  loop.run();
+
+  ASSERT_TRUE(net.send_message(c, {}));
+  const auto max = bytes(0xFFFF, 9);
+  ASSERT_TRUE(net.send_message(c, max));
+  loop.run();
+  ASSERT_EQ(server.messages.size(), 2u);
+  EXPECT_TRUE(server.messages[0].empty());
+  EXPECT_EQ(server.messages[1], max);
+}
+
+TEST_F(StreamFixture, FinWaitsBehindInFlightData) {
+  Recorder server, client;
+  net.listen(kServer, &server);
+  net.set_mss(50);
+  const ConnId c = net.connect(kClient, kServer, &client);
+  loop.run();
+
+  ASSERT_TRUE(net.send_message(c, bytes(400)));
+  net.close(c);  // FIN queued immediately behind 9 data segments
+  loop.run();
+  ASSERT_EQ(server.messages.size(), 1u);  // data was not cut off
+  ASSERT_EQ(server.closed.size(), 1u);
+  EXPECT_FALSE(server.closed[0].reset);
+}
+
+// ---- Refusal, reset, loss ------------------------------------------------
+
+TEST_F(StreamFixture, ConnectToSilentEndpointIsRefused) {
+  Recorder client;
+  const ConnId c = net.connect(kClient, kServer, &client);
+  loop.run();
+  ASSERT_EQ(client.closed.size(), 1u);
+  EXPECT_TRUE(client.closed[0].reset);
+  EXPECT_EQ(client.closed[0].conn, c);
+  EXPECT_EQ(net.stats().refused, 1u);
+  EXPECT_EQ(net.active_conns(), 0u);
+}
+
+TEST_F(StreamFixture, ResetTearsDownPeer) {
+  Recorder server, client;
+  net.listen(kServer, &server);
+  const ConnId c = net.connect(kClient, kServer, &client);
+  loop.run();
+
+  net.reset(c);
+  EXPECT_FALSE(net.established(c));
+  loop.run();
+  ASSERT_EQ(server.closed.size(), 1u);
+  EXPECT_TRUE(server.closed[0].reset);
+  EXPECT_EQ(net.stats().resets, 1u);
+  EXPECT_EQ(net.active_conns(), 0u);
+}
+
+TEST_F(StreamFixture, LostSynIsSilent) {
+  Recorder server, client;
+  net.listen(kServer, &server);
+  net.set_loss_rate(1.0);
+  const ConnId c = net.connect(kClient, kServer, &client);
+  loop.run();
+  // Nothing arrives anywhere: the caller's own timeout must notice.
+  EXPECT_TRUE(client.established.empty());
+  EXPECT_TRUE(client.closed.empty());
+  EXPECT_TRUE(server.accepted.empty());
+  EXPECT_EQ(net.stats().syn_lost, 1u);
+
+  // The caller abandons its half — a quiet local free, no RST anywhere.
+  net.reset(c);
+  loop.run();
+  EXPECT_TRUE(server.closed.empty());
+  EXPECT_EQ(net.stats().resets, 0u);
+  EXPECT_EQ(net.active_conns(), 0u);
+}
+
+TEST_F(StreamFixture, EstablishedConnectionsSurviveLoss) {
+  Recorder server, client;
+  net.listen(kServer, &server);
+  const ConnId c = net.connect(kClient, kServer, &client);
+  loop.run();
+
+  // Real TCP retransmits: data on an established connection always lands.
+  net.set_loss_rate(1.0);
+  ASSERT_TRUE(net.send_message(c, bytes(200)));
+  loop.run();
+  ASSERT_EQ(server.messages.size(), 1u);
+}
+
+// ---- Staleness and recycling ---------------------------------------------
+
+TEST_F(StreamFixture, StaleConnIdIsInertAfterRecycle) {
+  Recorder server, client;
+  net.listen(kServer, &server);
+  const ConnId first = net.connect(kClient, kServer, &client);
+  loop.run();
+  net.close(first);
+  loop.run();
+
+  // A slot recycles under a new generation; the old id must stay dead.
+  const std::size_t slots = net.conn_slots();
+  const ConnId second = net.connect(kClient, kServer, &client);
+  EXPECT_EQ(net.conn_slots(), slots);  // reused a pooled record
+  EXPECT_NE(second, first);
+  loop.run();
+  EXPECT_FALSE(net.send_message(first, bytes(4)));
+  EXPECT_FALSE(net.established(first));
+  EXPECT_TRUE(net.established(second));
+  net.close(first);  // no-op, must not kill `second`
+  EXPECT_TRUE(net.established(second));
+}
+
+TEST_F(StreamFixture, UserDataFollowsTheConnection) {
+  Recorder server, client;
+  net.listen(kServer, &server);
+  const ConnId c = net.connect(kClient, kServer, &client);
+  net.set_user_data(c, 0xDEADBEEFu);
+  EXPECT_EQ(net.user_data(c), 0xDEADBEEFu);
+  loop.run();
+  net.close(c);
+  EXPECT_EQ(net.user_data(c), 0u);  // stale reads are zero
+}
+
+TEST_F(StreamFixture, UnlistenRefusesNewConnections) {
+  Recorder server, client;
+  net.listen(kServer, &server);
+  EXPECT_TRUE(net.listening(kServer));
+  net.unlisten(kServer);
+  EXPECT_FALSE(net.listening(kServer));
+  net.connect(kClient, kServer, &client);
+  loop.run();
+  ASSERT_EQ(client.closed.size(), 1u);
+  EXPECT_TRUE(client.closed[0].reset);
+}
+
+// ---- Byte accounting -----------------------------------------------------
+
+TEST_F(StreamFixture, WireByteAccountingMatchesTheModel) {
+  Recorder server, client;
+  net.listen(kServer, &server);
+  const ConnId c = net.connect(kClient, kServer, &client);
+  loop.run();
+  // Client handshake: SYN + final ACK out.
+  EXPECT_EQ(net.conn_bytes_sent(c), StreamNet::kClientHandshakeBytes);
+  // SYN-ACK in.
+  EXPECT_EQ(net.conn_bytes_received(c), StreamNet::kSegmentOverhead);
+
+  const auto msg = bytes(100);
+  ASSERT_TRUE(net.send_message(c, msg));  // one segment: 40 + 2 + 100
+  loop.run();
+  EXPECT_EQ(net.conn_bytes_sent(c),
+            StreamNet::kClientHandshakeBytes + StreamNet::kSegmentOverhead +
+                2 + msg.size());
+  ASSERT_EQ(server.accepted.size(), 1u);
+  // Server side took the SYN, the final ACK, and the data segment off the
+  // wire.
+  EXPECT_EQ(net.conn_bytes_received(server.accepted[0]),
+            StreamNet::kClientHandshakeBytes + StreamNet::kSegmentOverhead +
+                2 + msg.size());
+}
+
+// ---- Determinism ---------------------------------------------------------
+
+TEST_F(StreamFixture, IdenticalSeedsReplayIdenticalDeliveryTimes) {
+  const auto run = [](std::uint64_t seed) {
+    EventLoop loop;
+    BufferPool pool;
+    StreamNet net(loop, pool, seed);
+    Recorder server, client;
+    net.listen(kServer, &server);
+    std::vector<double> times;
+    struct Stamper : StreamHandler {
+      std::vector<double>* times;
+      void on_message(ConnId, SimTime at, const PayloadRef&) override {
+        times->push_back(at.as_seconds());
+      }
+    } stamper;
+    stamper.times = &times;
+    net.listen(Endpoint{IPv4Addr(192, 0, 2, 54), kDnsPort}, &stamper);
+    const ConnId c =
+        net.connect(kClient, {IPv4Addr(192, 0, 2, 54), kDnsPort}, &client);
+    loop.run();
+    for (int i = 0; i < 5; ++i) {
+      net.send_message(c, std::vector<std::uint8_t>(64, 1));
+      loop.run();
+    }
+    return times;
+  };
+  const auto a = run(1234), b = run(1234), other = run(99);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+}
+
+TEST_F(StreamFixture, LazyStreamNetSchedulesNothingWhenUnused) {
+  // The determinism-isolation contract: a Network whose streams() accessor
+  // is never touched runs a UDP campaign with zero stream events.
+  EventLoop l;
+  Network n(l, 42);
+  EXPECT_EQ(n.streams_or_null(), nullptr);
+  StreamNet& s = n.streams();
+  EXPECT_EQ(n.streams_or_null(), &s);
+  EXPECT_EQ(s.stats().connects, 0u);
+}
+
+}  // namespace
+}  // namespace orp::net

@@ -21,6 +21,7 @@
 #include "dns/builder.h"
 #include "dns/codec.h"
 #include "dns/edns.h"
+#include "dns/truncate.h"
 #include "dns/message.h"
 #include "dns/wire_template.h"
 #include "net/sim_time.h"
@@ -381,6 +382,70 @@ TEST(WireTemplateMatch, RejectsForeignAndResizedPackets) {
   std::vector<std::uint8_t> longer = wire;
   longer.push_back(0);
   EXPECT_FALSE(tpl.match(longer, got));
+}
+
+TEST(WireTemplateMatch, DeclinesTcpFramedShapes) {
+  // A stream segment carries the RFC 1035 §4.2.2 2-byte length prefix; if
+  // such bytes ever reached the datagram fast path, match must decline —
+  // the prefix shifts every literal run by two.
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const WireTemplate tpl = WireTemplate::derive(probe_factory(scheme), scratch);
+  ASSERT_TRUE(tpl.ok());
+
+  EncodeBuffer buf;
+  const auto wire = to_vec(tpl.stamp({0x5151, 3, 1234567, 0, 0}, buf));
+  std::vector<std::uint8_t> framed;
+  framed.push_back(static_cast<std::uint8_t>(wire.size() >> 8));
+  framed.push_back(static_cast<std::uint8_t>(wire.size() & 0xFF));
+  framed.insert(framed.end(), wire.begin(), wire.end());
+  StampVars got;
+  EXPECT_FALSE(tpl.match(framed, got));
+  // Same-length check: frame it, then drop the last two payload bytes so
+  // only the shift (not the size) distinguishes it.
+  EXPECT_FALSE(tpl.match(std::span(framed).first(wire.size()), got));
+}
+
+TEST(WireTemplateMatch, DeclinesTruncatedTcFlaggedShapes) {
+  // Differential pair for the fallback path: a TC=1 copy of a stamped auth
+  // answer (and any whole-record Truncator cut of it) must decline at the
+  // template layer while the full decoder still reads it — truncated
+  // answers always take the slow path, where the TC bit is acted on.
+  const auto scheme = probe_scheme();
+  EncodeBuffer scratch;
+  const auto q2 = q2_factory(scheme);
+  const auto make = [&](const StampVars& v) {
+    Message r = dns::make_a_response(q2(v), net::IPv4Addr{v.addr}, v.ttl,
+                                     /*ra=*/false, /*aa=*/true);
+    dns::set_edns(r, dns::EdnsInfo{.udp_payload_size = 4096});
+    return r;
+  };
+  const WireTemplate tpl = WireTemplate::derive(make, scratch);
+  ASSERT_TRUE(tpl.ok());
+
+  EncodeBuffer buf;
+  const StampVars v{0x2222, 5, 7654321, 300, 0x0A000001};
+  const auto wire = to_vec(tpl.stamp(v, buf));
+  StampVars got;
+  ASSERT_TRUE(tpl.match(wire, got));
+
+  // Flag the TC bit only: same length, one flags byte differs.
+  std::vector<std::uint8_t> tc = wire;
+  tc[2] |= 0x02;
+  EXPECT_FALSE(tpl.match(tc, got));
+  const auto decoded = dns::decode(tc);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->header.flags.tc);
+
+  // Every whole-record cut of the answer declines too, and stays decodable.
+  for (std::size_t budget = dns::Truncator::kHeaderSize;
+       budget < wire.size(); ++budget) {
+    std::vector<std::uint8_t> cut = wire;
+    const std::size_t len = dns::Truncator::truncate(cut, budget);
+    ASSERT_LE(len, wire.size());
+    EXPECT_FALSE(tpl.match(std::span(cut.data(), len), got)) << budget;
+    ASSERT_TRUE(dns::decode(std::span(cut.data(), len)).has_value()) << budget;
+  }
 }
 
 // ---- derive() declining ----------------------------------------------------
